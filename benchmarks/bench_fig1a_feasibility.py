@@ -1,0 +1,41 @@
+"""Figure 1(a): *Is SNOW possible?* — the feasibility matrix.
+
+Paper result: SNOW is possible only in the single-reader settings (2 clients
+or MWSR) *with* client-to-client communication; it is impossible without C2C
+and impossible with three or more clients even with C2C.
+
+Reproduction: possible cells are verified by running algorithm A under many
+schedules and checking all four SNOW properties; impossible cells are
+witnessed by breaking the natural one-round/one-version/non-blocking
+candidate with an adversarial or randomized schedule (the actual
+impossibility arguments are replayed in bench_fig3/bench_fig4).
+"""
+
+from __future__ import annotations
+
+from repro.core.feasibility import feasibility_matrix, format_feasibility_matrix
+
+from benchutil import emit
+
+
+def regenerate():
+    verdicts = feasibility_matrix(schedules=5)
+    lines = [format_feasibility_matrix(verdicts), "", "Per-cell evidence:"]
+    for verdict in verdicts:
+        lines.append("  * " + verdict.describe())
+    return verdicts, "\n".join(lines)
+
+
+def test_fig1a_feasibility_matrix(benchmark):
+    verdicts, text = benchmark(regenerate)
+    emit("fig1a_feasibility", text)
+    expected = {
+        "two-clients-c2c": True,
+        "two-clients-no-c2c": False,
+        "mwsr-c2c": True,
+        "mwsr-no-c2c": False,
+        "three-clients-c2c": False,
+        "three-clients-no-c2c": False,
+    }
+    for verdict in verdicts:
+        assert verdict.snow_possible == expected[verdict.setting.name], verdict.describe()

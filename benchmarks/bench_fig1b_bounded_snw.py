@@ -1,0 +1,58 @@
+"""Figure 1(b): bounded SNW algorithms — the rounds × versions matrix.
+
+Paper result (rows: versions per reply; columns: rounds):
+
+* (1 version, 1 round)  — impossible in MWMR without C2C, possible for MWSR
+  with C2C (algorithm A);
+* (1 version, 2 rounds) — algorithm B;
+* (1 version, ∞ rounds) — prior retry-style designs (our validating
+  double-collect baseline);
+* (|W| versions, 1 round) — algorithm C.
+
+Reproduction: each protocol is executed under contending workloads and the
+rounds/versions are *measured* by the trace-level checkers, together with the
+SNW verdict.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core.feasibility import bounded_snw_matrix
+
+from benchutil import emit
+
+
+def regenerate():
+    rows = bounded_snw_matrix(num_writers=3, num_objects=3, workload_rounds=3, seeds=(0, 1, 2))
+    table = format_table(
+        ["protocol", "setting", "rounds (measured)", "versions (measured)", "claimed", "SNW holds"],
+        [
+            [
+                row.protocol,
+                row.setting,
+                row.rounds_observed,
+                row.versions_observed,
+                f"{'∞' if row.claimed_rounds is None else row.claimed_rounds} rounds / "
+                f"{'|W|' if row.claimed_versions is None else row.claimed_versions} versions",
+                "yes" if row.satisfies_snw else "NO",
+            ]
+            for row in rows
+        ],
+        title="Figure 1(b): bounded SNW READ-transaction algorithms (measured on executions)",
+    )
+    return rows, table
+
+
+def test_fig1b_bounded_snw_matrix(benchmark):
+    rows, table = benchmark(regenerate)
+    emit("fig1b_bounded_snw", table)
+    by_name = {row.protocol: row for row in rows}
+    assert by_name["algorithm-a"].rounds_observed == 1
+    assert by_name["algorithm-a"].versions_observed == 1
+    assert by_name["algorithm-b"].rounds_observed == 2
+    assert by_name["algorithm-b"].versions_observed == 1
+    assert by_name["algorithm-c"].rounds_observed <= 2  # 1 + documented fallback corner case
+    assert by_name["algorithm-c"].versions_observed > 1
+    assert by_name["occ-double-collect"].versions_observed == 1
+    assert by_name["occ-double-collect"].rounds_observed >= 2
+    assert all(row.satisfies_snw for row in rows)

@@ -1,0 +1,66 @@
+"""Extension / ablation experiment: where each design pays its coordination cost.
+
+Algorithm A moves per-WRITE work onto the reader (every WRITE sends an
+``info-reader`` message and waits for the reader's ack); algorithms B and C
+move it onto a coordinator server (``update-coor``); the baselines pay in
+extra rounds or blocking instead.  This bench measures, for the same workload
+and the same schedule, the total message count and the per-READ / per-WRITE
+message and round costs — the ablation behind the design choice called out in
+DESIGN.md (reader-as-coordinator vs. server-as-coordinator vs. no coordinator).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentConfig, WorkloadSpec, format_table, run_experiment
+
+from benchutil import emit
+
+PROTOCOLS = ("simple-rw", "algorithm-a", "algorithm-b", "algorithm-c", "s2pl", "occ-double-collect")
+
+
+def regenerate():
+    rows = []
+    details = {}
+    for protocol in PROTOCOLS:
+        config = ExperimentConfig(
+            protocol=protocol,
+            num_readers=2,
+            num_writers=3,
+            num_objects=3,
+            workload=WorkloadSpec(reads_per_reader=6, writes_per_writer=4, read_size=3, write_size=3, seed=77),
+            scheduler="random",
+            seed=77,
+            check_properties=False,
+        )
+        result = run_experiment(config)
+        metrics = result.metrics
+        rows.append(
+            [
+                protocol,
+                metrics.total_messages,
+                f"{metrics.write_messages.mean:.1f}" if metrics.write_messages.count else "-",
+                f"{metrics.read_messages.mean:.1f}" if metrics.read_messages.count else "-",
+                f"{metrics.read_rounds.mean:.2f}" if metrics.read_rounds.count else "-",
+            ]
+        )
+        details[protocol] = metrics
+    table = format_table(
+        ["protocol", "total msgs", "msgs/WRITE", "msgs/READ", "rounds/READ"],
+        rows,
+        title="Message cost per design (same workload, same schedule)",
+    )
+    return details, table
+
+
+def test_message_cost(benchmark):
+    details, table = benchmark(regenerate)
+    emit("message_cost", table)
+    # Algorithm A's writes are more expensive than the naive floor (the extra
+    # info-reader round trip), which is the price of SNOW reads.
+    assert details["algorithm-a"].write_messages.mean > details["simple-rw"].write_messages.mean
+    # B and C writes also pay a coordinator round trip.
+    assert details["algorithm-b"].write_messages.mean > details["simple-rw"].write_messages.mean
+    # Reads: the retry baseline sends the most read messages.
+    assert details["occ-double-collect"].read_messages.mean >= details["algorithm-b"].read_messages.mean
+    # Simple reads are the floor on read messages.
+    assert details["simple-rw"].read_messages.mean <= details["algorithm-b"].read_messages.mean

@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or one of
+the extension experiments listed in DESIGN.md).  Besides timing the
+regeneration with pytest-benchmark, each bench *prints* the regenerated
+table/series and also writes it to ``benchmarks/results/<name>.txt`` so the
+outputs survive output capturing and land next to the timing numbers in
+``bench_output.txt`` runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under benchmarks/results/."""
+    banner = f"\n{'=' * 78}\n{name}\n{'=' * 78}\n"
+    print(banner + text + "\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: run the paper's algorithm A and check all four SNOW properties.
+
+Algorithm A (Section 5.2) is the protocol that shows ideal READ transactions
+*are* possible in the multi-writer single-reader setting when clients may
+message each other: reads are strictly serializable, non-blocking, one round,
+one version — the same latency as simple reads — while concurrent WRITE
+transactions keep committing.
+
+This script builds a small system (one reader, two writers, two shards),
+runs a handful of transactions under a randomized asynchronous schedule, and
+then lets the checkers judge the execution.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.ioa import RandomScheduler
+from repro.protocols import get_protocol
+
+
+def main() -> None:
+    protocol = get_protocol("algorithm-a")
+    handle = protocol.build(
+        num_readers=1,
+        num_writers=2,
+        num_objects=2,
+        scheduler=RandomScheduler(seed=42),
+    )
+    print(f"Built system: {handle.describe()}\n")
+
+    # A tiny workload: two writers race, the reader keeps reading.
+    w1 = handle.submit_write({"ox": "alice-1", "oy": "alice-1"}, writer="w1")
+    r1 = handle.submit_read()  # concurrent with both writes
+    w2 = handle.submit_write({"ox": "bob-1", "oy": "bob-1"}, writer="w2")
+    r2 = handle.submit_read(after=[w1])  # starts only after w1 completed
+    w3 = handle.submit_write({"ox": "alice-2", "oy": "alice-2"}, writer="w1")
+    r3 = handle.submit_read(after=[w2, w3])  # sees everything
+
+    handle.run_to_completion()
+
+    print("Transaction history:")
+    print(handle.history().describe())
+    print()
+
+    report = handle.snow_report()
+    print("SNOW property report:")
+    print(report.describe())
+    print()
+
+    lemma20 = handle.lemma20()
+    print("Lemma 20 (P1-P4) check on the protocol-reported tags:")
+    print(" ", lemma20.describe())
+    print()
+
+    print(
+        f"Verdict: properties {report.property_string()} — "
+        f"READ transactions took {report.max_rounds()} round(s) and returned "
+        f"{report.max_versions()} version(s) per reply, matching simple reads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that environments with older setuptools/pip tooling (no PEP 660 editable
+support, no ``wheel`` package) can still do ``python setup.py develop`` or a
+legacy ``pip install -e .``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'SNOW Revisited: Understanding When Ideal READ Transactions Are Possible'"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

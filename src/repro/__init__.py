@@ -1,0 +1,35 @@
+"""repro — a Python reproduction of *SNOW Revisited* (Konwar, Lloyd, Lu, Lynch).
+
+The package is organised in layers:
+
+* :mod:`repro.ioa` — deterministic I/O-automata-style simulation substrate
+  (messages, traces, automata, schedulers/adversaries, the kernel);
+* :mod:`repro.txn` — the transaction system (objects, READ/WRITE
+  transactions, the ``OT`` data type, histories);
+* :mod:`repro.core` — the SNOW property checkers, strict-serializability
+  checkers (semantic search and Lemma 20) and the Figure 1 matrices;
+* :mod:`repro.protocols` — the paper's algorithms A, B and C, the Eiger-style
+  protocol of Section 6, and baselines (naive SNOW candidate, strict 2PL,
+  double-collect OCC, simple reads);
+* :mod:`repro.proofs` — mechanical replays of the impossibility constructions
+  (Figures 3 and 4) and of the Eiger counter-example (Figure 5);
+* :mod:`repro.analysis` — workload generation, the experiment runner and the
+  table/series formatting used by the benchmark harness.
+
+Quickstart::
+
+    from repro.protocols import get_protocol
+
+    handle = get_protocol("algorithm-a").build(num_writers=2, num_objects=2)
+    w = handle.submit_write({"ox": 1, "oy": 1})
+    r = handle.submit_read(after=[w])
+    handle.run_to_completion()
+    print(handle.history().describe())
+    print(handle.snow_report().describe())
+"""
+
+from . import core, ioa, protocols, txn
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "ioa", "protocols", "txn", "__version__"]

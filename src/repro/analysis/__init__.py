@@ -1,0 +1,71 @@
+"""Experiment harness: workloads, runner, metrics, sweeps and reporting."""
+
+from .metrics import (
+    AggregateStats,
+    ExperimentMetrics,
+    TransactionMetrics,
+    collect_metrics,
+    percentile,
+)
+from .report import (
+    LATENCY_HEADERS,
+    format_latency_comparison,
+    format_markdown_table,
+    format_series,
+    format_table,
+    latency_comparison_rows,
+)
+from .runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    compare_protocols,
+    make_scheduler,
+    run_experiment,
+    run_many,
+)
+from .sweep import (
+    SweepPoint,
+    SweepResult,
+    sweep_read_size,
+    sweep_rounds_vs_contention,
+    sweep_versions_vs_writers,
+)
+from .workload import (
+    GeneratedWorkload,
+    WorkloadSpec,
+    generate_workload,
+    read_heavy_spec,
+    submit_workload,
+    write_heavy_spec,
+)
+
+__all__ = [
+    "AggregateStats",
+    "ExperimentMetrics",
+    "TransactionMetrics",
+    "collect_metrics",
+    "percentile",
+    "LATENCY_HEADERS",
+    "format_latency_comparison",
+    "format_markdown_table",
+    "format_series",
+    "format_table",
+    "latency_comparison_rows",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "compare_protocols",
+    "make_scheduler",
+    "run_experiment",
+    "run_many",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_read_size",
+    "sweep_rounds_vs_contention",
+    "sweep_versions_vs_writers",
+    "GeneratedWorkload",
+    "WorkloadSpec",
+    "generate_workload",
+    "read_heavy_spec",
+    "submit_workload",
+    "write_heavy_spec",
+]

@@ -1,0 +1,175 @@
+"""Metric collection and aggregation for protocol experiments.
+
+Latency in the simulator is measured in two complementary ways:
+
+* **rounds** — the number of sequential client↔server round trips a READ
+  transaction needed (the paper's latency measure: the O property's
+  "one round" and the bounded-round guarantees of algorithms B and C);
+* **trace steps** — the number of scheduler steps between invocation and
+  response, a finer-grained proxy for wall-clock latency on an asynchronous
+  network (every message delivery costs one step).
+
+Message cost (requests + replies attributable to a transaction) captures the
+throughput/overhead side: algorithm A pushes per-write work to the reader,
+algorithms B and C to the coordinator, and the benchmark harness reports both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..ioa.simulation import Simulation, TransactionRecord
+from ..txn.transactions import ReadTransaction, WriteTransaction
+
+
+@dataclass(frozen=True)
+class TransactionMetrics:
+    """Per-transaction measurements."""
+
+    txn_id: str
+    kind: str  # "read" | "write"
+    client: str
+    rounds: int
+    messages_sent: int
+    latency_steps: Optional[int]
+    versions: int = 1
+    annotations: Tuple[Tuple[str, Any], ...] = ()
+
+    def describe(self) -> str:
+        return (
+            f"{self.txn_id} ({self.kind}@{self.client}): rounds={self.rounds}, "
+            f"messages={self.messages_sent}, latency={self.latency_steps}, versions={self.versions}"
+        )
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation surprises)."""
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+@dataclass
+class AggregateStats:
+    """Summary statistics over one metric."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "AggregateStats":
+        if not values:
+            return cls(count=0, mean=float("nan"), minimum=float("nan"), maximum=float("nan"), p50=float("nan"), p95=float("nan"))
+        return cls(
+            count=len(values),
+            mean=sum(values) / len(values),
+            minimum=float(min(values)),
+            maximum=float(max(values)),
+            p50=percentile(values, 0.50),
+            p95=percentile(values, 0.95),
+        )
+
+    def describe(self) -> str:
+        if self.count == 0:
+            return "n=0"
+        return f"n={self.count} mean={self.mean:.2f} min={self.minimum:.0f} p50={self.p50:.0f} p95={self.p95:.0f} max={self.maximum:.0f}"
+
+
+@dataclass
+class ExperimentMetrics:
+    """Aggregated measurements of one protocol execution."""
+
+    protocol: str
+    transactions: Tuple[TransactionMetrics, ...]
+    read_rounds: AggregateStats
+    read_latency_steps: AggregateStats
+    read_messages: AggregateStats
+    read_versions: AggregateStats
+    write_latency_steps: AggregateStats
+    write_messages: AggregateStats
+    total_messages: int
+    total_steps: int
+
+    def reads(self) -> Tuple[TransactionMetrics, ...]:
+        return tuple(t for t in self.transactions if t.kind == "read")
+
+    def writes(self) -> Tuple[TransactionMetrics, ...]:
+        return tuple(t for t in self.transactions if t.kind == "write")
+
+    def max_read_rounds(self) -> int:
+        return int(self.read_rounds.maximum) if self.read_rounds.count else 0
+
+    def max_versions(self) -> int:
+        return int(self.read_versions.maximum) if self.read_versions.count else 1
+
+    def describe(self) -> str:
+        lines = [
+            f"metrics[{self.protocol}]: {len(self.reads())} reads, {len(self.writes())} writes, "
+            f"{self.total_messages} messages, {self.total_steps} steps",
+            f"  read rounds   : {self.read_rounds.describe()}",
+            f"  read latency  : {self.read_latency_steps.describe()}",
+            f"  read messages : {self.read_messages.describe()}",
+            f"  read versions : {self.read_versions.describe()}",
+            f"  write latency : {self.write_latency_steps.describe()}",
+        ]
+        return "\n".join(lines)
+
+
+def _versions_for_record(simulation: Simulation, record: TransactionRecord) -> int:
+    from ..core.snow import versions_in_replies
+
+    if not isinstance(record.txn, ReadTransaction):
+        return 1
+    max_versions, _replies = versions_in_replies(
+        simulation.trace, str(record.txn_id), record.client, simulation.servers()
+    )
+    return max_versions
+
+
+def collect_metrics(simulation: Simulation, protocol_name: str = "") -> ExperimentMetrics:
+    """Aggregate per-transaction measurements from a finished simulation."""
+    transactions: List[TransactionMetrics] = []
+    total_messages = 0
+    for record in simulation.transaction_records():
+        kind = "read" if isinstance(record.txn, ReadTransaction) else "write"
+        versions = _versions_for_record(simulation, record)
+        total_messages += record.messages_sent
+        transactions.append(
+            TransactionMetrics(
+                txn_id=str(record.txn_id),
+                kind=kind,
+                client=record.client,
+                rounds=record.rounds,
+                messages_sent=record.messages_sent,
+                latency_steps=record.latency_steps(),
+                versions=versions,
+                annotations=tuple(sorted(record.annotations.items())),
+            )
+        )
+
+    reads = [t for t in transactions if t.kind == "read"]
+    writes = [t for t in transactions if t.kind == "write"]
+    return ExperimentMetrics(
+        protocol=protocol_name,
+        transactions=tuple(transactions),
+        read_rounds=AggregateStats.from_values([t.rounds for t in reads]),
+        read_latency_steps=AggregateStats.from_values(
+            [t.latency_steps for t in reads if t.latency_steps is not None]
+        ),
+        read_messages=AggregateStats.from_values([t.messages_sent for t in reads]),
+        read_versions=AggregateStats.from_values([t.versions for t in reads]),
+        write_latency_steps=AggregateStats.from_values(
+            [t.latency_steps for t in writes if t.latency_steps is not None]
+        ),
+        write_messages=AggregateStats.from_values([t.messages_sent for t in writes]),
+        total_messages=total_messages,
+        total_steps=simulation.steps_taken,
+    )

@@ -1,0 +1,149 @@
+"""Experiment runner: one protocol, one workload, one schedule → one result.
+
+The runner is the glue the benchmark harness is built on: it instantiates a
+protocol through the registry, generates and submits a workload, runs the
+simulation to completion, and packages the SNOW verdict together with the
+latency/message metrics.  Everything is parameterised by plain dataclasses so
+benchmark sweeps are declarative lists of configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.snow import SnowReport, check_snow
+from ..ioa.scheduler import FIFOScheduler, LIFOScheduler, RandomScheduler, Scheduler
+from ..protocols.registry import get_protocol
+from ..txn.history import History
+from .metrics import ExperimentMetrics, collect_metrics
+from .workload import GeneratedWorkload, WorkloadSpec, generate_workload, submit_workload
+
+
+def make_scheduler(name: str, seed: int = 0) -> Scheduler:
+    """Scheduler factory used by configs: ``fifo``, ``lifo`` or ``random``."""
+    if name == "fifo":
+        return FIFOScheduler()
+    if name == "lifo":
+        return LIFOScheduler()
+    if name == "random":
+        return RandomScheduler(seed=seed)
+    raise ValueError(f"unknown scheduler {name!r} (expected 'fifo', 'lifo' or 'random')")
+
+
+@dataclass
+class ExperimentConfig:
+    """Declarative description of one experiment run."""
+
+    protocol: str
+    num_readers: int = 2
+    num_writers: int = 2
+    num_objects: int = 2
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    scheduler: str = "fifo"
+    seed: int = 0
+    c2c: Optional[bool] = None
+    initial_value: Any = 0
+    check_properties: bool = True
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        return replace(self, seed=seed, workload=replace(self.workload, seed=seed))
+
+    def describe(self) -> str:
+        return (
+            f"{self.protocol} ({self.num_readers}R/{self.num_writers}W/{self.num_objects} objects, "
+            f"{self.scheduler} seed={self.seed}): {self.workload.describe()}"
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one run."""
+
+    config: ExperimentConfig
+    metrics: ExperimentMetrics
+    snow: Optional[SnowReport]
+    history: History
+    read_ids: Tuple[str, ...]
+    write_ids: Tuple[str, ...]
+
+    @property
+    def protocol(self) -> str:
+        return self.config.protocol
+
+    def property_string(self) -> str:
+        return self.snow.property_string() if self.snow else "????"
+
+    def describe(self) -> str:
+        lines = [self.config.describe()]
+        if self.snow is not None:
+            lines.append(f"  properties: {self.snow.property_string()}")
+        lines.append("  " + self.metrics.describe().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment to completion and collect all measurements."""
+    protocol = get_protocol(config.protocol)
+    build_kwargs: Dict[str, Any] = dict(
+        num_readers=config.num_readers,
+        num_writers=config.num_writers,
+        num_objects=config.num_objects,
+        scheduler=make_scheduler(config.scheduler, config.seed),
+        seed=config.seed,
+        initial_value=config.initial_value,
+    )
+    if config.c2c is not None:
+        build_kwargs["c2c"] = config.c2c
+    if not protocol.supports_multiple_readers:
+        build_kwargs["num_readers"] = 1
+    handle = protocol.build(**build_kwargs)
+
+    workload = generate_workload(config.workload, handle.readers, handle.writers, handle.objects)
+    read_ids, write_ids = submit_workload(handle, workload)
+    handle.run_to_completion()
+
+    history = handle.history()
+    metrics = collect_metrics(handle.simulation, protocol_name=config.protocol)
+    snow = check_snow(handle.simulation, history) if config.check_properties else None
+    return ExperimentResult(
+        config=config,
+        metrics=metrics,
+        snow=snow,
+        history=history,
+        read_ids=tuple(read_ids),
+        write_ids=tuple(write_ids),
+    )
+
+
+def run_many(configs: Sequence[ExperimentConfig]) -> List[ExperimentResult]:
+    """Run a list of experiment configurations."""
+    return [run_experiment(config) for config in configs]
+
+
+def compare_protocols(
+    protocols: Sequence[str],
+    workload: Optional[WorkloadSpec] = None,
+    num_readers: int = 2,
+    num_writers: int = 2,
+    num_objects: int = 3,
+    scheduler: str = "fifo",
+    seed: int = 0,
+    check_properties: bool = True,
+) -> List[ExperimentResult]:
+    """Run the same workload through several protocols (the latency comparison)."""
+    workload = workload or WorkloadSpec(seed=seed)
+    configs = [
+        ExperimentConfig(
+            protocol=name,
+            num_readers=num_readers,
+            num_writers=num_writers,
+            num_objects=num_objects,
+            workload=workload,
+            scheduler=scheduler,
+            seed=seed,
+            check_properties=check_properties,
+        )
+        for name in protocols
+    ]
+    return run_many(configs)

@@ -1,0 +1,256 @@
+"""Actions and messages of the I/O-automata execution model.
+
+The paper models the system with Lynch-style I/O automata: an execution is an
+alternating sequence of states and actions, and the proofs only ever reason
+about the *actions* (``send``, ``recv``, ``INV``, ``RESP`` and internal
+steps) together with the automaton at which each action occurs.  We mirror
+that: a simulation produces a :class:`~repro.ioa.trace.Trace`, which is a
+sequence of :class:`Action` records, and every property checker and proof
+replay consumes those records.
+
+Design notes
+------------
+
+* ``Message`` is immutable.  Payloads are stored as a tuple of ``(key, value)``
+  pairs so that messages are hashable and can be used in sets/dicts by the
+  schedulers and adversaries; ``payload`` exposes them as a read-only mapping.
+* ``Action`` carries the acting automaton (``actor``), the kind, the message
+  (for ``send``/``recv``) and a free-form ``info`` mapping used to tag
+  transaction identifiers, phases and protocol-specific annotations (for
+  example the number of versions carried by a reply, used by the O-property
+  checker).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+
+class ActionKind(enum.Enum):
+    """The kinds of actions that can appear in a trace.
+
+    ``SEND``/``RECV`` are the channel actions of the paper's model,
+    ``INVOKE``/``RESPOND`` are the external transaction boundary actions
+    (``INV`` / ``RESP`` in the paper), ``INTERNAL`` covers local computation
+    steps that protocols choose to record, and ``START`` marks automaton
+    start-up steps.
+    """
+
+    SEND = "send"
+    RECV = "recv"
+    INVOKE = "invoke"
+    RESPOND = "respond"
+    INTERNAL = "internal"
+    START = "start"
+
+    def is_external(self) -> bool:
+        """External actions are everything except ``INTERNAL``/``START``.
+
+        This matches the I/O-automata notion used by Lemma 2 (commuting
+        fragments): input and output actions are external; internal actions
+        are not observable by other automata.
+        """
+        return self in (ActionKind.SEND, ActionKind.RECV, ActionKind.INVOKE, ActionKind.RESPOND)
+
+    def is_input(self) -> bool:
+        """Input actions of an automaton: message receipt and invocations."""
+        return self in (ActionKind.RECV, ActionKind.INVOKE)
+
+    def is_output(self) -> bool:
+        """Output actions of an automaton: message send and responses."""
+        return self in (ActionKind.SEND, ActionKind.RESPOND)
+
+
+_message_counter = itertools.count()
+
+
+def _freeze_payload(payload: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Freeze a payload mapping into a sorted tuple of items.
+
+    Values are left untouched (they may be tuples, frozensets, numbers or
+    strings); mutable values are tolerated but discouraged because they break
+    hashability of the message.
+    """
+    items = []
+    for key in sorted(payload):
+        value = payload[key]
+        if isinstance(value, list):
+            value = tuple(value)
+        elif isinstance(value, set):
+            value = frozenset(value)
+        elif isinstance(value, dict):
+            value = tuple(sorted(value.items()))
+        items.append((key, value))
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message in flight between two automata.
+
+    Attributes
+    ----------
+    msg_type:
+        Protocol-level tag, e.g. ``"read-val"`` or ``"info-reader"``; the
+        names used by the protocol implementations follow the pseudocode in
+        the paper.
+    src, dst:
+        Names of the sending and receiving automata.
+    items:
+        Frozen payload as a tuple of ``(key, value)`` pairs.
+    msg_id:
+        Globally unique identifier assigned at construction; used by the
+        kernel to match ``send`` and ``recv`` actions of the same message and
+        by adversary scripts to refer to specific messages.
+    """
+
+    msg_type: str
+    src: str
+    dst: str
+    items: Tuple[Tuple[str, Any], ...] = ()
+    msg_id: int = field(default_factory=lambda: next(_message_counter))
+
+    @classmethod
+    def make(cls, msg_type: str, src: str, dst: str, payload: Optional[Mapping[str, Any]] = None) -> "Message":
+        """Construct a message, freezing ``payload``."""
+        return cls(msg_type=msg_type, src=src, dst=dst, items=_freeze_payload(payload or {}))
+
+    @property
+    def payload(self) -> Mapping[str, Any]:
+        """Read-only mapping view of the payload."""
+        return MappingProxyType(dict(self.items))
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return ``payload[key]`` or ``default``."""
+        return dict(self.items).get(key, default)
+
+    def with_payload(self, **updates: Any) -> "Message":
+        """Return a copy with payload keys updated (new ``msg_id``)."""
+        merged: Dict[str, Any] = dict(self.items)
+        merged.update(updates)
+        return Message.make(self.msg_type, self.src, self.dst, merged)
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in reports and errors."""
+        return f"{self.msg_type}[{self.src}->{self.dst}]#{self.msg_id}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class Action:
+    """One step of an execution.
+
+    ``index`` is the position of the action in the global trace (assigned by
+    the trace when the action is appended), ``actor`` is the automaton at
+    which the action occurs.  For ``SEND``/``RECV`` actions ``message`` holds
+    the message; for ``INVOKE``/``RESPOND``/``INTERNAL`` actions the
+    interesting data lives in ``info``.
+    """
+
+    kind: ActionKind
+    actor: str
+    message: Optional[Message] = None
+    info: Tuple[Tuple[str, Any], ...] = ()
+    index: int = -1
+
+    @classmethod
+    def make(
+        cls,
+        kind: ActionKind,
+        actor: str,
+        message: Optional[Message] = None,
+        info: Optional[Mapping[str, Any]] = None,
+        index: int = -1,
+    ) -> "Action":
+        return cls(kind=kind, actor=actor, message=message, info=_freeze_payload(info or {}), index=index)
+
+    @property
+    def info_map(self) -> Mapping[str, Any]:
+        """Read-only mapping view of ``info``."""
+        return MappingProxyType(dict(self.info))
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up ``key`` first in ``info`` then in the message payload."""
+        info = dict(self.info)
+        if key in info:
+            return info[key]
+        if self.message is not None:
+            return self.message.get(key, default)
+        return default
+
+    def with_index(self, index: int) -> "Action":
+        """Return a copy of the action positioned at ``index``."""
+        return Action(kind=self.kind, actor=self.actor, message=self.message, info=self.info, index=index)
+
+    def is_external(self) -> bool:
+        return self.kind.is_external()
+
+    def is_input(self) -> bool:
+        return self.kind.is_input()
+
+    def is_output(self) -> bool:
+        return self.kind.is_output()
+
+    def same_step(self, other: "Action") -> bool:
+        """Equality ignoring the trace index.
+
+        Two actions are the *same step* when they have the same kind, occur at
+        the same automaton, involve the same message and carry the same info.
+        This is the notion of sameness used when comparing projections of two
+        different executions (indistinguishability, Lemma 3).
+        """
+        return (
+            self.kind == other.kind
+            and self.actor == other.actor
+            and self.message == other.message
+            and self.info == other.info
+        )
+
+    def describe(self) -> str:
+        """Human-readable description, e.g. ``recv@s_x read-val[r1->s_x]#12``."""
+        parts = [f"{self.kind.value}@{self.actor}"]
+        if self.message is not None:
+            parts.append(self.message.describe())
+        info = dict(self.info)
+        if info:
+            parts.append(str(info))
+        return " ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+def send_action(message: Message, info: Optional[Mapping[str, Any]] = None) -> Action:
+    """Build the ``send`` action of ``message`` (occurring at the sender)."""
+    return Action.make(ActionKind.SEND, message.src, message, info)
+
+
+def recv_action(message: Message, info: Optional[Mapping[str, Any]] = None) -> Action:
+    """Build the ``recv`` action of ``message`` (occurring at the receiver)."""
+    return Action.make(ActionKind.RECV, message.dst, message, info)
+
+
+def invoke_action(actor: str, info: Optional[Mapping[str, Any]] = None) -> Action:
+    """Build an ``INV`` action at a client."""
+    return Action.make(ActionKind.INVOKE, actor, None, info)
+
+
+def respond_action(actor: str, info: Optional[Mapping[str, Any]] = None) -> Action:
+    """Build a ``RESP`` action at a client."""
+    return Action.make(ActionKind.RESPOND, actor, None, info)
+
+
+def internal_action(actor: str, info: Optional[Mapping[str, Any]] = None) -> Action:
+    """Build an internal action at an automaton."""
+    return Action.make(ActionKind.INTERNAL, actor, None, info)
+
+
+def actions_at(actions: Iterable[Action], actor: str) -> Tuple[Action, ...]:
+    """Filter an iterable of actions down to those occurring at ``actor``."""
+    return tuple(a for a in actions if a.actor == actor)

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the I/O-automata simulation substrate.
+
+The simulation kernel is strict about model violations: the paper's results
+depend on precise assumptions (reliable asynchronous channels, well-formed
+clients, whether client-to-client communication is allowed), so any attempt
+by a protocol to step outside the configured model raises one of the
+exceptions defined here instead of silently proceeding.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by :mod:`repro.ioa`."""
+
+
+class UnknownProcessError(SimulationError):
+    """A message was addressed to a process that is not part of the system."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown process {name!r}")
+        self.name = name
+
+
+class DuplicateProcessError(SimulationError):
+    """Two automata were registered under the same name."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"process name {name!r} already registered")
+        self.name = name
+
+
+class CommunicationNotAllowedError(SimulationError):
+    """A send violated the configured communication topology.
+
+    The main use is enforcing the *client-to-client communication disallowed*
+    setting of the paper (Section 5.1): in that configuration a client that
+    tries to send a message to another client triggers this error, which is
+    exactly what distinguishes the impossible settings from the possible ones
+    in Figure 1(a).
+    """
+
+    def __init__(self, src: str, dst: str, reason: str = "") -> None:
+        msg = f"communication from {src!r} to {dst!r} is not allowed"
+        if reason:
+            msg += f": {reason}"
+        super().__init__(msg)
+        self.src = src
+        self.dst = dst
+
+
+class WellFormednessError(SimulationError):
+    """A client violated well-formedness (overlapping transactions, etc.)."""
+
+
+class SchedulerError(SimulationError):
+    """A scheduler returned an invalid choice or an adversary script ran dry."""
+
+
+class SessionError(SimulationError):
+    """A protocol session (client generator) misbehaved.
+
+    Examples: yielding an unknown effect object, awaiting zero messages,
+    or completing a transaction twice.
+    """
+
+
+class LivenessError(SimulationError):
+    """The simulation reached its step bound with incomplete transactions.
+
+    Raised by helpers that require every invoked transaction to finish
+    (the W property requires WRITE transactions to eventually complete,
+    so executions produced for the checkers must be transaction-complete).
+    """
+
+
+class TraceError(SimulationError):
+    """A trace-level operation received inconsistent arguments."""

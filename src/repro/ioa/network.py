@@ -1,0 +1,160 @@
+"""Communication topology: who may talk to whom.
+
+The paper's results hinge on the communication topology among processes:
+
+* clients always talk to servers and servers reply to clients;
+* servers may talk to each other (algorithms B and C route reads through a
+  coordinator server);
+* **client-to-client (C2C) communication** is the pivotal switch: Figure 1(a)
+  shows SNOW is possible in the MWSR setting *only* when C2C is allowed
+  (algorithm A has writers send ``info-reader`` messages directly to the
+  reader), and impossible when it is disallowed.
+
+:class:`Topology` encodes these rules; the simulation kernel consults it on
+every send and raises :class:`~repro.ioa.errors.CommunicationNotAllowedError`
+on a violation, so running algorithm A in a no-C2C configuration fails loudly
+rather than silently producing a meaningless result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from .automaton import Automaton
+from .errors import CommunicationNotAllowedError, UnknownProcessError
+
+
+@dataclass
+class Topology:
+    """Communication rules over a set of named automata.
+
+    Parameters
+    ----------
+    allow_client_to_client:
+        The C2C switch of the paper.  When ``False`` any client→client send
+        raises :class:`CommunicationNotAllowedError`.
+    allow_server_to_server:
+        Whether servers may exchange messages (needed by coordinator-based
+        protocols if the coordinator is a separate server; enabled by
+        default).
+    extra_forbidden:
+        Additional directed pairs ``(src, dst)`` that are forbidden, for
+        fault-injection style experiments.
+    """
+
+    allow_client_to_client: bool = True
+    allow_server_to_server: bool = True
+    extra_forbidden: FrozenSet[Tuple[str, str]] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        self._kinds: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, automaton: Automaton) -> None:
+        """Record the kind of a named automaton (called by the kernel)."""
+        self._kinds[automaton.name] = automaton.kind
+
+    def kind_of(self, name: str) -> str:
+        try:
+            return self._kinds[name]
+        except KeyError:
+            raise UnknownProcessError(name) from None
+
+    def is_client(self, name: str) -> bool:
+        return self.kind_of(name) in ("reader", "writer", "client")
+
+    def is_server(self, name: str) -> bool:
+        return self.kind_of(name) == "server"
+
+    # ------------------------------------------------------------------
+    def check_send(self, src: str, dst: str) -> None:
+        """Raise if a send from ``src`` to ``dst`` violates the topology."""
+        if src not in self._kinds:
+            raise UnknownProcessError(src)
+        if dst not in self._kinds:
+            raise UnknownProcessError(dst)
+        if (src, dst) in self.extra_forbidden:
+            raise CommunicationNotAllowedError(src, dst, "explicitly forbidden pair")
+        if src == dst:
+            raise CommunicationNotAllowedError(src, dst, "self-sends are not modelled")
+        src_client = self.is_client(src)
+        dst_client = self.is_client(dst)
+        if src_client and dst_client and not self.allow_client_to_client:
+            raise CommunicationNotAllowedError(
+                src, dst, "client-to-client communication is disallowed in this setting"
+            )
+        if (not src_client) and (not dst_client) and not self.allow_server_to_server:
+            raise CommunicationNotAllowedError(
+                src, dst, "server-to-server communication is disallowed in this setting"
+            )
+
+    def allows(self, src: str, dst: str) -> bool:
+        """Boolean form of :meth:`check_send`."""
+        try:
+            self.check_send(src, dst)
+        except CommunicationNotAllowedError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        clients = sorted(n for n in self._kinds if self.is_client(n))
+        servers = sorted(n for n in self._kinds if self.is_server(n))
+        return (
+            f"Topology(clients={clients}, servers={servers}, "
+            f"c2c={'allowed' if self.allow_client_to_client else 'disallowed'})"
+        )
+
+
+@dataclass(frozen=True)
+class SystemSetting:
+    """A named point in the design space of Figure 1(a).
+
+    ``num_readers`` / ``num_writers`` give the client population,
+    ``num_servers`` the number of shards, and ``c2c`` whether client-to-client
+    communication is allowed.  The feasibility analysis enumerates these.
+    """
+
+    name: str
+    num_readers: int
+    num_writers: int
+    num_servers: int
+    c2c: bool
+
+    @property
+    def num_clients(self) -> int:
+        return self.num_readers + self.num_writers
+
+    def is_mwsr(self) -> bool:
+        """Multi-writer single-reader (the setting of algorithm A)."""
+        return self.num_readers == 1
+
+    def is_swmr(self) -> bool:
+        """Single-writer multi-reader (the setting of the original theorem)."""
+        return self.num_writers == 1 and self.num_readers >= 2
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.num_writers} writer(s), {self.num_readers} reader(s), "
+            f"{self.num_servers} server(s), C2C {'allowed' if self.c2c else 'disallowed'}"
+        )
+
+
+def standard_settings() -> Tuple[SystemSetting, ...]:
+    """The settings enumerated by Figure 1(a), plus the classic 3-client one.
+
+    * ``two-clients``: one writer, one reader (the open question of the
+      original paper, closed in Section 5).
+    * ``mwsr``: multiple writers, single reader.
+    * ``three-clients``: one writer, two readers (the original SNOW setting).
+
+    Each appears with C2C allowed and disallowed.
+    """
+    settings = []
+    for c2c in (True, False):
+        suffix = "c2c" if c2c else "no-c2c"
+        settings.append(SystemSetting(f"two-clients-{suffix}", 1, 1, 2, c2c))
+        settings.append(SystemSetting(f"mwsr-{suffix}", 1, 3, 2, c2c))
+        settings.append(SystemSetting(f"three-clients-{suffix}", 2, 1, 2, c2c))
+    return tuple(settings)

@@ -1,0 +1,440 @@
+"""The deterministic discrete-event simulation kernel.
+
+This is the substrate on which every protocol in the repository runs.  It
+plays the role of the composed I/O automaton of the paper: it owns the set of
+automata, the reliable asynchronous channels, the external invocation events
+and the global execution trace.  Asynchrony is embodied by the pluggable
+:class:`~repro.ioa.scheduler.Scheduler`, which at each step picks one pending
+event (a message delivery or a transaction invocation) to execute.
+
+Guarantees provided (matching the paper's model, Section 2):
+
+* **Reliable channels** — every sent message is eventually deliverable and is
+  delivered at most once, uncorrupted.  The kernel never drops messages; a
+  run ends only when no pending events remain or the step bound is hit.
+* **Asynchrony** — the scheduler may interleave deliveries and invocations in
+  any order; per-channel FIFO is *not* assumed (the paper does not assume
+  it either).
+* **Well-formed clients** — a client has at most one outstanding transaction;
+  queued transactions are only offered for invocation once the previous one
+  has responded and any explicit ``after`` dependencies have completed.
+* **Determinism** — given the same automata, workload, scheduler and seed the
+  produced trace is identical, which makes every experiment and every failure
+  replayable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .actions import (
+    Action,
+    ActionKind,
+    Message,
+    internal_action,
+    invoke_action,
+    recv_action,
+    respond_action,
+    send_action,
+)
+from .automaton import (
+    Automaton,
+    Await,
+    ClientAutomaton,
+    Context,
+    Mark,
+    Send,
+    SessionState,
+)
+from .errors import (
+    DuplicateProcessError,
+    LivenessError,
+    SessionError,
+    SimulationError,
+    UnknownProcessError,
+    WellFormednessError,
+)
+from .network import Topology
+from .scheduler import (
+    FIFOScheduler,
+    PendingDelivery,
+    PendingEvent,
+    PendingInvocation,
+    Scheduler,
+)
+from .trace import Trace
+
+
+@dataclass
+class TransactionRecord:
+    """Everything the kernel knows about one submitted transaction."""
+
+    txn_id: Any
+    txn: Any
+    client: str
+    submitted_at: int = 0
+    invoke_index: Optional[int] = None
+    respond_index: Optional[int] = None
+    result: Any = None
+    rounds: int = 0
+    messages_sent: int = 0
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.respond_index is not None
+
+    @property
+    def invoked(self) -> bool:
+        return self.invoke_index is not None
+
+    def latency_steps(self) -> Optional[int]:
+        """Number of trace steps between invocation and response."""
+        if self.invoke_index is None or self.respond_index is None:
+            return None
+        return self.respond_index - self.invoke_index
+
+    def describe(self) -> str:
+        status = "complete" if self.complete else ("running" if self.invoked else "queued")
+        return f"{self.txn_id} @ {self.client}: {status}, rounds={self.rounds}, result={self.result!r}"
+
+
+@dataclass
+class _QueuedTransaction:
+    txn: Any
+    txn_id: Any
+    after: Tuple[Any, ...] = ()
+
+
+class Simulation:
+    """The composed system: automata + channels + scheduler + trace."""
+
+    def __init__(
+        self,
+        topology: Optional[Topology] = None,
+        scheduler: Optional[Scheduler] = None,
+        seed: int = 0,
+        max_steps: int = 200_000,
+    ) -> None:
+        self.topology = topology if topology is not None else Topology()
+        self.scheduler = scheduler if scheduler is not None else FIFOScheduler()
+        self.max_steps = max_steps
+        self.rng = random.Random(seed)
+        self.trace = Trace()
+
+        self._automata: Dict[str, Automaton] = {}
+        self._contexts: Dict[str, Context] = {}
+        self._pending_deliveries: List[PendingDelivery] = []
+        self._client_queues: Dict[str, Deque[_QueuedTransaction]] = {}
+        self._sessions: Dict[str, SessionState] = {}
+        self._records: Dict[Any, TransactionRecord] = {}
+        self._txn_order: List[Any] = []
+        self._txn_counter = itertools.count(1)
+        self._enqueue_counter = itertools.count(1)
+        self._steps_taken = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # System construction
+    # ------------------------------------------------------------------
+    def add_automaton(self, automaton: Automaton) -> Automaton:
+        if automaton.name in self._automata:
+            raise DuplicateProcessError(automaton.name)
+        self._automata[automaton.name] = automaton
+        self.topology.register(automaton)
+        self._contexts[automaton.name] = Context(self, automaton.name)
+        if isinstance(automaton, ClientAutomaton):
+            self._client_queues[automaton.name] = deque()
+        return automaton
+
+    def add_automata(self, automata: Iterable[Automaton]) -> None:
+        for automaton in automata:
+            self.add_automaton(automaton)
+
+    def automaton(self, name: str) -> Automaton:
+        try:
+            return self._automata[name]
+        except KeyError:
+            raise UnknownProcessError(name) from None
+
+    def automata(self) -> Tuple[Automaton, ...]:
+        return tuple(self._automata.values())
+
+    def servers(self) -> Tuple[str, ...]:
+        return tuple(name for name, a in self._automata.items() if a.is_server())
+
+    def clients(self) -> Tuple[str, ...]:
+        return tuple(name for name, a in self._automata.items() if a.is_client())
+
+    # ------------------------------------------------------------------
+    # Workload submission
+    # ------------------------------------------------------------------
+    def submit(self, client: str, txn: Any, txn_id: Any = None, after: Sequence[Any] = ()) -> Any:
+        """Queue ``txn`` for invocation at ``client``.
+
+        ``after`` lists transaction ids that must have *responded* before this
+        transaction may be invoked — this is how experiments express the
+        real-time orderings the paper's constructions rely on ("R1 begins
+        after W completes").  Within one client, queued transactions are
+        invoked in submission order (well-formedness).
+        """
+        if client not in self._client_queues:
+            raise UnknownProcessError(client)
+        if txn_id is None:
+            txn_id = getattr(txn, "txn_id", None)
+        if txn_id is None:
+            txn_id = f"T{next(self._txn_counter)}"
+        if txn_id in self._records:
+            raise WellFormednessError(f"transaction id {txn_id!r} submitted twice")
+        record = TransactionRecord(txn_id=txn_id, txn=txn, client=client, submitted_at=next(self._enqueue_counter))
+        self._records[txn_id] = record
+        self._txn_order.append(txn_id)
+        self._client_queues[client].append(_QueuedTransaction(txn=txn, txn_id=txn_id, after=tuple(after)))
+        return txn_id
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def transaction_record(self, txn_id: Any) -> Optional[TransactionRecord]:
+        return self._records.get(txn_id)
+
+    def transaction_records(self) -> Tuple[TransactionRecord, ...]:
+        return tuple(self._records[t] for t in self._txn_order)
+
+    def incomplete_transactions(self) -> Tuple[TransactionRecord, ...]:
+        return tuple(r for r in self.transaction_records() if not r.complete)
+
+    @property
+    def steps_taken(self) -> int:
+        return self._steps_taken
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Record start actions and call ``on_start`` hooks (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.scheduler.reset()
+        for name, automaton in self._automata.items():
+            self.trace.append(Action.make(ActionKind.START, name))
+            automaton.on_start(self._contexts[name])
+
+    def pending_events(self) -> List[PendingEvent]:
+        """The events the scheduler may choose from right now."""
+        events: List[PendingEvent] = list(self._pending_deliveries)
+        for client, queue in self._client_queues.items():
+            if not queue:
+                continue
+            if client in self._sessions:
+                continue  # well-formedness: one outstanding transaction per client
+            head = queue[0]
+            if all(self._records[dep].complete for dep in head.after if dep in self._records):
+                events.append(
+                    PendingInvocation(
+                        client=client,
+                        txn=head.txn,
+                        txn_id=head.txn_id,
+                        enqueued_at=self._records[head.txn_id].submitted_at,
+                    )
+                )
+        return events
+
+    def step(self) -> bool:
+        """Execute one scheduler-chosen event.  Returns ``False`` if idle."""
+        self.start()
+        pending = self.pending_events()
+        if not pending:
+            return False
+        if self._steps_taken >= self.max_steps:
+            raise LivenessError(
+                f"simulation exceeded max_steps={self.max_steps} with {len(pending)} pending events"
+            )
+        choice = self.scheduler.choose(pending, self)
+        event = pending[choice]
+        self._steps_taken += 1
+        if isinstance(event, PendingDelivery):
+            self._pending_deliveries.remove(event)
+            self._deliver(event.message)
+        elif isinstance(event, PendingInvocation):
+            queue = self._client_queues[event.client]
+            if not queue or queue[0].txn_id != event.txn_id:
+                raise SimulationError("scheduler chose a stale invocation event")
+            queue.popleft()
+            self._invoke(event.client, event.txn, event.txn_id)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown pending event {event!r}")
+        return True
+
+    def run(self, max_new_steps: Optional[int] = None) -> Trace:
+        """Run until idle (or until ``max_new_steps`` more events executed).
+
+        Without a budget the loop only stops when the system is idle or the
+        kernel's ``max_steps`` guard trips (raising :class:`LivenessError`).
+        """
+        executed = 0
+        while max_new_steps is None or executed < max_new_steps:
+            if not self.step():
+                break
+            executed += 1
+        return self.trace
+
+    def run_to_completion(self) -> Trace:
+        """Run until idle; raise :class:`LivenessError` if transactions remain."""
+        self.run()
+        incomplete = self.incomplete_transactions()
+        if incomplete:
+            names = ", ".join(str(r.txn_id) for r in incomplete)
+            raise LivenessError(f"simulation went idle with incomplete transactions: {names}")
+        return self.trace
+
+    # ------------------------------------------------------------------
+    # Internal machinery: sends, deliveries, sessions
+    # ------------------------------------------------------------------
+    def _send_from(
+        self, src: str, dst: str, msg_type: str, payload: Mapping[str, Any], phase: str = ""
+    ) -> Message:
+        self.topology.check_send(src, dst)
+        message = Message.make(msg_type, src, dst, payload)
+        info = {"phase": phase} if phase else None
+        self.trace.append(send_action(message, info))
+        self._pending_deliveries.append(
+            PendingDelivery(message=message, enqueued_at=next(self._enqueue_counter))
+        )
+        session = self._sessions.get(src)
+        if session is not None:
+            session.sends += 1
+            record = self._records.get(session.txn_id)
+            if record is not None:
+                record.messages_sent += 1
+        return message
+
+    def _record_internal(self, actor: str, info: Mapping[str, Any]) -> None:
+        self.trace.append(internal_action(actor, info))
+
+    def _annotate_transaction(self, txn_id: Any, fields: Mapping[str, Any]) -> None:
+        record = self._records.get(txn_id)
+        if record is None:
+            return
+        fields = dict(fields)
+        accumulate = bool(fields.pop("_accumulate", False))
+        for key, value in fields.items():
+            if (
+                accumulate
+                and key in record.annotations
+                and isinstance(record.annotations[key], (int, float))
+                and isinstance(value, (int, float))
+            ):
+                record.annotations[key] += value
+            else:
+                record.annotations[key] = value
+
+    def _deliver(self, message: Message) -> None:
+        dst = message.dst
+        automaton = self.automaton(dst)
+        session = self._sessions.get(dst)
+        info: Dict[str, Any] = {}
+        if session is not None and session.matches(message):
+            info["session"] = str(session.txn_id)
+            self.trace.append(recv_action(message, info))
+            session.collected.append(message)
+            if session.ready():
+                self._resume_session(session)
+            return
+        self.trace.append(recv_action(message, info or None))
+        ctx = self._contexts[dst]
+        if isinstance(automaton, ClientAutomaton) and not automaton.unmatched_goes_to_handler():
+            return
+        automaton.on_message(message, ctx)
+
+    def _invoke(self, client: str, txn: Any, txn_id: Any) -> None:
+        automaton = self.automaton(client)
+        if not isinstance(automaton, ClientAutomaton):
+            raise WellFormednessError(f"{client!r} is not a client automaton; cannot invoke transactions on it")
+        if client in self._sessions:
+            raise WellFormednessError(f"client {client!r} already has an outstanding transaction")
+        record = self._records[txn_id]
+        action = self.trace.append(
+            invoke_action(client, {"txn": str(txn_id), "txn_kind": getattr(txn, "kind", "txn")})
+        )
+        record.invoke_index = action.index
+        ctx = self._contexts[client]
+        generator = automaton.run_transaction(txn, ctx)
+        session = SessionState(txn=txn, txn_id=txn_id, client=client, generator=generator)
+        self._sessions[client] = session
+        self._advance_session(session, None)
+
+    def _resume_session(self, session: SessionState) -> None:
+        pending = session.pending_await
+        collected = list(session.collected)
+        session.pending_await = None
+        session.collected = []
+        if pending is not None and pending.counts_as_round:
+            if any(self.topology.is_server(m.src) for m in collected):
+                session.rounds += 1
+                record = self._records.get(session.txn_id)
+                if record is not None:
+                    record.rounds = session.rounds
+        self._advance_session(session, collected)
+
+    def _advance_session(self, session: SessionState, send_value: Any) -> None:
+        generator = session.generator
+        try:
+            while True:
+                # ``send(None)`` starts a fresh generator; subsequent resumes
+                # pass the list of messages collected by the pending Await.
+                effect = generator.send(send_value)
+                send_value = None
+                if isinstance(effect, Send):
+                    self._send_from(session.client, effect.dst, effect.msg_type, effect.payload, effect.phase)
+                    continue
+                if isinstance(effect, Mark):
+                    self._record_internal(session.client, dict(effect.info))
+                    continue
+                if isinstance(effect, Await):
+                    session.pending_await = effect
+                    return
+                raise SessionError(
+                    f"session for {session.txn_id!r} yielded unsupported effect {effect!r}"
+                )
+        except StopIteration as stop:
+            self._finish_session(session, stop.value)
+
+    def _finish_session(self, session: SessionState, result: Any) -> None:
+        if session.finished:
+            raise SessionError(f"transaction {session.txn_id!r} completed twice")
+        session.finished = True
+        session.result = result
+        record = self._records[session.txn_id]
+        action = self.trace.append(
+            respond_action(session.client, {"txn": str(session.txn_id), "result": _freeze_result(result)})
+        )
+        record.respond_index = action.index
+        record.result = result
+        record.rounds = session.rounds
+        self._sessions.pop(session.client, None)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        lines = [
+            f"Simulation: {len(self._automata)} automata, {len(self.trace)} actions, "
+            f"{len(self._records)} transactions ({len(self.incomplete_transactions())} incomplete)",
+            self.topology.describe(),
+        ]
+        for record in self.transaction_records():
+            lines.append("  " + record.describe())
+        return "\n".join(lines)
+
+
+def _freeze_result(result: Any) -> Any:
+    """Make transaction results safe to embed in immutable action info."""
+    if isinstance(result, dict):
+        return tuple(sorted(result.items()))
+    if isinstance(result, list):
+        return tuple(result)
+    return result

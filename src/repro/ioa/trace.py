@@ -1,0 +1,284 @@
+"""Execution traces, projections, fragments and indistinguishability.
+
+The proofs in the paper manipulate *executions* of a composed I/O automaton:
+they project executions onto individual automata, cut out *execution
+fragments* (maximal runs of actions at one automaton, e.g. the non-blocking
+fragments ``F_{i,j}``), check *indistinguishability* of two executions at an
+automaton (Lemma 3), and *commute* adjacent fragments that occur at distinct
+automata (Lemma 2).  This module provides those operations over the concrete
+traces produced by the simulation kernel, so that the proof replays in
+:mod:`repro.proofs` and the property checkers in :mod:`repro.core` share one
+vocabulary with the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .actions import Action, ActionKind, Message
+from .errors import TraceError
+
+
+class Trace:
+    """An ordered sequence of :class:`~repro.ioa.actions.Action` records.
+
+    The trace owns index assignment: appending an action stamps it with its
+    position.  Traces support list-like read access, projection onto an
+    automaton, slicing into fragments and a handful of queries used by the
+    SNOW property checkers.
+    """
+
+    def __init__(self, actions: Optional[Iterable[Action]] = None) -> None:
+        self._actions: List[Action] = []
+        if actions is not None:
+            for action in actions:
+                self.append(action)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def append(self, action: Action) -> Action:
+        """Append ``action``, re-stamping its index; returns the stored copy."""
+        stamped = action.with_index(len(self._actions))
+        self._actions.append(stamped)
+        return stamped
+
+    def extend(self, actions: Iterable[Action]) -> None:
+        for action in actions:
+            self.append(action)
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __iter__(self) -> Iterator[Action]:
+        return iter(self._actions)
+
+    def __getitem__(self, index):
+        return self._actions[index]
+
+    @property
+    def actions(self) -> Tuple[Action, ...]:
+        return tuple(self._actions)
+
+    # ------------------------------------------------------------------
+    # Projections and filters
+    # ------------------------------------------------------------------
+    def project(self, actor: str) -> Tuple[Action, ...]:
+        """Projection ``trace|actor``: the subsequence of actions at ``actor``."""
+        return tuple(a for a in self._actions if a.actor == actor)
+
+    def external(self) -> Tuple[Action, ...]:
+        """The subsequence of external actions (the *trace* in I/O-automata terms)."""
+        return tuple(a for a in self._actions if a.is_external())
+
+    def filter(self, predicate: Callable[[Action], bool]) -> Tuple[Action, ...]:
+        return tuple(a for a in self._actions if predicate(a))
+
+    def of_kind(self, kind: ActionKind) -> Tuple[Action, ...]:
+        return tuple(a for a in self._actions if a.kind == kind)
+
+    def actors(self) -> Tuple[str, ...]:
+        """All automata that take at least one action, in order of appearance."""
+        seen: Dict[str, None] = {}
+        for action in self._actions:
+            seen.setdefault(action.actor, None)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    # Queries used by the property checkers
+    # ------------------------------------------------------------------
+    def find(self, predicate: Callable[[Action], bool], start: int = 0) -> Optional[Action]:
+        """First action at or after ``start`` satisfying ``predicate``."""
+        for action in self._actions[start:]:
+            if predicate(action):
+                return action
+        return None
+
+    def find_send(self, message: Message) -> Optional[Action]:
+        """The ``send`` action of ``message`` (matched by ``msg_id``)."""
+        return self.find(
+            lambda a: a.kind == ActionKind.SEND and a.message is not None and a.message.msg_id == message.msg_id
+        )
+
+    def find_recv(self, message: Message) -> Optional[Action]:
+        """The ``recv`` action of ``message`` (matched by ``msg_id``)."""
+        return self.find(
+            lambda a: a.kind == ActionKind.RECV and a.message is not None and a.message.msg_id == message.msg_id
+        )
+
+    def between(self, start_index: int, end_index: int) -> Tuple[Action, ...]:
+        """Actions strictly between two trace indices."""
+        if start_index > end_index:
+            raise TraceError(f"between({start_index}, {end_index}): start after end")
+        return tuple(a for a in self._actions if start_index < a.index < end_index)
+
+    def prefix(self, action: Action) -> "Trace":
+        """``prefix(trace, a)``: the finite prefix ending with ``a`` (inclusive).
+
+        Mirrors the paper's ``prefix(α, a)`` notation.
+        """
+        if action.index < 0 or action.index >= len(self._actions):
+            raise TraceError("action is not part of this trace")
+        if not self._actions[action.index].same_step(action):
+            raise TraceError("action does not match the trace at its index")
+        return Trace(self._actions[: action.index + 1])
+
+    def suffix_after(self, action: Action) -> Tuple[Action, ...]:
+        """All actions strictly after ``action``."""
+        return tuple(self._actions[action.index + 1 :])
+
+    # ------------------------------------------------------------------
+    # Indistinguishability (Lemma 3 vocabulary)
+    # ------------------------------------------------------------------
+    def indistinguishable_at(self, other: "Trace", actor: str) -> bool:
+        """``self ~_actor other``: identical projections at ``actor``.
+
+        Two executions are indistinguishable at an automaton when the
+        automaton goes through the same sequence of steps in both; with our
+        action records this is projection equality modulo trace indices.
+        """
+        mine = self.project(actor)
+        theirs = other.project(actor)
+        if len(mine) != len(theirs):
+            return False
+        return all(a.same_step(b) for a, b in zip(mine, theirs))
+
+    # ------------------------------------------------------------------
+    # Well-formedness of the channel layer
+    # ------------------------------------------------------------------
+    def validate_channels(self) -> None:
+        """Check that every ``recv`` is preceded by a matching ``send``.
+
+        Reliable asynchronous channels deliver every message at most once and
+        never invent messages; this validates exactly that over the trace and
+        is used by the tests and by the commuting transformation to confirm
+        that a transformed action sequence is still a plausible execution.
+        """
+        sent: Dict[int, int] = {}
+        delivered: Dict[int, int] = {}
+        for action in self._actions:
+            if action.message is None:
+                continue
+            if action.kind == ActionKind.SEND:
+                if action.message.msg_id in sent:
+                    raise TraceError(f"message {action.message.describe()} sent twice")
+                sent[action.message.msg_id] = action.index
+            elif action.kind == ActionKind.RECV:
+                mid = action.message.msg_id
+                if mid not in sent:
+                    raise TraceError(f"message {action.message.describe()} received before being sent")
+                if mid in delivered:
+                    raise TraceError(f"message {action.message.describe()} delivered twice")
+                if sent[mid] >= action.index:
+                    raise TraceError(f"message {action.message.describe()} received before its send action")
+                delivered[mid] = action.index
+
+    def undelivered_messages(self) -> Tuple[Message, ...]:
+        """Messages that were sent but never received in this trace."""
+        sent: Dict[int, Message] = {}
+        for action in self._actions:
+            if action.message is None:
+                continue
+            if action.kind == ActionKind.SEND:
+                sent[action.message.msg_id] = action.message
+            elif action.kind == ActionKind.RECV:
+                sent.pop(action.message.msg_id, None)
+        return tuple(sent.values())
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def describe(self, limit: Optional[int] = None) -> str:
+        """Multi-line human-readable rendering (used by examples and reports)."""
+        lines = []
+        actions = self._actions if limit is None else self._actions[:limit]
+        for action in actions:
+            lines.append(f"{action.index:5d}  {action.describe()}")
+        if limit is not None and len(self._actions) > limit:
+            lines.append(f"  ... ({len(self._actions) - limit} more actions)")
+        return "\n".join(lines)
+
+    def copy(self) -> "Trace":
+        return Trace(self._actions)
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A contiguous slice of a trace, remembered with its origin indices.
+
+    Fragments are the unit the proofs reason about: the invocation fragment
+    ``I_i``, the non-blocking fragments ``F_{i,x}``/``F_{i,y}`` and the
+    completion fragment ``E_i`` of a READ transaction are all fragments in
+    this sense.  :mod:`repro.proofs.fragments` builds them from traces and
+    implements the commuting lemma on them.
+    """
+
+    actions: Tuple[Action, ...]
+    label: str = ""
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self) -> Iterator[Action]:
+        return iter(self.actions)
+
+    @property
+    def start_index(self) -> int:
+        if not self.actions:
+            raise TraceError(f"fragment {self.label!r} is empty")
+        return self.actions[0].index
+
+    @property
+    def end_index(self) -> int:
+        if not self.actions:
+            raise TraceError(f"fragment {self.label!r} is empty")
+        return self.actions[-1].index
+
+    def actors(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for action in self.actions:
+            seen.setdefault(action.actor, None)
+        return tuple(seen)
+
+    def single_actor(self) -> Optional[str]:
+        """The unique automaton of this fragment, or ``None`` if mixed."""
+        actors = self.actors()
+        if len(actors) == 1:
+            return actors[0]
+        return None
+
+    def has_input_actions(self) -> bool:
+        return any(a.is_input() for a in self.actions)
+
+    def has_external_actions(self) -> bool:
+        return any(a.is_external() for a in self.actions)
+
+    def kinds(self) -> Tuple[ActionKind, ...]:
+        return tuple(a.kind for a in self.actions)
+
+    def same_steps(self, other: "Fragment") -> bool:
+        """Step-wise equality modulo indices (projection identity)."""
+        if len(self.actions) != len(other.actions):
+            return False
+        return all(a.same_step(b) for a, b in zip(self.actions, other.actions))
+
+    def relabel(self, label: str) -> "Fragment":
+        return Fragment(actions=self.actions, label=label)
+
+    def describe(self) -> str:
+        actors = ",".join(self.actors())
+        return f"Fragment({self.label or 'unnamed'}; {len(self.actions)} actions @ {actors})"
+
+
+def concat_fragments(fragments: Sequence[Fragment]) -> Tuple[Action, ...]:
+    """Concatenate fragments into a flat action sequence (indices untouched)."""
+    out: List[Action] = []
+    for fragment in fragments:
+        out.extend(fragment.actions)
+    return tuple(out)
+
+
+def reindex(actions: Sequence[Action]) -> Tuple[Action, ...]:
+    """Re-stamp a sequence of actions with consecutive indices from zero."""
+    return tuple(action.with_index(i) for i, action in enumerate(actions))

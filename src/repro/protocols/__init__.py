@@ -1,0 +1,61 @@
+"""Protocol implementations: the paper's algorithms A, B, C plus baselines."""
+
+from .algorithm_a import AlgorithmA, AlgorithmAReader, AlgorithmAServer, AlgorithmAWriter
+from .algorithm_b import AlgorithmB, AlgorithmBReader
+from .algorithm_c import AlgorithmC, AlgorithmCReader
+from .base import BuildConfig, Protocol, SystemHandle, reader_names, writer_names
+from .blocking import LockingProtocol, LockingReader, LockingServer, LockingWriter
+from .coordinated import CoordinatedServer, CoordinatedWriter, coordinator_name
+from .eiger import EigerProtocol, EigerReader, EigerServer, EigerVersion, EigerWriter
+from .naive_snow import NaiveReader, NaiveServer, NaiveSnowCandidate, NaiveWriter
+from .occ import OccProtocol, OccReader, OccServer, OccWriter
+from .registry import (
+    all_protocols,
+    bounded_snw_protocols,
+    get_protocol,
+    protocol_names,
+    register_protocol,
+)
+from .simple_rw import SimpleReadWrite
+
+__all__ = [
+    "AlgorithmA",
+    "AlgorithmAReader",
+    "AlgorithmAServer",
+    "AlgorithmAWriter",
+    "AlgorithmB",
+    "AlgorithmBReader",
+    "AlgorithmC",
+    "AlgorithmCReader",
+    "BuildConfig",
+    "Protocol",
+    "SystemHandle",
+    "reader_names",
+    "writer_names",
+    "LockingProtocol",
+    "LockingReader",
+    "LockingServer",
+    "LockingWriter",
+    "CoordinatedServer",
+    "CoordinatedWriter",
+    "coordinator_name",
+    "EigerProtocol",
+    "EigerReader",
+    "EigerServer",
+    "EigerVersion",
+    "EigerWriter",
+    "NaiveReader",
+    "NaiveServer",
+    "NaiveSnowCandidate",
+    "NaiveWriter",
+    "OccProtocol",
+    "OccReader",
+    "OccServer",
+    "OccWriter",
+    "all_protocols",
+    "bounded_snw_protocols",
+    "get_protocol",
+    "protocol_names",
+    "register_protocol",
+    "SimpleReadWrite",
+]

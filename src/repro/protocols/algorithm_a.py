@@ -1,0 +1,223 @@
+"""Algorithm A (Section 5.2, Pseudocode 4): SNOW in the MWSR setting with C2C.
+
+Algorithm A shows that **all four SNOW properties are achievable** in the
+multi-writer single-reader setting, provided clients may send messages to
+each other: after installing its values at the servers, a writer informs the
+*reader* directly (the ``info-reader`` phase) which objects it updated and
+under which key.  The reader therefore always knows, locally, the latest
+completed key for every object, and its READ transactions are a single
+non-blocking one-version round: ask each server for exactly the key recorded
+in the reader's ``List``.
+
+Roles
+-----
+
+* **Writer** ``w`` — two phases per WRITE transaction:
+  ``write-value`` (install ``(κ, v_i)`` at every written server, await acks)
+  then ``info-reader`` (tell the reader which objects were written under
+  ``κ``; the reader's acknowledgement carries the transaction's tag).
+* **Reader** ``r`` — keeps ``List``, an append-only log of
+  ``(κ, (b_1 … b_k))`` tuples; READ transactions pick, per requested object,
+  the key of the latest list entry that wrote the object and fetch exactly
+  that version from the server, in one parallel round.
+* **Server** ``s_i`` — multi-version store ``Vals``; answers ``read-val κ``
+  immediately with the value stored under ``κ``.
+
+Tags (for the Lemma 20 checker): a WRITE's tag is ``|List|`` after its entry
+is appended; a READ's tag is the (1-based) index of the newest list entry it
+used.  This matches the order used in the proof of Theorem 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ioa.automaton import Await, Context, ReaderAutomaton, Send, ServerAutomaton, WriterAutomaton
+from ..ioa.actions import Message
+from ..ioa.errors import SimulationError
+from ..txn.objects import Key, VersionStore, server_for_object
+from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
+from .base import BuildConfig, Protocol
+
+
+# ----------------------------------------------------------------------
+# Reader
+# ----------------------------------------------------------------------
+class AlgorithmAReader(ReaderAutomaton):
+    """The single reader of algorithm A.
+
+    State: ``List`` — ordered entries ``(key, bits)`` where ``bits`` maps each
+    object to 1 if the corresponding WRITE updated it.  The initial entry is
+    ``(κ₀, all-ones)`` standing for the initial versions.
+    """
+
+    def __init__(self, name: str, objects: Sequence[str]) -> None:
+        super().__init__(name)
+        self.objects = tuple(objects)
+        self.entries: List[Tuple[Key, Dict[str, int]]] = [
+            (Key.initial(), {obj: 1 for obj in self.objects})
+        ]
+
+    # -- info-reader handling (may arrive at any time) --------------------
+    def on_message(self, message: Message, ctx: Context) -> None:
+        if message.msg_type != "info-reader":
+            return
+        key: Key = message.get("key")
+        bits = dict(message.get("bits", ()))
+        self.entries.append((key, {obj: int(bits.get(obj, 0)) for obj in self.objects}))
+        tag = len(self.entries)  # |List| with 1-based counting, matching the pseudocode
+        ctx.send(
+            message.src,
+            "ack-info",
+            {"txn": message.get("txn"), "tag": tag},
+            phase="info-reader",
+        )
+
+    # -- READ transactions -------------------------------------------------
+    def latest_index_for(self, object_id: str) -> int:
+        """1-based index of the newest list entry that wrote ``object_id``."""
+        for position in range(len(self.entries) - 1, -1, -1):
+            if self.entries[position][1].get(object_id, 0) == 1:
+                return position + 1
+        raise SimulationError(f"reader list has no entry for object {object_id!r}")
+
+    def run_transaction(self, txn: ReadTransaction, ctx: Context):
+        if not isinstance(txn, ReadTransaction):
+            raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
+        chosen: Dict[str, Key] = {}
+        tag = 1
+        for object_id in txn.objects:
+            index = self.latest_index_for(object_id)
+            tag = max(tag, index)
+            chosen[object_id] = self.entries[index - 1][0]
+        # read-value phase: one parallel round, one version per reply.
+        for object_id in txn.objects:
+            yield Send(
+                dst=server_for_object(object_id),
+                msg_type="read-val",
+                payload={"txn": txn.txn_id, "object": object_id, "key": chosen[object_id]},
+                phase="read-value",
+            )
+        replies = yield Await(
+            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "read-val-reply" and m.get("txn") == txn_id,
+            count=len(txn.objects),
+            description="read-value replies",
+        )
+        values = {reply.get("object"): reply.get("value") for reply in replies}
+        ctx.annotate_transaction(txn.txn_id, tag=tag, protocol="algorithm-a")
+        return ReadResult.from_mapping({obj: values[obj] for obj in txn.objects})
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+class AlgorithmAWriter(WriterAutomaton):
+    """A writer of algorithm A: write-value phase then info-reader phase."""
+
+    def __init__(self, name: str, objects: Sequence[str], reader: str) -> None:
+        super().__init__(name)
+        self.objects = tuple(objects)
+        self.reader = reader
+        self.z = 0
+
+    def run_transaction(self, txn: WriteTransaction, ctx: Context):
+        if not isinstance(txn, WriteTransaction):
+            raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
+        self.z += 1
+        key = Key(self.z, self.name)
+        # write-value phase -------------------------------------------------
+        for object_id, value in txn.updates:
+            yield Send(
+                dst=server_for_object(object_id),
+                msg_type="write-val",
+                payload={"txn": txn.txn_id, "object": object_id, "key": key, "value": value},
+                phase="write-value",
+            )
+        yield Await(
+            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "ack-write" and m.get("txn") == txn_id,
+            count=len(txn.updates),
+            description="write-value acks",
+        )
+        # info-reader phase (client-to-client!) ------------------------------
+        bits = tuple((obj, 1 if obj in dict(txn.updates) else 0) for obj in self.objects)
+        yield Send(
+            dst=self.reader,
+            msg_type="info-reader",
+            payload={"txn": txn.txn_id, "key": key, "bits": bits},
+            phase="info-reader",
+        )
+        acks = yield Await(
+            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "ack-info" and m.get("txn") == txn_id,
+            count=1,
+            description="info-reader ack",
+            counts_as_round=False,
+        )
+        tag = acks[0].get("tag")
+        ctx.annotate_transaction(txn.txn_id, tag=tag, protocol="algorithm-a")
+        return WRITE_OK
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+class AlgorithmAServer(ServerAutomaton):
+    """A server of algorithm A: a multi-version store answering by exact key."""
+
+    def __init__(self, name: str, object_id: str, initial_value: Any = 0) -> None:
+        super().__init__(name)
+        self.object_id = object_id
+        self.store = VersionStore(object_id, initial_value)
+
+    def on_message(self, message: Message, ctx: Context) -> None:
+        if message.msg_type == "write-val":
+            key: Key = message.get("key")
+            self.store.put(key, message.get("value"))
+            ctx.send(message.src, "ack-write", {"txn": message.get("txn")}, phase="write-value")
+        elif message.msg_type == "read-val":
+            key = message.get("key")
+            version = self.store.get(key)
+            if version is None:
+                raise SimulationError(
+                    f"server {self.name} asked for unknown key {key!r}: "
+                    "algorithm A's reader should never request an uninstalled version"
+                )
+            ctx.send(
+                message.src,
+                "read-val-reply",
+                {
+                    "txn": message.get("txn"),
+                    "object": self.object_id,
+                    "value": version.value,
+                    "num_versions": 1,
+                },
+                phase="read-value",
+            )
+
+
+# ----------------------------------------------------------------------
+# Protocol package
+# ----------------------------------------------------------------------
+class AlgorithmA(Protocol):
+    """SNOW READ transactions for MWSR with client-to-client communication."""
+
+    name = "algorithm-a"
+    description = "Paper's algorithm A: SNOW in the multi-writer single-reader setting using C2C"
+    requires_c2c = True
+    supports_multiple_readers = False
+    supports_multiple_writers = True
+    claimed_properties = "SNOW (Theorem 3)"
+    claimed_read_rounds = 1
+    claimed_versions = 1
+
+    def make_automata(self, config: BuildConfig) -> Sequence[Any]:
+        objects = config.objects()
+        reader_name = config.readers()[0]
+        automata: List[Any] = [AlgorithmAReader(reader_name, objects)]
+        for writer in config.writers():
+            automata.append(AlgorithmAWriter(writer, objects, reader_name))
+        for object_id in objects:
+            automata.append(
+                AlgorithmAServer(server_for_object(object_id), object_id, config.initial_value)
+            )
+        return automata

@@ -1,0 +1,259 @@
+"""Protocol framework: building systems, submitting workloads, collecting results.
+
+Every protocol in the repository (the paper's algorithms A, B and C, the
+Eiger-style protocol of Section 6, and the baselines) is packaged as a
+:class:`Protocol`.  A protocol knows how to *build* a system — readers,
+writers and servers wired onto a :class:`~repro.ioa.simulation.Simulation`
+with the right topology — and the returned :class:`SystemHandle` provides a
+uniform surface for submitting transactions, running the execution and
+extracting histories, SNOW reports and Lemma-20 tags.
+
+Conventions shared by all protocol implementations:
+
+* servers are named after the object they hold (``ox`` ↦ ``sx``, ``o3`` ↦ ``s3``);
+* readers are ``r1, r2, …`` and writers ``w1, w2, …``;
+* every protocol message belonging to a transaction carries a ``txn`` payload
+  field, and every server reply to a read request carries ``num_versions`` —
+  the SNOW checkers in :mod:`repro.core.snow` rely on both;
+* protocols report the tag they assign to each transaction via
+  ``ctx.annotate_transaction(txn_id, tag=...)`` so that the Lemma 20 checker
+  can be applied to any execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..ioa.automaton import Automaton
+from ..ioa.network import Topology
+from ..ioa.scheduler import Scheduler
+from ..ioa.simulation import Simulation
+from ..ioa.trace import Trace
+from ..txn.history import History
+from ..txn.objects import object_names, server_for_object
+from ..txn.transactions import ReadTransaction, WriteTransaction, read as make_read, write_pairs
+
+
+def reader_names(count: int) -> Tuple[str, ...]:
+    return tuple(f"r{i}" for i in range(1, count + 1))
+
+
+def writer_names(count: int) -> Tuple[str, ...]:
+    return tuple(f"w{i}" for i in range(1, count + 1))
+
+
+@dataclass
+class BuildConfig:
+    """Parameters of one system instantiation."""
+
+    num_readers: int = 1
+    num_writers: int = 1
+    num_objects: int = 2
+    initial_value: Any = 0
+    seed: int = 0
+    c2c: Optional[bool] = None  # None = protocol default
+    scheduler: Optional[Scheduler] = None
+    max_steps: int = 200_000
+
+    def objects(self) -> Tuple[str, ...]:
+        return object_names(self.num_objects)
+
+    def servers(self) -> Tuple[str, ...]:
+        return tuple(server_for_object(o) for o in self.objects())
+
+    def readers(self) -> Tuple[str, ...]:
+        return reader_names(self.num_readers)
+
+    def writers(self) -> Tuple[str, ...]:
+        return writer_names(self.num_writers)
+
+
+class SystemHandle:
+    """A built system: the simulation plus naming and result helpers."""
+
+    def __init__(
+        self,
+        protocol: "Protocol",
+        simulation: Simulation,
+        config: BuildConfig,
+    ) -> None:
+        self.protocol = protocol
+        self.simulation = simulation
+        self.config = config
+        self.readers = config.readers()
+        self.writers = config.writers()
+        self.objects = config.objects()
+        self.servers = config.servers()
+        self.initial_value = config.initial_value
+        self._round_robin_reader = 0
+        self._round_robin_writer = 0
+
+    # ------------------------------------------------------------------
+    # Workload submission
+    # ------------------------------------------------------------------
+    def submit_read(
+        self,
+        objects: Optional[Sequence[str]] = None,
+        reader: Optional[str] = None,
+        after: Sequence[str] = (),
+        txn_id: str = "",
+    ) -> str:
+        """Queue a READ transaction; returns its transaction id."""
+        if objects is None:
+            objects = self.objects
+        if reader is None:
+            reader = self.readers[self._round_robin_reader % len(self.readers)]
+            self._round_robin_reader += 1
+        txn = make_read(*objects, txn_id=txn_id)
+        return self.simulation.submit(reader, txn, txn_id=txn.txn_id, after=after)
+
+    def submit_write(
+        self,
+        updates: Mapping[str, Any],
+        writer: Optional[str] = None,
+        after: Sequence[str] = (),
+        txn_id: str = "",
+    ) -> str:
+        """Queue a WRITE transaction; returns its transaction id."""
+        if writer is None:
+            writer = self.writers[self._round_robin_writer % len(self.writers)]
+            self._round_robin_writer += 1
+        txn = write_pairs(tuple(updates.items()), txn_id=txn_id)
+        return self.simulation.submit(writer, txn, txn_id=txn.txn_id, after=after)
+
+    # ------------------------------------------------------------------
+    # Execution and results
+    # ------------------------------------------------------------------
+    def run(self) -> Trace:
+        return self.simulation.run()
+
+    def run_to_completion(self) -> Trace:
+        return self.simulation.run_to_completion()
+
+    def history(self) -> History:
+        return History.from_simulation(
+            self.simulation, objects=self.objects, initial_value=self.initial_value
+        )
+
+    def snow_report(self):
+        """Full SNOW property report (lazy import to avoid package cycles)."""
+        from ..core.snow import check_snow
+
+        return check_snow(self.simulation, self.history())
+
+    def serializability(self):
+        from ..core.serializability import check_strict_serializability
+
+        return check_strict_serializability(self.history().restricted_to_complete())
+
+    def tags(self) -> Dict[str, Any]:
+        """Tags reported by the protocol (for the Lemma 20 checker)."""
+        out: Dict[str, Any] = {}
+        for record in self.simulation.transaction_records():
+            if "tag" in record.annotations:
+                out[str(record.txn_id)] = record.annotations["tag"]
+        return out
+
+    def lemma20(self):
+        from ..core.serializability import check_lemma20
+
+        return check_lemma20(self.history().restricted_to_complete(), self.tags())
+
+    def transaction_records(self):
+        return self.simulation.transaction_records()
+
+    def trace(self) -> Trace:
+        return self.simulation.trace
+
+    def describe(self) -> str:
+        return (
+            f"{self.protocol.name} system: readers={list(self.readers)}, writers={list(self.writers)}, "
+            f"servers={list(self.servers)}, objects={list(self.objects)}"
+        )
+
+
+class Protocol:
+    """Base class for protocol packages.
+
+    Subclasses set the class attributes describing the protocol's setting and
+    implement :meth:`make_automata`, returning the automata to register.
+    """
+
+    name: str = "abstract"
+    description: str = ""
+    #: whether the protocol needs client-to-client communication (algorithm A does)
+    requires_c2c: bool = False
+    #: whether the protocol is defined for more than one reader / writer
+    supports_multiple_readers: bool = True
+    supports_multiple_writers: bool = True
+    #: documentation string of the guarantees the paper claims for the protocol
+    claimed_properties: str = ""
+    #: documented worst-case number of read rounds (None = unbounded)
+    claimed_read_rounds: Optional[int] = None
+    #: documented worst-case number of versions per reply (None = unbounded / |W|)
+    claimed_versions: Optional[int] = 1
+
+    # ------------------------------------------------------------------
+    def make_automata(self, config: BuildConfig) -> Sequence[Automaton]:
+        raise NotImplementedError
+
+    def default_c2c(self) -> bool:
+        return self.requires_c2c
+
+    def validate_config(self, config: BuildConfig) -> None:
+        if config.num_readers < 1 or config.num_writers < 1 or config.num_objects < 1:
+            raise ValueError("system needs at least one reader, one writer and one object")
+        if config.num_readers > 1 and not self.supports_multiple_readers:
+            raise ValueError(f"protocol {self.name} is defined for a single reader (MWSR setting)")
+        if config.num_writers > 1 and not self.supports_multiple_writers:
+            raise ValueError(f"protocol {self.name} is defined for a single writer")
+        c2c = config.c2c if config.c2c is not None else self.default_c2c()
+        if self.requires_c2c and not c2c:
+            raise ValueError(
+                f"protocol {self.name} requires client-to-client communication, "
+                "but the configuration disallows it"
+            )
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        num_readers: int = 1,
+        num_writers: int = 1,
+        num_objects: int = 2,
+        scheduler: Optional[Scheduler] = None,
+        seed: int = 0,
+        initial_value: Any = 0,
+        c2c: Optional[bool] = None,
+        max_steps: int = 200_000,
+    ) -> SystemHandle:
+        """Instantiate the protocol as a ready-to-run system."""
+        config = BuildConfig(
+            num_readers=num_readers,
+            num_writers=num_writers,
+            num_objects=num_objects,
+            initial_value=initial_value,
+            seed=seed,
+            c2c=c2c,
+            scheduler=scheduler,
+            max_steps=max_steps,
+        )
+        self.validate_config(config)
+        allow_c2c = config.c2c if config.c2c is not None else self.default_c2c()
+        topology = Topology(allow_client_to_client=allow_c2c)
+        simulation = Simulation(
+            topology=topology,
+            scheduler=config.scheduler,
+            seed=config.seed,
+            max_steps=config.max_steps,
+        )
+        simulation.add_automata(self.make_automata(config))
+        return SystemHandle(protocol=self, simulation=simulation, config=config)
+
+    def describe(self) -> str:
+        rounds = "unbounded" if self.claimed_read_rounds is None else str(self.claimed_read_rounds)
+        versions = "|W|" if self.claimed_versions is None else str(self.claimed_versions)
+        return (
+            f"{self.name}: {self.description} "
+            f"[claims {self.claimed_properties}; rounds<={rounds}, versions<={versions}]"
+        )

@@ -1,0 +1,230 @@
+"""Lock-based (blocking) baseline: strict two-phase locking with ordered acquisition.
+
+The SNOW theorem says a READ transaction system must give up either the
+strongest guarantees (S and W) or optimal latency (N and O).  This baseline
+is the classic way real systems give up **N**: transactions take locks, and a
+server that holds a conflicting lock simply *defers* its reply until the lock
+is released — the reader blocks.
+
+Design (kept deliberately textbook):
+
+* all transactions acquire locks **in a global object order** (so the system
+  is deadlock-free without a deadlock detector);
+* readers take per-object read locks one at a time, collecting the value as
+  each lock is granted, and release all locks after the last value arrives;
+* writers take write locks one at a time, then install every value in a
+  commit round, which also releases the locks and answers any deferred
+  requests.
+
+Because every transaction holds all of its locks simultaneously at some
+instant between its invocation and response, executions are strictly
+serializable (strict 2PL).  The price is exactly what the N- and O-checkers
+report: replies can be deferred behind lock holders (not non-blocking) and a
+q-object READ takes q sequential rounds (not one-round).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..ioa.actions import Message
+from ..ioa.automaton import Await, Context, ReaderAutomaton, Send, ServerAutomaton, WriterAutomaton
+from ..ioa.errors import SimulationError
+from ..txn.objects import Key, VersionStore, server_for_object
+from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
+from .base import BuildConfig, Protocol
+
+
+@dataclass
+class _PendingRequest:
+    message: Message
+    is_write: bool
+
+
+class LockingServer(ServerAutomaton):
+    """Per-object read/write locks with a FIFO queue of deferred requests."""
+
+    def __init__(self, name: str, object_id: str, initial_value: Any = 0) -> None:
+        super().__init__(name)
+        self.object_id = object_id
+        self.store = VersionStore(object_id, initial_value)
+        self.write_locked_by: Optional[str] = None
+        self.read_lock_holders: List[str] = []
+        self.queue: Deque[_PendingRequest] = deque()
+
+    # ------------------------------------------------------------------
+    def _can_grant_read(self) -> bool:
+        return self.write_locked_by is None
+
+    def _can_grant_write(self) -> bool:
+        return self.write_locked_by is None and not self.read_lock_holders
+
+    def _grant_read(self, message: Message, ctx: Context) -> None:
+        self.read_lock_holders.append(message.src)
+        version = self.store.latest()
+        ctx.send(
+            message.src,
+            "lock-read-granted",
+            {
+                "txn": message.get("txn"),
+                "object": self.object_id,
+                "value": version.value,
+                "num_versions": 1,
+            },
+            phase="lock-read",
+        )
+
+    def _grant_write(self, message: Message, ctx: Context) -> None:
+        self.write_locked_by = message.src
+        ctx.send(
+            message.src,
+            "lock-write-granted",
+            {"txn": message.get("txn"), "object": self.object_id},
+            phase="lock-write",
+        )
+
+    def _drain_queue(self, ctx: Context) -> None:
+        """Grant deferred requests from the front while compatible."""
+        progressed = True
+        while progressed and self.queue:
+            progressed = False
+            head = self.queue[0]
+            if head.is_write and self._can_grant_write():
+                self.queue.popleft()
+                self._grant_write(head.message, ctx)
+                progressed = True
+            elif not head.is_write and self._can_grant_read():
+                self.queue.popleft()
+                self._grant_read(head.message, ctx)
+                progressed = True
+
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message, ctx: Context) -> None:
+        if message.msg_type == "lock-read":
+            if self._can_grant_read():
+                self._grant_read(message, ctx)
+            else:
+                self.queue.append(_PendingRequest(message=message, is_write=False))
+        elif message.msg_type == "unlock-read":
+            if message.src in self.read_lock_holders:
+                self.read_lock_holders.remove(message.src)
+            self._drain_queue(ctx)
+        elif message.msg_type == "lock-write":
+            if self._can_grant_write():
+                self._grant_write(message, ctx)
+            else:
+                self.queue.append(_PendingRequest(message=message, is_write=True))
+        elif message.msg_type == "commit-write":
+            if self.write_locked_by != message.src:
+                raise SimulationError(
+                    f"server {self.name}: commit from {message.src} which does not hold the write lock"
+                )
+            self.store.put(message.get("key"), message.get("value"))
+            self.write_locked_by = None
+            ctx.send(message.src, "commit-ack", {"txn": message.get("txn")}, phase="commit")
+            self._drain_queue(ctx)
+
+
+class LockingReader(ReaderAutomaton):
+    """Acquire read locks in object order, then release."""
+
+    def __init__(self, name: str, objects: Sequence[str]) -> None:
+        super().__init__(name)
+        self.objects = tuple(objects)
+
+    def run_transaction(self, txn: ReadTransaction, ctx: Context):
+        if not isinstance(txn, ReadTransaction):
+            raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
+        values: Dict[str, Any] = {}
+        for object_id in sorted(txn.objects):
+            yield Send(
+                dst=server_for_object(object_id),
+                msg_type="lock-read",
+                payload={"txn": txn.txn_id, "object": object_id},
+                phase="lock-read",
+            )
+            replies = yield Await(
+                matcher=lambda m, txn_id=txn.txn_id, obj=object_id: m.msg_type == "lock-read-granted"
+                and m.get("txn") == txn_id
+                and m.get("object") == obj,
+                count=1,
+                description=f"read lock on {object_id}",
+            )
+            values[object_id] = replies[0].get("value")
+        for object_id in sorted(txn.objects):
+            yield Send(
+                dst=server_for_object(object_id),
+                msg_type="unlock-read",
+                payload={"txn": txn.txn_id, "object": object_id},
+                phase="unlock",
+            )
+        return ReadResult.from_mapping({obj: values[obj] for obj in txn.objects})
+
+
+class LockingWriter(WriterAutomaton):
+    """Acquire write locks in object order, then commit all values."""
+
+    def __init__(self, name: str, objects: Sequence[str]) -> None:
+        super().__init__(name)
+        self.objects = tuple(objects)
+        self.z = 0
+
+    def run_transaction(self, txn: WriteTransaction, ctx: Context):
+        if not isinstance(txn, WriteTransaction):
+            raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
+        self.z += 1
+        key = Key(self.z, self.name)
+        updates = dict(txn.updates)
+        for object_id in sorted(updates):
+            yield Send(
+                dst=server_for_object(object_id),
+                msg_type="lock-write",
+                payload={"txn": txn.txn_id, "object": object_id},
+                phase="lock-write",
+            )
+            yield Await(
+                matcher=lambda m, txn_id=txn.txn_id, obj=object_id: m.msg_type == "lock-write-granted"
+                and m.get("txn") == txn_id
+                and m.get("object") == obj,
+                count=1,
+                description=f"write lock on {object_id}",
+            )
+        for object_id in sorted(updates):
+            yield Send(
+                dst=server_for_object(object_id),
+                msg_type="commit-write",
+                payload={"txn": txn.txn_id, "object": object_id, "key": key, "value": updates[object_id]},
+                phase="commit",
+            )
+        yield Await(
+            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "commit-ack" and m.get("txn") == txn_id,
+            count=len(updates),
+            description="commit acks",
+        )
+        return WRITE_OK
+
+
+class LockingProtocol(Protocol):
+    """Strict 2PL baseline: strictly serializable but blocking and multi-round."""
+
+    name = "s2pl"
+    description = "Strict two-phase locking baseline: S and W but neither N nor one-round reads"
+    requires_c2c = False
+    supports_multiple_readers = True
+    supports_multiple_writers = True
+    claimed_properties = "S, W, one-version; gives up N and one-round"
+    claimed_read_rounds = None  # q sequential lock rounds for a q-object read
+    claimed_versions = 1
+
+    def make_automata(self, config: BuildConfig) -> Sequence[Any]:
+        objects = config.objects()
+        automata: List[Any] = []
+        for reader in config.readers():
+            automata.append(LockingReader(reader, objects))
+        for writer in config.writers():
+            automata.append(LockingWriter(writer, objects))
+        for object_id, server in zip(objects, config.servers()):
+            automata.append(LockingServer(server, object_id, config.initial_value))
+        return automata

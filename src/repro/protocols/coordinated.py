@@ -1,0 +1,219 @@
+"""Shared machinery of algorithms B and C (Sections 8-9).
+
+Both bounded-latency MWMR algorithms use the same WRITE transaction protocol
+(Pseudocode 5) and the same server-side state: a multi-version store ``Vals``
+on every server plus, on one designated *coordinator* server ``s*``, the
+append-only ``List`` recording, per WRITE transaction, which objects it
+updated and under which key.  The algorithms differ only in how READ
+transactions consult the coordinator — sequentially (B: two rounds, one
+version) or concurrently (C: one round, many versions).
+
+This module provides:
+
+* :class:`CoordinatedWriter` — the Pseudocode 5 writer (``write-value`` then
+  ``update-coor``);
+* :class:`CoordinatedServer` — the server automaton handling ``write-val``,
+  ``update-coor``, ``get-tag-arr``, ``read-val`` and ``read-vals`` messages;
+* :func:`coordinator_name` — the convention designating the coordinator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ioa.actions import Message
+from ..ioa.automaton import Await, Context, ServerAutomaton, Send, WriterAutomaton
+from ..ioa.errors import SimulationError
+from ..txn.objects import Key, VersionStore, server_for_object
+from ..txn.transactions import WriteTransaction, WRITE_OK
+
+
+def coordinator_name(servers: Sequence[str]) -> str:
+    """The designated coordinator ``s*``: by convention the first server."""
+    if not servers:
+        raise SimulationError("a coordinated system needs at least one server")
+    return servers[0]
+
+
+class CoordinatedWriter(WriterAutomaton):
+    """Writer of algorithms B and C (Pseudocode 5).
+
+    Phases of ``W((o_{i1}, v_{i1}), …)``:
+
+    1. ``write-value`` — create key ``κ = (z+1, w)``, install ``(κ, v_i)`` at
+       every written server, await all acks;
+    2. ``update-coor`` — tell the coordinator which objects ``κ`` updated,
+       await ``(ack, t_w)``; ``t_w`` is the transaction's tag.
+    """
+
+    def __init__(self, name: str, objects: Sequence[str], coordinator: str) -> None:
+        super().__init__(name)
+        self.objects = tuple(objects)
+        self.coordinator = coordinator
+        self.z = 0
+
+    def run_transaction(self, txn: WriteTransaction, ctx: Context):
+        if not isinstance(txn, WriteTransaction):
+            raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
+        self.z += 1
+        key = Key(self.z, self.name)
+        # write-value phase -------------------------------------------------
+        for object_id, value in txn.updates:
+            yield Send(
+                dst=server_for_object(object_id),
+                msg_type="write-val",
+                payload={"txn": txn.txn_id, "object": object_id, "key": key, "value": value},
+                phase="write-value",
+            )
+        yield Await(
+            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "ack-write" and m.get("txn") == txn_id,
+            count=len(txn.updates),
+            description="write-value acks",
+        )
+        # update-coor phase ---------------------------------------------------
+        bits = tuple((obj, 1 if obj in dict(txn.updates) else 0) for obj in self.objects)
+        yield Send(
+            dst=self.coordinator,
+            msg_type="update-coor",
+            payload={"txn": txn.txn_id, "key": key, "bits": bits},
+            phase="update-coor",
+        )
+        acks = yield Await(
+            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "ack-coor" and m.get("txn") == txn_id,
+            count=1,
+            description="update-coor ack",
+        )
+        tag = acks[0].get("tag")
+        ctx.annotate_transaction(txn.txn_id, tag=tag, protocol="coordinated")
+        return WRITE_OK
+
+
+class CoordinatedServer(ServerAutomaton):
+    """Server of algorithms B and C.
+
+    Every server keeps the multi-version store ``Vals``.  The coordinator
+    additionally keeps ``List`` (entries ``(κ, bits)``, 1-based positions in
+    the pseudocode; the initial entry stands for the initial versions) and
+    answers ``get-tag-arr`` requests with, per requested object, the key of
+    the newest list entry that updated it, together with the read tag
+    ``t_r = max`` of those positions.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        object_id: str,
+        objects: Sequence[str],
+        is_coordinator: bool,
+        initial_value: Any = 0,
+    ) -> None:
+        super().__init__(name)
+        self.object_id = object_id
+        self.objects = tuple(objects)
+        self.is_coordinator = is_coordinator
+        self.store = VersionStore(object_id, initial_value)
+        self.entries: List[Tuple[Key, Dict[str, int]]] = [
+            (Key.initial(), {obj: 1 for obj in self.objects})
+        ]
+
+    # ------------------------------------------------------------------
+    # Coordinator-side helpers
+    # ------------------------------------------------------------------
+    def latest_index_for(self, object_id: str) -> int:
+        for position in range(len(self.entries) - 1, -1, -1):
+            if self.entries[position][1].get(object_id, 0) == 1:
+                return position + 1
+        raise SimulationError(f"coordinator list has no entry for object {object_id!r}")
+
+    def tag_array_for(self, read_set: Sequence[str]) -> Tuple[int, Dict[str, Key]]:
+        """``(t_r, {object: κ})`` for the requested read set."""
+        keys: Dict[str, Key] = {}
+        tag = 1
+        for object_id in read_set:
+            index = self.latest_index_for(object_id)
+            tag = max(tag, index)
+            keys[object_id] = self.entries[index - 1][0]
+        return tag, keys
+
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message, ctx: Context) -> None:
+        handler = getattr(self, "_on_" + message.msg_type.replace("-", "_"), None)
+        if handler is not None:
+            handler(message, ctx)
+
+    # -- writes -----------------------------------------------------------
+    def _on_write_val(self, message: Message, ctx: Context) -> None:
+        key: Key = message.get("key")
+        self.store.put(key, message.get("value"))
+        ctx.send(message.src, "ack-write", {"txn": message.get("txn")}, phase="write-value")
+
+    def _on_update_coor(self, message: Message, ctx: Context) -> None:
+        if not self.is_coordinator:
+            raise SimulationError(f"server {self.name} is not the coordinator but received update-coor")
+        key: Key = message.get("key")
+        bits = dict(message.get("bits", ()))
+        self.entries.append((key, {obj: int(bits.get(obj, 0)) for obj in self.objects}))
+        tag = len(self.entries)
+        ctx.send(message.src, "ack-coor", {"txn": message.get("txn"), "tag": tag}, phase="update-coor")
+
+    # -- reads ------------------------------------------------------------
+    def _on_get_tag_arr(self, message: Message, ctx: Context) -> None:
+        if not self.is_coordinator:
+            raise SimulationError(f"server {self.name} is not the coordinator but received get-tag-arr")
+        read_set = tuple(message.get("read_set", ()))
+        tag, keys = self.tag_array_for(read_set)
+        ctx.send(
+            message.src,
+            "tag-arr-reply",
+            {
+                "txn": message.get("txn"),
+                "tag": tag,
+                "keys": tuple(keys.items()),
+                "num_versions": 1,
+            },
+            phase="get-tag-array",
+        )
+
+    def _on_read_val(self, message: Message, ctx: Context) -> None:
+        """Algorithm B style read: fetch the value stored under an exact key."""
+        key: Key = message.get("key")
+        version = self.store.get(key)
+        if version is None:
+            raise SimulationError(
+                f"server {self.name} asked for unknown key {key!r}; "
+                "the coordinator only hands out keys whose write-value phase completed"
+            )
+        ctx.send(
+            message.src,
+            "read-val-reply",
+            {
+                "txn": message.get("txn"),
+                "object": self.object_id,
+                "value": version.value,
+                "num_versions": 1,
+            },
+            phase="read-value",
+        )
+
+    def _on_read_vals(self, message: Message, ctx: Context) -> None:
+        """Algorithm C style read: return every version (the whole ``Vals``).
+
+        When ``want_tags`` is set (the coordinator also holds a requested
+        object) the tag array is piggy-backed on the same reply so the READ
+        stays a single round trip per server.
+        """
+        versions = tuple((v.key, v.value) for v in self.store.all_versions())
+        payload: Dict[str, Any] = {
+            "txn": message.get("txn"),
+            "object": self.object_id,
+            "versions": versions,
+            "num_versions": len(versions),
+        }
+        if message.get("want_tags"):
+            if not self.is_coordinator:
+                raise SimulationError(f"server {self.name} asked for tags but is not the coordinator")
+            read_set = tuple(message.get("read_set", ()))
+            tag, keys = self.tag_array_for(read_set)
+            payload["tag"] = tag
+            payload["keys"] = tuple(keys.items())
+        ctx.send(message.src, "read-vals-reply", payload, phase="read-values-and-tags")

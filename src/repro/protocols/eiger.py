@@ -1,0 +1,250 @@
+"""An Eiger-style read-only transaction protocol (Section 6, Figure 5).
+
+The SNOW paper [15] claimed Eiger [14] was the one existing system whose
+READ transactions were both bounded-latency (non-blocking, at most three
+rounds) and strictly serializable.  Section 6 of *SNOW Revisited* corrects
+this: Eiger orders operations with **Lamport clocks**, and logical clocks
+cannot observe the real-time order of causally unrelated operations, so its
+read-only transactions are *not* strictly serializable.
+
+This module implements the relevant part of Eiger's design — enough to show
+both its bounded latency and its anomaly:
+
+* every process keeps a Lamport clock, updated on every message;
+* servers store multi-version values with logical validity intervals
+  ``[write_ts, overwritten_ts)``;
+* a READ transaction's first round asks every server for its latest version
+  together with the version's validity interval (``evt`` = the logical time
+  it became valid, ``lvt`` = the server's current logical time, up to which
+  it is known to still be valid);
+* the reader computes the *effective time* ``ET = max(evt)``; if every
+  returned interval contains ``ET`` the values are accepted immediately
+  (one round); otherwise a second round asks the out-of-date servers for the
+  version valid at ``ET``.
+
+Reads therefore finish in at most two non-blocking one-version rounds — but,
+as :mod:`repro.proofs.eiger_example` demonstrates by reconstructing the
+execution of Figure 5, the accepted result can mix a new version from one
+server with a stale version from another even though an intervening WRITE
+completed strictly earlier in real time, violating strict serializability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..ioa.actions import Message
+from ..ioa.automaton import Await, Context, ReaderAutomaton, Send, ServerAutomaton, WriterAutomaton
+from ..ioa.errors import SimulationError
+from ..txn.objects import server_for_object
+from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
+from .base import BuildConfig, Protocol
+
+
+@dataclass
+class EigerVersion:
+    """A logically-timestamped version with a validity interval."""
+
+    value: Any
+    write_ts: int
+    valid_until: Optional[int] = None  # None = still the latest version
+
+    def valid_at(self, logical_time: int) -> bool:
+        if logical_time < self.write_ts:
+            return False
+        return self.valid_until is None or logical_time < self.valid_until
+
+
+class EigerServer(ServerAutomaton):
+    """A server with a Lamport clock and interval-versioned storage."""
+
+    def __init__(self, name: str, object_id: str, initial_value: Any = 0) -> None:
+        super().__init__(name)
+        self.object_id = object_id
+        self.clock = 0
+        self.versions: List[EigerVersion] = [EigerVersion(value=initial_value, write_ts=0)]
+
+    # ------------------------------------------------------------------
+    def _tick(self, incoming_ts: int) -> int:
+        self.clock = max(self.clock, int(incoming_ts)) + 1
+        return self.clock
+
+    def latest(self) -> EigerVersion:
+        return self.versions[-1]
+
+    def version_at(self, logical_time: int) -> EigerVersion:
+        for version in reversed(self.versions):
+            if version.valid_at(logical_time):
+                return version
+        # Older than every version: the initial version is the floor.
+        return self.versions[0]
+
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message, ctx: Context) -> None:
+        if message.msg_type == "eiger-write":
+            ts = self._tick(message.get("ts", 0))
+            self.latest().valid_until = ts
+            self.versions.append(EigerVersion(value=message.get("value"), write_ts=ts))
+            ctx.send(
+                message.src,
+                "eiger-write-ack",
+                {"txn": message.get("txn"), "ts": self.clock},
+                phase="write",
+            )
+        elif message.msg_type == "eiger-read":
+            self._tick(message.get("ts", 0))
+            version = self.latest()
+            ctx.send(
+                message.src,
+                "eiger-read-reply",
+                {
+                    "txn": message.get("txn"),
+                    "object": self.object_id,
+                    "value": version.value,
+                    "evt": version.write_ts,
+                    "lvt": self.clock,
+                    "ts": self.clock,
+                    "num_versions": 1,
+                },
+                phase="read-round-1",
+            )
+        elif message.msg_type == "eiger-read-at":
+            self._tick(message.get("ts", 0))
+            effective_time = int(message.get("effective_time", 0))
+            version = self.version_at(effective_time)
+            ctx.send(
+                message.src,
+                "eiger-read-at-reply",
+                {
+                    "txn": message.get("txn"),
+                    "object": self.object_id,
+                    "value": version.value,
+                    "evt": version.write_ts,
+                    "ts": self.clock,
+                    "num_versions": 1,
+                },
+                phase="read-round-2",
+            )
+
+
+class EigerWriter(WriterAutomaton):
+    """A write client with a Lamport clock; writes apply independently per server."""
+
+    def __init__(self, name: str, objects: Sequence[str]) -> None:
+        super().__init__(name)
+        self.objects = tuple(objects)
+        self.clock = 0
+
+    def run_transaction(self, txn: WriteTransaction, ctx: Context):
+        if not isinstance(txn, WriteTransaction):
+            raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
+        for object_id, value in txn.updates:
+            yield Send(
+                dst=server_for_object(object_id),
+                msg_type="eiger-write",
+                payload={"txn": txn.txn_id, "object": object_id, "value": value, "ts": self.clock},
+                phase="write",
+            )
+        acks = yield Await(
+            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "eiger-write-ack" and m.get("txn") == txn_id,
+            count=len(txn.updates),
+            description="write acks",
+        )
+        self.clock = max([self.clock] + [int(a.get("ts", 0)) for a in acks]) + 1
+        return WRITE_OK
+
+
+class EigerReader(ReaderAutomaton):
+    """Eiger's read-only transaction: validity-interval round, optional catch-up round."""
+
+    def __init__(self, name: str, objects: Sequence[str]) -> None:
+        super().__init__(name)
+        self.objects = tuple(objects)
+        self.clock = 0
+
+    def run_transaction(self, txn: ReadTransaction, ctx: Context):
+        if not isinstance(txn, ReadTransaction):
+            raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
+        # Round 1: latest values with validity intervals --------------------------
+        for object_id in txn.objects:
+            yield Send(
+                dst=server_for_object(object_id),
+                msg_type="eiger-read",
+                payload={"txn": txn.txn_id, "object": object_id, "ts": self.clock},
+                phase="read-round-1",
+            )
+        replies = yield Await(
+            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "eiger-read-reply" and m.get("txn") == txn_id,
+            count=len(txn.objects),
+            description="round-1 replies",
+        )
+        self.clock = max([self.clock] + [int(r.get("ts", 0)) for r in replies]) + 1
+        intervals: Dict[str, Tuple[int, int]] = {}
+        values: Dict[str, Any] = {}
+        for reply in replies:
+            object_id = reply.get("object")
+            values[object_id] = reply.get("value")
+            intervals[object_id] = (int(reply.get("evt", 0)), int(reply.get("lvt", 0)))
+
+        effective_time = max(evt for evt, _ in intervals.values())
+        stale = [obj for obj, (evt, lvt) in intervals.items() if lvt < effective_time]
+
+        rounds = 1
+        if stale:
+            # Round 2: ask out-of-date servers for the version valid at ET.
+            rounds = 2
+            for object_id in stale:
+                yield Send(
+                    dst=server_for_object(object_id),
+                    msg_type="eiger-read-at",
+                    payload={
+                        "txn": txn.txn_id,
+                        "object": object_id,
+                        "effective_time": effective_time,
+                        "ts": self.clock,
+                    },
+                    phase="read-round-2",
+                )
+            catch_up = yield Await(
+                matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "eiger-read-at-reply"
+                and m.get("txn") == txn_id,
+                count=len(stale),
+                description="round-2 replies",
+            )
+            self.clock = max([self.clock] + [int(r.get("ts", 0)) for r in catch_up]) + 1
+            for reply in catch_up:
+                values[reply.get("object")] = reply.get("value")
+
+        ctx.annotate_transaction(
+            txn.txn_id,
+            protocol="eiger",
+            effective_time=effective_time,
+            eiger_rounds=rounds,
+            accepted_first_round=not stale,
+        )
+        return ReadResult.from_mapping({obj: values[obj] for obj in txn.objects})
+
+
+class EigerProtocol(Protocol):
+    """Eiger-style read-only transactions: bounded latency but only logical-clock ordering."""
+
+    name = "eiger"
+    description = "Eiger-style Lamport-clock read-only transactions (bounded latency, NOT strictly serializable)"
+    requires_c2c = False
+    supports_multiple_readers = True
+    supports_multiple_writers = True
+    claimed_properties = "NOW + bounded rounds; S claimed by [15] but refuted in Section 6"
+    claimed_read_rounds = 2
+    claimed_versions = 1
+
+    def make_automata(self, config: BuildConfig) -> Sequence[Any]:
+        objects = config.objects()
+        automata: List[Any] = []
+        for reader in config.readers():
+            automata.append(EigerReader(reader, objects))
+        for writer in config.writers():
+            automata.append(EigerWriter(writer, objects))
+        for object_id, server in zip(objects, config.servers()):
+            automata.append(EigerServer(server, object_id, config.initial_value))
+        return automata

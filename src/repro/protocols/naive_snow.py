@@ -1,0 +1,134 @@
+"""The natural (and doomed) SNOW candidate: read the latest value everywhere.
+
+This protocol does exactly what a designer unaware of the SNOW theorem would
+try first: READ transactions send one parallel request per object and every
+server immediately answers with its *current latest* value — one round, one
+version, non-blocking, and WRITE transactions are plain per-server installs.
+
+It satisfies N, O and W by construction.  It does **not** satisfy S: with at
+least two servers a READ that races a multi-object WRITE can observe the new
+value on one server and the old value on another ("fractured read"), and no
+serial order explains that.  The feasibility analysis
+(:mod:`repro.core.feasibility`) uses this protocol as the executable witness
+of the impossible cells of Figure 1(a): for every setting in which SNOW is
+impossible, an adversarial or randomized schedule quickly produces an
+execution whose history the strict-serializability checker rejects — while
+the same searches over algorithm A's executions (in the possible cells) find
+nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from ..ioa.actions import Message
+from ..ioa.automaton import Await, Context, ReaderAutomaton, Send, ServerAutomaton, WriterAutomaton
+from ..ioa.errors import SimulationError
+from ..txn.objects import Key, VersionStore, server_for_object
+from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
+from .base import BuildConfig, Protocol
+
+
+class NaiveServer(ServerAutomaton):
+    """Installs writes immediately; answers reads with the latest value."""
+
+    def __init__(self, name: str, object_id: str, initial_value: Any = 0) -> None:
+        super().__init__(name)
+        self.object_id = object_id
+        self.store = VersionStore(object_id, initial_value)
+
+    def on_message(self, message: Message, ctx: Context) -> None:
+        if message.msg_type == "write-val":
+            self.store.put(message.get("key"), message.get("value"))
+            ctx.send(message.src, "ack-write", {"txn": message.get("txn")}, phase="write")
+        elif message.msg_type == "read-latest":
+            version = self.store.latest()
+            ctx.send(
+                message.src,
+                "read-latest-reply",
+                {
+                    "txn": message.get("txn"),
+                    "object": self.object_id,
+                    "value": version.value,
+                    "num_versions": 1,
+                },
+                phase="read",
+            )
+
+
+class NaiveWriter(WriterAutomaton):
+    """Installs each update at its server and waits for the acks."""
+
+    def __init__(self, name: str, objects: Sequence[str]) -> None:
+        super().__init__(name)
+        self.objects = tuple(objects)
+        self.z = 0
+
+    def run_transaction(self, txn: WriteTransaction, ctx: Context):
+        if not isinstance(txn, WriteTransaction):
+            raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
+        self.z += 1
+        key = Key(self.z, self.name)
+        for object_id, value in txn.updates:
+            yield Send(
+                dst=server_for_object(object_id),
+                msg_type="write-val",
+                payload={"txn": txn.txn_id, "object": object_id, "key": key, "value": value},
+                phase="write",
+            )
+        yield Await(
+            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "ack-write" and m.get("txn") == txn_id,
+            count=len(txn.updates),
+            description="write acks",
+        )
+        return WRITE_OK
+
+
+class NaiveReader(ReaderAutomaton):
+    """One parallel round of read-latest requests."""
+
+    def __init__(self, name: str, objects: Sequence[str]) -> None:
+        super().__init__(name)
+        self.objects = tuple(objects)
+
+    def run_transaction(self, txn: ReadTransaction, ctx: Context):
+        if not isinstance(txn, ReadTransaction):
+            raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
+        for object_id in txn.objects:
+            yield Send(
+                dst=server_for_object(object_id),
+                msg_type="read-latest",
+                payload={"txn": txn.txn_id, "object": object_id},
+                phase="read",
+            )
+        replies = yield Await(
+            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "read-latest-reply" and m.get("txn") == txn_id,
+            count=len(txn.objects),
+            description="read replies",
+        )
+        values = {reply.get("object"): reply.get("value") for reply in replies}
+        return ReadResult.from_mapping({obj: values[obj] for obj in txn.objects})
+
+
+class NaiveSnowCandidate(Protocol):
+    """N + O + W by construction, S only by luck — the executable impossibility witness."""
+
+    name = "naive-snow"
+    description = "Latest-value one-round reads: satisfies N, O, W but violates S under contention"
+    requires_c2c = False
+    supports_multiple_readers = True
+    supports_multiple_writers = True
+    claimed_properties = "NOW (S fails: fractured reads)"
+    claimed_read_rounds = 1
+    claimed_versions = 1
+
+    def make_automata(self, config: BuildConfig) -> Sequence[Any]:
+        objects = config.objects()
+        automata: List[Any] = []
+        for reader in config.readers():
+            automata.append(NaiveReader(reader, objects))
+        for writer in config.writers():
+            automata.append(NaiveWriter(writer, objects))
+        for object_id, server in zip(objects, config.servers()):
+            automata.append(NaiveServer(server, object_id, config.initial_value))
+        return automata

@@ -1,0 +1,263 @@
+"""Multi-round optimistic baseline: validating-retry one-version reads.
+
+This is the executable witness of the ``(1 version, ∞ rounds)`` cell of
+Figure 1(b): READ transactions that are strictly serializable, non-blocking
+and one-version, at the price of an *unbounded* number of rounds under write
+contention — the family of pre-existing designs the paper contrasts its
+bounded algorithms B and C against.
+
+Design
+------
+
+* WRITE transactions first obtain a globally unique, monotonically increasing
+  **timestamp** from a timestamp server (we reuse the first server, ``s*``,
+  for this role), then install ``(timestamp, value, write-set)`` at every
+  written server; servers keep the value with the highest timestamp per
+  object ("last writer wins" in timestamp order, which is consistent across
+  servers because timestamps are issued centrally *before* any install).
+
+* READ transactions repeatedly *collect* ``(value, timestamp, write-set,
+  apply-counter)`` from every requested server and accept as soon as
+
+  1. two consecutive collects observed the same apply-counter at every
+     server (so the collected vector of latest versions coexisted at an
+     instant inside the read's execution interval), and
+  2. the snapshot is **write-set closed**: whenever the version returned for
+     object *i* belongs to a WRITE transaction that also wrote object *j*
+     (also being read), the version returned for *j* is at least as new —
+     i.e. the read never observes a multi-object WRITE "half applied".
+
+  Otherwise it retries; every concurrent conflicting WRITE can force another
+  round, so the number of rounds is unbounded in theory and grows with
+  contention in practice (measured by the contention benchmark).
+
+Why this is strictly serializable (sketch): timestamps order all WRITE
+transactions consistently with real time (a WRITE that completes before
+another starts has a strictly smaller timestamp, because the timestamp is
+obtained before any install and installs complete before the response);
+condition (1) pins an instant ``t*`` inside the READ at which exactly the
+returned values were the per-server newest; condition (2) rules out the only
+way that instant can disagree with the timestamp order, namely a multi-object
+WRITE applied at one read object but not yet at another.  Serializing every
+WRITE at its timestamp and the READ just after the largest timestamp it
+observed then reproduces the observed values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..ioa.actions import Message
+from ..ioa.automaton import Await, Context, ReaderAutomaton, Send, ServerAutomaton, WriterAutomaton
+from ..ioa.errors import SimulationError
+from ..txn.objects import Key, server_for_object
+from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
+from .base import BuildConfig, Protocol
+
+
+class OccServer(ServerAutomaton):
+    """Timestamp-ordered latest-value store with an apply counter.
+
+    The first server additionally acts as the timestamp oracle for writers.
+    """
+
+    def __init__(
+        self, name: str, object_id: str, is_timestamp_server: bool, initial_value: Any = 0
+    ) -> None:
+        super().__init__(name)
+        self.object_id = object_id
+        self.is_timestamp_server = is_timestamp_server
+        self.timestamp_counter = 0
+        self.apply_counter = 0
+        self.latest_value: Any = initial_value
+        self.latest_timestamp = 0
+        self.latest_write_set: Tuple[str, ...] = ()
+
+    def on_message(self, message: Message, ctx: Context) -> None:
+        if message.msg_type == "get-ts":
+            if not self.is_timestamp_server:
+                raise SimulationError(f"server {self.name} is not the timestamp server")
+            self.timestamp_counter += 1
+            ctx.send(
+                message.src,
+                "ts-reply",
+                {"txn": message.get("txn"), "timestamp": self.timestamp_counter},
+                phase="get-timestamp",
+            )
+        elif message.msg_type == "install":
+            timestamp = int(message.get("timestamp", 0))
+            self.apply_counter += 1
+            if timestamp > self.latest_timestamp:
+                self.latest_timestamp = timestamp
+                self.latest_value = message.get("value")
+                self.latest_write_set = tuple(message.get("write_set", ()))
+            ctx.send(message.src, "install-ack", {"txn": message.get("txn")}, phase="install")
+        elif message.msg_type == "collect":
+            ctx.send(
+                message.src,
+                "collect-reply",
+                {
+                    "txn": message.get("txn"),
+                    "object": self.object_id,
+                    "value": self.latest_value,
+                    "timestamp": self.latest_timestamp,
+                    "write_set": self.latest_write_set,
+                    "counter": self.apply_counter,
+                    "attempt": message.get("attempt"),
+                    "num_versions": 1,
+                },
+                phase="collect",
+            )
+
+
+class OccWriter(WriterAutomaton):
+    """Timestamp first, install second."""
+
+    def __init__(self, name: str, objects: Sequence[str], timestamp_server: str) -> None:
+        super().__init__(name)
+        self.objects = tuple(objects)
+        self.timestamp_server = timestamp_server
+
+    def run_transaction(self, txn: WriteTransaction, ctx: Context):
+        if not isinstance(txn, WriteTransaction):
+            raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
+        yield Send(
+            dst=self.timestamp_server,
+            msg_type="get-ts",
+            payload={"txn": txn.txn_id},
+            phase="get-timestamp",
+        )
+        replies = yield Await(
+            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "ts-reply" and m.get("txn") == txn_id,
+            count=1,
+            description="timestamp",
+        )
+        timestamp = int(replies[0].get("timestamp"))
+        write_set = tuple(obj for obj, _ in txn.updates)
+        for object_id, value in txn.updates:
+            yield Send(
+                dst=server_for_object(object_id),
+                msg_type="install",
+                payload={
+                    "txn": txn.txn_id,
+                    "object": object_id,
+                    "value": value,
+                    "timestamp": timestamp,
+                    "write_set": write_set,
+                },
+                phase="install",
+            )
+        yield Await(
+            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "install-ack" and m.get("txn") == txn_id,
+            count=len(txn.updates),
+            description="install acks",
+        )
+        ctx.annotate_transaction(txn.txn_id, protocol="occ", timestamp=timestamp)
+        return WRITE_OK
+
+
+class OccReader(ReaderAutomaton):
+    """Collect-validate-retry reader (non-blocking, one-version, unbounded rounds)."""
+
+    def __init__(self, name: str, objects: Sequence[str], max_attempts: int = 128) -> None:
+        super().__init__(name)
+        self.objects = tuple(objects)
+        self.max_attempts = max_attempts
+
+    def _collect(self, txn: ReadTransaction, attempt: int):
+        for object_id in txn.objects:
+            yield Send(
+                dst=server_for_object(object_id),
+                msg_type="collect",
+                payload={"txn": txn.txn_id, "object": object_id, "attempt": attempt},
+                phase="collect",
+            )
+        replies = yield Await(
+            matcher=lambda m, txn_id=txn.txn_id, a=attempt: m.msg_type == "collect-reply"
+            and m.get("txn") == txn_id
+            and m.get("attempt") == a,
+            count=len(txn.objects),
+            description=f"collect #{attempt}",
+        )
+        snapshot: Dict[str, Dict[str, Any]] = {}
+        for reply in replies:
+            snapshot[reply.get("object")] = {
+                "value": reply.get("value"),
+                "timestamp": int(reply.get("timestamp", 0)),
+                "write_set": tuple(reply.get("write_set", ())),
+                "counter": int(reply.get("counter", 0)),
+            }
+        return snapshot
+
+    @staticmethod
+    def _write_set_closed(snapshot: Dict[str, Dict[str, Any]], read_set: Sequence[str]) -> bool:
+        """No multi-object WRITE is observed half-applied within the read set."""
+        for object_i in read_set:
+            info_i = snapshot[object_i]
+            for object_j in info_i["write_set"]:
+                if object_j == object_i or object_j not in snapshot:
+                    continue
+                if snapshot[object_j]["timestamp"] < info_i["timestamp"]:
+                    return False
+        return True
+
+    def run_transaction(self, txn: ReadTransaction, ctx: Context):
+        if not isinstance(txn, ReadTransaction):
+            raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
+        previous = yield from self._collect(txn, attempt=1)
+        attempts = 1
+        while attempts < self.max_attempts:
+            attempts += 1
+            current = yield from self._collect(txn, attempt=attempts)
+            counters_match = all(
+                previous[obj]["counter"] == current[obj]["counter"] for obj in txn.objects
+            )
+            if counters_match and self._write_set_closed(current, txn.objects):
+                ctx.annotate_transaction(
+                    txn.txn_id,
+                    protocol="occ",
+                    collects=attempts,
+                    snapshot_timestamp=max(current[obj]["timestamp"] for obj in txn.objects),
+                )
+                return ReadResult.from_mapping({obj: current[obj]["value"] for obj in txn.objects})
+            previous = current
+        raise SimulationError(
+            f"occ reader {self.name} exhausted {self.max_attempts} collects for {txn.txn_id}: "
+            "write contention never quiesced"
+        )
+
+
+class OccProtocol(Protocol):
+    """Strictly serializable, non-blocking, one-version reads with unbounded rounds."""
+
+    name = "occ-double-collect"
+    description = "Validating-retry snapshot reads: SNW + one-version but unbounded rounds under contention"
+    requires_c2c = False
+    supports_multiple_readers = True
+    supports_multiple_writers = True
+    claimed_properties = "S, N, W, one-version; rounds unbounded (Figure 1b, ∞ column)"
+    claimed_read_rounds = None
+    claimed_versions = 1
+
+    def __init__(self, max_attempts: int = 128) -> None:
+        self.max_attempts = max_attempts
+
+    def make_automata(self, config: BuildConfig) -> Sequence[Any]:
+        objects = config.objects()
+        servers = config.servers()
+        timestamp_server = servers[0]
+        automata: List[Any] = []
+        for reader in config.readers():
+            automata.append(OccReader(reader, objects, max_attempts=self.max_attempts))
+        for writer in config.writers():
+            automata.append(OccWriter(writer, objects, timestamp_server))
+        for object_id, server in zip(objects, servers):
+            automata.append(
+                OccServer(
+                    server,
+                    object_id,
+                    is_timestamp_server=(server == timestamp_server),
+                    initial_value=config.initial_value,
+                )
+            )
+        return automata

@@ -1,0 +1,63 @@
+"""Protocol registry: look protocols up by name.
+
+The analysis harness, the benchmarks and the examples all refer to protocols
+by their string names (``"algorithm-a"``, ``"algorithm-b"``, …); the registry
+maps those names to fresh protocol instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from .algorithm_a import AlgorithmA
+from .algorithm_b import AlgorithmB
+from .algorithm_c import AlgorithmC
+from .base import Protocol
+from .blocking import LockingProtocol
+from .eiger import EigerProtocol
+from .naive_snow import NaiveSnowCandidate
+from .occ import OccProtocol
+from .simple_rw import SimpleReadWrite
+
+_FACTORIES: Dict[str, Callable[[], Protocol]] = {
+    AlgorithmA.name: AlgorithmA,
+    AlgorithmB.name: AlgorithmB,
+    AlgorithmC.name: AlgorithmC,
+    EigerProtocol.name: EigerProtocol,
+    NaiveSnowCandidate.name: NaiveSnowCandidate,
+    LockingProtocol.name: LockingProtocol,
+    OccProtocol.name: OccProtocol,
+    SimpleReadWrite.name: SimpleReadWrite,
+}
+
+
+def protocol_names() -> Tuple[str, ...]:
+    """All registered protocol names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_protocol(name: str) -> Protocol:
+    """A fresh instance of the named protocol."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(protocol_names())
+        raise KeyError(f"unknown protocol {name!r}; known protocols: {known}") from None
+    return factory()
+
+
+def all_protocols() -> List[Protocol]:
+    """Fresh instances of every registered protocol."""
+    return [get_protocol(name) for name in protocol_names()]
+
+
+def register_protocol(name: str, factory: Callable[[], Protocol]) -> None:
+    """Register an external protocol implementation (used by extension tests)."""
+    if name in _FACTORIES:
+        raise ValueError(f"protocol name {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def bounded_snw_protocols() -> List[Protocol]:
+    """The protocols of the Figure 1(b) matrix (bounded or unbounded SNW designs)."""
+    return [get_protocol(name) for name in ("algorithm-a", "algorithm-b", "algorithm-c", "occ-double-collect")]

@@ -1,0 +1,30 @@
+"""Non-transactional simple reads and writes: the latency floor.
+
+The paper defines the *optimal* latency of a READ transaction as matching the
+latency of non-transactional simple reads: "complete in a single round trip
+of non-blocking parallel requests to the shards that return only the
+requested data" (Section 1).  This protocol is that floor made executable:
+requests go straight to the servers, servers answer immediately with the
+latest value, and there is no cross-object coordination whatsoever — which is
+precisely why it offers no cross-shard consistency guarantee.
+
+Operationally it is the same wire protocol as
+:class:`~repro.protocols.naive_snow.NaiveSnowCandidate`; it exists as a
+separately named protocol so that the latency benchmarks can report
+"simple reads" as their own baseline row and so that examples can talk about
+single-object accesses without implying any transactional intent.
+"""
+
+from __future__ import annotations
+
+from .naive_snow import NaiveSnowCandidate
+
+
+class SimpleReadWrite(NaiveSnowCandidate):
+    """Simple (non-transactional) reads and writes — the latency baseline."""
+
+    name = "simple-rw"
+    description = "Non-transactional simple reads/writes: one round, no cross-object guarantees"
+    claimed_properties = "latency floor (no cross-object consistency)"
+    claimed_read_rounds = 1
+    claimed_versions = 1

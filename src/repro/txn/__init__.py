@@ -1,0 +1,56 @@
+"""Transaction-system substrate: objects, transactions, the OT data type, histories."""
+
+from .datatype import (
+    OTState,
+    apply_transaction,
+    consistent_with_serial_order,
+    run_serial,
+    serial_read_expectation,
+)
+from .history import History, HistoryEntry
+from .objects import (
+    Key,
+    Version,
+    VersionStore,
+    object_for_server,
+    object_names,
+    server_for_object,
+)
+from .transactions import (
+    ReadResult,
+    ReadTransaction,
+    Transaction,
+    WRITE_OK,
+    WriteTransaction,
+    is_read_transaction,
+    is_write_transaction,
+    read,
+    write,
+    write_pairs,
+)
+
+__all__ = [
+    "OTState",
+    "apply_transaction",
+    "consistent_with_serial_order",
+    "run_serial",
+    "serial_read_expectation",
+    "History",
+    "HistoryEntry",
+    "Key",
+    "Version",
+    "VersionStore",
+    "object_for_server",
+    "object_names",
+    "server_for_object",
+    "ReadResult",
+    "ReadTransaction",
+    "Transaction",
+    "WRITE_OK",
+    "WriteTransaction",
+    "is_read_transaction",
+    "is_write_transaction",
+    "read",
+    "write",
+    "write_pairs",
+]

@@ -1,0 +1,114 @@
+"""Tests for workload generation and submission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.workload import (
+    GeneratedWorkload,
+    WorkloadSpec,
+    generate_workload,
+    read_heavy_spec,
+    submit_workload,
+    write_heavy_spec,
+)
+from tests.conftest import build_system
+
+
+READERS = ("r1", "r2")
+WRITERS = ("w1",)
+OBJECTS = ("o1", "o2", "o3", "o4")
+
+
+class TestGeneration:
+    def test_counts_match_spec(self):
+        spec = WorkloadSpec(reads_per_reader=3, writes_per_writer=2)
+        workload = generate_workload(spec, READERS, WRITERS, OBJECTS)
+        assert len(workload.reads) == 3 * len(READERS)
+        assert len(workload.writes) == 2 * len(WRITERS)
+        assert workload.total_transactions == 8
+
+    def test_transaction_sizes_respected(self):
+        spec = WorkloadSpec(read_size=2, write_size=3, reads_per_reader=4, writes_per_writer=4)
+        workload = generate_workload(spec, READERS, WRITERS, OBJECTS)
+        assert all(len(txn.objects) == 2 for _, txn in workload.reads)
+        assert all(len(txn.objects) == 3 for _, txn in workload.writes)
+
+    def test_sizes_clamped_to_object_count(self):
+        spec = WorkloadSpec(read_size=99, write_size=0)
+        workload = generate_workload(spec, READERS, WRITERS, OBJECTS)
+        assert all(len(txn.objects) == len(OBJECTS) for _, txn in workload.reads)
+        assert all(len(txn.objects) == 1 for _, txn in workload.writes)
+
+    def test_deterministic_per_seed(self):
+        spec = WorkloadSpec(seed=5)
+        first = generate_workload(spec, READERS, WRITERS, OBJECTS)
+        second = generate_workload(spec, READERS, WRITERS, OBJECTS)
+        assert [txn.objects for _, txn in first.reads] == [txn.objects for _, txn in second.reads]
+        assert [txn.updates and tuple(o for o, _ in txn.updates) for _, txn in first.writes] == [
+            tuple(o for o, _ in txn.updates) for _, txn in second.writes
+        ]
+
+    def test_different_seeds_differ(self):
+        base = WorkloadSpec(seed=1, reads_per_reader=10, read_size=2)
+        other = WorkloadSpec(seed=2, reads_per_reader=10, read_size=2)
+        first = generate_workload(base, READERS, WRITERS, OBJECTS)
+        second = generate_workload(other, READERS, WRITERS, OBJECTS)
+        assert [txn.objects for _, txn in first.reads] != [txn.objects for _, txn in second.reads]
+
+    def test_zipf_skew_concentrates_on_popular_objects(self):
+        uniform = generate_workload(
+            WorkloadSpec(zipf_s=0.0, reads_per_reader=200, read_size=1, seed=3), READERS, WRITERS, OBJECTS
+        )
+        skewed = generate_workload(
+            WorkloadSpec(zipf_s=2.5, reads_per_reader=200, read_size=1, seed=3), READERS, WRITERS, OBJECTS
+        )
+
+        def popularity(workload, obj):
+            return sum(1 for _, txn in workload.reads if obj in txn.objects)
+
+        assert popularity(skewed, OBJECTS[0]) > popularity(uniform, OBJECTS[0])
+
+    def test_write_values_are_unique_per_writer_and_sequence(self):
+        spec = WorkloadSpec(writes_per_writer=3, write_size=2)
+        workload = generate_workload(spec, READERS, ("w1", "w2"), OBJECTS)
+        values = [value for _, txn in workload.writes for _, value in txn.updates]
+        assert len(values) == len(set(values))
+
+    def test_read_ratio(self):
+        workload = generate_workload(WorkloadSpec(reads_per_reader=5, writes_per_writer=5), READERS, WRITERS, OBJECTS)
+        assert workload.read_ratio() == pytest.approx(10 / 15)
+
+    def test_spec_presets(self):
+        assert read_heavy_spec().reads_per_reader > read_heavy_spec().writes_per_writer
+        assert write_heavy_spec().writes_per_writer > write_heavy_spec().reads_per_reader
+
+    def test_spec_describe(self):
+        assert "reads/reader" in WorkloadSpec().describe()
+
+
+class TestSubmission:
+    def test_submit_runs_to_completion(self):
+        handle = build_system("algorithm-b", num_readers=2, num_writers=1, num_objects=3)
+        workload = generate_workload(
+            WorkloadSpec(reads_per_reader=2, writes_per_writer=2, read_size=2, write_size=2),
+            handle.readers,
+            handle.writers,
+            handle.objects,
+        )
+        read_ids, write_ids = submit_workload(handle, workload)
+        handle.run_to_completion()
+        assert len(read_ids) == len(workload.reads)
+        assert len(write_ids) == len(workload.writes)
+        records = {r.txn_id: r for r in handle.transaction_records()}
+        assert all(records[t].complete for t in read_ids + write_ids)
+
+    def test_submission_interleaves_clients(self):
+        handle = build_system("algorithm-b", num_readers=1, num_writers=1)
+        workload = generate_workload(
+            WorkloadSpec(reads_per_reader=2, writes_per_writer=2), handle.readers, handle.writers, handle.objects
+        )
+        submit_workload(handle, workload)
+        order = [r.client for r in handle.transaction_records()]
+        # Round-robin submission alternates clients rather than batching one client first.
+        assert order[0] != order[1]

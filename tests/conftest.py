@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa import FIFOScheduler, RandomScheduler
+from repro.protocols import get_protocol
+
+
+def build_system(
+    protocol_name: str,
+    num_readers: int = 1,
+    num_writers: int = 1,
+    num_objects: int = 2,
+    scheduler=None,
+    seed: int = 0,
+    **kwargs,
+):
+    """Build a protocol system with sensible defaults for tests."""
+    protocol = get_protocol(protocol_name)
+    if not protocol.supports_multiple_readers:
+        num_readers = 1
+    return protocol.build(
+        num_readers=num_readers,
+        num_writers=num_writers,
+        num_objects=num_objects,
+        scheduler=scheduler or FIFOScheduler(),
+        seed=seed,
+        **kwargs,
+    )
+
+
+def run_simple_workload(handle, rounds: int = 2, sequential: bool = False):
+    """Submit a small contending workload and run it to completion.
+
+    Returns ``(read_ids, write_ids)``.  With ``sequential`` each read waits
+    for the previous write (useful when asserting exact read results).
+    """
+    read_ids, write_ids = [], []
+    previous_write = None
+    for index in range(1, rounds + 1):
+        for writer in handle.writers:
+            updates = {obj: f"{writer}-{index}" for obj in handle.objects}
+            after = [previous_write] if (sequential and previous_write) else ()
+            previous_write = handle.submit_write(updates, writer=writer, after=after)
+            write_ids.append(previous_write)
+        for reader in handle.readers:
+            after = [previous_write] if sequential and previous_write else ()
+            read_ids.append(handle.submit_read(handle.objects, reader=reader, after=after))
+    handle.run_to_completion()
+    return read_ids, write_ids
+
+
+@pytest.fixture
+def fifo_scheduler():
+    return FIFOScheduler()
+
+
+@pytest.fixture
+def random_scheduler():
+    return RandomScheduler(seed=7)

@@ -1,0 +1,153 @@
+"""Unit tests for the Lemma 20 (P1-P4) tag-order checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.serializability import check_lemma20, tag_precedes
+from repro.txn.history import History, HistoryEntry
+from repro.txn.transactions import ReadResult, WRITE_OK, read, write
+
+
+def entry(txn, client, invoke, respond, result=None):
+    return HistoryEntry(txn=txn, client=client, invoke_index=invoke, respond_index=respond, result=result)
+
+
+def rr(**values):
+    return ReadResult.from_mapping(values)
+
+
+def good_history():
+    return History(
+        [
+            entry(write(ox=1, oy=1, txn_id="W1"), "w1", 0, 1, WRITE_OK),
+            entry(read("ox", "oy", txn_id="R1"), "r1", 2, 3, rr(ox=1, oy=1)),
+            entry(write(ox=2, oy=2, txn_id="W2"), "w1", 4, 5, WRITE_OK),
+            entry(read("ox", "oy", txn_id="R2"), "r1", 6, 7, rr(ox=2, oy=2)),
+        ],
+        objects=("ox", "oy"),
+        initial_value=0,
+    )
+
+
+GOOD_TAGS = {"W1": 2, "R1": 2, "W2": 3, "R2": 3}
+
+
+class TestTagPrecedes:
+    def test_smaller_tag_precedes(self):
+        assert tag_precedes(1, False, 2, False)
+        assert not tag_precedes(2, False, 1, False)
+
+    def test_equal_tags_write_before_read(self):
+        assert tag_precedes(2, True, 2, False)
+        assert not tag_precedes(2, False, 2, True)
+        assert not tag_precedes(2, True, 2, True)
+        assert not tag_precedes(2, False, 2, False)
+
+
+class TestLemma20Accept:
+    def test_valid_tagging_accepted(self):
+        result = check_lemma20(good_history(), GOOD_TAGS)
+        assert result.ok
+        assert result.violations == ()
+
+    def test_order_produced(self):
+        result = check_lemma20(good_history(), GOOD_TAGS)
+        assert result.order.index("W1") < result.order.index("R1")
+        assert result.order.index("R1") < result.order.index("W2")
+
+    def test_cross_check_agrees(self):
+        result = check_lemma20(good_history(), GOOD_TAGS, cross_check=True)
+        assert result.cross_check is not None and result.cross_check.ok
+
+    def test_reads_of_initial_values_use_tag_one(self):
+        history = History(
+            [entry(read("ox", "oy", txn_id="R1"), "r1", 0, 1, rr(ox=0, oy=0))],
+            objects=("ox", "oy"),
+            initial_value=0,
+        )
+        assert check_lemma20(history, {"R1": 1}).ok
+
+
+class TestLemma20Reject:
+    def test_missing_tags_reported(self):
+        result = check_lemma20(good_history(), {"W1": 2})
+        assert not result.ok
+        assert any("missing tags" in v for v in result.violations)
+
+    def test_p1_requires_numeric_tags(self):
+        tags = dict(GOOD_TAGS)
+        tags["W1"] = "two"
+        result = check_lemma20(good_history(), tags)
+        assert not result.ok
+        assert any(v.startswith("P1") for v in result.violations)
+
+    def test_p2_violated_by_backwards_tags(self):
+        tags = dict(GOOD_TAGS)
+        tags["W2"] = 1  # W2 completes after R1 but is tagged before W1
+        result = check_lemma20(good_history(), tags)
+        assert not result.ok
+        assert any(v.startswith("P2") for v in result.violations)
+
+    def test_p3_violated_by_equal_write_tags(self):
+        history = History(
+            [
+                entry(write(ox=1, txn_id="Wa"), "w1", 0, 10, WRITE_OK),
+                entry(write(ox=2, txn_id="Wb"), "w2", 1, 11, WRITE_OK),
+            ],
+            objects=("ox",),
+            initial_value=0,
+        )
+        result = check_lemma20(history, {"Wa": 2, "Wb": 2})
+        assert not result.ok
+        assert any(v.startswith("P3") for v in result.violations)
+
+    def test_p4_violated_by_stale_read(self):
+        tags = dict(GOOD_TAGS)
+        history = History(
+            [
+                entry(write(ox=1, oy=1, txn_id="W1"), "w1", 0, 1, WRITE_OK),
+                entry(read("ox", "oy", txn_id="R1"), "r1", 2, 3, rr(ox=0, oy=0)),
+                entry(write(ox=2, oy=2, txn_id="W2"), "w1", 4, 5, WRITE_OK),
+                entry(read("ox", "oy", txn_id="R2"), "r1", 6, 7, rr(ox=2, oy=2)),
+            ],
+            objects=("ox", "oy"),
+            initial_value=0,
+        )
+        result = check_lemma20(history, tags)
+        assert not result.ok
+        assert any(v.startswith("P4") for v in result.violations)
+
+    def test_p4_violated_by_initial_value_after_write(self):
+        history = History(
+            [
+                entry(write(ox=5, txn_id="W1"), "w1", 0, 1, WRITE_OK),
+                entry(read("ox", txn_id="R1"), "r1", 2, 3, rr(ox=0)),
+            ],
+            objects=("ox",),
+            initial_value=0,
+        )
+        result = check_lemma20(history, {"W1": 2, "R1": 2})
+        assert not result.ok
+
+    def test_describe_mentions_result(self):
+        good = check_lemma20(good_history(), GOOD_TAGS)
+        assert "P1-P4 hold" in good.describe()
+        bad = check_lemma20(good_history(), {"W1": 2})
+        assert "violated" in bad.describe()
+
+
+class TestLemma20OnProtocols:
+    """The protocol-reported tags satisfy P1-P4 on real executions (Theorems 3-5)."""
+
+    @pytest.mark.parametrize("protocol", ["algorithm-a", "algorithm-b", "algorithm-c"])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_protocol_tags_satisfy_lemma20(self, protocol, seed):
+        from repro.ioa import FIFOScheduler, RandomScheduler
+        from tests.conftest import build_system, run_simple_workload
+
+        scheduler = FIFOScheduler() if seed == 0 else RandomScheduler(seed=seed)
+        handle = build_system(protocol, num_readers=2, num_writers=2, scheduler=scheduler, seed=seed)
+        run_simple_workload(handle, rounds=2)
+        result = handle.lemma20()
+        assert result.ok, result.describe()

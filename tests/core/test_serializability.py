@@ -1,0 +1,207 @@
+"""Unit tests for the semantic strict-serializability checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.serializability import check_strict_serializability
+from repro.txn.history import History, HistoryEntry
+from repro.txn.transactions import ReadResult, WRITE_OK, read, write
+
+
+def entry(txn, client, invoke, respond, result=None):
+    return HistoryEntry(txn=txn, client=client, invoke_index=invoke, respond_index=respond, result=result)
+
+
+def history(entries, objects=("ox", "oy"), initial=0):
+    return History(entries, objects=objects, initial_value=initial)
+
+
+def rr(**values):
+    return ReadResult.from_mapping(values)
+
+
+class TestAcceptedHistories:
+    def test_empty_history(self):
+        result = check_strict_serializability(history([]))
+        assert result.ok
+        assert result.witness_order == ()
+
+    def test_single_read_of_initial_values(self):
+        h = history([entry(read("ox", "oy", txn_id="R1"), "r", 0, 1, rr(ox=0, oy=0))])
+        assert check_strict_serializability(h).ok
+
+    def test_write_then_read_sequential(self):
+        h = history(
+            [
+                entry(write(ox=1, oy=1, txn_id="W1"), "w", 0, 1, WRITE_OK),
+                entry(read("ox", "oy", txn_id="R1"), "r", 2, 3, rr(ox=1, oy=1)),
+            ]
+        )
+        result = check_strict_serializability(h)
+        assert result.ok
+        assert result.witness_order == ("W1", "R1")
+
+    def test_concurrent_read_may_see_old_or_new(self):
+        for observed in (rr(ox=0, oy=0), rr(ox=1, oy=1)):
+            h = history(
+                [
+                    entry(write(ox=1, oy=1, txn_id="W1"), "w", 0, 5, WRITE_OK),
+                    entry(read("ox", "oy", txn_id="R1"), "r", 1, 4, observed),
+                ]
+            )
+            assert check_strict_serializability(h).ok
+
+    def test_two_writers_and_interleaved_reads(self):
+        h = history(
+            [
+                entry(write(ox=1, oy=1, txn_id="W1"), "w1", 0, 1, WRITE_OK),
+                entry(write(ox=2, oy=2, txn_id="W2"), "w2", 2, 3, WRITE_OK),
+                entry(read("ox", "oy", txn_id="R1"), "r1", 4, 5, rr(ox=2, oy=2)),
+                entry(read("ox", txn_id="R2"), "r2", 4, 6, rr(ox=2)),
+            ]
+        )
+        assert check_strict_serializability(h).ok
+
+    def test_partial_object_writes(self):
+        h = history(
+            [
+                entry(write(ox=1, txn_id="W1"), "w1", 0, 1, WRITE_OK),
+                entry(write(oy=5, txn_id="W2"), "w2", 2, 3, WRITE_OK),
+                entry(read("ox", "oy", txn_id="R1"), "r", 4, 5, rr(ox=1, oy=5)),
+            ]
+        )
+        assert check_strict_serializability(h).ok
+
+    def test_incomplete_transactions_are_ignored(self):
+        h = history(
+            [
+                entry(write(ox=1, oy=1, txn_id="W1"), "w", 0, None, None),
+                entry(read("ox", "oy", txn_id="R1"), "r", 2, 3, rr(ox=0, oy=0)),
+            ]
+        )
+        assert check_strict_serializability(h).ok
+
+    def test_witness_order_respects_real_time(self):
+        h = history(
+            [
+                entry(write(ox=1, oy=1, txn_id="W1"), "w", 0, 1, WRITE_OK),
+                entry(write(ox=2, oy=2, txn_id="W2"), "w", 2, 3, WRITE_OK),
+                entry(read("ox", "oy", txn_id="R1"), "r", 4, 5, rr(ox=2, oy=2)),
+            ]
+        )
+        result = check_strict_serializability(h)
+        assert result.ok
+        assert result.witness_order.index("W1") < result.witness_order.index("W2")
+        assert result.witness_order.index("W2") < result.witness_order.index("R1")
+
+
+class TestRejectedHistories:
+    def test_fractured_read_rejected(self):
+        """A read that sees a write on one object but not the other."""
+        h = history(
+            [
+                entry(write(ox=1, oy=1, txn_id="W1"), "w", 0, 1, WRITE_OK),
+                entry(read("ox", "oy", txn_id="R1"), "r", 2, 3, rr(ox=1, oy=0)),
+            ]
+        )
+        result = check_strict_serializability(h)
+        assert not result.ok
+        assert result.violations
+
+    def test_stale_read_after_write_rejected(self):
+        h = history(
+            [
+                entry(write(ox=1, oy=1, txn_id="W1"), "w", 0, 1, WRITE_OK),
+                entry(read("ox", "oy", txn_id="R1"), "r", 2, 3, rr(ox=0, oy=0)),
+            ]
+        )
+        assert not check_strict_serializability(h).ok
+
+    def test_read_going_backwards_rejected(self):
+        """Two sequential reads must not observe versions in reverse order."""
+        h = history(
+            [
+                entry(write(ox=1, oy=1, txn_id="W1"), "w", 0, 10, WRITE_OK),
+                entry(read("ox", "oy", txn_id="R1"), "r1", 1, 2, rr(ox=1, oy=1)),
+                entry(read("ox", "oy", txn_id="R2"), "r2", 3, 4, rr(ox=0, oy=0)),
+            ]
+        )
+        assert not check_strict_serializability(h).ok
+
+    def test_value_from_nowhere_rejected(self):
+        h = history(
+            [
+                entry(read("ox", txn_id="R1"), "r", 0, 1, rr(ox=99)),
+            ]
+        )
+        result = check_strict_serializability(h)
+        assert not result.ok
+        assert any("no WRITE transaction produced" in v for v in result.violations)
+
+    def test_read_of_future_write_rejected(self):
+        """A read that completes before the write is invoked cannot see its value."""
+        h = history(
+            [
+                entry(read("ox", "oy", txn_id="R1"), "r", 0, 1, rr(ox=1, oy=1)),
+                entry(write(ox=1, oy=1, txn_id="W1"), "w", 2, 3, WRITE_OK),
+            ]
+        )
+        assert not check_strict_serializability(h).ok
+
+    def test_eiger_style_mixed_versions_rejected(self):
+        """The Figure 5 anomaly expressed directly as a history."""
+        h = history(
+            [
+                entry(write(oy="b1", txn_id="W1"), "w1", 0, 1, WRITE_OK),
+                entry(write(oy="b2", txn_id="W2"), "w1", 2, 3, WRITE_OK),
+                entry(write(ox="a3", txn_id="W3"), "w2", 4, 5, WRITE_OK),
+                entry(read("ox", "oy", txn_id="R1"), "r", 1, 6, rr(ox="a3", oy="b1")),
+            ],
+            initial="init",
+        )
+        result = check_strict_serializability(h)
+        assert not result.ok
+
+    def test_diagnosis_mentions_version_mixing(self):
+        h = history(
+            [
+                entry(write(oy="b1", txn_id="W1"), "w1", 0, 1, WRITE_OK),
+                entry(write(oy="b2", txn_id="W2"), "w1", 2, 3, WRITE_OK),
+                entry(write(ox="a3", txn_id="W3"), "w2", 4, 5, WRITE_OK),
+                entry(read("ox", "oy", txn_id="R1"), "r", 1, 6, rr(ox="a3", oy="b1")),
+            ],
+            initial="init",
+        )
+        result = check_strict_serializability(h)
+        assert any("mixes versions" in v or "no total order" in v for v in result.violations)
+
+    def test_describe_formats(self):
+        good = check_strict_serializability(history([]))
+        assert "strictly serializable" in good.describe()
+        bad = check_strict_serializability(
+            history([entry(read("ox", txn_id="R1"), "r", 0, 1, rr(ox=5))])
+        )
+        assert "NOT" in bad.describe()
+
+
+class TestSearchBehaviour:
+    def test_state_memoisation_handles_commuting_writes(self):
+        """Many concurrent writers with identical values do not blow up the search."""
+        entries = []
+        for index in range(6):
+            entries.append(entry(write(ox=1, txn_id=f"W{index}"), f"w{index}", 0, 20, WRITE_OK))
+        entries.append(entry(read("ox", txn_id="R1"), "r", 21, 22, rr(ox=1)))
+        h = history(entries, objects=("ox",))
+        result = check_strict_serializability(h)
+        assert result.ok
+
+    def test_max_states_aborts_gracefully(self):
+        entries = [
+            entry(write(ox=i, txn_id=f"W{i}"), f"w{i}", 0, 50, WRITE_OK) for i in range(6)
+        ]
+        entries.append(entry(read("ox", txn_id="R1"), "r", 0, 50, rr(ox=3)))
+        h = history(entries, objects=("ox",))
+        result = check_strict_serializability(h, max_states=3)
+        assert not result.ok
+        assert any("aborted" in v for v in result.violations)

@@ -1,0 +1,148 @@
+"""Unit tests of the N/O checkers on hand-constructed traces.
+
+The end-to-end tests validate the checkers against real protocol executions;
+these tests pin down the checkers' semantics on small synthetic traces where
+the expected verdict is obvious by construction — in particular the exact
+definition of "blocking" (an input action between the request receipt and the
+reply) and the counting of round trips and reply versions.
+"""
+
+from __future__ import annotations
+
+from repro.core.snow import blocking_servers_for, round_trips_per_server, versions_in_replies
+from repro.ioa.actions import Message, recv_action, send_action
+from repro.ioa.trace import Trace
+
+
+READER = "r1"
+SERVERS = ("sx", "sy")
+
+
+def request(server, txn="R1"):
+    return Message.make("read-req", READER, server, {"txn": txn})
+
+
+def reply(server, txn="R1", num_versions=1, value=0):
+    return Message.make("read-reply", server, READER, {"txn": txn, "num_versions": num_versions, "value": value})
+
+
+def immediate_service_trace():
+    """Both servers answer immediately after receiving the request."""
+    trace = Trace()
+    for server in SERVERS:
+        req = request(server)
+        rep = reply(server)
+        trace.append(send_action(req))
+        trace.append(recv_action(req))
+        trace.append(send_action(rep))
+        trace.append(recv_action(rep))
+    return trace
+
+
+def blocking_service_trace():
+    """sy receives another message between the request and its reply."""
+    trace = Trace()
+    req_x, rep_x = request("sx"), reply("sx")
+    trace.append(send_action(req_x))
+    trace.append(recv_action(req_x))
+    trace.append(send_action(rep_x))
+    trace.append(recv_action(rep_x))
+
+    req_y, rep_y = request("sy"), reply("sy")
+    interloper = Message.make("write-install", "w1", "sy", {"txn": "W1"})
+    trace.append(send_action(req_y))
+    trace.append(recv_action(req_y))
+    trace.append(send_action(interloper))
+    trace.append(recv_action(interloper))  # input action at sy before it answers
+    trace.append(send_action(rep_y))
+    trace.append(recv_action(rep_y))
+    return trace
+
+
+def unanswered_request_trace():
+    trace = Trace()
+    req = request("sx")
+    trace.append(send_action(req))
+    trace.append(recv_action(req))
+    return trace
+
+
+class TestNonBlockingChecker:
+    def test_immediate_service_is_non_blocking(self):
+        assert blocking_servers_for(immediate_service_trace(), "R1", READER, SERVERS) == ()
+
+    def test_intervening_input_action_is_blocking(self):
+        offenders = blocking_servers_for(blocking_service_trace(), "R1", READER, SERVERS)
+        assert offenders == ("sy",)
+
+    def test_unanswered_request_counts_as_blocking(self):
+        offenders = blocking_servers_for(unanswered_request_trace(), "R1", READER, SERVERS)
+        assert offenders == ("sx",)
+
+    def test_other_transactions_do_not_interfere(self):
+        trace = Trace()
+        # A request for a *different* transaction sits between R1's request and reply:
+        # it is still an input action at the server, so R1's service did block on it
+        # arriving first?  No — the definition only forbids inputs *between* recv and
+        # send of the same transaction; a request that arrived earlier is fine.
+        other_req = request("sx", txn="R2")
+        trace.append(send_action(other_req))
+        trace.append(recv_action(other_req))
+        req, rep = request("sx", txn="R1"), reply("sx", txn="R1")
+        trace.append(send_action(req))
+        trace.append(recv_action(req))
+        trace.append(send_action(rep))
+        trace.append(recv_action(rep))
+        other_rep = reply("sx", txn="R2")
+        trace.append(send_action(other_rep))
+        trace.append(recv_action(other_rep))
+        assert blocking_servers_for(trace, "R1", READER, SERVERS) == ()
+        # R2, on the other hand, had R1's request arrive between its own recv and send.
+        assert blocking_servers_for(trace, "R2", READER, SERVERS) == ("sx",)
+
+
+class TestRoundTripAndVersionCounting:
+    def test_single_round_trip_per_server(self):
+        trips = round_trips_per_server(immediate_service_trace(), "R1", READER, SERVERS)
+        assert trips == {"sx": 1, "sy": 1}
+
+    def test_multiple_requests_counted(self):
+        trace = immediate_service_trace()
+        extra = request("sx")
+        trace.append(send_action(extra))
+        trips = round_trips_per_server(trace, "R1", READER, SERVERS)
+        assert trips["sx"] == 2
+
+    def test_requests_of_other_transactions_not_counted(self):
+        trace = immediate_service_trace()
+        trace.append(send_action(request("sx", txn="R9")))
+        assert round_trips_per_server(trace, "R1", READER, SERVERS)["sx"] == 1
+
+    def test_versions_in_replies_takes_the_maximum(self):
+        trace = Trace()
+        for server, versions in zip(SERVERS, (1, 4)):
+            req = request(server)
+            rep = reply(server, num_versions=versions)
+            trace.append(send_action(req))
+            trace.append(recv_action(req))
+            trace.append(send_action(rep))
+            trace.append(recv_action(rep))
+        max_versions, replies = versions_in_replies(trace, "R1", READER, SERVERS)
+        assert max_versions == 4
+        assert replies == 2
+
+    def test_versions_default_to_one_when_no_replies(self):
+        max_versions, replies = versions_in_replies(unanswered_request_trace(), "R1", READER, SERVERS)
+        assert max_versions == 1
+        assert replies == 0
+
+    def test_missing_num_versions_field_defaults_to_one(self):
+        trace = Trace()
+        req = request("sx")
+        bare_reply = Message.make("read-reply", "sx", READER, {"txn": "R1"})
+        trace.append(send_action(req))
+        trace.append(recv_action(req))
+        trace.append(send_action(bare_reply))
+        trace.append(recv_action(bare_reply))
+        max_versions, replies = versions_in_replies(trace, "R1", READER, SERVERS)
+        assert max_versions == 1 and replies == 1

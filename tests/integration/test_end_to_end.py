@@ -1,0 +1,146 @@
+"""End-to-end integration tests: the whole pipeline from workload to verdicts.
+
+These tests exercise the stack the way the benchmark harness and the examples
+do — protocol registry → build → workload generation → simulation →
+history/trace → property checkers → analysis tables — and pin the headline
+results of the paper:
+
+* the Figure 1(a) boundary (algorithm A verified in the possible cells, the
+  naive candidate broken in the impossible ones);
+* the Figure 1(b) matrix shape (1 round/1 version for A, 2/1 for B, 1/|W| for
+  C, unbounded/1 for the retry baseline);
+* the Eiger correction of Section 6;
+* the latency-comparison shape (A matches simple reads; B, locking and the
+  retry baseline pay latency in different currencies).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ExperimentConfig,
+    WorkloadSpec,
+    compare_protocols,
+    format_latency_comparison,
+    run_experiment,
+)
+from repro.core.feasibility import bounded_snw_matrix, check_setting, paper_expectation
+from repro.ioa.network import SystemSetting, standard_settings
+from repro.proofs import c2c_breaks_the_chain, replay_theorem1, replay_theorem2, run_figure5
+
+
+class TestFigure1aBoundary:
+    def test_possible_cells_verified_with_algorithm_a(self):
+        for name, readers, writers in (("two-clients-c2c", 1, 1), ("mwsr-c2c", 1, 3)):
+            setting = SystemSetting(name, num_readers=readers, num_writers=writers, num_servers=2, c2c=True)
+            verdict = check_setting(setting, schedules=3)
+            assert verdict.snow_possible
+            assert verdict.method == "verified-protocol"
+
+    def test_impossible_cells_witnessed_by_naive_candidate(self):
+        for name, readers, writers, c2c in (
+            ("two-clients-no-c2c", 1, 1, False),
+            ("three-clients-c2c", 2, 1, True),
+        ):
+            setting = SystemSetting(name, num_readers=readers, num_writers=writers, num_servers=2, c2c=c2c)
+            verdict = check_setting(setting, schedules=25)
+            assert not verdict.snow_possible
+            assert verdict.method in ("targeted-adversary", "randomized-search")
+
+    def test_expectations_match_figure_1a(self):
+        expected = {
+            "two-clients-c2c": True,
+            "two-clients-no-c2c": False,
+            "mwsr-c2c": True,
+            "mwsr-no-c2c": False,
+            "three-clients-c2c": False,
+            "three-clients-no-c2c": False,
+        }
+        for setting in standard_settings():
+            assert paper_expectation(setting)[0] == expected[setting.name]
+
+
+class TestFigure1bMatrix:
+    def test_measured_matrix_matches_paper_shape(self):
+        rows = {row.protocol: row for row in bounded_snw_matrix(num_writers=2, num_objects=2, workload_rounds=2, seeds=(0, 1))}
+        assert rows["algorithm-a"].rounds_observed == 1 and rows["algorithm-a"].versions_observed == 1
+        assert rows["algorithm-b"].rounds_observed == 2 and rows["algorithm-b"].versions_observed == 1
+        assert rows["algorithm-c"].versions_observed >= 2
+        assert rows["occ-double-collect"].rounds_observed >= 2
+        assert all(row.satisfies_snw for row in rows.values())
+
+
+class TestImpossibilityReplays:
+    def test_theorem1_and_theorem2_replays_reach_contradictions(self):
+        assert replay_theorem1().ok
+        assert replay_theorem2().ok
+
+    def test_c2c_is_exactly_what_blocks_theorem2(self):
+        blocked, _ = c2c_breaks_the_chain()
+        assert blocked
+
+
+class TestEigerCorrection:
+    def test_figure5_end_to_end(self):
+        result = run_figure5()
+        assert result.anomaly_reproduced
+        assert result.snow_report.non_blocking
+        assert not result.snow_report.strict_serializable
+
+
+class TestLatencyComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return compare_protocols(
+            ["simple-rw", "algorithm-a", "algorithm-b", "algorithm-c", "s2pl", "occ-double-collect"],
+            workload=WorkloadSpec(reads_per_reader=4, writes_per_writer=3, read_size=2, write_size=2, seed=7),
+            num_readers=2,
+            num_writers=2,
+            num_objects=2,
+            scheduler="random",
+            seed=7,
+        )
+
+    def test_algorithm_a_matches_simple_read_rounds(self, results):
+        by_name = {r.protocol: r for r in results}
+        assert by_name["algorithm-a"].metrics.max_read_rounds() == by_name["simple-rw"].metrics.max_read_rounds() == 1
+
+    def test_algorithm_b_pays_exactly_one_extra_round(self, results):
+        by_name = {r.protocol: r for r in results}
+        assert by_name["algorithm-b"].metrics.max_read_rounds() == 2
+
+    def test_retry_baseline_has_the_worst_tail(self, results):
+        by_name = {r.protocol: r for r in results}
+        assert (
+            by_name["occ-double-collect"].metrics.max_read_rounds()
+            >= by_name["algorithm-b"].metrics.max_read_rounds()
+        )
+
+    def test_only_weak_protocols_lose_s(self, results):
+        for result in results:
+            if result.protocol in ("simple-rw",):
+                continue
+            assert result.snow.strict_serializable, result.protocol
+
+    def test_table_renders(self, results):
+        table = format_latency_comparison(results)
+        assert "simple-rw" in table and "occ-double-collect" in table
+
+
+class TestRunnerRoundTrip:
+    def test_single_experiment_round_trip(self):
+        result = run_experiment(
+            ExperimentConfig(
+                protocol="algorithm-c",
+                num_readers=2,
+                num_writers=2,
+                num_objects=3,
+                workload=WorkloadSpec(reads_per_reader=3, writes_per_writer=2, seed=11),
+                scheduler="random",
+                seed=11,
+            )
+        )
+        assert result.snow.satisfies_snw
+        assert result.metrics.total_messages > 0
+        assert len(result.history) == len(result.read_ids) + len(result.write_ids)

@@ -1,0 +1,136 @@
+"""Unit tests for messages and actions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa.actions import (
+    Action,
+    ActionKind,
+    Message,
+    actions_at,
+    internal_action,
+    invoke_action,
+    recv_action,
+    respond_action,
+    send_action,
+)
+
+
+class TestMessage:
+    def test_make_freezes_payload(self):
+        message = Message.make("read-val", "r1", "sx", {"txn": "R1", "key": 3})
+        assert message.get("txn") == "R1"
+        assert message.get("key") == 3
+
+    def test_payload_is_readonly_mapping(self):
+        message = Message.make("read-val", "r1", "sx", {"txn": "R1"})
+        with pytest.raises(TypeError):
+            message.payload["txn"] = "R2"  # type: ignore[index]
+
+    def test_get_returns_default_for_missing_key(self):
+        message = Message.make("read-val", "r1", "sx", {})
+        assert message.get("missing", 42) == 42
+
+    def test_msg_ids_are_unique(self):
+        first = Message.make("a", "x", "y", {})
+        second = Message.make("a", "x", "y", {})
+        assert first.msg_id != second.msg_id
+
+    def test_with_payload_creates_new_message(self):
+        message = Message.make("read-val", "r1", "sx", {"txn": "R1"})
+        updated = message.with_payload(extra=1)
+        assert updated.get("extra") == 1
+        assert updated.get("txn") == "R1"
+        assert updated.msg_id != message.msg_id
+
+    def test_list_payload_values_are_frozen_to_tuples(self):
+        message = Message.make("m", "a", "b", {"items": [1, 2, 3]})
+        assert message.get("items") == (1, 2, 3)
+
+    def test_dict_payload_values_are_frozen(self):
+        message = Message.make("m", "a", "b", {"mapping": {"k": 1}})
+        assert message.get("mapping") == (("k", 1),)
+
+    def test_set_payload_values_become_frozensets(self):
+        message = Message.make("m", "a", "b", {"objects": {"ox", "oy"}})
+        assert message.get("objects") == frozenset({"ox", "oy"})
+
+    def test_messages_are_hashable(self):
+        message = Message.make("m", "a", "b", {"n": 1})
+        assert message in {message}
+
+    def test_describe_mentions_endpoints(self):
+        message = Message.make("read-val", "r1", "sx", {})
+        assert "r1" in message.describe()
+        assert "sx" in message.describe()
+        assert "read-val" in message.describe()
+
+
+class TestActionKind:
+    def test_external_kinds(self):
+        assert ActionKind.SEND.is_external()
+        assert ActionKind.RECV.is_external()
+        assert ActionKind.INVOKE.is_external()
+        assert ActionKind.RESPOND.is_external()
+        assert not ActionKind.INTERNAL.is_external()
+        assert not ActionKind.START.is_external()
+
+    def test_input_kinds(self):
+        assert ActionKind.RECV.is_input()
+        assert ActionKind.INVOKE.is_input()
+        assert not ActionKind.SEND.is_input()
+
+    def test_output_kinds(self):
+        assert ActionKind.SEND.is_output()
+        assert ActionKind.RESPOND.is_output()
+        assert not ActionKind.RECV.is_output()
+
+
+class TestAction:
+    def test_send_action_occurs_at_sender(self):
+        message = Message.make("m", "r1", "sx", {})
+        action = send_action(message)
+        assert action.actor == "r1"
+        assert action.kind == ActionKind.SEND
+
+    def test_recv_action_occurs_at_receiver(self):
+        message = Message.make("m", "r1", "sx", {})
+        action = recv_action(message)
+        assert action.actor == "sx"
+        assert action.kind == ActionKind.RECV
+
+    def test_invoke_and_respond_helpers(self):
+        assert invoke_action("r1", {"txn": "R1"}).kind == ActionKind.INVOKE
+        assert respond_action("r1", {"txn": "R1"}).kind == ActionKind.RESPOND
+        assert internal_action("sx").kind == ActionKind.INTERNAL
+
+    def test_get_prefers_info_over_payload(self):
+        message = Message.make("m", "r1", "sx", {"txn": "payload"})
+        action = Action.make(ActionKind.RECV, "sx", message, {"txn": "info"})
+        assert action.get("txn") == "info"
+
+    def test_get_falls_back_to_payload(self):
+        message = Message.make("m", "r1", "sx", {"txn": "payload"})
+        action = Action.make(ActionKind.RECV, "sx", message)
+        assert action.get("txn") == "payload"
+
+    def test_same_step_ignores_index(self):
+        message = Message.make("m", "r1", "sx", {})
+        first = send_action(message).with_index(3)
+        second = send_action(message).with_index(9)
+        assert first.same_step(second)
+
+    def test_same_step_detects_different_actor(self):
+        a = internal_action("sx", {"n": 1})
+        b = internal_action("sy", {"n": 1})
+        assert not a.same_step(b)
+
+    def test_actions_at_filters_by_actor(self):
+        actions = [internal_action("a"), internal_action("b"), internal_action("a")]
+        assert len(actions_at(actions, "a")) == 2
+        assert len(actions_at(actions, "c")) == 0
+
+    def test_with_index_round_trip(self):
+        action = internal_action("sx")
+        assert action.with_index(5).index == 5

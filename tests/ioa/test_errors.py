@@ -1,0 +1,68 @@
+"""Tests for the error hierarchy: every error type is raised where promised."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa import errors
+
+
+class TestHierarchy:
+    def test_all_errors_are_simulation_errors(self):
+        for name in (
+            "UnknownProcessError",
+            "DuplicateProcessError",
+            "CommunicationNotAllowedError",
+            "WellFormednessError",
+            "SchedulerError",
+            "SessionError",
+            "LivenessError",
+            "TraceError",
+        ):
+            error_type = getattr(errors, name)
+            assert issubclass(error_type, errors.SimulationError)
+
+    def test_unknown_process_error_carries_name(self):
+        error = errors.UnknownProcessError("ghost")
+        assert error.name == "ghost"
+        assert "ghost" in str(error)
+
+    def test_duplicate_process_error_carries_name(self):
+        error = errors.DuplicateProcessError("sx")
+        assert error.name == "sx"
+
+    def test_communication_error_carries_endpoints_and_reason(self):
+        error = errors.CommunicationNotAllowedError("w1", "r1", "no C2C")
+        assert error.src == "w1" and error.dst == "r1"
+        assert "no C2C" in str(error)
+
+    def test_communication_error_without_reason(self):
+        error = errors.CommunicationNotAllowedError("a", "b")
+        assert str(error).endswith("not allowed")
+
+
+class TestErrorsInContext:
+    def test_simulation_error_catches_everything(self):
+        from repro.ioa import Simulation, Topology
+        from repro.ioa.automaton import ServerAutomaton
+
+        simulation = Simulation(topology=Topology(allow_client_to_client=False))
+        simulation.add_automaton(ServerAutomaton("sx"))
+        with pytest.raises(errors.SimulationError):
+            simulation.submit("nope", "T1")
+
+    def test_session_error_for_bad_effect(self):
+        from repro.ioa import ClientAutomaton, Simulation
+        from repro.ioa.automaton import ServerAutomaton
+
+        class BadClient(ClientAutomaton):
+            def run_transaction(self, txn, ctx):
+                yield "this is not an effect"
+                return None
+
+        simulation = Simulation()
+        simulation.add_automaton(ServerAutomaton("sx"))
+        simulation.add_automaton(BadClient("c1"))
+        simulation.submit("c1", "T1")
+        with pytest.raises(errors.SessionError):
+            simulation.run()

@@ -1,0 +1,290 @@
+"""Unit tests for the simulation kernel: sessions, deliveries, well-formedness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa import (
+    ActionKind,
+    Await,
+    ClientAutomaton,
+    FIFOScheduler,
+    LIFOScheduler,
+    LivenessError,
+    RandomScheduler,
+    Send,
+    ServerAutomaton,
+    Simulation,
+    Topology,
+    WellFormednessError,
+    expect_type,
+)
+from repro.ioa.errors import DuplicateProcessError, UnknownProcessError
+
+
+class EchoServer(ServerAutomaton):
+    """Replies to ``ping`` with ``pong`` carrying the same payload."""
+
+    def on_message(self, message, ctx):
+        if message.msg_type == "ping":
+            ctx.send(message.src, "pong", {"txn": message.get("txn"), "n": message.get("n")})
+
+
+class DeferServer(ServerAutomaton):
+    """Holds the first ping and only answers it when a ``release`` arrives."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.held = None
+
+    def on_message(self, message, ctx):
+        if message.msg_type == "ping":
+            if self.held is None:
+                self.held = message
+            else:
+                ctx.send(message.src, "pong", {"txn": message.get("txn")})
+        elif message.msg_type == "release" and self.held is not None:
+            ctx.send(self.held.src, "pong", {"txn": self.held.get("txn")})
+            self.held = None
+
+
+class PingClient(ClientAutomaton):
+    """Sends one ping per listed server and waits for all pongs."""
+
+    def __init__(self, name, servers):
+        super().__init__(name)
+        self.servers = tuple(servers)
+
+    def run_transaction(self, txn, ctx):
+        for index, server in enumerate(self.servers):
+            yield Send(dst=server, msg_type="ping", payload={"txn": str(txn), "n": index})
+        replies = yield Await(matcher=expect_type("pong"), count=len(self.servers))
+        return tuple(sorted(reply.get("n") for reply in replies))
+
+
+class TwoPhaseClient(ClientAutomaton):
+    """Two sequential ping rounds to the same server (two Awaits)."""
+
+    def __init__(self, name, server):
+        super().__init__(name)
+        self.server = server
+
+    def run_transaction(self, txn, ctx):
+        yield Send(dst=self.server, msg_type="ping", payload={"txn": str(txn), "n": 1})
+        yield Await(matcher=expect_type("pong"), count=1)
+        yield Send(dst=self.server, msg_type="ping", payload={"txn": str(txn), "n": 2})
+        yield Await(matcher=expect_type("pong"), count=1)
+        return "done"
+
+
+def build_echo_system(num_servers=2, scheduler=None, client_cls=PingClient):
+    simulation = Simulation(scheduler=scheduler or FIFOScheduler())
+    servers = [f"s{i}" for i in range(1, num_servers + 1)]
+    for server in servers:
+        simulation.add_automaton(EchoServer(server))
+    if client_cls is PingClient:
+        simulation.add_automaton(PingClient("c1", servers))
+    else:
+        simulation.add_automaton(client_cls("c1", servers[0]))
+    return simulation, servers
+
+
+class TestSystemConstruction:
+    def test_duplicate_names_rejected(self):
+        simulation = Simulation()
+        simulation.add_automaton(EchoServer("s1"))
+        with pytest.raises(DuplicateProcessError):
+            simulation.add_automaton(EchoServer("s1"))
+
+    def test_unknown_client_rejected_on_submit(self):
+        simulation, _ = build_echo_system()
+        with pytest.raises(UnknownProcessError):
+            simulation.submit("ghost", "T")
+
+    def test_servers_and_clients_lists(self):
+        simulation, servers = build_echo_system(num_servers=3)
+        assert set(simulation.servers()) == set(servers)
+        assert simulation.clients() == ("c1",)
+
+    def test_submit_to_server_fails_at_invocation(self):
+        simulation = Simulation()
+        simulation.add_automaton(EchoServer("s1"))
+        with pytest.raises(UnknownProcessError):
+            simulation.submit("s1", "T1")
+
+
+class TestExecution:
+    def test_single_transaction_completes(self):
+        simulation, _ = build_echo_system()
+        txn_id = simulation.submit("c1", "T1")
+        simulation.run_to_completion()
+        record = simulation.transaction_record(txn_id)
+        assert record.complete
+        assert record.result == (0, 1)
+
+    def test_invoke_and_respond_actions_recorded(self):
+        simulation, _ = build_echo_system()
+        txn_id = simulation.submit("c1", "T1")
+        simulation.run_to_completion()
+        kinds = [a.kind for a in simulation.trace.project("c1")]
+        assert ActionKind.INVOKE in kinds
+        assert ActionKind.RESPOND in kinds
+
+    def test_trace_is_channel_consistent(self):
+        simulation, _ = build_echo_system(num_servers=3)
+        simulation.submit("c1", "T1")
+        simulation.submit("c1", "T2")
+        simulation.run_to_completion()
+        simulation.trace.validate_channels()
+
+    def test_round_counting_single_round(self):
+        simulation, _ = build_echo_system()
+        txn_id = simulation.submit("c1", "T1")
+        simulation.run_to_completion()
+        assert simulation.transaction_record(txn_id).rounds == 1
+
+    def test_round_counting_two_rounds(self):
+        simulation, _ = build_echo_system(num_servers=1, client_cls=TwoPhaseClient)
+        txn_id = simulation.submit("c1", "T1")
+        simulation.run_to_completion()
+        assert simulation.transaction_record(txn_id).rounds == 2
+
+    def test_messages_sent_counted(self):
+        simulation, _ = build_echo_system(num_servers=3)
+        txn_id = simulation.submit("c1", "T1")
+        simulation.run_to_completion()
+        assert simulation.transaction_record(txn_id).messages_sent == 3
+
+    def test_latency_steps_positive(self):
+        simulation, _ = build_echo_system()
+        txn_id = simulation.submit("c1", "T1")
+        simulation.run_to_completion()
+        assert simulation.transaction_record(txn_id).latency_steps() > 0
+
+    def test_deterministic_with_same_seed(self):
+        def shape(action):
+            message = action.message
+            return (
+                action.kind.value,
+                action.actor,
+                None if message is None else (message.msg_type, message.src, message.dst, message.items),
+            )
+
+        def run(seed):
+            simulation, _ = build_echo_system(num_servers=3, scheduler=RandomScheduler(seed=seed))
+            simulation.submit("c1", "T1")
+            simulation.submit("c1", "T2")
+            simulation.run_to_completion()
+            return [shape(a) for a in simulation.trace]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_step_returns_false_when_idle(self):
+        simulation, _ = build_echo_system()
+        simulation.start()
+        assert simulation.step() is False
+
+    def test_run_respects_step_budget(self):
+        simulation, _ = build_echo_system(num_servers=3)
+        simulation.submit("c1", "T1")
+        simulation.run(max_new_steps=2)
+        assert len(simulation.incomplete_transactions()) == 1
+
+    def test_max_steps_guard(self):
+        simulation, _ = build_echo_system()
+        simulation.max_steps = 1
+        simulation.submit("c1", "T1")
+        simulation.submit("c1", "T2")
+        with pytest.raises(LivenessError):
+            simulation.run()
+
+
+class TestWellFormedness:
+    def test_one_outstanding_transaction_per_client(self):
+        simulation, _ = build_echo_system()
+        simulation.submit("c1", "T1")
+        simulation.submit("c1", "T2")
+        simulation.run_to_completion()
+        records = simulation.transaction_records()
+        # The second transaction is invoked only after the first responded.
+        assert records[0].respond_index < records[1].invoke_index
+
+    def test_duplicate_txn_id_rejected(self):
+        simulation, _ = build_echo_system()
+        simulation.submit("c1", "T1", txn_id="same")
+        with pytest.raises(WellFormednessError):
+            simulation.submit("c1", "T2", txn_id="same")
+
+    def test_after_dependency_orders_invocations(self):
+        simulation = Simulation(scheduler=LIFOScheduler())
+        simulation.add_automaton(EchoServer("s1"))
+        simulation.add_automaton(PingClient("c1", ["s1"]))
+        simulation.add_automaton(PingClient("c2", ["s1"]))
+        first = simulation.submit("c1", "T1")
+        second = simulation.submit("c2", "T2", after=[first])
+        simulation.run_to_completion()
+        first_record = simulation.transaction_record(first)
+        second_record = simulation.transaction_record(second)
+        assert first_record.respond_index < second_record.invoke_index
+
+    def test_incomplete_transactions_raise_in_run_to_completion(self):
+        simulation = Simulation()
+        simulation.add_automaton(DeferServer("s1"))
+        simulation.add_automaton(TwoPhaseClient("c1", "s1"))
+        simulation.submit("c1", "T1")
+        with pytest.raises(LivenessError):
+            simulation.run_to_completion()
+
+
+class TestTopologyEnforcement:
+    def test_c2c_send_raises_when_disallowed(self):
+        class ChattyClient(ClientAutomaton):
+            def run_transaction(self, txn, ctx):
+                yield Send(dst="c2", msg_type="gossip", payload={})
+                return "sent"
+
+        simulation = Simulation(topology=Topology(allow_client_to_client=False))
+        simulation.add_automaton(ChattyClient("c1"))
+        simulation.add_automaton(ChattyClient("c2"))
+        simulation.add_automaton(EchoServer("s1"))
+        simulation.submit("c1", "T1")
+        from repro.ioa import CommunicationNotAllowedError
+
+        with pytest.raises(CommunicationNotAllowedError):
+            simulation.run()
+
+
+class TestAnnotations:
+    def test_annotate_transaction_stores_fields(self):
+        class AnnotatingClient(ClientAutomaton):
+            def run_transaction(self, txn, ctx):
+                ctx.annotate_transaction(txn, tag=7, protocol="test")
+                yield Send(dst="s1", msg_type="ping", payload={"txn": str(txn), "n": 0})
+                yield Await(matcher=expect_type("pong"), count=1)
+                return "ok"
+
+        simulation = Simulation()
+        simulation.add_automaton(EchoServer("s1"))
+        simulation.add_automaton(AnnotatingClient("c1"))
+        txn_id = simulation.submit("c1", "T1")
+        simulation.run_to_completion()
+        record = simulation.transaction_record(txn_id)
+        assert record.annotations["tag"] == 7
+        assert record.annotations["protocol"] == "test"
+
+    def test_accumulating_annotations(self):
+        class AccumulatingClient(ClientAutomaton):
+            def run_transaction(self, txn, ctx):
+                ctx.annotate_transaction(txn, hops=1)
+                ctx.annotate_transaction(txn, hops=2, _accumulate=True)
+                yield Send(dst="s1", msg_type="ping", payload={"txn": str(txn), "n": 0})
+                yield Await(matcher=expect_type("pong"), count=1)
+                return "ok"
+
+        simulation = Simulation()
+        simulation.add_automaton(EchoServer("s1"))
+        simulation.add_automaton(AccumulatingClient("c1"))
+        txn_id = simulation.submit("c1", "T1")
+        simulation.run_to_completion()
+        assert simulation.transaction_record(txn_id).annotations["hops"] == 3

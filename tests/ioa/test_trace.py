@@ -1,0 +1,187 @@
+"""Unit tests for traces, projections, fragments and indistinguishability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa.actions import ActionKind, Message, internal_action, recv_action, send_action
+from repro.ioa.errors import TraceError
+from repro.ioa.trace import Fragment, Trace, concat_fragments, reindex
+
+
+def sample_trace():
+    """r1 sends m to sx, sx replies with v; plus an internal step at sx."""
+    trace = Trace()
+    request = Message.make("read", "r1", "sx", {"txn": "R1"})
+    reply = Message.make("reply", "sx", "r1", {"txn": "R1", "value": 7})
+    trace.append(send_action(request))
+    trace.append(recv_action(request))
+    trace.append(internal_action("sx", {"step": "lookup"}))
+    trace.append(send_action(reply))
+    trace.append(recv_action(reply))
+    return trace, request, reply
+
+
+class TestTraceBasics:
+    def test_append_assigns_consecutive_indices(self):
+        trace, *_ = sample_trace()
+        assert [a.index for a in trace] == list(range(len(trace)))
+
+    def test_len_and_getitem(self):
+        trace, *_ = sample_trace()
+        assert len(trace) == 5
+        assert trace[0].kind == ActionKind.SEND
+
+    def test_project_filters_by_actor(self):
+        trace, *_ = sample_trace()
+        at_sx = trace.project("sx")
+        assert all(a.actor == "sx" for a in at_sx)
+        assert len(at_sx) == 3
+
+    def test_external_excludes_internal(self):
+        trace, *_ = sample_trace()
+        assert all(a.kind != ActionKind.INTERNAL for a in trace.external())
+
+    def test_actors_in_order_of_appearance(self):
+        trace, *_ = sample_trace()
+        assert trace.actors() == ("r1", "sx")
+
+    def test_of_kind(self):
+        trace, *_ = sample_trace()
+        assert len(trace.of_kind(ActionKind.SEND)) == 2
+
+    def test_copy_is_independent(self):
+        trace, *_ = sample_trace()
+        duplicate = trace.copy()
+        duplicate.append(internal_action("r1"))
+        assert len(duplicate) == len(trace) + 1
+
+
+class TestTraceQueries:
+    def test_find_send_and_recv_match_by_msg_id(self):
+        trace, request, reply = sample_trace()
+        assert trace.find_send(request).index == 0
+        assert trace.find_recv(request).index == 1
+        assert trace.find_send(reply).index == 3
+
+    def test_between_excludes_endpoints(self):
+        trace, *_ = sample_trace()
+        middle = trace.between(0, 4)
+        assert [a.index for a in middle] == [1, 2, 3]
+
+    def test_between_rejects_reversed_range(self):
+        trace, *_ = sample_trace()
+        with pytest.raises(TraceError):
+            trace.between(4, 0)
+
+    def test_prefix_matches_paper_notation(self):
+        trace, request, _ = sample_trace()
+        recv = trace.find_recv(request)
+        prefix = trace.prefix(recv)
+        assert len(prefix) == recv.index + 1
+
+    def test_prefix_rejects_foreign_action(self):
+        trace, *_ = sample_trace()
+        foreign = internal_action("zz").with_index(2)
+        with pytest.raises(TraceError):
+            trace.prefix(foreign)
+
+    def test_suffix_after(self):
+        trace, request, _ = sample_trace()
+        recv = trace.find_recv(request)
+        assert [a.index for a in trace.suffix_after(recv)] == [2, 3, 4]
+
+
+class TestChannelValidation:
+    def test_valid_trace_passes(self):
+        trace, *_ = sample_trace()
+        trace.validate_channels()
+
+    def test_recv_before_send_rejected(self):
+        trace = Trace()
+        message = Message.make("m", "a", "b", {})
+        trace.append(recv_action(message))
+        trace.append(send_action(message))
+        with pytest.raises(TraceError):
+            trace.validate_channels()
+
+    def test_duplicate_delivery_rejected(self):
+        trace = Trace()
+        message = Message.make("m", "a", "b", {})
+        trace.append(send_action(message))
+        trace.append(recv_action(message))
+        trace.append(recv_action(message))
+        with pytest.raises(TraceError):
+            trace.validate_channels()
+
+    def test_duplicate_send_rejected(self):
+        trace = Trace()
+        message = Message.make("m", "a", "b", {})
+        trace.append(send_action(message))
+        trace.append(send_action(message))
+        with pytest.raises(TraceError):
+            trace.validate_channels()
+
+    def test_undelivered_messages_reported(self):
+        trace = Trace()
+        message = Message.make("m", "a", "b", {})
+        trace.append(send_action(message))
+        assert [m.msg_id for m in trace.undelivered_messages()] == [message.msg_id]
+
+
+class TestIndistinguishability:
+    def test_identical_projections_are_indistinguishable(self):
+        first, *_ = sample_trace()
+        second = Trace()
+        # Same steps at sx, different interleaving with a new actor elsewhere.
+        for action in first:
+            second.append(action)
+        second.append(internal_action("r2"))
+        assert first.indistinguishable_at(second, "sx")
+        assert not first.indistinguishable_at(second, "r2")
+
+    def test_different_projections_are_distinguishable(self):
+        first, *_ = sample_trace()
+        second = Trace(list(first)[:-1])
+        assert not first.indistinguishable_at(second, "r1")
+
+
+class TestFragment:
+    def test_single_actor_detection(self):
+        trace, *_ = sample_trace()
+        fragment = Fragment(actions=trace.project("sx"), label="F")
+        assert fragment.single_actor() == "sx"
+
+    def test_mixed_actor_detection(self):
+        trace, *_ = sample_trace()
+        fragment = Fragment(actions=trace.actions, label="all")
+        assert fragment.single_actor() is None
+        assert set(fragment.actors()) == {"r1", "sx"}
+
+    def test_input_and_external_flags(self):
+        trace, *_ = sample_trace()
+        server_fragment = Fragment(actions=trace.project("sx"), label="F")
+        assert server_fragment.has_input_actions()
+        assert server_fragment.has_external_actions()
+        internal_only = Fragment(actions=(internal_action("sx").with_index(0),), label="int")
+        assert not internal_only.has_input_actions()
+        assert not internal_only.has_external_actions()
+
+    def test_same_steps(self):
+        trace, *_ = sample_trace()
+        first = Fragment(actions=trace.project("sx"), label="a")
+        second = Fragment(actions=trace.project("sx"), label="b")
+        assert first.same_steps(second)
+
+    def test_empty_fragment_start_index_raises(self):
+        with pytest.raises(TraceError):
+            Fragment(actions=(), label="empty").start_index
+
+    def test_concat_and_reindex(self):
+        trace, *_ = sample_trace()
+        first = Fragment(actions=trace.project("r1"), label="a")
+        second = Fragment(actions=trace.project("sx"), label="b")
+        combined = concat_fragments([first, second])
+        assert len(combined) == len(trace)
+        stamped = reindex(combined)
+        assert [a.index for a in stamped] == list(range(len(stamped)))

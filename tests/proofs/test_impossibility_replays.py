@@ -1,0 +1,136 @@
+"""Tests for the Theorem 1 / Theorem 2 proof replays and the Figure 5 reproduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.proofs import (
+    build_alpha2,
+    build_beta,
+    c2c_breaks_the_chain,
+    replay_theorem1,
+    replay_theorem2,
+    run_figure5,
+)
+
+
+class TestTheorem1Replay:
+    def test_replay_reaches_contradiction(self):
+        replay = replay_theorem1()
+        assert replay.ok
+        assert "no strict serialization exists" in replay.contradiction_note
+
+    def test_final_execution_has_r2_before_r1(self):
+        replay = replay_theorem1()
+        assert replay.final_execution.transaction_order(("R1", "R2")) == ("R2", "R1")
+
+    def test_commuting_steps_are_mechanically_checked(self):
+        replay = replay_theorem1()
+        checked = [step for step in replay.steps if step.mechanically_checked]
+        justified = [step for step in replay.steps if not step.mechanically_checked]
+        # Lemmas 7, 8, 11, 12, 14 are pure commutes; 4-6, 9, 10, 13 are constructions.
+        assert len(checked) == 5
+        assert len(justified) == 4
+
+    def test_every_lemma_appears_in_order(self):
+        replay = replay_theorem1()
+        lemmas = [step.lemma for step in replay.steps]
+        assert any("Lemma 7" in lemma for lemma in lemmas)
+        assert any("Lemma 14" in lemma for lemma in lemmas)
+        assert lemmas == sorted(lemmas, key=lambda name: lemmas.index(name))
+
+    def test_alpha2_shape(self):
+        alpha2 = build_alpha2()
+        assert alpha2.names()[0] == "P_k"
+        assert alpha2.names()[-1] == "S"
+        assert alpha2.get("F1x").actor == "sx"
+        assert alpha2.get("E2").txn == "R2"
+
+    def test_describe_renders_chain(self):
+        text = replay_theorem1().describe()
+        assert "Theorem 1" in text
+        assert "CONTRADICTION" in text
+        assert "α₁₀" in text or "alpha10" in text
+
+
+class TestTheorem2Replay:
+    def test_replay_reaches_contradiction(self):
+        replay = replay_theorem2()
+        assert replay.ok
+        assert "before INV(W)" in replay.contradiction_note
+
+    def test_final_execution_has_read_before_write(self):
+        replay = replay_theorem2()
+        assert replay.final_execution.transaction_order(("R1", "W")) == ("R1", "W")
+
+    def test_case_analysis_steps_present(self):
+        replay = replay_theorem2()
+        lemmas = " ".join(step.lemma for step in replay.steps)
+        assert "case (i)" in lemmas
+        assert "case (iii)" in lemmas
+        assert "case (iv)" in lemmas
+
+    def test_mix_of_checked_and_justified_steps(self):
+        replay = replay_theorem2()
+        assert replay.checked_steps() >= 3
+        assert any(not step.mechanically_checked for step in replay.steps)
+
+    def test_beta_shape(self):
+        beta = build_beta()
+        assert beta.get("send_reqs").actor == "r1"
+        assert beta.get("Wx").receives == frozenset({"w_x"})
+
+    def test_c2c_dependency_blocks_the_chain(self):
+        blocked, reason = c2c_breaks_the_chain()
+        assert blocked
+        assert "info" in reason
+
+    def test_beta_with_c2c_has_reader_dependency(self):
+        beta = build_beta(c2c_info_message=True)
+        assert "info" in beta.get("send_reqs").receives
+        assert "info" in beta.get("INV_W").sends
+
+
+class TestFigure5:
+    def test_anomaly_reproduced(self):
+        result = run_figure5()
+        assert result.anomaly_reproduced
+
+    def test_read_mixes_w3_and_w1(self):
+        result = run_figure5()
+        assert result.read_result.value_for("ox") == "a3"
+        assert result.read_result.value_for("oy") == "b1"
+
+    def test_accepted_in_first_round(self):
+        result = run_figure5()
+        assert result.accepted_first_round
+
+    def test_history_not_strictly_serializable(self):
+        result = run_figure5()
+        assert not result.serializability.ok
+        assert result.serializability.violations
+
+    def test_w2_precedes_w3_in_real_time(self):
+        result = run_figure5()
+        w2 = result.history.entry(result.w2_id)
+        w3 = result.history.entry(result.w3_id)
+        assert w2.precedes(w3)
+
+    def test_read_concurrent_with_all_writes(self):
+        result = run_figure5()
+        read_entry = result.history.entry(result.read_txn_id)
+        for write_id in (result.w1_id, result.w2_id, result.w3_id):
+            assert read_entry.overlaps(result.history.entry(write_id))
+
+    def test_eiger_still_non_blocking_and_one_version_here(self):
+        """The point of Section 6: latency is bounded, it is S that fails."""
+        result = run_figure5()
+        assert result.snow_report.non_blocking
+        assert result.snow_report.one_version
+        assert result.snow_report.writes_complete
+        assert not result.snow_report.strict_serializable
+
+    def test_describe_summarises_outcome(self):
+        text = run_figure5().describe()
+        assert "Figure 5" in text
+        assert "anomaly reproduced: True" in text

@@ -1,0 +1,140 @@
+"""Tests for the symbolic execution machinery used by the proof replays."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa.errors import TraceError
+from repro.proofs.symbolic import ProofReplay, SymbolicExecution, fragment
+
+
+def simple_execution():
+    return SymbolicExecution(
+        [
+            fragment("P", "*", movable=False),
+            fragment("A", "r1", sends={"m1"}),
+            fragment("B", "sx", receives={"m1"}, sends={"v1"}),
+            fragment("C", "sy", sends={"v2"}),
+            fragment("D", "r1", receives={"v1", "v2"}),
+        ],
+        name="test",
+    )
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TraceError):
+            SymbolicExecution([fragment("A", "r1"), fragment("A", "r2")])
+
+    def test_names_and_index_of(self):
+        execution = simple_execution()
+        assert execution.names() == ("P", "A", "B", "C", "D")
+        assert execution.index_of("C") == 3
+        with pytest.raises(TraceError):
+            execution.index_of("missing")
+
+    def test_copy_is_independent(self):
+        execution = simple_execution()
+        duplicate = execution.copy(name="copy")
+        duplicate.swap_adjacent(2)
+        assert execution.names() != duplicate.names()
+
+    def test_describe_includes_actors(self):
+        assert "B@sx" in simple_execution().describe()
+
+
+class TestSwapRules:
+    def test_swap_distinct_actors_without_dependency(self):
+        execution = simple_execution()
+        reason = execution.swap_adjacent(2)  # B (sx) and C (sy)
+        assert "no message dependency" in reason
+        assert execution.names() == ("P", "A", "C", "B", "D")
+
+    def test_swap_refused_for_message_dependency(self):
+        execution = simple_execution()
+        # A sends m1 which B receives: A ∘ B cannot become B ∘ A.
+        with pytest.raises(TraceError):
+            execution.swap_adjacent(1)
+
+    def test_swap_refused_for_same_actor(self):
+        execution = SymbolicExecution([fragment("X", "r1"), fragment("Y", "r1")])
+        with pytest.raises(TraceError):
+            execution.swap_adjacent(0)
+
+    def test_swap_refused_for_pinned_blocks(self):
+        execution = simple_execution()
+        with pytest.raises(TraceError):
+            execution.swap_adjacent(0)  # P is pinned
+
+    def test_swap_index_bounds(self):
+        execution = simple_execution()
+        with pytest.raises(TraceError):
+            execution.swap_adjacent(10)
+
+    def test_can_swap_explanations(self):
+        execution = simple_execution()
+        allowed, reason = execution.can_swap(execution.get("B"), execution.get("C"))
+        assert allowed
+        allowed, reason = execution.can_swap(execution.get("A"), execution.get("B"))
+        assert not allowed
+        assert "m1" in reason
+
+
+class TestMoves:
+    def test_move_before(self):
+        execution = simple_execution()
+        reasons = execution.move_before("C", "A")
+        assert execution.names() == ("P", "C", "A", "B", "D")
+        assert len(reasons) == 2
+
+    def test_move_after(self):
+        execution = SymbolicExecution(
+            [
+                fragment("P", "*", movable=False),
+                fragment("A", "r1"),
+                fragment("B", "sx"),
+                fragment("C", "sy"),
+            ]
+        )
+        execution.move_after("A", "C")
+        assert execution.names() == ("P", "B", "C", "A")
+
+    def test_move_blocked_by_dependency_raises(self):
+        execution = simple_execution()
+        # D receives v1 sent by B, so B cannot move after D.
+        with pytest.raises(TraceError):
+            execution.move_after("B", "D")
+
+    def test_annotate_replaces_note(self):
+        execution = simple_execution()
+        execution.annotate("B", "returns x0")
+        assert execution.get("B").note == "returns x0"
+
+
+class TestTransactionOrder:
+    def test_order_by_last_fragment(self):
+        execution = SymbolicExecution(
+            [
+                fragment("I1", "r1", txn="R1"),
+                fragment("I2", "r2", txn="R2"),
+                fragment("E2", "r2", txn="R2"),
+                fragment("E1", "r1", txn="R1"),
+            ]
+        )
+        assert execution.transaction_order(("R1", "R2")) == ("R2", "R1")
+
+
+class TestProofReplay:
+    def test_record_and_describe(self):
+        replay = ProofReplay(theorem="test theorem")
+        execution = simple_execution()
+        replay.record("Lemma X", "a checked step", execution, mechanically_checked=True)
+        replay.record("Lemma Y", "a justified step", execution, mechanically_checked=False)
+        assert replay.checked_steps() == 1
+        assert len(replay.steps) == 2
+        text = replay.describe()
+        assert "Lemma X" in text and "justified" in text
+        assert not replay.ok
+        replay.contradiction_found = True
+        replay.contradiction_note = "done"
+        assert "CONTRADICTION" in replay.describe()

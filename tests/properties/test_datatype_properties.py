@@ -1,0 +1,94 @@
+"""Property-based tests for the sequential data type OT (the reference model)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.txn.datatype import OTState, apply_transaction, run_serial
+from repro.txn.transactions import ReadResult, WRITE_OK, read, write_pairs
+
+
+OBJECTS = ("o1", "o2", "o3")
+
+values = st.integers(min_value=-5, max_value=5) | st.text(alphabet="abc", min_size=1, max_size=3)
+
+
+@st.composite
+def transactions(draw):
+    """A random READ or WRITE transaction over a subset of OBJECTS."""
+    subset = draw(st.lists(st.sampled_from(OBJECTS), min_size=1, max_size=len(OBJECTS), unique=True))
+    if draw(st.booleans()):
+        return read(*subset)
+    updates = tuple((obj, draw(values)) for obj in subset)
+    return write_pairs(updates)
+
+
+transaction_lists = st.lists(transactions(), min_size=0, max_size=8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(transaction_lists)
+def test_serial_execution_matches_naive_dict_model(txns):
+    """run_serial agrees with a straightforward dict-based interpreter."""
+    responses, final_state = run_serial(txns, OBJECTS, initial_value=0)
+    model = {obj: 0 for obj in OBJECTS}
+    for txn, response in zip(txns, responses):
+        if txn.is_read():
+            assert isinstance(response, ReadResult)
+            assert response.as_dict == {obj: model[obj] for obj in txn.objects}
+        else:
+            assert response == WRITE_OK
+            for obj, value in txn.updates:
+                model[obj] = value
+    assert final_state.as_dict == model
+
+
+@settings(max_examples=60, deadline=None)
+@given(transaction_lists)
+def test_reads_never_change_state(txns):
+    state = OTState.initial(OBJECTS, 0)
+    for txn in txns:
+        before = state
+        _, state = apply_transaction(state, txn)
+        if txn.is_read():
+            assert state == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions(), transactions())
+def test_writes_to_disjoint_objects_commute(first, second):
+    if first.is_read() or second.is_read():
+        return
+    if set(first.objects) & set(second.objects):
+        return
+    state = OTState.initial(OBJECTS, 0)
+    _, state_ab = apply_transaction(state, first)
+    _, state_ab = apply_transaction(state_ab, second)
+    _, state_ba = apply_transaction(state, second)
+    _, state_ba = apply_transaction(state_ba, first)
+    assert state_ab == state_ba
+
+
+@settings(max_examples=60, deadline=None)
+@given(transaction_lists, values)
+def test_last_writer_wins_per_object(txns, probe_value):
+    """After a serial run, each object's value is the last write to it (or initial)."""
+    _, final_state = run_serial(txns, OBJECTS, initial_value="init")
+    for obj in OBJECTS:
+        expected = "init"
+        for txn in txns:
+            if txn.is_write() and obj in txn.objects:
+                expected = dict(txn.updates)[obj]
+        assert final_state.value_for(obj) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.dictionaries(st.sampled_from(OBJECTS), values, min_size=1))
+def test_with_updates_overrides_exactly_the_given_objects(updates):
+    state = OTState.initial(OBJECTS, 0)
+    updated = state.with_updates(updates)
+    for obj in OBJECTS:
+        if obj in updates:
+            assert updated.value_for(obj) == updates[obj]
+        else:
+            assert updated.value_for(obj) == 0

@@ -1,0 +1,107 @@
+"""Property-based end-to-end tests: protocol guarantees under random workloads/schedules.
+
+These are the heavyweight properties: hypothesis drives both the workload
+shape and the network schedule, and the trace-level checkers judge the
+outcome.  Example counts are kept modest because each example is a full
+simulation plus a serializability search.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.snow import check_snow
+from repro.ioa import RandomScheduler
+from repro.protocols import get_protocol
+
+
+workload_shapes = st.tuples(
+    st.integers(min_value=1, max_value=3),  # writers
+    st.integers(min_value=1, max_value=2),  # write transactions per writer
+    st.integers(min_value=1, max_value=3),  # read transactions
+    st.integers(min_value=0, max_value=10_000),  # schedule seed
+)
+
+
+def run_protocol(protocol_name, writers, writes_each, reads, seed, readers=2, objects=2):
+    protocol = get_protocol(protocol_name)
+    if not protocol.supports_multiple_readers:
+        readers = 1
+    handle = protocol.build(
+        num_readers=readers,
+        num_writers=writers,
+        num_objects=objects,
+        scheduler=RandomScheduler(seed=seed),
+        seed=seed,
+    )
+    for sequence in range(1, writes_each + 1):
+        for writer in handle.writers:
+            handle.submit_write({obj: f"{writer}-{sequence}" for obj in handle.objects}, writer=writer)
+    for index in range(reads):
+        handle.submit_read(handle.objects, reader=handle.readers[index % len(handle.readers)])
+    handle.run_to_completion()
+    return handle
+
+
+COMMON_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@settings(**COMMON_SETTINGS)
+@given(workload_shapes)
+def test_algorithm_a_satisfies_snow_on_random_workloads(shape):
+    writers, writes_each, reads, seed = shape
+    handle = run_protocol("algorithm-a", writers, writes_each, reads, seed)
+    report = check_snow(handle.simulation, handle.history())
+    assert report.satisfies_snow, report.describe()
+
+
+@settings(**COMMON_SETTINGS)
+@given(workload_shapes)
+def test_algorithm_b_satisfies_snw_one_version_on_random_workloads(shape):
+    writers, writes_each, reads, seed = shape
+    handle = run_protocol("algorithm-b", writers, writes_each, reads, seed)
+    report = check_snow(handle.simulation, handle.history())
+    assert report.satisfies_snw, report.describe()
+    assert report.one_version
+    assert report.max_rounds() <= 2
+
+
+@settings(**COMMON_SETTINGS)
+@given(workload_shapes)
+def test_algorithm_c_satisfies_snw_on_random_workloads(shape):
+    writers, writes_each, reads, seed = shape
+    handle = run_protocol("algorithm-c", writers, writes_each, reads, seed)
+    report = check_snow(handle.simulation, handle.history())
+    assert report.satisfies_snw, report.describe()
+
+
+@settings(**COMMON_SETTINGS)
+@given(workload_shapes)
+def test_occ_baseline_is_strictly_serializable_on_random_workloads(shape):
+    writers, writes_each, reads, seed = shape
+    handle = run_protocol("occ-double-collect", writers, writes_each, reads, seed)
+    report = check_snow(handle.simulation, handle.history())
+    assert report.strict_serializable, report.describe()
+    assert report.one_version
+
+
+@settings(**COMMON_SETTINGS)
+@given(workload_shapes)
+def test_s2pl_baseline_is_strictly_serializable_on_random_workloads(shape):
+    writers, writes_each, reads, seed = shape
+    handle = run_protocol("s2pl", writers, writes_each, reads, seed)
+    report = check_snow(handle.simulation, handle.history())
+    assert report.strict_serializable, report.describe()
+
+
+@settings(**COMMON_SETTINGS)
+@given(workload_shapes)
+def test_all_transactions_complete_for_every_protocol(shape):
+    writers, writes_each, reads, seed = shape
+    for protocol_name in ("algorithm-a", "algorithm-b", "algorithm-c", "eiger", "naive-snow"):
+        handle = run_protocol(protocol_name, writers, writes_each, reads, seed)
+        assert not handle.simulation.incomplete_transactions()

@@ -1,0 +1,125 @@
+"""Property-based tests for messages, traces and fragment commuting."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ioa.actions import ActionKind, Message, internal_action, recv_action, send_action
+from repro.ioa.trace import Fragment, Trace
+from repro.proofs.fragments import can_commute, commute_adjacent
+
+ACTORS = ("r1", "r2", "sx", "sy")
+
+payload_values = st.one_of(
+    st.integers(-3, 3),
+    st.text(alphabet="xyz", max_size=3),
+    st.lists(st.integers(0, 3), max_size=3),
+    st.dictionaries(st.text(alphabet="ab", min_size=1, max_size=2), st.integers(0, 3), max_size=2),
+)
+payloads = st.dictionaries(st.text(alphabet="kmn", min_size=1, max_size=3), payload_values, max_size=3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payloads)
+def test_payload_freezing_preserves_lookups(payload):
+    message = Message.make("m", "r1", "sx", payload)
+    for key, value in payload.items():
+        frozen = message.get(key)
+        if isinstance(value, list):
+            assert frozen == tuple(value)
+        elif isinstance(value, dict):
+            assert dict(frozen) == value
+        else:
+            assert frozen == value
+    assert hash(message) == hash(message)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payloads, payloads)
+def test_with_payload_merges(first, second):
+    message = Message.make("m", "a", "b", first)
+    merged = message.with_payload(**second)
+    for key in second:
+        assert merged.get(key) is not None or second[key] is None
+
+
+@st.composite
+def message_exchanges(draw):
+    """A list of (src, dst) pairs to turn into send/recv action sequences."""
+    count = draw(st.integers(min_value=0, max_value=10))
+    pairs = []
+    for _ in range(count):
+        src = draw(st.sampled_from(ACTORS))
+        dst = draw(st.sampled_from([a for a in ACTORS if a != src]))
+        pairs.append((src, dst))
+    return pairs
+
+
+@settings(max_examples=60, deadline=None)
+@given(message_exchanges())
+def test_projections_partition_the_trace(pairs):
+    trace = Trace()
+    for src, dst in pairs:
+        message = Message.make("m", src, dst, {})
+        trace.append(send_action(message))
+        trace.append(recv_action(message))
+    total = sum(len(trace.project(actor)) for actor in ACTORS)
+    assert total == len(trace)
+    trace.validate_channels()
+    assert trace.undelivered_messages() == ()
+
+
+@settings(max_examples=60, deadline=None)
+@given(message_exchanges())
+def test_indices_always_consecutive(pairs):
+    trace = Trace()
+    for src, dst in pairs:
+        trace.append(internal_action(src))
+        trace.append(internal_action(dst))
+    assert [a.index for a in trace] == list(range(len(trace)))
+
+
+@st.composite
+def commutable_fragment_pairs(draw):
+    """Two single-actor fragments at distinct actors with no cross messages."""
+    first_actor, second_actor = draw(
+        st.lists(st.sampled_from(ACTORS), min_size=2, max_size=2, unique=True)
+    )
+    def fragment_for(actor, label):
+        length = draw(st.integers(min_value=1, max_value=3))
+        actions = tuple(internal_action(actor, {"step": f"{label}{i}"}).with_index(i) for i in range(length))
+        return Fragment(actions=actions, label=label)
+
+    return fragment_for(first_actor, "G1"), fragment_for(second_actor, "G2")
+
+
+@settings(max_examples=60, deadline=None)
+@given(commutable_fragment_pairs())
+def test_commuting_preserves_per_actor_projections(pair):
+    first, second = pair
+    combined = list(first.actions) + list(second.actions)
+    swapped = commute_adjacent(combined, first, second, validate=True)
+    assert len(swapped) == len(combined)
+    for actor in ACTORS:
+        before = [a.info for a in combined if a.actor == actor]
+        after = [a.info for a in swapped if a.actor == actor]
+        assert before == after
+
+
+@settings(max_examples=60, deadline=None)
+@given(commutable_fragment_pairs())
+def test_commuting_internal_fragments_always_allowed(pair):
+    first, second = pair
+    assert can_commute(first, second).allowed
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(ACTORS), min_size=1, max_size=8))
+def test_fragment_actor_sets(actor_list):
+    actions = tuple(internal_action(actor).with_index(i) for i, actor in enumerate(actor_list))
+    fragment = Fragment(actions=actions, label="f")
+    assert set(fragment.actors()) == set(actor_list)
+    if len(set(actor_list)) == 1:
+        assert fragment.single_actor() == actor_list[0]
+    else:
+        assert fragment.single_actor() is None

@@ -1,0 +1,137 @@
+"""Tests for algorithm A (SNOW in MWSR with client-to-client communication)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa import FIFOScheduler, RandomScheduler
+from repro.protocols import AlgorithmA, get_protocol
+from repro.txn.transactions import ReadResult
+from tests.conftest import build_system, run_simple_workload
+
+
+class TestConfiguration:
+    def test_requires_c2c(self):
+        with pytest.raises(ValueError):
+            AlgorithmA().build(num_writers=2, c2c=False)
+
+    def test_single_reader_only(self):
+        with pytest.raises(ValueError):
+            AlgorithmA().build(num_readers=2, num_writers=1)
+
+    def test_supports_many_writers_and_objects(self):
+        handle = AlgorithmA().build(num_readers=1, num_writers=4, num_objects=5)
+        assert len(handle.writers) == 4
+        assert len(handle.servers) == 5
+
+    def test_protocol_metadata(self):
+        protocol = AlgorithmA()
+        assert protocol.claimed_read_rounds == 1
+        assert protocol.claimed_versions == 1
+        assert "SNOW" in protocol.claimed_properties
+        assert "algorithm-a" in protocol.describe()
+
+
+class TestFunctionalBehaviour:
+    def test_read_after_write_sees_written_values(self):
+        handle = build_system("algorithm-a", num_writers=1)
+        w = handle.submit_write({"ox": "a", "oy": "b"})
+        r = handle.submit_read(after=[w])
+        handle.run_to_completion()
+        result = handle.simulation.transaction_record(r).result
+        assert isinstance(result, ReadResult)
+        assert result.as_dict == {"ox": "a", "oy": "b"}
+
+    def test_read_before_any_write_sees_initial_values(self):
+        handle = build_system("algorithm-a", num_writers=1, initial_value=0)
+        r = handle.submit_read()
+        handle.run_to_completion()
+        assert handle.simulation.transaction_record(r).result.as_dict == {"ox": 0, "oy": 0}
+
+    def test_partial_writes_compose(self):
+        handle = build_system("algorithm-a", num_writers=2)
+        w1 = handle.submit_write({"ox": "only-x"}, writer="w1")
+        w2 = handle.submit_write({"oy": "only-y"}, writer="w2", after=[w1])
+        r = handle.submit_read(after=[w2])
+        handle.run_to_completion()
+        assert handle.simulation.transaction_record(r).result.as_dict == {"ox": "only-x", "oy": "only-y"}
+
+    def test_subset_read(self):
+        handle = build_system("algorithm-a", num_writers=1)
+        w = handle.submit_write({"ox": 1, "oy": 2})
+        r = handle.submit_read(objects=["oy"], after=[w])
+        handle.run_to_completion()
+        assert handle.simulation.transaction_record(r).result.as_dict == {"oy": 2}
+
+    def test_sequential_reads_never_go_backwards(self):
+        handle = build_system("algorithm-a", num_writers=2, scheduler=RandomScheduler(seed=5))
+        read_ids, _ = run_simple_workload(handle, rounds=3)
+        history = handle.history()
+        assert handle.serializability().ok
+
+    def test_info_reader_tags_increase_monotonically(self):
+        handle = build_system("algorithm-a", num_writers=2)
+        w1 = handle.submit_write({"ox": 1, "oy": 1}, writer="w1")
+        w2 = handle.submit_write({"ox": 2, "oy": 2}, writer="w2", after=[w1])
+        handle.run_to_completion()
+        tags = handle.tags()
+        assert tags[w2] > tags[w1] >= 2
+
+
+class TestSnowProperties:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_all_snow_properties_hold_under_random_schedules(self, seed):
+        scheduler = FIFOScheduler() if seed == 0 else RandomScheduler(seed=seed)
+        handle = build_system("algorithm-a", num_writers=3, num_objects=3, scheduler=scheduler, seed=seed)
+        run_simple_workload(handle, rounds=3)
+        report = handle.snow_report()
+        assert report.satisfies_snow, report.describe()
+
+    def test_reads_are_one_round_even_with_concurrent_writes(self):
+        handle = build_system("algorithm-a", num_writers=3, scheduler=RandomScheduler(seed=9))
+        run_simple_workload(handle, rounds=3)
+        report = handle.snow_report()
+        assert report.max_rounds() == 1
+        assert report.max_versions() == 1
+
+    def test_lemma20_holds(self):
+        handle = build_system("algorithm-a", num_writers=2, scheduler=RandomScheduler(seed=2))
+        run_simple_workload(handle, rounds=2)
+        assert handle.lemma20().ok
+
+    def test_writes_always_complete(self):
+        handle = build_system("algorithm-a", num_writers=3, scheduler=RandomScheduler(seed=13))
+        _, write_ids = run_simple_workload(handle, rounds=2)
+        records = {r.txn_id: r for r in handle.transaction_records()}
+        assert all(records[w].complete for w in write_ids)
+
+
+class TestMessageDiscipline:
+    def test_all_protocol_messages_carry_txn_ids(self):
+        handle = build_system("algorithm-a", num_writers=1)
+        run_simple_workload(handle, rounds=1)
+        for action in handle.trace():
+            if action.message is not None and action.message.msg_type != "start":
+                assert action.message.get("txn") is not None
+
+    def test_writer_contacts_reader_directly(self):
+        """The info-reader phase is client-to-client communication."""
+        handle = build_system("algorithm-a", num_writers=1)
+        run_simple_workload(handle, rounds=1)
+        c2c_messages = [
+            a.message
+            for a in handle.trace()
+            if a.message is not None
+            and a.message.msg_type == "info-reader"
+            and a.message.src in handle.writers
+            and a.message.dst in handle.readers
+        ]
+        assert c2c_messages
+
+    def test_reader_to_writer_traffic_is_only_info_acks(self):
+        handle = build_system("algorithm-a", num_writers=2)
+        run_simple_workload(handle, rounds=2)
+        for action in handle.trace():
+            message = action.message
+            if message is not None and message.src in handle.readers and message.dst in handle.writers:
+                assert message.msg_type == "ack-info"

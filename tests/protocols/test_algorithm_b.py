@@ -1,0 +1,125 @@
+"""Tests for algorithm B (SNW + one-version, two rounds, MWMR, no C2C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa import FIFOScheduler, RandomScheduler
+from repro.protocols import AlgorithmB
+from repro.txn.transactions import ReadResult
+from tests.conftest import build_system, run_simple_workload
+
+
+class TestConfiguration:
+    def test_no_c2c_needed(self):
+        handle = AlgorithmB().build(num_readers=2, num_writers=2, c2c=False)
+        assert not handle.simulation.topology.allow_client_to_client
+
+    def test_supports_mwmr(self):
+        handle = AlgorithmB().build(num_readers=3, num_writers=3, num_objects=4)
+        assert len(handle.readers) == 3
+        assert len(handle.writers) == 3
+
+    def test_coordinator_is_first_server(self):
+        handle = AlgorithmB().build(num_readers=1, num_writers=1, num_objects=3)
+        coordinator = handle.simulation.automaton(handle.servers[0])
+        others = [handle.simulation.automaton(s) for s in handle.servers[1:]]
+        assert coordinator.is_coordinator
+        assert not any(s.is_coordinator for s in others)
+
+    def test_metadata(self):
+        protocol = AlgorithmB()
+        assert protocol.claimed_read_rounds == 2
+        assert protocol.claimed_versions == 1
+
+
+class TestFunctionalBehaviour:
+    def test_read_after_write_sees_written_values(self):
+        handle = build_system("algorithm-b", num_readers=1, num_writers=1)
+        w = handle.submit_write({"ox": "a", "oy": "b"})
+        r = handle.submit_read(after=[w])
+        handle.run_to_completion()
+        assert handle.simulation.transaction_record(r).result.as_dict == {"ox": "a", "oy": "b"}
+
+    def test_initial_read(self):
+        handle = build_system("algorithm-b", num_readers=1, num_writers=1, initial_value="zero")
+        r = handle.submit_read()
+        handle.run_to_completion()
+        assert handle.simulation.transaction_record(r).result.as_dict == {"ox": "zero", "oy": "zero"}
+
+    def test_two_readers_observe_consistent_prefixes(self):
+        handle = build_system("algorithm-b", num_readers=2, num_writers=2, scheduler=RandomScheduler(seed=4))
+        run_simple_workload(handle, rounds=3)
+        assert handle.serializability().ok
+
+    def test_writer_tags_are_coordinator_list_positions(self):
+        handle = build_system("algorithm-b", num_readers=1, num_writers=2)
+        w1 = handle.submit_write({"ox": 1, "oy": 1}, writer="w1")
+        w2 = handle.submit_write({"ox": 2}, writer="w2", after=[w1])
+        handle.run_to_completion()
+        tags = handle.tags()
+        assert tags[w1] == 2 and tags[w2] == 3
+
+    def test_subset_read_of_unwritten_object(self):
+        handle = build_system("algorithm-b", num_readers=1, num_writers=1, num_objects=3)
+        w = handle.submit_write({"o1": "x"})
+        r = handle.submit_read(objects=["o2", "o3"], after=[w])
+        handle.run_to_completion()
+        result = handle.simulation.transaction_record(r).result
+        assert result.as_dict == {"o2": 0, "o3": 0}
+
+
+class TestBoundedLatencyProperties:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_snw_plus_one_version(self, seed):
+        scheduler = FIFOScheduler() if seed == 0 else RandomScheduler(seed=seed)
+        handle = build_system(
+            "algorithm-b", num_readers=2, num_writers=3, num_objects=3, scheduler=scheduler, seed=seed
+        )
+        run_simple_workload(handle, rounds=3)
+        report = handle.snow_report()
+        assert report.satisfies_snw, report.describe()
+        assert report.one_version
+        assert not report.one_round  # B pays the second round
+
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_reads_always_exactly_two_rounds(self, seed):
+        scheduler = FIFOScheduler() if seed == 0 else RandomScheduler(seed=seed)
+        handle = build_system("algorithm-b", num_readers=2, num_writers=2, scheduler=scheduler, seed=seed)
+        read_ids, _ = run_simple_workload(handle, rounds=2)
+        records = {r.txn_id: r for r in handle.transaction_records()}
+        assert all(records[read_id].rounds == 2 for read_id in read_ids)
+
+    def test_lemma20_holds(self):
+        handle = build_system("algorithm-b", num_readers=2, num_writers=2, scheduler=RandomScheduler(seed=8))
+        run_simple_workload(handle, rounds=2)
+        assert handle.lemma20().ok
+
+    def test_non_blocking_servers(self):
+        handle = build_system("algorithm-b", num_readers=2, num_writers=3, scheduler=RandomScheduler(seed=21))
+        run_simple_workload(handle, rounds=3)
+        report = handle.snow_report()
+        assert report.non_blocking
+
+
+class TestCoordinatorDiscipline:
+    def test_update_coor_goes_only_to_coordinator(self):
+        handle = build_system("algorithm-b", num_readers=1, num_writers=2, num_objects=3)
+        run_simple_workload(handle, rounds=2)
+        for action in handle.trace():
+            message = action.message
+            if message is not None and message.msg_type in ("update-coor", "get-tag-arr"):
+                assert message.dst == handle.servers[0]
+
+    def test_read_value_requests_use_exact_keys(self):
+        handle = build_system("algorithm-b", num_readers=1, num_writers=1)
+        w = handle.submit_write({"ox": "v1", "oy": "v1"})
+        r = handle.submit_read(after=[w])
+        handle.run_to_completion()
+        read_vals = [
+            a.message
+            for a in handle.trace()
+            if a.message is not None and a.message.msg_type == "read-val" and a.message.get("txn") == r
+        ]
+        assert read_vals
+        assert all(m.get("key") is not None for m in read_vals)

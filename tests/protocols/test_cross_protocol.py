@@ -1,0 +1,108 @@
+"""Cross-protocol conformance: every protocol's claimed guarantees hold on executions.
+
+This is the executable version of the paper's landscape: for each protocol we
+know exactly which SNOW properties it claims (and which it gives up), and we
+fuzz each one over several seeds and schedules, checking the claims with the
+trace-level property checkers.  A regression in any protocol or checker shows
+up here first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa import FIFOScheduler, LIFOScheduler, RandomScheduler
+from tests.conftest import build_system, run_simple_workload
+
+
+# name -> (requires S, requires N, requires one-version, requires W)
+CLAIMS = {
+    "algorithm-a": dict(s=True, n=True, one_version=True, one_round=True, w=True),
+    "algorithm-b": dict(s=True, n=True, one_version=True, one_round=False, w=True),
+    "algorithm-c": dict(s=True, n=True, one_version=False, one_round=None, w=True),
+    "occ-double-collect": dict(s=True, n=True, one_version=True, one_round=False, w=True),
+    "s2pl": dict(s=True, n=None, one_version=True, one_round=False, w=True),
+    "eiger": dict(s=None, n=True, one_version=True, one_round=None, w=True),
+    "naive-snow": dict(s=None, n=True, one_version=True, one_round=True, w=True),
+    "simple-rw": dict(s=None, n=True, one_version=True, one_round=True, w=True),
+}
+
+
+def schedulers():
+    return [("fifo", FIFOScheduler()), ("lifo", LIFOScheduler()), ("random", RandomScheduler(seed=23))]
+
+
+@pytest.mark.parametrize("protocol", sorted(CLAIMS))
+@pytest.mark.parametrize("scheduler_name", ["fifo", "lifo", "random"])
+def test_claimed_properties_hold(protocol, scheduler_name):
+    scheduler = dict(schedulers())[scheduler_name]
+    claims = CLAIMS[protocol]
+    handle = build_system(
+        protocol,
+        num_readers=2,
+        num_writers=2,
+        num_objects=2,
+        scheduler=scheduler,
+        seed=31,
+    )
+    run_simple_workload(handle, rounds=2)
+    report = handle.snow_report()
+
+    if claims["s"] is True:
+        assert report.strict_serializable, f"{protocol} must be strictly serializable: {report.describe()}"
+    if claims["n"] is True:
+        assert report.non_blocking, f"{protocol} must be non-blocking: {report.describe()}"
+    if claims["one_version"] is True:
+        assert report.one_version, f"{protocol} must return one version per reply"
+    if claims["one_version"] is False:
+        # not required to violate it on every run, but the protocol may
+        pass
+    if claims["one_round"] is True:
+        assert report.one_round, f"{protocol} must finish reads in one round"
+    if claims["one_round"] is False:
+        assert not report.one_round, f"{protocol} is expected to need more than one round"
+    if claims["w"] is True:
+        assert report.writes_complete, f"{protocol} writes must complete"
+
+
+@pytest.mark.parametrize("protocol", sorted(CLAIMS))
+def test_every_protocol_completes_all_transactions(protocol):
+    handle = build_system(protocol, num_readers=2, num_writers=2, scheduler=RandomScheduler(seed=41), seed=41)
+    read_ids, write_ids = run_simple_workload(handle, rounds=2)
+    records = {r.txn_id: r for r in handle.transaction_records()}
+    assert all(records[t].complete for t in read_ids + write_ids)
+
+
+@pytest.mark.parametrize("protocol", sorted(CLAIMS))
+def test_every_protocol_trace_is_channel_consistent(protocol):
+    handle = build_system(protocol, num_readers=2, num_writers=2, scheduler=RandomScheduler(seed=43), seed=43)
+    run_simple_workload(handle, rounds=2)
+    handle.trace().validate_channels()
+
+
+@pytest.mark.parametrize("protocol", sorted(CLAIMS))
+def test_every_protocol_is_deterministic_per_seed(protocol):
+    def run_once():
+        handle = build_system(protocol, num_readers=2, num_writers=2, scheduler=RandomScheduler(seed=47), seed=47)
+        read_ids, _ = run_simple_workload(handle, rounds=2)
+        records = {r.txn_id: r for r in handle.transaction_records()}
+        # Transaction ids are globally unique across runs, so compare only the
+        # per-read results (in submission order) and the per-read round counts.
+        return [
+            (tuple(sorted(records[read_id].result.as_dict.items())), records[read_id].rounds)
+            for read_id in read_ids
+        ]
+
+    assert run_once() == run_once()
+
+
+@pytest.mark.parametrize(
+    "protocol", ["algorithm-a", "algorithm-b", "algorithm-c", "occ-double-collect", "s2pl"]
+)
+@pytest.mark.parametrize("seed", [101, 202, 303])
+def test_strong_protocols_never_violate_s_under_fuzzing(protocol, seed):
+    handle = build_system(
+        protocol, num_readers=2, num_writers=3, num_objects=3, scheduler=RandomScheduler(seed=seed), seed=seed
+    )
+    run_simple_workload(handle, rounds=3)
+    assert handle.serializability().ok

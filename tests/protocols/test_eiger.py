@@ -1,0 +1,95 @@
+"""Tests for the Eiger-style protocol (bounded latency, not strictly serializable)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa import FIFOScheduler, RandomScheduler
+from repro.protocols import EigerProtocol, EigerServer, EigerVersion
+from tests.conftest import build_system, run_simple_workload
+
+
+class TestEigerVersion:
+    def test_latest_version_valid_from_write_ts(self):
+        version = EigerVersion(value="a", write_ts=3)
+        assert not version.valid_at(2)
+        assert version.valid_at(3)
+        assert version.valid_at(100)
+
+    def test_overwritten_version_interval(self):
+        version = EigerVersion(value="a", write_ts=3, valid_until=7)
+        assert version.valid_at(3)
+        assert version.valid_at(6)
+        assert not version.valid_at(7)
+
+
+class TestEigerServer:
+    def make_server(self):
+        return EigerServer("sx", "ox", initial_value="init")
+
+    def test_initial_version(self):
+        server = self.make_server()
+        assert server.latest().value == "init"
+        assert server.clock == 0
+
+    def test_version_at_returns_floor_version(self):
+        server = self.make_server()
+        assert server.version_at(0).value == "init"
+        assert server.version_at(100).value == "init"
+
+    def test_lamport_tick_monotone(self):
+        server = self.make_server()
+        assert server._tick(5) == 6
+        assert server._tick(2) == 7
+
+
+class TestFunctionalBehaviour:
+    def test_read_after_write_sequential(self):
+        handle = build_system("eiger", num_readers=1, num_writers=1)
+        w = handle.submit_write({"ox": "a", "oy": "b"})
+        r = handle.submit_read(after=[w])
+        handle.run_to_completion()
+        assert handle.simulation.transaction_record(r).result.as_dict == {"ox": "a", "oy": "b"}
+
+    def test_reads_bounded_to_two_rounds(self):
+        for seed in range(6):
+            scheduler = FIFOScheduler() if seed == 0 else RandomScheduler(seed=seed)
+            handle = build_system("eiger", num_readers=2, num_writers=2, scheduler=scheduler, seed=seed)
+            read_ids, _ = run_simple_workload(handle, rounds=2)
+            records = {r.txn_id: r for r in handle.transaction_records()}
+            assert all(records[read_id].rounds <= 2 for read_id in read_ids)
+
+    def test_reads_are_non_blocking_and_one_version(self):
+        handle = build_system("eiger", num_readers=2, num_writers=2, scheduler=RandomScheduler(seed=3))
+        run_simple_workload(handle, rounds=2)
+        report = handle.snow_report()
+        assert report.non_blocking
+        assert report.one_version
+        assert report.writes_complete
+
+    def test_writes_complete_under_contention(self):
+        handle = build_system("eiger", num_readers=1, num_writers=3, scheduler=RandomScheduler(seed=5))
+        _, write_ids = run_simple_workload(handle, rounds=3)
+        records = {r.txn_id: r for r in handle.transaction_records()}
+        assert all(records[w].complete for w in write_ids)
+
+    def test_effective_time_annotation_recorded(self):
+        handle = build_system("eiger", num_readers=1, num_writers=1)
+        r = handle.submit_read()
+        handle.run_to_completion()
+        record = handle.simulation.transaction_record(r)
+        assert "effective_time" in record.annotations
+        assert record.annotations["eiger_rounds"] in (1, 2)
+
+
+class TestNotStrictlySerializable:
+    def test_figure5_anomaly_reproduced(self):
+        """The dedicated Figure 5 construction violates S (full check in tests/proofs)."""
+        from repro.proofs import run_figure5
+
+        result = run_figure5()
+        assert result.anomaly_reproduced
+        assert not result.serializability.ok
+
+    def test_claimed_properties_mention_refutation(self):
+        assert "refuted" in EigerProtocol().claimed_properties

@@ -1,0 +1,130 @@
+"""Scaling and shape tests: more shards, partial transactions, larger populations.
+
+The paper's model is usually presented with two servers; the algorithms are
+defined for ``k`` servers and arbitrary read/write subsets.  These tests make
+sure the implementations honour that generality and that the guarantees do not
+silently depend on the two-object special case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa import RandomScheduler
+from repro.protocols import get_protocol
+from tests.conftest import build_system
+
+
+def partial_workload(handle, seed_values):
+    """Writes touching different object subsets, reads over various subsets."""
+    objects = list(handle.objects)
+    write_ids = []
+    for index, writer in enumerate(handle.writers):
+        subset = objects[index % len(objects) :][:2] or objects[:1]
+        write_ids.append(
+            handle.submit_write({obj: f"{writer}-{seed_values}-{obj}" for obj in subset}, writer=writer)
+        )
+    read_ids = []
+    for index, reader in enumerate(handle.readers):
+        subset = objects[: 1 + (index % len(objects))]
+        read_ids.append(handle.submit_read(subset, reader=reader))
+    read_ids.append(handle.submit_read(objects, reader=handle.readers[0], after=write_ids))
+    handle.run_to_completion()
+    return read_ids, write_ids
+
+
+class TestManyShards:
+    @pytest.mark.parametrize("protocol", ["algorithm-a", "algorithm-b", "algorithm-c", "occ-double-collect"])
+    def test_five_shards_strict_serializability(self, protocol):
+        handle = build_system(
+            protocol,
+            num_readers=2,
+            num_writers=3,
+            num_objects=5,
+            scheduler=RandomScheduler(seed=61),
+            seed=61,
+        )
+        partial_workload(handle, "a")
+        assert handle.serializability().ok
+
+    @pytest.mark.parametrize("protocol", ["algorithm-a", "algorithm-b", "algorithm-c"])
+    def test_five_shards_snw(self, protocol):
+        handle = build_system(
+            protocol,
+            num_readers=2,
+            num_writers=2,
+            num_objects=5,
+            scheduler=RandomScheduler(seed=67),
+            seed=67,
+        )
+        partial_workload(handle, "b")
+        report = handle.snow_report()
+        assert report.satisfies_snw, report.describe()
+
+    def test_single_object_system(self):
+        handle = build_system("algorithm-b", num_readers=1, num_writers=1, num_objects=1)
+        w = handle.submit_write({"o1": "only"})
+        r = handle.submit_read(["o1"], after=[w])
+        handle.run_to_completion()
+        assert handle.simulation.transaction_record(r).result.as_dict == {"o1": "only"}
+
+    def test_algorithm_a_read_last_completed_version_per_object(self):
+        handle = build_system("algorithm-a", num_writers=3, num_objects=4)
+        w1 = handle.submit_write({"o1": 1, "o2": 1}, writer="w1")
+        w2 = handle.submit_write({"o2": 2, "o3": 2}, writer="w2", after=[w1])
+        w3 = handle.submit_write({"o4": 3}, writer="w3", after=[w2])
+        r = handle.submit_read(["o1", "o2", "o3", "o4"], after=[w3])
+        handle.run_to_completion()
+        assert handle.simulation.transaction_record(r).result.as_dict == {"o1": 1, "o2": 2, "o3": 2, "o4": 3}
+
+
+class TestLargerPopulations:
+    @pytest.mark.parametrize("protocol", ["algorithm-b", "algorithm-c"])
+    def test_four_readers_four_writers(self, protocol):
+        handle = build_system(
+            protocol,
+            num_readers=4,
+            num_writers=4,
+            num_objects=3,
+            scheduler=RandomScheduler(seed=71),
+            seed=71,
+        )
+        for writer in handle.writers:
+            handle.submit_write({obj: f"{writer}-v" for obj in handle.objects}, writer=writer)
+        for reader in handle.readers:
+            handle.submit_read(handle.objects, reader=reader)
+        handle.run_to_completion()
+        report = handle.snow_report()
+        assert report.satisfies_snw, report.describe()
+
+    def test_algorithm_a_with_many_writers(self):
+        handle = build_system("algorithm-a", num_writers=6, num_objects=2, scheduler=RandomScheduler(seed=73), seed=73)
+        for writer in handle.writers:
+            handle.submit_write({"ox": f"{writer}", "oy": f"{writer}"}, writer=writer)
+        handle.submit_read(handle.objects)
+        handle.submit_read(handle.objects)
+        handle.run_to_completion()
+        assert handle.snow_report().satisfies_snow
+
+    def test_closed_loop_back_to_back_transactions(self):
+        handle = build_system("algorithm-b", num_readers=1, num_writers=1)
+        for sequence in range(5):
+            handle.submit_write({"ox": sequence, "oy": sequence}, writer="w1")
+            handle.submit_read(handle.objects, reader="r1")
+        handle.run_to_completion()
+        assert handle.serializability().ok
+        assert len(handle.transaction_records()) == 10
+
+
+class TestTopologyEnforcementPerProtocol:
+    def test_algorithm_a_default_topology_allows_c2c(self):
+        handle = get_protocol("algorithm-a").build(num_writers=1)
+        assert handle.simulation.topology.allow_client_to_client
+
+    @pytest.mark.parametrize("protocol", ["algorithm-b", "algorithm-c", "naive-snow", "eiger", "s2pl", "occ-double-collect"])
+    def test_no_c2c_protocols_run_with_c2c_disabled(self, protocol):
+        handle = get_protocol(protocol).build(num_readers=2, num_writers=2, c2c=False)
+        w = handle.submit_write({"ox": 1, "oy": 1})
+        handle.submit_read(after=[w])
+        handle.run_to_completion()
+        assert not handle.simulation.incomplete_transactions()

@@ -1,0 +1,128 @@
+"""Unit tests for the sequential data type OT (Section 7.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.txn.datatype import (
+    OTState,
+    apply_transaction,
+    consistent_with_serial_order,
+    run_serial,
+    serial_read_expectation,
+)
+from repro.txn.transactions import ReadResult, WRITE_OK, read, write
+
+
+class TestOTState:
+    def test_initial_state(self):
+        state = OTState.initial(("ox", "oy"), initial_value=0)
+        assert state.as_dict == {"ox": 0, "oy": 0}
+
+    def test_with_updates(self):
+        state = OTState.initial(("ox", "oy"))
+        updated = state.with_updates({"ox": 5})
+        assert updated.value_for("ox") == 5
+        assert updated.value_for("oy") == 0
+        # original untouched (immutability)
+        assert state.value_for("ox") == 0
+
+    def test_with_updates_rejects_unknown_object(self):
+        state = OTState.initial(("ox",))
+        with pytest.raises(KeyError):
+            state.with_updates({"oz": 1})
+
+    def test_from_mapping(self):
+        state = OTState.from_mapping({"oy": 2, "ox": 1})
+        assert state.objects() == ("ox", "oy")
+
+    def test_states_are_hashable(self):
+        a = OTState.initial(("ox",))
+        b = OTState.initial(("ox",))
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestApplyTransaction:
+    def test_read_returns_current_values_and_keeps_state(self):
+        state = OTState.from_mapping({"ox": 1, "oy": 2})
+        response, next_state = apply_transaction(state, read("ox", "oy"))
+        assert response.as_dict == {"ox": 1, "oy": 2}
+        assert next_state == state
+
+    def test_read_of_subset(self):
+        state = OTState.from_mapping({"ox": 1, "oy": 2})
+        response, _ = apply_transaction(state, read("oy"))
+        assert response.as_dict == {"oy": 2}
+
+    def test_write_updates_state_and_returns_ok(self):
+        state = OTState.initial(("ox", "oy"))
+        response, next_state = apply_transaction(state, write(ox=7))
+        assert response == WRITE_OK
+        assert next_state.as_dict == {"ox": 7, "oy": 0}
+
+    def test_read_unknown_object_rejected(self):
+        state = OTState.initial(("ox",))
+        with pytest.raises(KeyError):
+            apply_transaction(state, read("oz"))
+
+    def test_non_transaction_rejected(self):
+        with pytest.raises(TypeError):
+            apply_transaction(OTState.initial(("ox",)), "nope")
+
+
+class TestRunSerial:
+    def test_serial_run_produces_expected_responses(self):
+        w1 = write(ox=1, oy=1)
+        r1 = read("ox", "oy")
+        w2 = write(ox=2)
+        r2 = read("ox", "oy")
+        responses, final_state = run_serial([w1, r1, w2, r2], objects=("ox", "oy"))
+        assert responses[0] == WRITE_OK
+        assert responses[1].as_dict == {"ox": 1, "oy": 1}
+        assert responses[3].as_dict == {"ox": 2, "oy": 1}
+        assert final_state.as_dict == {"ox": 2, "oy": 1}
+
+    def test_empty_serial_run(self):
+        responses, state = run_serial([], objects=("ox",), initial_value=9)
+        assert responses == ()
+        assert state.value_for("ox") == 9
+
+
+class TestSerialReadExpectation:
+    def test_expectation_uses_prefix_only(self):
+        w1 = write(ox=1)
+        r = read("ox")
+        w2 = write(ox=2)
+        expectation = serial_read_expectation([w1, r, w2], r, objects=("ox",))
+        assert expectation.as_dict == {"ox": 1}
+
+    def test_expectation_requires_read_in_order(self):
+        r = read("ox")
+        with pytest.raises(ValueError):
+            serial_read_expectation([write(ox=1)], r, objects=("ox",))
+
+
+class TestConsistencyCheck:
+    def test_consistent_order_accepted(self):
+        w = write(ox=1, oy=1, txn_id="W1")
+        r = read("ox", "oy", txn_id="R1")
+        observed = {"R1": ReadResult.from_mapping({"ox": 1, "oy": 1})}
+        assert consistent_with_serial_order([w, r], observed, objects=("ox", "oy"))
+
+    def test_inconsistent_order_rejected(self):
+        w = write(ox=1, oy=1, txn_id="W1")
+        r = read("ox", "oy", txn_id="R1")
+        observed = {"R1": ReadResult.from_mapping({"ox": 1, "oy": 0})}
+        assert not consistent_with_serial_order([w, r], observed, objects=("ox", "oy"))
+        assert not consistent_with_serial_order([r, w], observed, objects=("ox", "oy"))
+
+    def test_reads_without_observations_do_not_constrain(self):
+        w = write(ox=1, txn_id="W1")
+        r = read("ox", txn_id="R1")
+        assert consistent_with_serial_order([r, w], {}, objects=("ox",))
+
+    def test_observed_mapping_form(self):
+        w = write(ox=1, txn_id="W1")
+        r = read("ox", txn_id="R1")
+        assert consistent_with_serial_order([w, r], {"R1": {"ox": 1}}, objects=("ox",))

@@ -1,0 +1,128 @@
+"""Unit tests for transaction histories and real-time precedence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.txn.history import History, HistoryEntry
+from repro.txn.transactions import ReadResult, WRITE_OK, read, write
+
+
+def entry(txn, client, invoke, respond, result=None):
+    return HistoryEntry(txn=txn, client=client, invoke_index=invoke, respond_index=respond, result=result)
+
+
+def simple_history():
+    w1 = write(ox=1, oy=1, txn_id="W1")
+    r1 = read("ox", "oy", txn_id="R1")
+    w2 = write(ox=2, txn_id="W2")
+    entries = [
+        entry(w1, "w", 0, 3, WRITE_OK),
+        entry(r1, "r", 4, 7, ReadResult.from_mapping({"ox": 1, "oy": 1})),
+        entry(w2, "w", 5, 9, WRITE_OK),
+    ]
+    return History(entries, objects=("ox", "oy"), initial_value=0)
+
+
+class TestHistoryEntry:
+    def test_precedes_when_respond_before_invoke(self):
+        first = entry(write(ox=1, txn_id="Wa"), "w", 0, 1)
+        second = entry(read("ox", txn_id="Ra"), "r", 2, 3)
+        assert first.precedes(second)
+        assert not second.precedes(first)
+
+    def test_overlap_detection(self):
+        first = entry(write(ox=1, txn_id="Wb"), "w", 0, 5)
+        second = entry(read("ox", txn_id="Rb"), "r", 2, 3)
+        assert first.overlaps(second)
+        assert second.overlaps(first)
+
+    def test_incomplete_entry_never_precedes(self):
+        first = entry(write(ox=1, txn_id="Wc"), "w", 0, None)
+        second = entry(read("ox", txn_id="Rc"), "r", 5, 6)
+        assert not first.precedes(second)
+        assert not first.complete
+
+    def test_describe_contains_txn_id(self):
+        e = entry(read("ox", txn_id="Rd"), "r", 0, 1, ReadResult.from_mapping({"ox": 0}))
+        assert "Rd" in e.describe()
+
+
+class TestHistory:
+    def test_duplicate_ids_rejected(self):
+        e = entry(read("ox", txn_id="R-dup"), "r", 0, 1)
+        with pytest.raises(ValueError):
+            History([e, e], objects=("ox",))
+
+    def test_reads_and_writes_partition(self):
+        history = simple_history()
+        assert {e.txn_id for e in history.reads()} == {"R1"}
+        assert {e.txn_id for e in history.writes()} == {"W1", "W2"}
+
+    def test_entry_lookup(self):
+        history = simple_history()
+        assert history.entry("R1").client == "r"
+        with pytest.raises(KeyError):
+            history.entry("nope")
+
+    def test_results_map(self):
+        history = simple_history()
+        results = history.results()
+        assert results["W1"] == WRITE_OK
+        assert results["R1"].as_dict == {"ox": 1, "oy": 1}
+
+    def test_precedence_pairs(self):
+        history = simple_history()
+        pairs = set(history.precedence_pairs())
+        assert ("W1", "R1") in pairs
+        assert ("W1", "W2") in pairs
+        assert ("R1", "W2") not in pairs  # they overlap
+
+    def test_concurrent_pairs(self):
+        history = simple_history()
+        assert ("R1", "W2") in history.concurrent_pairs() or ("W2", "R1") in history.concurrent_pairs()
+
+    def test_max_concurrent_writes(self):
+        history = simple_history()
+        read_entry = history.entry("R1")
+        assert history.max_concurrent_writes(read_entry) == 1
+
+    def test_restricted_to_complete(self):
+        w = entry(write(ox=1, txn_id="W-open"), "w", 0, None)
+        r = entry(read("ox", txn_id="R-done"), "r", 1, 2, ReadResult.from_mapping({"ox": 0}))
+        history = History([w, r], objects=("ox",))
+        restricted = history.restricted_to_complete()
+        assert len(restricted) == 1
+        assert len(history.incomplete_entries()) == 1
+
+    def test_from_results_constructor(self):
+        w = write(ox=1, txn_id="W-res")
+        history = History.from_results([(w, "w", 0, 1, WRITE_OK)], objects=("ox",))
+        assert history.entry("W-res").complete
+
+    def test_describe_lists_transactions(self):
+        text = simple_history().describe()
+        assert "W1" in text and "R1" in text
+
+
+class TestHistoryFromSimulation:
+    def test_round_trip_through_simulation(self):
+        from tests.conftest import build_system, run_simple_workload
+
+        handle = build_system("algorithm-b", num_readers=1, num_writers=1)
+        read_ids, write_ids = run_simple_workload(handle, rounds=1)
+        history = handle.history()
+        assert len(history) == len(read_ids) + len(write_ids)
+        assert set(history.objects) == set(handle.objects)
+        assert all(e.complete for e in history)
+
+    def test_objects_inferred_when_not_given(self):
+        from tests.conftest import build_system
+
+        handle = build_system("algorithm-b", num_readers=1, num_writers=1)
+        handle.submit_write({"ox": 1}, writer="w1")
+        handle.run_to_completion()
+        from repro.txn.history import History as H
+
+        history = H.from_simulation(handle.simulation)
+        assert history.objects == ("ox",)

@@ -1,0 +1,101 @@
+"""Unit tests for keys, versions and the multi-version store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.txn.objects import (
+    Key,
+    Version,
+    VersionStore,
+    object_for_server,
+    object_names,
+    server_for_object,
+)
+
+
+class TestKey:
+    def test_initial_key(self):
+        key = Key.initial()
+        assert key.is_initial()
+        assert key.z == 0
+
+    def test_non_initial_key(self):
+        assert not Key(3, "w1").is_initial()
+
+    def test_ordering_is_lexicographic(self):
+        assert Key(1, "w1") < Key(2, "w1")
+        assert Key(1, "w1") < Key(1, "w2")
+
+    def test_keys_are_hashable_and_equal_by_value(self):
+        assert Key(1, "w1") == Key(1, "w1")
+        assert len({Key(1, "w1"), Key(1, "w1"), Key(2, "w1")}) == 2
+
+    def test_describe(self):
+        assert Key(3, "w2").describe() == "(3,w2)"
+
+
+class TestVersionStore:
+    def test_initial_version_present(self):
+        store = VersionStore("ox", initial_value=41)
+        assert len(store) == 1
+        assert store.initial().value == 41
+        assert store.latest().value == 41
+
+    def test_put_and_get(self):
+        store = VersionStore("ox")
+        key = Key(1, "w1")
+        store.put(key, "hello")
+        assert store.get(key).value == "hello"
+        assert key in store
+
+    def test_get_missing_returns_none(self):
+        store = VersionStore("ox")
+        assert store.get(Key(9, "w9")) is None
+
+    def test_latest_follows_insertion_order(self):
+        store = VersionStore("ox")
+        store.put(Key(1, "w1"), "a")
+        store.put(Key(1, "w2"), "b")
+        assert store.latest().value == "b"
+
+    def test_overwrite_same_key_keeps_single_entry(self):
+        store = VersionStore("ox")
+        key = Key(1, "w1")
+        store.put(key, "a")
+        store.put(key, "b")
+        assert len(store) == 2  # initial + one key
+        assert store.get(key).value == "b"
+
+    def test_all_versions_in_order(self):
+        store = VersionStore("ox", initial_value=0)
+        store.put(Key(1, "w1"), "a")
+        store.put(Key(2, "w1"), "b")
+        values = [v.value for v in store.all_versions()]
+        assert values == [0, "a", "b"]
+
+    def test_keys_listing(self):
+        store = VersionStore("ox")
+        store.put(Key(1, "w1"), "a")
+        assert store.keys() == (Key.initial(), Key(1, "w1"))
+
+    def test_version_describe(self):
+        version = Version("ox", 5, Key(1, "w1"))
+        assert "ox" in version.describe()
+
+
+class TestNaming:
+    def test_two_objects_are_x_and_y(self):
+        assert object_names(2) == ("ox", "oy")
+
+    def test_many_objects_are_numbered(self):
+        assert object_names(3) == ("o1", "o2", "o3")
+        assert object_names(1) == ("o1",)
+
+    def test_server_for_object_round_trip(self):
+        for obj in ("ox", "oy", "o1", "o7"):
+            assert object_for_server(server_for_object(obj)) == obj
+
+    def test_server_naming(self):
+        assert server_for_object("ox") == "sx"
+        assert server_for_object("o3") == "s3"
