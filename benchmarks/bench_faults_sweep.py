@@ -1,0 +1,109 @@
+"""Extension experiment: the chaos grid — protocols × fault scenarios.
+
+The paper proves what SNOW protocols guarantee on *reliable* asynchronous
+channels; a deployed system (an Eiger-style store under TAO-like read traffic)
+lives instead with latency tails, packet loss, duplication and server crashes.
+This benchmark plays the same read-heavy workload through every protocol under
+every standard fault scenario (``repro.faults.scenarios``) and reports, per
+cell: the measured SNOW verdict, availability (completed/submitted),
+latency-under-fault for the reads that did complete, and the retransmission
+traffic the transport retry layer needed.
+
+Two records are emitted: a human-readable table next to the other regenerated
+figures, and ``results/BENCH_faults.json`` — stable machine-readable rows so
+the availability/latency trajectory is tracked across PRs.
+
+Expected shape: the fault-free column reproduces the reliable-kernel numbers;
+latency degrades under slow/tail-latency/lossy networks while availability
+stays 1.0 (retry heals fair loss); the fail-stop scenario costs availability
+on every protocol that must touch the dead shard.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fault_grid_rows, format_table, sweep_fault_grid
+from repro.faults import fail_stop, standard_fault_scenarios
+
+from benchutil import emit, emit_json
+
+PROTOCOLS = ("simple-rw", "algorithm-b", "algorithm-c", "eiger")
+NUM_OBJECTS = 2
+SEED = 7
+CRASH_SERVER = "sx"  # the server holding the first object of a 2-object system
+
+HEADERS = [
+    "protocol",
+    "scenario",
+    "SNOW",
+    "avail",
+    "read vlat (mean)",
+    "read vlat (p95)",
+    "retransmits",
+    "dropped",
+    "msgs",
+]
+
+
+def scenarios():
+    grid_scenarios = standard_fault_scenarios(seed=SEED, crash_server=CRASH_SERVER)
+    grid_scenarios["fail-stop"] = fail_stop(server=CRASH_SERVER, at=12, seed=SEED)
+    return grid_scenarios
+
+
+def regenerate():
+    grid = sweep_fault_grid(
+        protocols=PROTOCOLS,
+        scenarios=scenarios(),
+        num_readers=2,
+        num_writers=2,
+        num_objects=NUM_OBJECTS,
+        seed=SEED,
+    )
+    rows = fault_grid_rows(grid)
+    table_rows = [
+        [
+            row["protocol"],
+            row["scenario"],
+            row["snow"],
+            f"{row['availability']:.2f}",
+            row.get("read_latency_virtual_mean"),
+            row.get("read_latency_virtual_p95"),
+            row.get("retransmissions", 0),
+            row.get("messages_dropped", 0),
+            row["total_messages"],
+        ]
+        for row in rows
+    ]
+    table = format_table(
+        HEADERS, table_rows, title="Chaos grid: SNOW verdicts, availability and latency under faults"
+    )
+    return grid, rows, table
+
+
+def test_faults_sweep(benchmark):
+    grid, rows, table = benchmark(regenerate)
+    emit("faults_sweep", table)
+    emit_json("faults", {"grid": rows, "protocols": list(PROTOCOLS), "seed": SEED})
+
+    cells = {(row["protocol"], row["scenario"]): row for row in rows}
+    scenario_names = {row["scenario"] for row in rows}
+    # The acceptance grid: >= 3 protocols x >= 4 fault scenarios, all run to the end.
+    assert len(PROTOCOLS) >= 3 and len(scenario_names) >= 5
+    assert len(rows) == len(PROTOCOLS) * len(scenario_names)
+
+    for protocol in PROTOCOLS:
+        # Fault-free and heal-able scenarios lose nothing.
+        for scenario in ("none", "slow-network", "tail-latency", "lossy", "dup-happy", "crash-recover"):
+            assert cells[(protocol, scenario)]["availability"] == 1.0, (protocol, scenario)
+        # The lossy network needed the retry layer.
+        assert cells[(protocol, "lossy")]["retransmissions"] > 0
+        # A dead shard costs availability: reads spanning it can never finish.
+        assert cells[(protocol, "fail-stop")]["availability"] < 1.0
+
+    # Latency under a slow network degrades relative to the fault-free column
+    # for every protocol — measured on the virtual clock, the only clock that
+    # can see the latency model's delays.
+    for protocol in PROTOCOLS:
+        slow = cells[(protocol, "slow-network")]["read_latency_virtual_mean"]
+        baseline = cells[(protocol, "none")]["read_latency_virtual_mean"]
+        assert slow > baseline, (protocol, slow, baseline)

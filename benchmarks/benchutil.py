@@ -10,8 +10,10 @@ outputs survive output capturing and land next to the timing numbers in
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
+from typing import Any
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -22,3 +24,16 @@ def emit(name: str, text: str) -> None:
     print(banner + text + "\n")
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def emit_json(name: str, payload: Any) -> Path:
+    """Persist a machine-readable result as ``benchmarks/results/BENCH_<name>.json``.
+
+    These files are the cross-PR perf/behaviour trajectory: stable keys, sorted,
+    newline-terminated, so diffs between runs stay reviewable.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"[benchutil] wrote {path}")
+    return path

@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of 'SNOW Revisited: Understanding When Ideal READ Transactions Are Possible'"
     ),

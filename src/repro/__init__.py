@@ -14,7 +14,10 @@ The package is organised in layers:
 * :mod:`repro.proofs` — mechanical replays of the impossibility constructions
   (Figures 3 and 4) and of the Eiger counter-example (Figure 5);
 * :mod:`repro.analysis` — workload generation, the experiment runner and the
-  table/series formatting used by the benchmark harness.
+  table/series formatting used by the benchmark harness;
+* :mod:`repro.faults` — fault injection and network conditions (latency,
+  drops, duplication, partitions, server crashes) layered *optionally* on the
+  kernel: with no plan installed the reliable paper model is untouched.
 
 Quickstart::
 
@@ -28,8 +31,8 @@ Quickstart::
     print(handle.snow_report().describe())
 """
 
-from . import core, ioa, protocols, txn
+from . import core, faults, ioa, protocols, txn
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["core", "ioa", "protocols", "txn", "__version__"]
+__all__ = ["core", "faults", "ioa", "protocols", "txn", "__version__"]

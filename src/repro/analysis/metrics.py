@@ -83,6 +83,93 @@ class AggregateStats:
         return f"n={self.count} mean={self.mean:.2f} min={self.minimum:.0f} p50={self.p50:.0f} p95={self.p95:.0f} max={self.maximum:.0f}"
 
 
+@dataclass(frozen=True)
+class FaultMetrics:
+    """Availability and network-fault measurements of one execution.
+
+    Only populated when the simulation ran with a fault plane installed.
+    ``availability`` is the fraction of submitted transactions that completed
+    (a run under drops/partitions/crashes may legally go idle with
+    transactions outstanding); the latency aggregates of the surrounding
+    :class:`ExperimentMetrics` then cover *completed* transactions only,
+    which is exactly "latency under fault".
+    """
+
+    plan: str
+    submitted: int
+    completed: int
+    read_submitted: int
+    read_completed: int
+    write_submitted: int
+    write_completed: int
+    messages_dropped: int
+    messages_duplicated: int
+    duplicates_suppressed: int
+    retransmissions: int
+    held_by_partition: int
+    held_by_crash: int
+    abandoned_messages: int
+    crashes: int
+    recoveries: int
+    #: latency on the *virtual* clock (kernel steps + fault-plane time
+    #: jumps), completed transactions only.  Trace-step latency cannot see
+    #: a latency model's delays — a delayed delivery adds no trace actions —
+    #: so this is the clock "latency under fault" is measured on.
+    read_latency_virtual: AggregateStats
+    write_latency_virtual: AggregateStats
+
+    @property
+    def availability(self) -> float:
+        return self.completed / self.submitted if self.submitted else 1.0
+
+    @property
+    def read_availability(self) -> float:
+        return self.read_completed / self.read_submitted if self.read_submitted else 1.0
+
+    @property
+    def write_availability(self) -> float:
+        return self.write_completed / self.write_submitted if self.write_submitted else 1.0
+
+    def describe(self) -> str:
+        return (
+            f"faults[{self.plan}]: availability={self.availability:.2f} "
+            f"(reads {self.read_completed}/{self.read_submitted}, "
+            f"writes {self.write_completed}/{self.write_submitted}), "
+            f"dropped={self.messages_dropped}, retransmitted={self.retransmissions}, "
+            f"duplicated={self.messages_duplicated}, crash-held={self.held_by_crash}, "
+            f"partition-held={self.held_by_partition}, abandoned={self.abandoned_messages}\n"
+            f"  read latency (virtual): {self.read_latency_virtual.describe()}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "availability": round(self.availability, 4),
+            "read_availability": round(self.read_availability, 4),
+            "write_availability": round(self.write_availability, 4),
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "retransmissions": self.retransmissions,
+            "held_by_partition": self.held_by_partition,
+            "held_by_crash": self.held_by_crash,
+            "abandoned_messages": self.abandoned_messages,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "read_latency_virtual_mean": round(self.read_latency_virtual.mean, 2)
+            if self.read_latency_virtual.count
+            else None,
+            "read_latency_virtual_p95": self.read_latency_virtual.p95
+            if self.read_latency_virtual.count
+            else None,
+            "write_latency_virtual_mean": round(self.write_latency_virtual.mean, 2)
+            if self.write_latency_virtual.count
+            else None,
+        }
+
+
 @dataclass
 class ExperimentMetrics:
     """Aggregated measurements of one protocol execution."""
@@ -97,6 +184,8 @@ class ExperimentMetrics:
     write_messages: AggregateStats
     total_messages: int
     total_steps: int
+    #: populated only for runs with a fault plane installed
+    faults: Optional[FaultMetrics] = None
 
     def reads(self) -> Tuple[TransactionMetrics, ...]:
         return tuple(t for t in self.transactions if t.kind == "read")
@@ -120,6 +209,8 @@ class ExperimentMetrics:
             f"  read versions : {self.read_versions.describe()}",
             f"  write latency : {self.write_latency_steps.describe()}",
         ]
+        if self.faults is not None:
+            lines.append("  " + self.faults.describe())
         return "\n".join(lines)
 
 
@@ -132,6 +223,41 @@ def _versions_for_record(simulation: Simulation, record: TransactionRecord) -> i
         simulation.trace, str(record.txn_id), record.client, simulation.servers()
     )
     return max_versions
+
+
+def _collect_fault_metrics(simulation: Simulation) -> Optional[FaultMetrics]:
+    """Build the availability/fault block when a fault injector is installed."""
+    from ..faults.injector import FaultInjector
+
+    plane = getattr(simulation, "fault_plane", None)
+    if not isinstance(plane, FaultInjector):
+        return None
+    records = simulation.transaction_records()
+    reads = [r for r in records if isinstance(r.txn, ReadTransaction)]
+    writes = [r for r in records if not isinstance(r.txn, ReadTransaction)]
+    stats = plane.stats
+    read_vlat = [r.latency_virtual() for r in reads if r.latency_virtual() is not None]
+    write_vlat = [r.latency_virtual() for r in writes if r.latency_virtual() is not None]
+    return FaultMetrics(
+        plan=plane.plan.name or "faults",
+        submitted=len(records),
+        completed=sum(1 for r in records if r.complete),
+        read_submitted=len(reads),
+        read_completed=sum(1 for r in reads if r.complete),
+        write_submitted=len(writes),
+        write_completed=sum(1 for r in writes if r.complete),
+        messages_dropped=stats.dropped,
+        messages_duplicated=stats.duplicated,
+        duplicates_suppressed=stats.duplicates_suppressed,
+        retransmissions=stats.retransmissions,
+        held_by_partition=stats.held_by_partition,
+        held_by_crash=stats.held_by_crash,
+        abandoned_messages=stats.abandoned,
+        crashes=stats.crashes,
+        recoveries=stats.recoveries,
+        read_latency_virtual=AggregateStats.from_values(read_vlat),
+        write_latency_virtual=AggregateStats.from_values(write_vlat),
+    )
 
 
 def collect_metrics(simulation: Simulation, protocol_name: str = "") -> ExperimentMetrics:
@@ -172,4 +298,5 @@ def collect_metrics(simulation: Simulation, protocol_name: str = "") -> Experime
         write_messages=AggregateStats.from_values([t.messages_sent for t in writes]),
         total_messages=total_messages,
         total_steps=simulation.steps_taken,
+        faults=_collect_fault_metrics(simulation),
     )

@@ -10,25 +10,47 @@ benchmark sweeps are declarative lists of configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.snow import SnowReport, check_snow
+from ..faults.chaos import ChaosScheduler
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..ioa.scheduler import FIFOScheduler, LIFOScheduler, RandomScheduler, Scheduler
 from ..protocols.registry import get_protocol
 from ..txn.history import History
 from .metrics import ExperimentMetrics, collect_metrics
 from .workload import GeneratedWorkload, WorkloadSpec, generate_workload, submit_workload
 
+#: Registry of config-addressable schedulers; extend via register_scheduler.
+_SCHEDULER_FACTORIES: Dict[str, Callable[[int], Scheduler]] = {
+    "fifo": lambda seed: FIFOScheduler(),
+    "lifo": lambda seed: LIFOScheduler(),
+    "random": lambda seed: RandomScheduler(seed=seed),
+    "chaos": lambda seed: ChaosScheduler(seed=seed),
+}
+
+
+def scheduler_names() -> Tuple[str, ...]:
+    """All scheduler names accepted by experiment configs, sorted."""
+    return tuple(sorted(_SCHEDULER_FACTORIES))
+
+
+def register_scheduler(name: str, factory: Callable[[int], Scheduler]) -> None:
+    """Register an extra named scheduler (``factory`` takes the seed)."""
+    if name in _SCHEDULER_FACTORIES:
+        raise ValueError(f"scheduler name {name!r} is already registered")
+    _SCHEDULER_FACTORIES[name] = factory
+
 
 def make_scheduler(name: str, seed: int = 0) -> Scheduler:
-    """Scheduler factory used by configs: ``fifo``, ``lifo`` or ``random``."""
-    if name == "fifo":
-        return FIFOScheduler()
-    if name == "lifo":
-        return LIFOScheduler()
-    if name == "random":
-        return RandomScheduler(seed=seed)
-    raise ValueError(f"unknown scheduler {name!r} (expected 'fifo', 'lifo' or 'random')")
+    """Instantiate a scheduler by registry name (see :func:`scheduler_names`)."""
+    try:
+        factory = _SCHEDULER_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(repr(n) for n in scheduler_names())
+        raise ValueError(f"unknown scheduler {name!r}; valid schedulers: {known}") from None
+    return factory(seed)
 
 
 @dataclass
@@ -45,15 +67,22 @@ class ExperimentConfig:
     c2c: Optional[bool] = None
     initial_value: Any = 0
     check_properties: bool = True
+    #: optional fault plan; None keeps the reliable channels of the paper.
+    #: A faulted run executes until idle rather than to completion, so
+    #: availability (completed/submitted) becomes a first-class result.
+    faults: Optional[FaultPlan] = None
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, seed=seed, workload=replace(self.workload, seed=seed))
 
     def describe(self) -> str:
-        return (
+        base = (
             f"{self.protocol} ({self.num_readers}R/{self.num_writers}W/{self.num_objects} objects, "
             f"{self.scheduler} seed={self.seed}): {self.workload.describe()}"
         )
+        if self.faults is not None:
+            base += f" [{self.faults.describe()}]"
+        return base
 
 
 @dataclass
@@ -84,6 +113,19 @@ class ExperimentResult:
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Run one experiment to completion and collect all measurements."""
+    if (
+        config.faults is not None
+        and config.faults.latency is not None
+        and config.scheduler != "chaos"
+    ):
+        # Only the chaos scheduler honours ready_at stamps; any other named
+        # scheduler would silently ignore the latency model while the fault
+        # metrics still report the plan as active — a misconfiguration that
+        # looks like a healthy latency experiment.
+        raise ValueError(
+            f"fault plan {config.faults.name or 'faults'!r} has a latency model, which only the "
+            f"'chaos' scheduler honours; got scheduler={config.scheduler!r}"
+        )
     protocol = get_protocol(config.protocol)
     build_kwargs: Dict[str, Any] = dict(
         num_readers=config.num_readers,
@@ -97,11 +139,19 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         build_kwargs["c2c"] = config.c2c
     if not protocol.supports_multiple_readers:
         build_kwargs["num_readers"] = 1
+    if config.faults is not None:
+        build_kwargs["fault_plane"] = FaultInjector(config.faults, seed=config.seed)
     handle = protocol.build(**build_kwargs)
 
     workload = generate_workload(config.workload, handle.readers, handle.writers, handle.objects)
     read_ids, write_ids = submit_workload(handle, workload)
-    handle.run_to_completion()
+    if config.faults is None:
+        handle.run_to_completion()
+    else:
+        # Under faults a run may legally go idle with transactions stuck
+        # behind a permanent partition or fail-stopped server; those count
+        # against availability instead of raising LivenessError.
+        handle.run()
 
     history = handle.history()
     metrics = collect_metrics(handle.simulation, protocol_name=config.protocol)

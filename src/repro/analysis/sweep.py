@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..faults.plan import FaultPlan
+from ..faults.scenarios import standard_fault_scenarios
 from .runner import ExperimentConfig, ExperimentResult, run_experiment
 from .workload import WorkloadSpec
 
@@ -128,6 +130,89 @@ def sweep_rounds_vs_contention(
             sweep.points.append(SweepPoint(x=writers, result=run_experiment(config)))
         sweeps[protocol] = sweep
     return sweeps
+
+
+def sweep_fault_grid(
+    protocols: Sequence[str] = ("simple-rw", "algorithm-b", "algorithm-c", "eiger"),
+    scenarios: Optional[Mapping[str, FaultPlan]] = None,
+    num_readers: int = 2,
+    num_writers: int = 2,
+    num_objects: int = 2,
+    workload: Optional[WorkloadSpec] = None,
+    seed: int = 7,
+    check_properties: bool = True,
+) -> Dict[str, Dict[str, ExperimentResult]]:
+    """The chaos grid: every protocol under every named fault scenario.
+
+    Returns ``{protocol: {scenario: result}}``.  Each cell runs the same
+    workload through the chaos scheduler under that scenario's
+    :class:`FaultPlan`; the fault-free ``none`` column doubles as the
+    latency/availability baseline the degradation numbers are relative to.
+
+    The default scenarios crash the server holding the first object of the
+    built systems, so the crash column actually bites.
+    """
+    if scenarios is None:
+        from ..txn.objects import object_names, server_for_object
+
+        crash_server = server_for_object(object_names(num_objects)[0])
+        scenarios = standard_fault_scenarios(seed=seed, crash_server=crash_server)
+    else:
+        scenarios = dict(scenarios)
+    workload = workload or WorkloadSpec(
+        reads_per_reader=6, writes_per_writer=3, read_size=num_objects, write_size=num_objects, seed=seed
+    )
+    grid: Dict[str, Dict[str, ExperimentResult]] = {}
+    for protocol in protocols:
+        row: Dict[str, ExperimentResult] = {}
+        for scenario_name, plan in scenarios.items():
+            config = ExperimentConfig(
+                protocol=protocol,
+                num_readers=num_readers,
+                num_writers=num_writers,
+                num_objects=num_objects,
+                workload=workload,
+                scheduler="chaos",
+                seed=seed,
+                check_properties=check_properties,
+                faults=plan,
+            )
+            row[scenario_name] = run_experiment(config)
+        grid[protocol] = row
+    return grid
+
+
+def fault_grid_rows(grid: Mapping[str, Mapping[str, ExperimentResult]]) -> List[Dict[str, Any]]:
+    """Flatten a chaos grid into JSON-ready rows (one per protocol×scenario).
+
+    Each row carries the SNOW verdict, availability, latency-under-fault and
+    retransmission counts — the machine-readable record tracked across PRs
+    via ``BENCH_faults.json``.
+    """
+    rows: List[Dict[str, Any]] = []
+    for protocol, cells in grid.items():
+        for scenario, result in cells.items():
+            metrics = result.metrics
+            faults = metrics.faults
+            read_latency = metrics.read_latency_steps
+            row: Dict[str, Any] = {
+                "protocol": protocol,
+                "scenario": scenario,
+                "snow": result.property_string(),
+                "completed_reads_mean_latency_steps": round(read_latency.mean, 2)
+                if read_latency.count
+                else None,
+                "completed_reads_p95_latency_steps": read_latency.p95 if read_latency.count else None,
+                "max_read_rounds": metrics.max_read_rounds(),
+                "total_steps": metrics.total_steps,
+                "total_messages": metrics.total_messages,
+            }
+            if faults is not None:
+                row.update(faults.as_dict())
+            else:
+                row.update({"plan": "none", "availability": 1.0})
+            rows.append(row)
+    return rows
 
 
 def sweep_read_size(

@@ -1,0 +1,71 @@
+"""Fault injection and network conditions for the simulation kernel.
+
+The paper's model assumes reliable asynchronous channels; this subpackage is
+the controlled departure from that assumption.  It provides:
+
+* :mod:`repro.faults.plan` — the declarative :class:`FaultPlan` (latency
+  models, drop/duplicate policies, partitions with heal times, server
+  crash/recover schedules, a transport retry policy);
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the
+  :class:`~repro.ioa.network.FaultPlane` implementation that enforces a plan
+  over one simulation, deterministically in its seed;
+* :mod:`repro.faults.chaos` — :class:`ChaosScheduler`, which biases event
+  selection by the injector's virtual arrival times;
+* :mod:`repro.faults.scenarios` — a library of named chaos regimes used by
+  the benchmark grid.
+
+With no plan installed (or with :meth:`FaultPlan.none`) every execution is
+byte-for-byte identical to the reliable kernel — the golden-trace tests under
+``tests/faults`` pin that down — so the paper-faithful results are untouched.
+"""
+
+from .chaos import ChaosScheduler
+from .injector import FaultInjector, FaultStats
+from .plan import (
+    BimodalLatency,
+    CrashEvent,
+    DropPolicy,
+    DuplicatePolicy,
+    FaultPlan,
+    FixedLatency,
+    LatencyModel,
+    Partition,
+    RetryPolicy,
+    UniformLatency,
+)
+from .scenarios import (
+    crash_recover,
+    duplicating_network,
+    fail_stop,
+    flaky_everything,
+    healed_partition,
+    lossy_network,
+    slow_network,
+    standard_fault_scenarios,
+    tail_latency,
+)
+
+__all__ = [
+    "ChaosScheduler",
+    "FaultInjector",
+    "FaultStats",
+    "BimodalLatency",
+    "CrashEvent",
+    "DropPolicy",
+    "DuplicatePolicy",
+    "FaultPlan",
+    "FixedLatency",
+    "LatencyModel",
+    "Partition",
+    "RetryPolicy",
+    "UniformLatency",
+    "crash_recover",
+    "duplicating_network",
+    "fail_stop",
+    "flaky_everything",
+    "healed_partition",
+    "lossy_network",
+    "slow_network",
+    "standard_fault_scenarios",
+    "tail_latency",
+]

@@ -1,0 +1,64 @@
+"""The chaos scheduler: asynchrony biased by the active fault plan.
+
+The repository's other schedulers pick among pending events with no notion of
+*when* a message would plausibly arrive.  The chaos scheduler honours the
+``ready_at`` virtual-time stamps the fault injector assigns from its latency
+model: an event is *ripe* once its stamp is at or before the fault plane's
+virtual clock, and the base policy picks among ripe events only.  The clock
+itself is advanced by the injector's ``before_step`` — boundary by boundary,
+so crash onsets and transport timers fire in virtual-time order before any
+later arrival is ripe — a discrete-event simulator's "advance to next timer"
+jump done where the fault schedule can see it.
+
+Without a fault plane (or with an inert plan) every stamp is ``0``, so the
+chaos scheduler degrades *exactly* to its base policy — the golden-trace
+guarantee the determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..ioa.scheduler import PendingEvent, RandomScheduler, Scheduler
+
+
+def _ready_at(event: PendingEvent) -> int:
+    """Virtual-time stamp of an event (invocations are always ripe)."""
+    return getattr(event, "ready_at", 0)
+
+
+class ChaosScheduler(Scheduler):
+    """Pick among ripe events with a base policy; fast-forward when none are.
+
+    ``base`` defaults to a seeded :class:`RandomScheduler` — chaos testing
+    wants schedule diversity on top of fault timing — but any scheduler
+    (including the adversarial one) can be plugged in, which is how "drop
+    messages *and* order them adversarially" experiments are built.
+    """
+
+    def __init__(self, base: Optional[Scheduler] = None, seed: int = 0) -> None:
+        self.seed = seed
+        self.base = base if base is not None else RandomScheduler(seed=seed)
+
+    def reset(self) -> None:
+        self.base.reset()
+
+    def choose(self, pending: Sequence[PendingEvent], kernel: Any) -> int:
+        if not pending:
+            return self.validate_choice(0, pending)  # raises the standard error
+        plane = getattr(kernel, "fault_plane", None)
+        now = plane.now(kernel) if plane is not None else int(kernel.steps_taken)
+        ripe = [i for i in range(len(pending)) if _ready_at(pending[i]) <= now]
+        if not ripe:
+            # Nothing deliverable yet.  With a fault injector installed this
+            # is unreachable: its before_step advances the virtual clock
+            # boundary-by-boundary (crash onsets included) until something is
+            # ripe.  Without one there is no fault schedule to respect, so
+            # simply execute the earliest arrival (oldest among ties) —
+            # crucially *not* by advancing any clock past unapplied faults.
+            choice = min(
+                range(len(pending)), key=lambda i: (_ready_at(pending[i]), pending[i].enqueued_at)
+            )
+            return self.validate_choice(choice, pending)
+        sub = [pending[i] for i in ripe]
+        return self.validate_choice(ripe[self.base.choose(sub, kernel)], pending)

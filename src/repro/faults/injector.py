@@ -1,0 +1,331 @@
+"""The fault injector: a :class:`~repro.ioa.network.FaultPlane` implementation.
+
+The injector sits between every ``send`` and the kernel's pending-delivery
+set and enforces the active :class:`~repro.faults.plan.FaultPlan`:
+
+* messages crossing an active partition, or addressed to a crashed server,
+  are *held* in the injector's transport buffer and released when the
+  partition heals / the server recovers (never, if the fault is permanent);
+* messages may be dropped (and scheduled for retransmission under the plan's
+  retry policy) or duplicated;
+* surviving copies are stamped with a sampled virtual-time latency
+  (``PendingDelivery.ready_at``) that the chaos scheduler honours.
+
+Two invariants keep the rest of the repository sound:
+
+* **At-most-once processing** — every admitted copy of a message carries the
+  original ``msg_id``; the first delivery registers it and later copies are
+  suppressed (they consume a scheduler step but record no trace action and
+  never reach the automaton), so protocols written for reliable channels
+  need no dedup logic and the SNOW checkers see exactly the protocol-level
+  exchange.
+* **Determinism** — all randomness comes from one private RNG seeded from
+  ``(plan.seed, injector seed)``; the same plan, seed and scheduler always
+  produce the same execution, so every chaos failure is replayable.
+
+The virtual clock is the kernel step counter, fast-forwarded when the system
+would otherwise idle with timers outstanding (:meth:`FaultInjector.on_idle`)
+— exactly like a discrete-event simulator jumping to the next timer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..ioa.actions import Message, internal_action
+from ..ioa.errors import UnknownProcessError
+from ..ioa.network import FaultPlane
+from .plan import FaultPlan
+
+
+@dataclass
+class FaultStats:
+    """Counters of everything the injector did to the network."""
+
+    sent: int = 0
+    delivered_copies: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    duplicates_suppressed: int = 0
+    retransmissions: int = 0
+    held_by_partition: int = 0
+    held_by_crash: int = 0
+    abandoned: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"faults: sent={self.sent} delivered={self.delivered_copies} dropped={self.dropped} "
+            f"retransmitted={self.retransmissions} duplicated={self.duplicated} "
+            f"(suppressed={self.duplicates_suppressed}) partition-held={self.held_by_partition} "
+            f"crash-held={self.held_by_crash} abandoned={self.abandoned} "
+            f"crashes={self.crashes} recoveries={self.recoveries}"
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _HeldMessage:
+    """A message parked in the injector's transport buffer."""
+
+    message: Message
+    release_at: Optional[int]  # None = never (permanent partition / fail-stop)
+    reason: str  # "partition" | "crash" | "retransmit"
+    attempts: int = 1
+
+
+class FaultInjector(FaultPlane):
+    """Stateful enforcement of one :class:`FaultPlan` over one simulation."""
+
+    def __init__(self, plan: FaultPlan, seed: int = 0) -> None:
+        self.plan = plan
+        self.seed = seed
+        self.stats = FaultStats()
+        self._rng = random.Random(((plan.seed & 0xFFFFFFFF) << 17) ^ (seed & 0x1FFFF) ^ 0x5EED)
+        self._held: List[_HeldMessage] = []
+        self._delivered_ids: Set[int] = set()
+        self._drop_streak: Dict[int, int] = {}  # msg_id -> consecutive drops
+        self._virtual_now = 0
+        self._crashed: Set[str] = set()
+        self._attached = False
+        self._names_validated = False
+
+    # ------------------------------------------------------------------
+    # FaultPlane interface
+    # ------------------------------------------------------------------
+    def on_attach(self, kernel: Any) -> None:
+        if self._attached:
+            raise RuntimeError(
+                "a FaultInjector is single-use: build a fresh one per simulation "
+                "(its RNG and transport buffers are execution state)"
+            )
+        self._attached = True
+
+    def now(self, kernel: Any) -> int:
+        return max(int(kernel.steps_taken), self._virtual_now)
+
+    def advance_to(self, step: int) -> None:
+        self._virtual_now = max(self._virtual_now, int(step))
+
+    def on_send(self, message: Message, kernel: Any) -> None:
+        self.stats.sent += 1
+        self._admit(message, kernel, attempts=1)
+
+    def before_step(self, kernel: Any) -> None:
+        if not self._names_validated:
+            self._validate_plan_names(kernel)
+            self._names_validated = True
+        self._advance_through_boundaries(kernel)
+
+    def _validate_plan_names(self, kernel: Any) -> None:
+        """Fail loudly if the plan targets processes the system doesn't have.
+
+        A crash schedule or partition naming a non-existent automaton would
+        otherwise be a silent no-op (the fault "happens" but touches no
+        traffic) — a misconfiguration that looks like a healthy run.  Checked
+        on the first step because automata are registered after construction.
+        """
+        known = {automaton.name for automaton in kernel.automata()}
+        for crash in self.plan.crashes:
+            if crash.server not in known:
+                raise UnknownProcessError(crash.server)
+        for partition in self.plan.partitions:
+            for name in (*partition.left, *partition.right):
+                if name not in known:
+                    raise UnknownProcessError(name)
+
+    def on_idle(self, kernel: Any) -> bool:
+        return self._advance_through_boundaries(kernel)
+
+    def _advance_through_boundaries(self, kernel: Any) -> bool:
+        """Apply fault transitions in virtual-time order until work is ripe.
+
+        Virtual time may only jump *boundary by boundary*: the next crash
+        onset or recovery, the next transport timer (retransmit / partition
+        heal), the next in-flight arrival — whichever comes first.  Jumping
+        straight to a delivery's arrival stamp would let a message reach a
+        server whose crash was scheduled earlier in virtual time.  Each
+        boundary is applied (crash sweeps, recoveries, timer releases)
+        before the clock moves past it; the loop returns once some pending
+        event is ripe at the current clock, or goes quiescent (permanently
+        held messages stay parked and their transactions count as
+        unavailable).  Returns whether the kernel has pending events now.
+        """
+        while True:
+            now = self.now(kernel)
+            self._apply_crash_transitions(kernel, now)
+            self._release_due(kernel, now)
+            deliveries = kernel.pending_deliveries()
+            if kernel.has_pending_invocations() or any(d.ready_at <= now for d in deliveries):
+                return True
+            boundaries = [d.ready_at for d in deliveries]  # all > now here
+            boundaries.extend(
+                h.release_at for h in self._held if h.release_at is not None and h.release_at > now
+            )
+            for crash in self.plan.crashes:
+                boundaries.extend(
+                    t for t in (crash.at, crash.recover) if t is not None and t > now
+                )
+            if not boundaries:
+                return False
+            self.advance_to(min(boundaries))
+
+    def suppress_delivery(self, message: Message, kernel: Any) -> bool:
+        if message.msg_id in self._delivered_ids:
+            self.stats.duplicates_suppressed += 1
+            return True
+        self._delivered_ids.add(message.msg_id)
+        return False
+
+    def describe(self) -> str:
+        return f"FaultInjector({self.plan.describe()}; {self.stats.describe()})"
+
+    # ------------------------------------------------------------------
+    # Admission pipeline
+    # ------------------------------------------------------------------
+    def _admit(self, message: Message, kernel: Any, attempts: int) -> None:
+        """Run one delivery attempt of ``message`` through the fault pipeline."""
+        now = self.now(kernel)
+
+        release = self._partition_release(message.src, message.dst, now)
+        if release is not _NOT_BLOCKED:
+            self.stats.held_by_partition += 1
+            self._held.append(_HeldMessage(message, release, "partition", attempts))
+            return
+
+        release = self._crash_release(message.dst, now)
+        if release is not _NOT_BLOCKED:
+            self.stats.held_by_crash += 1
+            self._held.append(_HeldMessage(message, release, "crash", attempts))
+            return
+
+        if self._should_drop(message, now):
+            self.stats.dropped += 1
+            retry = self.plan.retry
+            if retry is None or attempts >= retry.max_attempts:
+                self._abandon(message, kernel)
+            else:
+                self._held.append(
+                    _HeldMessage(message, now + retry.timeout_steps, "retransmit", attempts + 1)
+                )
+            return
+
+        self._drop_streak.pop(message.msg_id, None)
+        self._enqueue_copy(message, kernel, now)
+        duplicates = self.plan.duplicates
+        if duplicates is not None and self._rng.random() < duplicates.probability:
+            self.stats.duplicated += 1
+            self._enqueue_copy(message, kernel, now)
+
+    def _enqueue_copy(self, message: Message, kernel: Any, now: int) -> None:
+        delay = self.plan.latency.sample(self._rng) if self.plan.latency is not None else 0
+        kernel.enqueue_delivery(message, ready_at=now + delay if delay else 0)
+        self.stats.delivered_copies += 1
+
+    def _should_drop(self, message: Message, now: int) -> bool:
+        drops = self.plan.drops
+        if drops is None or drops.probability <= 0.0:
+            return False
+        streak = self._drop_streak.get(message.msg_id, 0)
+        if streak >= drops.max_consecutive:
+            return False  # fair loss: this attempt is forced through
+        if self._rng.random() < drops.probability:
+            self._drop_streak[message.msg_id] = streak + 1
+            return True
+        return False
+
+    def _abandon(self, message: Message, kernel: Any) -> None:
+        self.stats.abandoned += 1
+        txn = message.get("txn")
+        if txn is not None:
+            kernel.annotate_transaction(txn, {"abandoned_messages": 1, "_accumulate": True})
+
+    # ------------------------------------------------------------------
+    # Blocking conditions
+    # ------------------------------------------------------------------
+    def _partition_release(self, src: str, dst: str, now: int) -> Any:
+        """Earliest step at which the link is open again, or ``_NOT_BLOCKED``.
+
+        With several overlapping partition windows the message must outlive
+        all of them, so the release time is the latest finite heal; any
+        permanent blocking window means the message is held forever (None).
+        """
+        release: Any = _NOT_BLOCKED
+        for partition in self.plan.partitions:
+            if not partition.blocks(src, dst, now):
+                continue
+            if partition.heal is None:
+                return None
+            release = partition.heal if release is _NOT_BLOCKED else max(release, partition.heal)
+        return release
+
+    def _crash_release(self, dst: str, now: int) -> Any:
+        """Latest recovery of ``dst`` if it is currently crashed."""
+        release: Any = _NOT_BLOCKED
+        for crash in self.plan.crashes:
+            if crash.server != dst or not crash.crashed(now):
+                continue
+            if crash.recover is None:
+                return None
+            release = crash.recover if release is _NOT_BLOCKED else max(release, crash.recover)
+        return release
+
+    # ------------------------------------------------------------------
+    # Timers and transitions
+    # ------------------------------------------------------------------
+    def _apply_crash_transitions(self, kernel: Any, now: int) -> None:
+        """Track crash onsets/recoveries; sweep in-flight messages on onset.
+
+        A crash takes effect at the step boundary: in-flight deliveries
+        addressed to the newly-crashed server are pulled back out of the
+        network into the transport buffer (held until recovery).  Transitions
+        are recorded as internal actions so traces stay self-describing.
+        """
+        currently = {c.server for c in self.plan.crashes if c.crashed(now)}
+        for server in sorted(currently - self._crashed):
+            self.stats.crashes += 1
+            kernel.trace.append(internal_action(server, {"fault": "crash"}))
+            release = self._crash_release(server, now)
+            for delivery in kernel.extract_deliveries(lambda d, s=server: d.message.dst == s):
+                self.stats.held_by_crash += 1
+                self._held.append(_HeldMessage(delivery.message, release, "crash"))
+        for server in sorted(self._crashed - currently):
+            self.stats.recoveries += 1
+            kernel.trace.append(internal_action(server, {"fault": "recover"}))
+        self._crashed = currently
+
+    def _release_due(self, kernel: Any, now: int) -> None:
+        """Re-admit every held message whose timer has expired."""
+        due: List[_HeldMessage] = []
+        keep: List[_HeldMessage] = []
+        for held in self._held:
+            (due if held.release_at is not None and held.release_at <= now else keep).append(held)
+        if not due:
+            return
+        self._held = keep
+        for held in due:
+            if held.reason == "retransmit":
+                self.stats.retransmissions += 1
+                txn = held.message.get("txn")
+                if txn is not None:
+                    kernel.annotate_transaction(txn, {"retransmissions": 1, "_accumulate": True})
+            self._admit(held.message, kernel, attempts=held.attempts)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def held_messages(self) -> Tuple[Message, ...]:
+        """Messages currently parked in the transport buffer."""
+        return tuple(h.message for h in self._held)
+
+    def crashed_servers(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._crashed))
+
+
+#: Sentinel distinguishing "link not blocked" from "blocked forever" (None).
+_NOT_BLOCKED: Any = object()

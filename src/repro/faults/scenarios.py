@@ -1,0 +1,110 @@
+"""A library of named fault scenarios for benchmarks and examples.
+
+These are the columns of the chaos grid: each scenario is a reusable
+:class:`~repro.faults.plan.FaultPlan` shape, parameterised only by seed and
+(for partitions/crashes) by the concrete process names of the built system.
+The benchmark ``bench_faults_sweep`` runs every protocol against every
+scenario and reports availability, latency degradation and the measured SNOW
+verdict side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .plan import (
+    BimodalLatency,
+    CrashEvent,
+    DropPolicy,
+    DuplicatePolicy,
+    FaultPlan,
+    Partition,
+    RetryPolicy,
+    UniformLatency,
+)
+
+
+def slow_network(seed: int = 0) -> FaultPlan:
+    """Uniformly jittered delivery latency; nothing is ever lost."""
+    return FaultPlan(name="slow-network", latency=UniformLatency(0, 6), seed=seed)
+
+
+def tail_latency(seed: int = 0) -> FaultPlan:
+    """Mostly fast links with an occasional very slow straggler (p95 shape)."""
+    return FaultPlan(name="tail-latency", latency=BimodalLatency(fast=1, slow=15, slow_probability=0.08), seed=seed)
+
+
+def lossy_network(seed: int = 0, probability: float = 0.15) -> FaultPlan:
+    """Fair-loss links healed by transport retransmission."""
+    return FaultPlan(
+        name="lossy",
+        drops=DropPolicy(probability=probability, max_consecutive=4),
+        retry=RetryPolicy(timeout_steps=10, max_attempts=8),
+        seed=seed,
+    )
+
+
+def duplicating_network(seed: int = 0, probability: float = 0.25) -> FaultPlan:
+    """At-least-once links: spurious duplicate deliveries, nothing lost."""
+    return FaultPlan(name="dup-happy", duplicates=DuplicatePolicy(probability=probability), seed=seed)
+
+
+def flaky_everything(seed: int = 0) -> FaultPlan:
+    """Latency + loss + duplication together — the realistic bad day."""
+    return FaultPlan(
+        name="flaky",
+        latency=UniformLatency(0, 4),
+        drops=DropPolicy(probability=0.10, max_consecutive=4),
+        duplicates=DuplicatePolicy(probability=0.10),
+        retry=RetryPolicy(timeout_steps=10, max_attempts=8),
+        seed=seed,
+    )
+
+
+def crash_recover(server: str = "s1", at: int = 10, recover: int = 60, seed: int = 0) -> FaultPlan:
+    """One server fails and comes back; transport holds its mail meanwhile."""
+    return FaultPlan(
+        name="crash-recover",
+        crashes=(CrashEvent(server=server, at=at, recover=recover),),
+        retry=RetryPolicy(timeout_steps=10, max_attempts=8),
+        seed=seed,
+    )
+
+
+def fail_stop(server: str = "s1", at: int = 10, seed: int = 0) -> FaultPlan:
+    """One server fails permanently: transactions touching it never finish."""
+    return FaultPlan(name="fail-stop", crashes=(CrashEvent(server=server, at=at, recover=None),), seed=seed)
+
+
+def healed_partition(
+    left: Sequence[str], right: Sequence[str], start: int = 5, heal: int = 40, seed: int = 0
+) -> FaultPlan:
+    """A link cut between two groups that heals after a window."""
+    return FaultPlan(
+        name="partition-heal",
+        partitions=(Partition(left=tuple(left), right=tuple(right), start=start, heal=heal),),
+        seed=seed,
+    )
+
+
+def standard_fault_scenarios(
+    seed: int = 0, crash_server: str = "s1", partition: Optional[Partition] = None
+) -> Dict[str, FaultPlan]:
+    """The default chaos grid: none + five progressively nastier regimes.
+
+    ``none`` is deliberately included so every grid has the fault-free
+    baseline in column one and latency degradation is always relative.
+    """
+    scenarios: Dict[str, FaultPlan] = {
+        "none": FaultPlan.none(),
+        "slow-network": slow_network(seed=seed),
+        "tail-latency": tail_latency(seed=seed),
+        "lossy": lossy_network(seed=seed),
+        "dup-happy": duplicating_network(seed=seed),
+        "crash-recover": crash_recover(server=crash_server, seed=seed),
+    }
+    if partition is not None:
+        scenarios["partition-heal"] = FaultPlan(
+            name="partition-heal", partitions=(partition,), seed=seed
+        )
+    return scenarios

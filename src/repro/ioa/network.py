@@ -1,4 +1,4 @@
-"""Communication topology: who may talk to whom.
+"""Communication topology and network conditions: who may talk to whom, and how.
 
 The paper's results hinge on the communication topology among processes:
 
@@ -14,12 +14,20 @@ The paper's results hinge on the communication topology among processes:
 every send and raises :class:`~repro.ioa.errors.CommunicationNotAllowedError`
 on a violation, so running algorithm A in a no-C2C configuration fails loudly
 rather than silently producing a meaningless result.
+
+On top of the *static* rules, :class:`FaultPlane` is the optional *dynamic*
+network-conditions interface: a hook object the kernel consults on every send,
+before every step and when the system goes idle.  With no plane installed the
+kernel keeps the paper's reliable-channel semantics byte-for-byte; installing
+one (see :mod:`repro.faults`) lets experiments add latency distributions,
+drops, duplication, link partitions and server crash/recover schedules without
+touching any protocol code.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from .automaton import Automaton
 from .errors import CommunicationNotAllowedError, UnknownProcessError
@@ -105,6 +113,64 @@ class Topology:
             f"Topology(clients={clients}, servers={servers}, "
             f"c2c={'allowed' if self.allow_client_to_client else 'disallowed'})"
         )
+
+
+class FaultPlane:
+    """Optional network-conditions hook consulted by the simulation kernel.
+
+    The kernel calls these methods **only when a plane is installed**; the
+    default (``fault_plane=None``) path is untouched, which is what guarantees
+    that fault-free runs remain identical to the paper's reliable model.
+
+    The base class implements the reliable semantics, so a subclass overrides
+    only the aspects it perturbs.  The contract:
+
+    * :meth:`on_send` — called instead of the kernel's own delivery enqueue;
+      the plane decides how many copies of ``message`` become pending (0 = the
+      message is lost or held) and with what ``ready_at`` stamp, by calling
+      ``kernel.enqueue_delivery``.
+    * :meth:`before_step` — called at the top of every kernel step; the plane
+      may move messages between its internal holding areas and the kernel's
+      pending set (crash onsets, partition heals, retransmission timers).
+    * :meth:`on_idle` — called when no pending events remain; returning
+      ``True`` means the plane injected new work (e.g. released a held
+      message by advancing its virtual clock) and the kernel should re-poll.
+    * :meth:`suppress_delivery` — called for each delivery about to execute;
+      returning ``True`` consumes the scheduler step without activating the
+      destination automaton (used for at-most-once dedup of duplicated or
+      retransmitted copies, so protocols keep exactly-once processing).
+    * :meth:`now` / :meth:`advance_to` — the plane's virtual clock, measured
+      in kernel steps; schedulers may fast-forward it when every pending
+      event carries a future ``ready_at``.
+    """
+
+    def on_attach(self, kernel: Any) -> None:
+        """Called once when the plane is installed on a kernel."""
+
+    def on_send(self, message: Any, kernel: Any) -> None:
+        """Reliable default: exactly one immediately-deliverable copy."""
+        kernel.enqueue_delivery(message)
+
+    def before_step(self, kernel: Any) -> None:
+        """Called at the top of every kernel step."""
+
+    def on_idle(self, kernel: Any) -> bool:
+        """Called when no events are pending; ``True`` = new work injected."""
+        return False
+
+    def suppress_delivery(self, message: Any, kernel: Any) -> bool:
+        """``True`` = swallow this delivery (duplicate copy); default never."""
+        return False
+
+    def now(self, kernel: Any) -> int:
+        """The plane's virtual clock (in kernel steps)."""
+        return int(kernel.steps_taken)
+
+    def advance_to(self, step: int) -> None:
+        """Fast-forward the virtual clock (no-op for the reliable plane)."""
+
+    def describe(self) -> str:
+        return type(self).__name__
 
 
 @dataclass(frozen=True)

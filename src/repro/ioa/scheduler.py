@@ -31,13 +31,21 @@ from .errors import SchedulerError
 
 @dataclass(frozen=True)
 class PendingDelivery:
-    """A sent-but-not-yet-delivered message."""
+    """A sent-but-not-yet-delivered message.
+
+    ``ready_at`` is a virtual-time stamp (in kernel steps) assigned by an
+    installed fault plane's latency model; ``0`` (the default, and always the
+    value on the reliable path) means "deliverable immediately".  Only
+    latency-aware schedulers such as the chaos scheduler consult it.
+    """
 
     message: Message
     enqueued_at: int
+    ready_at: int = 0
 
     def describe(self) -> str:
-        return f"deliver {self.message.describe()} (enqueued @{self.enqueued_at})"
+        when = f", ready @{self.ready_at}" if self.ready_at else ""
+        return f"deliver {self.message.describe()} (enqueued @{self.enqueued_at}{when})"
 
 
 @dataclass(frozen=True)

@@ -58,7 +58,7 @@ from .errors import (
     UnknownProcessError,
     WellFormednessError,
 )
-from .network import Topology
+from .network import FaultPlane, Topology
 from .scheduler import (
     FIFOScheduler,
     PendingDelivery,
@@ -83,6 +83,12 @@ class TransactionRecord:
     rounds: int = 0
     messages_sent: int = 0
     annotations: Dict[str, Any] = field(default_factory=dict)
+    #: virtual-clock stamps (kernel steps + fault-plane time jumps); only
+    #: populated when a fault plane is installed.  Trace-index latency is
+    #: blind to virtual-time delays (a latency model adds no trace actions),
+    #: so "latency under fault" must be measured on this clock instead.
+    invoke_vtime: Optional[int] = None
+    respond_vtime: Optional[int] = None
 
     @property
     def complete(self) -> bool:
@@ -97,6 +103,12 @@ class TransactionRecord:
         if self.invoke_index is None or self.respond_index is None:
             return None
         return self.respond_index - self.invoke_index
+
+    def latency_virtual(self) -> Optional[int]:
+        """Virtual-time latency (only measured under a fault plane)."""
+        if self.invoke_vtime is None or self.respond_vtime is None:
+            return None
+        return self.respond_vtime - self.invoke_vtime
 
     def describe(self) -> str:
         status = "complete" if self.complete else ("running" if self.invoked else "queued")
@@ -119,12 +131,16 @@ class Simulation:
         scheduler: Optional[Scheduler] = None,
         seed: int = 0,
         max_steps: int = 200_000,
+        fault_plane: Optional[FaultPlane] = None,
     ) -> None:
         self.topology = topology if topology is not None else Topology()
         self.scheduler = scheduler if scheduler is not None else FIFOScheduler()
         self.max_steps = max_steps
         self.rng = random.Random(seed)
         self.trace = Trace()
+        self.fault_plane = fault_plane
+        if fault_plane is not None:
+            fault_plane.on_attach(self)
 
         self._automata: Dict[str, Automaton] = {}
         self._contexts: Dict[str, Context] = {}
@@ -212,6 +228,36 @@ class Simulation:
     def steps_taken(self) -> int:
         return self._steps_taken
 
+    def pending_deliveries(self) -> Tuple[PendingDelivery, ...]:
+        """The in-flight messages (read-only view)."""
+        return tuple(self._pending_deliveries)
+
+    def has_pending_invocations(self) -> bool:
+        """Whether any client invocation is currently enabled.
+
+        Cheaper probe than :meth:`pending_events` (no event objects built);
+        used by fault planes that only need to know if work exists.
+        """
+        for client, queue in self._client_queues.items():
+            if not queue or client in self._sessions:
+                continue
+            head = queue[0]
+            if all(self._records[dep].complete for dep in head.after if dep in self._records):
+                return True
+        return False
+
+    def extract_deliveries(self, predicate) -> List[PendingDelivery]:
+        """Remove and return the pending deliveries matching ``predicate``.
+
+        Used by fault planes to pull in-flight messages back out of the
+        network (e.g. when their destination server crashes).  The reliable
+        kernel never calls this itself.
+        """
+        taken = [d for d in self._pending_deliveries if predicate(d)]
+        if taken:
+            self._pending_deliveries = [d for d in self._pending_deliveries if not predicate(d)]
+        return taken
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -248,7 +294,11 @@ class Simulation:
     def step(self) -> bool:
         """Execute one scheduler-chosen event.  Returns ``False`` if idle."""
         self.start()
+        if self.fault_plane is not None:
+            self.fault_plane.before_step(self)
         pending = self.pending_events()
+        if not pending and self.fault_plane is not None and self.fault_plane.on_idle(self):
+            pending = self.pending_events()
         if not pending:
             return False
         if self._steps_taken >= self.max_steps:
@@ -296,6 +346,18 @@ class Simulation:
     # ------------------------------------------------------------------
     # Internal machinery: sends, deliveries, sessions
     # ------------------------------------------------------------------
+    def enqueue_delivery(self, message: Message, ready_at: int = 0) -> PendingDelivery:
+        """Make ``message`` a pending delivery (the fault plane calls this).
+
+        ``ready_at`` is the virtual-time stamp honoured by latency-aware
+        schedulers; the reliable path always uses ``0``.
+        """
+        delivery = PendingDelivery(
+            message=message, enqueued_at=next(self._enqueue_counter), ready_at=ready_at
+        )
+        self._pending_deliveries.append(delivery)
+        return delivery
+
     def _send_from(
         self, src: str, dst: str, msg_type: str, payload: Mapping[str, Any], phase: str = ""
     ) -> Message:
@@ -303,9 +365,10 @@ class Simulation:
         message = Message.make(msg_type, src, dst, payload)
         info = {"phase": phase} if phase else None
         self.trace.append(send_action(message, info))
-        self._pending_deliveries.append(
-            PendingDelivery(message=message, enqueued_at=next(self._enqueue_counter))
-        )
+        if self.fault_plane is None:
+            self.enqueue_delivery(message)
+        else:
+            self.fault_plane.on_send(message, self)
         session = self._sessions.get(src)
         if session is not None:
             session.sends += 1
@@ -316,6 +379,13 @@ class Simulation:
 
     def _record_internal(self, actor: str, info: Mapping[str, Any]) -> None:
         self.trace.append(internal_action(actor, info))
+
+    def annotate_transaction(self, txn_id: Any, fields: Mapping[str, Any]) -> None:
+        """Attach metadata to a transaction record (public form used by
+        automaton contexts and fault planes).  ``_accumulate: True`` in
+        ``fields`` adds numeric values onto existing keys instead of
+        overwriting."""
+        self._annotate_transaction(txn_id, fields)
 
     def _annotate_transaction(self, txn_id: Any, fields: Mapping[str, Any]) -> None:
         record = self._records.get(txn_id)
@@ -336,6 +406,12 @@ class Simulation:
 
     def _deliver(self, message: Message) -> None:
         dst = message.dst
+        if self.fault_plane is not None and self.fault_plane.suppress_delivery(message, self):
+            # A duplicated (or redundantly retransmitted) copy: the delivery
+            # consumed a scheduler step but the automaton keeps at-most-once
+            # processing, and no trace action is recorded so that the SNOW
+            # checkers see exactly the protocol-level exchange.
+            return
         automaton = self.automaton(dst)
         session = self._sessions.get(dst)
         info: Dict[str, Any] = {}
@@ -363,6 +439,8 @@ class Simulation:
             invoke_action(client, {"txn": str(txn_id), "txn_kind": getattr(txn, "kind", "txn")})
         )
         record.invoke_index = action.index
+        if self.fault_plane is not None:
+            record.invoke_vtime = self.fault_plane.now(self)
         ctx = self._contexts[client]
         generator = automaton.run_transaction(txn, ctx)
         session = SessionState(txn=txn, txn_id=txn_id, client=client, generator=generator)
@@ -417,6 +495,8 @@ class Simulation:
         record.respond_index = action.index
         record.result = result
         record.rounds = session.rounds
+        if self.fault_plane is not None:
+            record.respond_vtime = self.fault_plane.now(self)
         self._sessions.pop(session.client, None)
 
     # ------------------------------------------------------------------

@@ -14,7 +14,7 @@ vocabulary with the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .actions import Action, ActionKind, Message
 from .errors import TraceError
@@ -84,6 +84,34 @@ class Trace:
         for action in self._actions:
             seen.setdefault(action.actor, None)
         return tuple(seen)
+
+    def signature(self) -> Tuple[Tuple[Any, ...], ...]:
+        """A canonical, ``msg_id``-free projection of the whole trace.
+
+        Message ids come from a process-global counter, so two *separate*
+        simulations of the same system never produce equal :class:`Action`
+        records even when they took exactly the same steps.  The signature
+        keeps everything observable about each action except the ids —
+        ``(kind, actor, msg_type, src, dst, payload, info)`` — which makes
+        cross-run determinism and golden-trace assertions possible
+        (e.g. "a run with ``FaultPlan.none()`` equals a run with no fault
+        plane at all").
+        """
+        rows = []
+        for action in self._actions:
+            message = action.message
+            rows.append(
+                (
+                    action.kind.value,
+                    action.actor,
+                    message.msg_type if message is not None else None,
+                    message.src if message is not None else None,
+                    message.dst if message is not None else None,
+                    message.items if message is not None else None,
+                    action.info,
+                )
+            )
+        return tuple(rows)
 
     # ------------------------------------------------------------------
     # Queries used by the property checkers

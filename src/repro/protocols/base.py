@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..ioa.automaton import Automaton
-from ..ioa.network import Topology
+from ..ioa.network import FaultPlane, Topology
 from ..ioa.scheduler import Scheduler
 from ..ioa.simulation import Simulation
 from ..ioa.trace import Trace
@@ -55,6 +55,8 @@ class BuildConfig:
     c2c: Optional[bool] = None  # None = protocol default
     scheduler: Optional[Scheduler] = None
     max_steps: int = 200_000
+    #: optional network-conditions hook (None = the paper's reliable channels)
+    fault_plane: Optional[FaultPlane] = None
 
     def objects(self) -> Tuple[str, ...]:
         return object_names(self.num_objects)
@@ -226,8 +228,13 @@ class Protocol:
         initial_value: Any = 0,
         c2c: Optional[bool] = None,
         max_steps: int = 200_000,
+        fault_plane: Optional[FaultPlane] = None,
     ) -> SystemHandle:
-        """Instantiate the protocol as a ready-to-run system."""
+        """Instantiate the protocol as a ready-to-run system.
+
+        ``fault_plane`` installs a network-conditions hook (see
+        :mod:`repro.faults`); ``None`` keeps the paper's reliable channels.
+        """
         config = BuildConfig(
             num_readers=num_readers,
             num_writers=num_writers,
@@ -237,6 +244,7 @@ class Protocol:
             c2c=c2c,
             scheduler=scheduler,
             max_steps=max_steps,
+            fault_plane=fault_plane,
         )
         self.validate_config(config)
         allow_c2c = config.c2c if config.c2c is not None else self.default_c2c()
@@ -246,6 +254,7 @@ class Protocol:
             scheduler=config.scheduler,
             seed=config.seed,
             max_steps=config.max_steps,
+            fault_plane=config.fault_plane,
         )
         simulation.add_automata(self.make_automata(config))
         return SystemHandle(protocol=self, simulation=simulation, config=config)

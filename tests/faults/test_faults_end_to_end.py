@@ -1,0 +1,46 @@
+"""End-to-end: every standard scenario through real protocols.
+
+These are the liveness/availability contracts of the scenario library:
+heal-able regimes (latency, fair loss + retry, duplication, crash-recover,
+healed partitions) complete every transaction on every protocol; permanent
+faults cost availability instead of raising.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import ChaosScheduler, fail_stop, standard_fault_scenarios
+from tests.faults.conftest import run_fixed_workload
+
+PROTOCOLS = ("simple-rw", "algorithm-a", "algorithm-b", "algorithm-c", "eiger")
+SCENARIOS = standard_fault_scenarios(seed=6, crash_server="sx")
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_healable_scenarios_complete_everything(protocol, scenario):
+    plan = SCENARIOS[scenario]
+    handle = run_fixed_workload(protocol, plan=plan, scheduler=ChaosScheduler(seed=8))
+    assert not handle.simulation.incomplete_transactions(), (
+        f"{protocol} under {scenario}: {handle.simulation.describe()}"
+    )
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_fail_stop_strands_shard_traffic(protocol):
+    handle = run_fixed_workload(
+        protocol, plan=fail_stop(server="sx", at=2, seed=6), scheduler=ChaosScheduler(seed=8)
+    )
+    assert handle.simulation.incomplete_transactions()
+
+
+@pytest.mark.parametrize("protocol", ("simple-rw", "algorithm-b"))
+def test_snow_checkers_run_on_faulted_executions(protocol):
+    handle = run_fixed_workload(
+        protocol, plan=SCENARIOS["lossy"], scheduler=ChaosScheduler(seed=8)
+    )
+    report = handle.snow_report()
+    # The verdict string is protocol-specific; what matters is the checkers
+    # accept an execution produced under faults at all.
+    assert len(report.property_string()) == 4

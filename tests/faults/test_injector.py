@@ -1,0 +1,232 @@
+"""Unit tests for the fault injector's pipeline mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    ChaosScheduler,
+    CrashEvent,
+    DropPolicy,
+    DuplicatePolicy,
+    FaultInjector,
+    FaultPlan,
+    Partition,
+    RetryPolicy,
+    FixedLatency,
+)
+from repro.ioa import ActionKind, FIFOScheduler
+
+from tests.faults.conftest import run_fixed_workload
+
+
+class TestSingleUse:
+    def test_injector_cannot_be_attached_twice(self):
+        from repro.protocols import get_protocol
+
+        injector = FaultInjector(FaultPlan.none(), seed=0)
+        get_protocol("simple-rw").build(fault_plane=injector)
+        with pytest.raises(RuntimeError, match="single-use"):
+            get_protocol("simple-rw").build(fault_plane=injector)
+
+
+class TestPlanNameValidation:
+    def test_crashing_an_unknown_server_fails_loudly(self):
+        from repro.ioa import UnknownProcessError
+
+        plan = FaultPlan(crashes=(CrashEvent(server="s99", at=0, recover=None),))
+        with pytest.raises(UnknownProcessError, match="s99"):
+            run_fixed_workload("simple-rw", plan=plan, scheduler=ChaosScheduler(seed=1))
+
+    def test_partitioning_an_unknown_process_fails_loudly(self):
+        from repro.ioa import UnknownProcessError
+
+        plan = FaultPlan(partitions=(Partition(left=("nobody",), right=("sx",), start=0, heal=5),))
+        with pytest.raises(UnknownProcessError, match="nobody"):
+            run_fixed_workload("simple-rw", plan=plan, scheduler=ChaosScheduler(seed=1))
+
+
+class TestDropsAndRetry:
+    def test_drops_without_retry_strand_transactions(self):
+        plan = FaultPlan(name="black-hole", drops=DropPolicy(probability=1.0, max_consecutive=10**6))
+        handle = run_fixed_workload("simple-rw", plan=plan, scheduler=ChaosScheduler(seed=1))
+        assert len(handle.simulation.incomplete_transactions()) == 4
+        stats = handle.simulation.fault_plane.stats
+        assert stats.dropped > 0 and stats.delivered_copies == 0
+        assert stats.abandoned == stats.dropped  # no retry: every drop is final
+
+    def test_retry_heals_total_loss_via_fair_loss_bound(self):
+        plan = FaultPlan(
+            name="awful-but-fair",
+            drops=DropPolicy(probability=1.0, max_consecutive=3),
+            retry=RetryPolicy(timeout_steps=5, max_attempts=10),
+        )
+        handle = run_fixed_workload("simple-rw", plan=plan, scheduler=ChaosScheduler(seed=1))
+        assert not handle.simulation.incomplete_transactions()
+        stats = handle.simulation.fault_plane.stats
+        assert stats.retransmissions > 0
+        assert stats.dropped > 0
+
+    def test_retry_attempts_are_capped(self):
+        plan = FaultPlan(
+            name="hopeless",
+            drops=DropPolicy(probability=1.0, max_consecutive=10**6),
+            retry=RetryPolicy(timeout_steps=2, max_attempts=3),
+        )
+        handle = run_fixed_workload("simple-rw", plan=plan, scheduler=ChaosScheduler(seed=1))
+        stats = handle.simulation.fault_plane.stats
+        assert stats.abandoned > 0
+        assert handle.simulation.incomplete_transactions()
+
+    def test_retransmissions_are_annotated_on_transactions(self):
+        plan = FaultPlan(
+            name="lossy",
+            drops=DropPolicy(probability=0.9, max_consecutive=2),
+            retry=RetryPolicy(timeout_steps=4, max_attempts=10),
+        )
+        handle = run_fixed_workload("simple-rw", plan=plan, scheduler=ChaosScheduler(seed=2))
+        annotated = [
+            r for r in handle.simulation.transaction_records() if "retransmissions" in r.annotations
+        ]
+        assert annotated, "expected at least one transaction to record retransmissions"
+
+
+class TestDuplicates:
+    def test_duplicates_are_suppressed_and_counted(self):
+        plan = FaultPlan(name="dup", duplicates=DuplicatePolicy(probability=1.0))
+        handle = run_fixed_workload("simple-rw", plan=plan, scheduler=ChaosScheduler(seed=3))
+        assert not handle.simulation.incomplete_transactions()
+        stats = handle.simulation.fault_plane.stats
+        assert stats.duplicated == stats.sent  # every message duplicated
+        assert stats.duplicates_suppressed == stats.duplicated
+
+    def test_duplicates_leave_no_extra_trace_actions(self):
+        """Suppressed copies must be invisible to the trace-level checkers."""
+        plan = FaultPlan(name="dup", duplicates=DuplicatePolicy(probability=1.0))
+        dup = run_fixed_workload("simple-rw", plan=plan, scheduler=ChaosScheduler(base=FIFOScheduler()))
+        bare = run_fixed_workload("simple-rw", plan=None, scheduler=FIFOScheduler())
+        dup_recvs = len(dup.trace().of_kind(ActionKind.RECV))
+        bare_recvs = len(bare.trace().of_kind(ActionKind.RECV))
+        assert dup_recvs == bare_recvs
+
+
+class TestCrashes:
+    def test_crash_recover_holds_and_redelivers(self):
+        plan = FaultPlan(name="cr", crashes=(CrashEvent(server="sx", at=2, recover=40),))
+        handle = run_fixed_workload("simple-rw", plan=plan, scheduler=ChaosScheduler(seed=4))
+        assert not handle.simulation.incomplete_transactions()
+        stats = handle.simulation.fault_plane.stats
+        assert stats.crashes == 1 and stats.recoveries == 1
+        assert stats.held_by_crash > 0
+
+    def test_fail_stop_costs_availability(self):
+        plan = FaultPlan(name="fs", crashes=(CrashEvent(server="sx", at=2, recover=None),))
+        handle = run_fixed_workload("simple-rw", plan=plan, scheduler=ChaosScheduler(seed=4))
+        incomplete = handle.simulation.incomplete_transactions()
+        assert incomplete  # everything that needs sx is stuck
+        # sy-only traffic is unaffected; the held mail is still parked.
+        assert handle.simulation.fault_plane.held_messages()
+
+    def test_crash_transitions_recorded_as_internal_actions(self):
+        plan = FaultPlan(name="cr", crashes=(CrashEvent(server="sx", at=2, recover=40),))
+        handle = run_fixed_workload("simple-rw", plan=plan, scheduler=ChaosScheduler(seed=4))
+        internals = [
+            a
+            for a in handle.trace().of_kind(ActionKind.INTERNAL)
+            if a.actor == "sx" and a.get("fault") in ("crash", "recover")
+        ]
+        assert [a.get("fault") for a in internals] == ["crash", "recover"]
+
+    def test_crashed_servers_introspection(self):
+        injector = FaultInjector(
+            FaultPlan(crashes=(CrashEvent(server="sx", at=0, recover=None),)), seed=0
+        )
+        from repro.protocols import get_protocol
+
+        handle = get_protocol("simple-rw").build(
+            scheduler=ChaosScheduler(base=FIFOScheduler()), fault_plane=injector
+        )
+        handle.submit_write({"ox": 1}, txn_id="W1")
+        handle.run()
+        assert injector.crashed_servers() == ("sx",)
+
+
+class TestPartitions:
+    def test_healed_partition_delays_then_completes(self):
+        plan = FaultPlan(
+            name="ph",
+            partitions=(Partition(left=("r1",), right=("sx",), start=0, heal=50),),
+        )
+        handle = run_fixed_workload(
+            "simple-rw", plan=plan, scheduler=ChaosScheduler(seed=5), num_writers=1
+        )
+        assert not handle.simulation.incomplete_transactions()
+        assert handle.simulation.fault_plane.stats.held_by_partition > 0
+
+    def test_permanent_partition_strands_cross_cut_traffic(self):
+        plan = FaultPlan(
+            name="pp",
+            partitions=(Partition(left=("r1",), right=("sx", "sy"), start=0, heal=None),),
+        )
+        handle = run_fixed_workload(
+            "simple-rw", plan=plan, scheduler=ChaosScheduler(seed=5), num_writers=1
+        )
+        incomplete = {str(r.txn_id) for r in handle.simulation.incomplete_transactions()}
+        # both reads are cut off from every server; writes are unaffected
+        assert incomplete == {"R1", "R2"}
+
+
+class TestVirtualTimeOrdering:
+    def test_slow_message_cannot_outrun_an_earlier_crash(self):
+        """Regression: a delivery stamped to arrive *after* a fail-stop must
+        not be delivered — virtual time has to pass the crash onset (and
+        sweep the in-flight message) before the arrival becomes ripe."""
+        plan = FaultPlan(
+            name="slow-into-crash",
+            latency=FixedLatency(25),
+            crashes=(CrashEvent(server="sx", at=10, recover=None),),
+        )
+        handle = run_fixed_workload(
+            "simple-rw", plan=plan, scheduler=ChaosScheduler(seed=1), num_writers=1
+        )
+        sim = handle.simulation
+        assert sim.incomplete_transactions(), "traffic through dead sx must strand"
+        # sx neither received nor reacted after its crash: no recv at sx at all
+        # (every message to it was stamped >= 25, past the crash at 10).
+        recvs_at_sx = [a for a in handle.trace().of_kind(ActionKind.RECV) if a.actor == "sx"]
+        assert recvs_at_sx == []
+        assert sim.fault_plane.stats.held_by_crash > 0
+
+    def test_crash_window_inside_a_latency_jump_is_honoured(self):
+        """A crash+recover window jumped over in one latency gap still holds
+        and then redelivers the in-flight messages (completion, with the
+        crash/recover transitions on the trace)."""
+        plan = FaultPlan(
+            name="blip-inside-jump",
+            latency=FixedLatency(30),
+            crashes=(CrashEvent(server="sx", at=5, recover=20),),
+        )
+        handle = run_fixed_workload(
+            "simple-rw", plan=plan, scheduler=ChaosScheduler(seed=1), num_writers=1
+        )
+        assert not handle.simulation.incomplete_transactions()
+        faults = [a.get("fault") for a in handle.trace().of_kind(ActionKind.INTERNAL) if a.actor == "sx"]
+        assert faults == ["crash", "recover"]
+
+
+class TestLatency:
+    def test_fixed_latency_shifts_ready_at_stamps(self):
+        from repro.protocols import get_protocol
+
+        injector = FaultInjector(FaultPlan(latency=FixedLatency(7)), seed=0)
+        handle = get_protocol("simple-rw").build(
+            scheduler=ChaosScheduler(base=FIFOScheduler()), fault_plane=injector
+        )
+        handle.submit_write({"ox": 1, "oy": 1}, txn_id="W1")
+        sim = handle.simulation
+        sim.start()
+        sim.step()  # invoke W1 -> client sends write-val messages
+        stamps = [d.ready_at for d in sim.pending_deliveries()]
+        assert stamps and all(s >= 7 for s in stamps)
+        handle.run()
+        assert not sim.incomplete_transactions()
