@@ -2,40 +2,51 @@
 
 The paper proves what SNOW protocols guarantee on *reliable* asynchronous
 channels; a deployed system (an Eiger-style store under TAO-like read traffic)
-lives instead with latency tails, packet loss, duplication and server crashes.
-This benchmark plays the same read-heavy workload through every protocol under
-every standard fault scenario (``repro.faults.scenarios``) and reports, per
-cell: the measured SNOW verdict, availability (completed/submitted),
-latency-under-fault for the reads that did complete, and the retransmission
-traffic the transport retry layer needed.
+lives instead with latency tails, packet loss, duplication, server crashes and
+network partitions.  This benchmark plays the same read-heavy workload through
+every protocol under every standard fault scenario
+(``repro.faults.scenarios``) **plus the partition grid** — partition placement
+(client↔shard vs shard↔shard) × partition duration — and reports, per cell:
+the measured SNOW verdict, the CAP-style pair availability
+(completed/submitted) and consistency (did S survive), latency-under-fault
+for the reads that did complete, and the retransmission traffic the transport
+retry layer needed.
 
 Two records are emitted: a human-readable table next to the other regenerated
 figures, and ``results/BENCH_faults.json`` — stable machine-readable rows so
-the availability/latency trajectory is tracked across PRs.
+the availability/consistency trajectory is tracked across PRs.
 
 Expected shape: the fault-free column reproduces the reliable-kernel numbers;
 latency degrades under slow/tail-latency/lossy networks while availability
 stays 1.0 (retry heals fair loss); the fail-stop scenario costs availability
-on every protocol that must touch the dead shard.
+on every protocol that must touch the dead shard; healed partitions cost only
+latency (the transport parks and redelivers), with longer durations costing
+more.
 """
 
 from __future__ import annotations
 
 from repro.analysis import fault_grid_rows, format_table, sweep_fault_grid
-from repro.faults import fail_stop, standard_fault_scenarios
+from repro.faults import fail_stop, partition_grid_scenarios, standard_fault_scenarios
 
 from benchutil import emit, emit_json
 
 PROTOCOLS = ("simple-rw", "algorithm-b", "algorithm-c", "eiger")
 NUM_OBJECTS = 2
+NUM_READERS = 2
+NUM_WRITERS = 2
 SEED = 7
 CRASH_SERVER = "sx"  # the server holding the first object of a 2-object system
+CLIENTS = ("r1", "r2", "w1", "w2")
+SERVERS = ("sx", "sy")
+PARTITION_DURATIONS = (20, 60)
 
 HEADERS = [
     "protocol",
     "scenario",
     "SNOW",
     "avail",
+    "consistent",
     "read vlat (mean)",
     "read vlat (p95)",
     "retransmits",
@@ -47,6 +58,12 @@ HEADERS = [
 def scenarios():
     grid_scenarios = standard_fault_scenarios(seed=SEED, crash_server=CRASH_SERVER)
     grid_scenarios["fail-stop"] = fail_stop(server=CRASH_SERVER, at=12, seed=SEED)
+    # The partition grid: placement (client↔shard / shard↔shard) × duration.
+    grid_scenarios.update(
+        partition_grid_scenarios(
+            clients=CLIENTS, servers=SERVERS, durations=PARTITION_DURATIONS, seed=SEED
+        )
+    )
     return grid_scenarios
 
 
@@ -54,8 +71,8 @@ def regenerate():
     grid = sweep_fault_grid(
         protocols=PROTOCOLS,
         scenarios=scenarios(),
-        num_readers=2,
-        num_writers=2,
+        num_readers=NUM_READERS,
+        num_writers=NUM_WRITERS,
         num_objects=NUM_OBJECTS,
         seed=SEED,
     )
@@ -66,6 +83,7 @@ def regenerate():
             row["scenario"],
             row["snow"],
             f"{row['availability']:.2f}",
+            {True: "yes", False: "NO", None: "-"}[row.get("consistent")],
             row.get("read_latency_virtual_mean"),
             row.get("read_latency_virtual_p95"),
             row.get("retransmissions", 0),
@@ -91,10 +109,19 @@ def test_faults_sweep(benchmark):
     assert len(PROTOCOLS) >= 3 and len(scenario_names) >= 5
     assert len(rows) == len(PROTOCOLS) * len(scenario_names)
 
+    partition_scenarios = sorted(n for n in scenario_names if n.startswith("partition-"))
+    assert len(partition_scenarios) == 2 * len(PARTITION_DURATIONS)
+
     for protocol in PROTOCOLS:
         # Fault-free and heal-able scenarios lose nothing.
         for scenario in ("none", "slow-network", "tail-latency", "lossy", "dup-happy", "crash-recover"):
             assert cells[(protocol, scenario)]["availability"] == 1.0, (protocol, scenario)
+        # Healed partitions (both placements, both durations) also lose
+        # nothing: the transport parks blocked messages and redelivers at
+        # the heal — the CAP cost shows up in latency, not availability.
+        for scenario in partition_scenarios:
+            assert cells[(protocol, scenario)]["availability"] == 1.0, (protocol, scenario)
+            assert cells[(protocol, scenario)]["partition_duration"] in PARTITION_DURATIONS
         # The lossy network needed the retry layer.
         assert cells[(protocol, "lossy")]["retransmissions"] > 0
         # A dead shard costs availability: reads spanning it can never finish.
@@ -107,3 +134,10 @@ def test_faults_sweep(benchmark):
         slow = cells[(protocol, "slow-network")]["read_latency_virtual_mean"]
         baseline = cells[(protocol, "none")]["read_latency_virtual_mean"]
         assert slow > baseline, (protocol, slow, baseline)
+
+    # A longer client↔shard outage delays completions at least as much as a
+    # shorter one (virtual-clock latency is monotone in partition duration).
+    for protocol in PROTOCOLS:
+        short = cells[(protocol, f"partition-client-shard-d{PARTITION_DURATIONS[0]}")]
+        long = cells[(protocol, f"partition-client-shard-d{PARTITION_DURATIONS[-1]}")]
+        assert long["read_latency_virtual_p95"] >= short["read_latency_virtual_p95"], protocol

@@ -170,6 +170,48 @@ class FaultMetrics:
         }
 
 
+@dataclass(frozen=True)
+class ReplicationMetrics:
+    """Placement/quorum measurements of one replicated execution.
+
+    Only populated when the system was built with ``replication_factor > 1``.
+    ``read_quorum_replies`` aggregates the ``quorum_replies`` annotation the
+    replica-aware readers report — how many replies each READ actually
+    collected before its quorum predicate fired (its minimum is the quorum
+    size reached; under a replica outage it shows reads completing on fewer
+    replies than the full fan-out).
+    """
+
+    replication_factor: int
+    quorum: str
+    read_quorum: int
+    write_quorum: int
+    num_replica_servers: int
+    read_quorum_replies: AggregateStats
+
+    def describe(self) -> str:
+        return (
+            f"replication: factor={self.replication_factor} quorum={self.quorum} "
+            f"(R={self.read_quorum}, W={self.write_quorum}, servers={self.num_replica_servers}); "
+            f"read quorum replies: {self.read_quorum_replies.describe()}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "replication_factor": self.replication_factor,
+            "quorum": self.quorum,
+            "read_quorum": self.read_quorum,
+            "write_quorum": self.write_quorum,
+            "num_replica_servers": self.num_replica_servers,
+            "read_quorum_replies_mean": round(self.read_quorum_replies.mean, 2)
+            if self.read_quorum_replies.count
+            else None,
+            "read_quorum_replies_min": self.read_quorum_replies.minimum
+            if self.read_quorum_replies.count
+            else None,
+        }
+
+
 @dataclass
 class ExperimentMetrics:
     """Aggregated measurements of one protocol execution."""
@@ -186,6 +228,8 @@ class ExperimentMetrics:
     total_steps: int
     #: populated only for runs with a fault plane installed
     faults: Optional[FaultMetrics] = None
+    #: populated only for runs with replication_factor > 1
+    replication: Optional[ReplicationMetrics] = None
 
     def reads(self) -> Tuple[TransactionMetrics, ...]:
         return tuple(t for t in self.transactions if t.kind == "read")
@@ -211,6 +255,8 @@ class ExperimentMetrics:
         ]
         if self.faults is not None:
             lines.append("  " + self.faults.describe())
+        if self.replication is not None:
+            lines.append("  " + self.replication.describe())
         return "\n".join(lines)
 
 
@@ -260,8 +306,39 @@ def _collect_fault_metrics(simulation: Simulation) -> Optional[FaultMetrics]:
     )
 
 
-def collect_metrics(simulation: Simulation, protocol_name: str = "") -> ExperimentMetrics:
-    """Aggregate per-transaction measurements from a finished simulation."""
+def _collect_replication_metrics(
+    simulation: Simulation, placement, quorum_policy
+) -> Optional[ReplicationMetrics]:
+    """Build the replication block for a non-trivial placement."""
+    if placement is None or quorum_policy is None or placement.is_trivial():
+        return None
+    factor = placement.replication_factor
+    replies = [
+        record.annotations["quorum_replies"]
+        for record in simulation.transaction_records()
+        if isinstance(record.txn, ReadTransaction) and "quorum_replies" in record.annotations
+    ]
+    return ReplicationMetrics(
+        replication_factor=factor,
+        quorum=quorum_policy.describe(),
+        read_quorum=quorum_policy.read_quorum(factor),
+        write_quorum=quorum_policy.write_quorum(factor),
+        num_replica_servers=len(placement.servers()),
+        read_quorum_replies=AggregateStats.from_values(replies),
+    )
+
+
+def collect_metrics(
+    simulation: Simulation,
+    protocol_name: str = "",
+    placement=None,
+    quorum_policy=None,
+) -> ExperimentMetrics:
+    """Aggregate per-transaction measurements from a finished simulation.
+
+    ``placement`` / ``quorum_policy`` (optional) enable the replication
+    block; pass them from the built system's handle.
+    """
     transactions: List[TransactionMetrics] = []
     total_messages = 0
     for record in simulation.transaction_records():
@@ -299,4 +376,5 @@ def collect_metrics(simulation: Simulation, protocol_name: str = "") -> Experime
         total_messages=total_messages,
         total_steps=simulation.steps_taken,
         faults=_collect_fault_metrics(simulation),
+        replication=_collect_replication_metrics(simulation, placement, quorum_policy),
     )

@@ -71,6 +71,10 @@ class ExperimentConfig:
     #: A faulted run executes until idle rather than to completion, so
     #: availability (completed/submitted) becomes a first-class result.
     faults: Optional[FaultPlan] = None
+    #: replicas per object; 1 is the paper's one-server-per-object setting.
+    replication_factor: int = 1
+    #: quorum policy name (see :func:`repro.txn.placement.quorum_policy_names`).
+    quorum: str = "read-one-write-all"
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, seed=seed, workload=replace(self.workload, seed=seed))
@@ -80,6 +84,8 @@ class ExperimentConfig:
             f"{self.protocol} ({self.num_readers}R/{self.num_writers}W/{self.num_objects} objects, "
             f"{self.scheduler} seed={self.seed}): {self.workload.describe()}"
         )
+        if self.replication_factor > 1:
+            base += f" [replication={self.replication_factor}, quorum={self.quorum}]"
         if self.faults is not None:
             base += f" [{self.faults.describe()}]"
         return base
@@ -134,6 +140,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         scheduler=make_scheduler(config.scheduler, config.seed),
         seed=config.seed,
         initial_value=config.initial_value,
+        replication_factor=config.replication_factor,
+        quorum=config.quorum,
     )
     if config.c2c is not None:
         build_kwargs["c2c"] = config.c2c
@@ -154,7 +162,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         handle.run()
 
     history = handle.history()
-    metrics = collect_metrics(handle.simulation, protocol_name=config.protocol)
+    metrics = collect_metrics(
+        handle.simulation,
+        protocol_name=config.protocol,
+        placement=handle.placement,
+        quorum_policy=handle.quorum_policy,
+    )
     snow = check_snow(handle.simulation, history) if config.check_properties else None
     return ExperimentResult(
         config=config,

@@ -187,7 +187,13 @@ def fault_grid_rows(grid: Mapping[str, Mapping[str, ExperimentResult]]) -> List[
 
     Each row carries the SNOW verdict, availability, latency-under-fault and
     retransmission counts — the machine-readable record tracked across PRs
-    via ``BENCH_faults.json``.
+    via ``BENCH_faults.json``.  Two CAP-style fields make the
+    availability/consistency trade-off a first-class column pair:
+    ``consistent`` (did strict serializability survive, over the completed
+    transactions) next to ``availability`` (what fraction completed).
+    Partition scenarios additionally report their axes
+    (``partition_duration``; the placement is encoded in the scenario name),
+    and replicated runs their ``replication_factor``/``quorum``.
     """
     rows: List[Dict[str, Any]] = []
     for protocol, cells in grid.items():
@@ -199,6 +205,7 @@ def fault_grid_rows(grid: Mapping[str, Mapping[str, ExperimentResult]]) -> List[
                 "protocol": protocol,
                 "scenario": scenario,
                 "snow": result.property_string(),
+                "consistent": result.snow.satisfies_s if result.snow is not None else None,
                 "completed_reads_mean_latency_steps": round(read_latency.mean, 2)
                 if read_latency.count
                 else None,
@@ -211,6 +218,111 @@ def fault_grid_rows(grid: Mapping[str, Mapping[str, ExperimentResult]]) -> List[
                 row.update(faults.as_dict())
             else:
                 row.update({"plan": "none", "availability": 1.0})
+            plan = result.config.faults
+            if plan is not None and plan.partitions:
+                finite_heals = [p.heal - p.start for p in plan.partitions if p.heal is not None]
+                row["partition_duration"] = max(finite_heals) if finite_heals else None
+            if metrics.replication is not None:
+                row.update(metrics.replication.as_dict())
+            rows.append(row)
+    return rows
+
+
+def sweep_replication_factor(
+    protocols: Sequence[str] = ("algorithm-a", "algorithm-b", "algorithm-c"),
+    factors: Sequence[int] = (1, 2, 3),
+    quorum: str = "majority",
+    num_readers: int = 2,
+    num_writers: int = 2,
+    num_objects: int = 2,
+    workload: Optional[WorkloadSpec] = None,
+    seed: int = 9,
+    crash_at: int = 6,
+    check_properties: bool = True,
+) -> Dict[str, Dict[Tuple[int, str], ExperimentResult]]:
+    """The replication grid: protocol × replication factor × fault scenario.
+
+    Per factor, two scenarios run: ``none`` (fault-free baseline) and
+    ``crash-replica`` — a fail-stop of the *last* replica of the first
+    object's group mid-run.  At factor 1 that replica is the object's only
+    copy, so the crash costs availability; at factor ≥ 3 with a majority
+    quorum the reads and writes complete on the surviving quorum and the
+    verdict columns show the SNOW properties riding through the outage.
+    Returns ``{protocol: {(factor, scenario): result}}``.
+    """
+    from ..faults.plan import CrashEvent, FaultPlan
+    from ..txn.objects import object_names
+    from ..txn.placement import replica_names
+
+    workload = workload or WorkloadSpec(
+        reads_per_reader=6, writes_per_writer=3, read_size=num_objects, write_size=num_objects, seed=seed
+    )
+    first_object = object_names(num_objects)[0]
+    grid: Dict[str, Dict[Tuple[int, str], ExperimentResult]] = {}
+    for protocol in protocols:
+        row: Dict[Tuple[int, str], ExperimentResult] = {}
+        for factor in factors:
+            crash_target = replica_names(first_object, factor)[-1]
+            scenarios: Dict[str, FaultPlan] = {
+                "none": FaultPlan.none(),
+                "crash-replica": FaultPlan(
+                    name="crash-replica",
+                    crashes=(CrashEvent(server=crash_target, at=crash_at, recover=None),),
+                    seed=seed,
+                ),
+            }
+            for scenario_name, plan in scenarios.items():
+                config = ExperimentConfig(
+                    protocol=protocol,
+                    num_readers=num_readers,
+                    num_writers=num_writers,
+                    num_objects=num_objects,
+                    workload=workload,
+                    scheduler="chaos",
+                    seed=seed,
+                    check_properties=check_properties,
+                    faults=plan,
+                    replication_factor=factor,
+                    quorum=quorum if factor > 1 else "read-one-write-all",
+                )
+                row[(factor, scenario_name)] = run_experiment(config)
+        grid[protocol] = row
+    return grid
+
+
+def replication_grid_rows(
+    grid: Mapping[str, Mapping[Tuple[int, str], ExperimentResult]],
+) -> List[Dict[str, Any]]:
+    """Flatten a replication grid into JSON-ready rows.
+
+    One row per protocol × replication factor × scenario, carrying the SNOW
+    verdict, availability split by reads/writes, and the quorum measurements
+    — the machine-readable record tracked across PRs via
+    ``BENCH_replication.json``.
+    """
+    rows: List[Dict[str, Any]] = []
+    for protocol, cells in grid.items():
+        for (factor, scenario), result in cells.items():
+            metrics = result.metrics
+            faults = metrics.faults
+            row: Dict[str, Any] = {
+                "protocol": protocol,
+                "replication_factor": factor,
+                "scenario": scenario,
+                "snow": result.property_string(),
+                "consistent": result.snow.satisfies_s if result.snow is not None else None,
+                "quorum": result.config.quorum if factor > 1 else "read-one-write-all",
+                "max_read_rounds": metrics.max_read_rounds(),
+                "total_messages": metrics.total_messages,
+            }
+            if faults is not None:
+                row["availability"] = round(faults.availability, 4)
+                row["read_availability"] = round(faults.read_availability, 4)
+                row["write_availability"] = round(faults.write_availability, 4)
+            else:
+                row["availability"] = 1.0
+            if metrics.replication is not None:
+                row.update(metrics.replication.as_dict())
             rows.append(row)
     return rows
 

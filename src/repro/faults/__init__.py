@@ -34,12 +34,14 @@ from .plan import (
     UniformLatency,
 )
 from .scenarios import (
+    crash_amnesia,
     crash_recover,
     duplicating_network,
     fail_stop,
     flaky_everything,
     healed_partition,
     lossy_network,
+    partition_grid_scenarios,
     slow_network,
     standard_fault_scenarios,
     tail_latency,
@@ -59,12 +61,14 @@ __all__ = [
     "Partition",
     "RetryPolicy",
     "UniformLatency",
+    "crash_amnesia",
     "crash_recover",
     "duplicating_network",
     "fail_stop",
     "flaky_everything",
     "healed_partition",
     "lossy_network",
+    "partition_grid_scenarios",
     "slow_network",
     "standard_fault_scenarios",
     "tail_latency",

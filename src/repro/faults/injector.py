@@ -92,6 +92,7 @@ class FaultInjector(FaultPlane):
         self._drop_streak: Dict[int, int] = {}  # msg_id -> consecutive drops
         self._virtual_now = 0
         self._crashed: Set[str] = set()
+        self._crash_onset: Dict[str, int] = {}  # server -> when its current outage began
         self._attached = False
         self._names_validated = False
 
@@ -130,10 +131,18 @@ class FaultInjector(FaultPlane):
         traffic) — a misconfiguration that looks like a healthy run.  Checked
         on the first step because automata are registered after construction.
         """
-        known = {automaton.name for automaton in kernel.automata()}
+        known = {automaton.name: automaton for automaton in kernel.automata()}
         for crash in self.plan.crashes:
             if crash.server not in known:
                 raise UnknownProcessError(crash.server)
+            if not crash.preserve_state and not hasattr(known[crash.server], "forget"):
+                from ..ioa.errors import SimulationError
+
+                raise SimulationError(
+                    f"crash plan marks {crash.server!r} as crash-with-amnesia "
+                    f"(preserve_state=False) but {type(known[crash.server]).__name__} "
+                    "has no forget() hook to reset volatile state"
+                )
         for partition in self.plan.partitions:
             for name in (*partition.left, *partition.right):
                 if name not in known:
@@ -289,6 +298,7 @@ class FaultInjector(FaultPlane):
         currently = {c.server for c in self.plan.crashes if c.crashed(now)}
         for server in sorted(currently - self._crashed):
             self.stats.crashes += 1
+            self._crash_onset[server] = now
             kernel.trace.append(internal_action(server, {"fault": "crash"}))
             release = self._crash_release(server, now)
             for delivery in kernel.extract_deliveries(lambda d, s=server: d.message.dst == s):
@@ -297,6 +307,21 @@ class FaultInjector(FaultPlane):
         for server in sorted(self._crashed - currently):
             self.stats.recoveries += 1
             kernel.trace.append(internal_action(server, {"fault": "recover"}))
+            onset = self._crash_onset.pop(server, 0)
+            if any(
+                crash.server == server
+                and not crash.preserve_state
+                and crash.at < now
+                and (crash.recover is None or crash.recover > onset)
+                for crash in self.plan.crashes
+            ):
+                # Crash-with-amnesia: an amnesiac crash window intersected
+                # the outage that just ended (events covering only earlier,
+                # fully-recovered outages do not count).  The volatile state
+                # was lost at the onset; the loss becomes observable now, so
+                # reset the automaton at the recovery boundary and record it.
+                kernel.automaton(server).forget()
+                kernel.trace.append(internal_action(server, {"fault": "amnesia"}))
         self._crashed = currently
 
     def _release_due(self, kernel: Any, now: int) -> None:

@@ -212,14 +212,20 @@ class Partition:
 class CrashEvent:
     """A fail-recover (or fail-stop) server crash.
 
-    The server keeps its state (fail-recover with durable storage); while
-    crashed it neither receives nor reacts.  ``recover=None`` is a permanent
-    fail-stop: everything addressed to it is lost.
+    With ``preserve_state=True`` (the default) the server keeps its state
+    across the outage — fail-recover with durable storage; while crashed it
+    neither receives nor reacts.  ``preserve_state=False`` models
+    **crash-with-amnesia**: the server's volatile state is lost and it
+    recovers freshly initialised (the injector calls the automaton's
+    ``forget()`` hook at recovery time — the moment the loss becomes
+    observable).  ``recover=None`` is a permanent fail-stop: everything
+    addressed to it is lost (and ``preserve_state`` is then moot).
     """
 
     server: str
     at: int = 0
     recover: Optional[int] = None
+    preserve_state: bool = True
 
     def __post_init__(self) -> None:
         if self.at < 0:
@@ -232,7 +238,8 @@ class CrashEvent:
 
     def describe(self) -> str:
         until = "forever" if self.recover is None else f"until {self.recover}"
-        return f"crash({self.server} @ {self.at} {until})"
+        amnesia = "" if self.preserve_state else ", amnesia"
+        return f"crash({self.server} @ {self.at} {until}{amnesia})"
 
 
 # ----------------------------------------------------------------------

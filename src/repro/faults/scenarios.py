@@ -71,6 +71,22 @@ def crash_recover(server: str = "s1", at: int = 10, recover: int = 60, seed: int
     )
 
 
+def crash_amnesia(server: str = "s1", at: int = 10, recover: int = 60, seed: int = 0) -> FaultPlan:
+    """One server fails and recovers with **volatile state lost**.
+
+    The crash-with-amnesia regime: the server comes back blank (its
+    ``forget()`` hook ran), modelling a store without durable storage.
+    Protocol-visible consequence: reads served by the amnesiac replica can
+    be stale or initial unless the quorum discipline routes around it.
+    """
+    return FaultPlan(
+        name="crash-amnesia",
+        crashes=(CrashEvent(server=server, at=at, recover=recover, preserve_state=False),),
+        retry=RetryPolicy(timeout_steps=10, max_attempts=8),
+        seed=seed,
+    )
+
+
 def fail_stop(server: str = "s1", at: int = 10, seed: int = 0) -> FaultPlan:
     """One server fails permanently: transactions touching it never finish."""
     return FaultPlan(name="fail-stop", crashes=(CrashEvent(server=server, at=at, recover=None),), seed=seed)
@@ -85,6 +101,53 @@ def healed_partition(
         partitions=(Partition(left=tuple(left), right=tuple(right), start=start, heal=heal),),
         seed=seed,
     )
+
+
+def partition_grid_scenarios(
+    clients: Sequence[str],
+    servers: Sequence[str],
+    durations: Sequence[int] = (20, 60),
+    start: int = 5,
+    seed: int = 0,
+) -> Dict[str, FaultPlan]:
+    """The partition grid: placement × duration (the CAP experiment axes).
+
+    Two placements are generated per duration:
+
+    * ``client-shard`` — every client cut off from the *first* server for
+      the window (a client-side network blip towards one shard);
+    * ``shard-shard`` — the first server cut off from every other server
+      (a back-side split; bites exactly the protocols that route reads or
+      writes through a designated server).
+
+    All partitions heal at ``start + duration``; the transport holds the
+    blocked messages and releases them at the heal, so availability is about
+    *when* transactions finish, and the S column reports whether consistency
+    survived the reordering.  Scenario names encode both axes
+    (``partition-<placement>-d<duration>``) so grid rows stay self-describing.
+    """
+    if not servers:
+        raise ValueError("partition_grid_scenarios needs at least one server")
+    scenarios: Dict[str, FaultPlan] = {}
+    target = servers[0]
+    others = tuple(s for s in servers if s != target)
+    for duration in durations:
+        scenarios[f"partition-client-shard-d{duration}"] = FaultPlan(
+            name=f"partition-client-shard-d{duration}",
+            partitions=(
+                Partition(left=tuple(clients), right=(target,), start=start, heal=start + duration),
+            ),
+            seed=seed,
+        )
+        if others:
+            scenarios[f"partition-shard-shard-d{duration}"] = FaultPlan(
+                name=f"partition-shard-shard-d{duration}",
+                partitions=(
+                    Partition(left=(target,), right=others, start=start, heal=start + duration),
+                ),
+                seed=seed,
+            )
+    return scenarios
 
 
 def standard_fault_scenarios(

@@ -54,12 +54,20 @@ class Await:
     the list of matched messages (in delivery order) once ``count`` of them
     are available.  Awaiting counts as the end of a communication round for
     round-accounting purposes when ``counts_as_round`` is ``True``.
+
+    ``until`` (optional) replaces the fixed ``count`` with a predicate over
+    the collected messages: the session resumes as soon as it returns
+    ``True``.  This is what quorum rounds are made of — e.g. "per object, at
+    least R replies of which at least one is a hit" — where no single count
+    expresses readiness.  Matching messages keep being collected until the
+    predicate fires; ``count`` is ignored when ``until`` is set.
     """
 
     matcher: Callable[[Message], bool]
     count: int = 1
     description: str = ""
     counts_as_round: bool = True
+    until: Optional[Callable[[List[Message]], bool]] = None
 
     def __post_init__(self) -> None:
         if self.count < 1:
@@ -248,4 +256,8 @@ class SessionState:
         return bool(self.pending_await.matcher(message))
 
     def ready(self) -> bool:
-        return self.pending_await is not None and len(self.collected) >= self.pending_await.count
+        if self.pending_await is None:
+            return False
+        if self.pending_await.until is not None:
+            return bool(self.pending_await.until(self.collected))
+        return len(self.collected) >= self.pending_await.count

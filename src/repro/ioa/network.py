@@ -27,7 +27,7 @@ touching any protocol code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
 
 from .automaton import Automaton
 from .errors import CommunicationNotAllowedError, UnknownProcessError
@@ -57,11 +57,34 @@ class Topology:
 
     def __post_init__(self) -> None:
         self._kinds: Dict[str, str] = {}
+        self._replica_groups: Dict[str, Tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------
     def register(self, automaton: Automaton) -> None:
         """Record the kind of a named automaton (called by the kernel)."""
         self._kinds[automaton.name] = automaton.kind
+
+    def set_replica_groups(self, groups: Mapping[str, Tuple[str, ...]]) -> None:
+        """Record the object → replica-group placement of the built system.
+
+        Clients reach every replica the way they reached the single copy
+        (client↔server channels) and replicas of a group may gossip over the
+        ordinary server↔server channels, so no *rules* change — but the
+        topology knows the grouping, which keeps ``describe()`` honest and
+        lets tools ask which servers co-hold an object.
+        """
+        self._replica_groups = {obj: tuple(group) for obj, group in groups.items()}
+
+    def replica_group(self, object_id: str) -> Tuple[str, ...]:
+        """The replica group registered for ``object_id`` (empty if unknown)."""
+        return self._replica_groups.get(object_id, ())
+
+    def replicas_of(self, server: str) -> Tuple[str, ...]:
+        """The peer replicas co-holding ``server``'s object (including it)."""
+        for group in self._replica_groups.values():
+            if server in group:
+                return group
+        return (server,) if server in self._kinds else ()
 
     def kind_of(self, name: str) -> str:
         try:
@@ -109,10 +132,16 @@ class Topology:
     def describe(self) -> str:
         clients = sorted(n for n in self._kinds if self.is_client(n))
         servers = sorted(n for n in self._kinds if self.is_server(n))
-        return (
+        base = (
             f"Topology(clients={clients}, servers={servers}, "
-            f"c2c={'allowed' if self.allow_client_to_client else 'disallowed'})"
+            f"c2c={'allowed' if self.allow_client_to_client else 'disallowed'}"
         )
+        if self._replica_groups and any(len(g) > 1 for g in self._replica_groups.values()):
+            groups = "; ".join(
+                f"{obj}→[{','.join(group)}]" for obj, group in self._replica_groups.items()
+            )
+            base += f", replicas: {groups}"
+        return base + ")"
 
 
 class FaultPlane:

@@ -9,6 +9,12 @@ from .coordinated import CoordinatedServer, CoordinatedWriter, coordinator_name
 from .eiger import EigerProtocol, EigerReader, EigerServer, EigerVersion, EigerWriter
 from .naive_snow import NaiveReader, NaiveServer, NaiveSnowCandidate, NaiveWriter
 from .occ import OccProtocol, OccReader, OccServer, OccWriter
+from .replication import (
+    ReplicatedStorageServer,
+    key_read_round,
+    per_object_reply_await,
+    write_value_round,
+)
 from .registry import (
     all_protocols,
     bounded_snw_protocols,
@@ -52,6 +58,10 @@ __all__ = [
     "OccReader",
     "OccServer",
     "OccWriter",
+    "ReplicatedStorageServer",
+    "key_read_round",
+    "per_object_reply_await",
+    "write_value_round",
     "all_protocols",
     "bounded_snw_protocols",
     "get_protocol",

@@ -13,15 +13,22 @@ Roles
 -----
 
 * **Writer** ``w`` — two phases per WRITE transaction:
-  ``write-value`` (install ``(κ, v_i)`` at every written server, await acks)
-  then ``info-reader`` (tell the reader which objects were written under
-  ``κ``; the reader's acknowledgement carries the transaction's tag).
+  ``write-value`` (install ``(κ, v_i)`` at every replica of every written
+  object, await a write quorum of acks per object) then ``info-reader``
+  (tell the reader which objects were written under ``κ``; the reader's
+  acknowledgement carries the transaction's tag).
 * **Reader** ``r`` — keeps ``List``, an append-only log of
   ``(κ, (b_1 … b_k))`` tuples; READ transactions pick, per requested object,
   the key of the latest list entry that wrote the object and fetch exactly
-  that version from the server, in one parallel round.
-* **Server** ``s_i`` — multi-version store ``Vals``; answers ``read-val κ``
-  immediately with the value stored under ``κ``.
+  that version from the object's replica group, in one parallel round
+  (first hit within the read quorum wins; quorum intersection guarantees
+  one).
+* **Server** ``s_i`` — one replica of one object: the shared multi-version
+  store ``Vals`` (:class:`~repro.protocols.replication.ReplicatedStorageServer`)
+  answering ``read-val κ`` immediately with the value stored under ``κ``.
+
+With ``replication_factor=1`` (the paper's setting) every quorum is of size
+one and the wire protocol is byte-identical to the single-copy pseudocode.
 
 Tags (for the Lemma 20 checker): a WRITE's tag is ``|List|`` after its entry
 is appended; a READ's tag is the (1-based) index of the newest list entry it
@@ -37,8 +44,16 @@ from ..ioa.automaton import Await, Context, ReaderAutomaton, Send, ServerAutomat
 from ..ioa.actions import Message
 from ..ioa.errors import SimulationError
 from ..txn.objects import Key, VersionStore, server_for_object
+from ..txn.placement import Placement, QuorumPolicy
 from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
 from .base import BuildConfig, Protocol
+from .replication import (
+    ReplicatedStorageServer,
+    default_policy,
+    key_read_round,
+    placement_or_single_copy,
+    write_value_round,
+)
 
 
 # ----------------------------------------------------------------------
@@ -52,9 +67,17 @@ class AlgorithmAReader(ReaderAutomaton):
     ``(κ₀, all-ones)`` standing for the initial versions.
     """
 
-    def __init__(self, name: str, objects: Sequence[str]) -> None:
+    def __init__(
+        self,
+        name: str,
+        objects: Sequence[str],
+        placement: Optional[Placement] = None,
+        policy: Optional[QuorumPolicy] = None,
+    ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
+        self.placement = placement_or_single_copy(self.objects, placement)
+        self.policy = policy if policy is not None else default_policy()
         self.entries: List[Tuple[Key, Dict[str, int]]] = [
             (Key.initial(), {obj: 1 for obj in self.objects})
         ]
@@ -91,21 +114,15 @@ class AlgorithmAReader(ReaderAutomaton):
             index = self.latest_index_for(object_id)
             tag = max(tag, index)
             chosen[object_id] = self.entries[index - 1][0]
-        # read-value phase: one parallel round, one version per reply.
-        for object_id in txn.objects:
-            yield Send(
-                dst=server_for_object(object_id),
-                msg_type="read-val",
-                payload={"txn": txn.txn_id, "object": object_id, "key": chosen[object_id]},
-                phase="read-value",
-            )
-        replies = yield Await(
-            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "read-val-reply" and m.get("txn") == txn_id,
-            count=len(txn.objects),
-            description="read-value replies",
+        # read-value phase: one parallel round over the replica groups,
+        # one version per reply, first hit per object within the quorum.
+        values, replies = yield from key_read_round(
+            txn.txn_id, chosen, self.placement, self.policy
         )
-        values = {reply.get("object"): reply.get("value") for reply in replies}
-        ctx.annotate_transaction(txn.txn_id, tag=tag, protocol="algorithm-a")
+        annotations: Dict[str, Any] = {"tag": tag, "protocol": "algorithm-a"}
+        if not self.placement.is_trivial():
+            annotations["quorum_replies"] = len(replies)
+        ctx.annotate_transaction(txn.txn_id, **annotations)
         return ReadResult.from_mapping({obj: values[obj] for obj in txn.objects})
 
 
@@ -115,10 +132,19 @@ class AlgorithmAReader(ReaderAutomaton):
 class AlgorithmAWriter(WriterAutomaton):
     """A writer of algorithm A: write-value phase then info-reader phase."""
 
-    def __init__(self, name: str, objects: Sequence[str], reader: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        objects: Sequence[str],
+        reader: str,
+        placement: Optional[Placement] = None,
+        policy: Optional[QuorumPolicy] = None,
+    ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
         self.reader = reader
+        self.placement = placement_or_single_copy(self.objects, placement)
+        self.policy = policy if policy is not None else default_policy()
         self.z = 0
 
     def run_transaction(self, txn: WriteTransaction, ctx: Context):
@@ -126,18 +152,9 @@ class AlgorithmAWriter(WriterAutomaton):
             raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
         self.z += 1
         key = Key(self.z, self.name)
-        # write-value phase -------------------------------------------------
-        for object_id, value in txn.updates:
-            yield Send(
-                dst=server_for_object(object_id),
-                msg_type="write-val",
-                payload={"txn": txn.txn_id, "object": object_id, "key": key, "value": value},
-                phase="write-value",
-            )
-        yield Await(
-            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "ack-write" and m.get("txn") == txn_id,
-            count=len(txn.updates),
-            description="write-value acks",
+        # write-value phase (a write quorum per written object) --------------
+        yield from write_value_round(
+            txn.txn_id, tuple(txn.updates), key, self.placement, self.policy
         )
         # info-reader phase (client-to-client!) ------------------------------
         bits = tuple((obj, 1 if obj in dict(txn.updates) else 0) for obj in self.objects)
@@ -161,38 +178,10 @@ class AlgorithmAWriter(WriterAutomaton):
 # ----------------------------------------------------------------------
 # Server
 # ----------------------------------------------------------------------
-class AlgorithmAServer(ServerAutomaton):
+class AlgorithmAServer(ReplicatedStorageServer):
     """A server of algorithm A: a multi-version store answering by exact key."""
 
-    def __init__(self, name: str, object_id: str, initial_value: Any = 0) -> None:
-        super().__init__(name)
-        self.object_id = object_id
-        self.store = VersionStore(object_id, initial_value)
-
-    def on_message(self, message: Message, ctx: Context) -> None:
-        if message.msg_type == "write-val":
-            key: Key = message.get("key")
-            self.store.put(key, message.get("value"))
-            ctx.send(message.src, "ack-write", {"txn": message.get("txn")}, phase="write-value")
-        elif message.msg_type == "read-val":
-            key = message.get("key")
-            version = self.store.get(key)
-            if version is None:
-                raise SimulationError(
-                    f"server {self.name} asked for unknown key {key!r}: "
-                    "algorithm A's reader should never request an uninstalled version"
-                )
-            ctx.send(
-                message.src,
-                "read-val-reply",
-                {
-                    "txn": message.get("txn"),
-                    "object": self.object_id,
-                    "value": version.value,
-                    "num_versions": 1,
-                },
-                phase="read-value",
-            )
+    missing_key_hint = "algorithm A's reader should never request an uninstalled version"
 
 
 # ----------------------------------------------------------------------
@@ -212,12 +201,16 @@ class AlgorithmA(Protocol):
 
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()
+        placement = config.placement()
+        policy = config.quorum_policy()
         reader_name = config.readers()[0]
-        automata: List[Any] = [AlgorithmAReader(reader_name, objects)]
+        automata: List[Any] = [AlgorithmAReader(reader_name, objects, placement, policy)]
         for writer in config.writers():
-            automata.append(AlgorithmAWriter(writer, objects, reader_name))
+            automata.append(AlgorithmAWriter(writer, objects, reader_name, placement, policy))
         for object_id in objects:
-            automata.append(
-                AlgorithmAServer(server_for_object(object_id), object_id, config.initial_value)
-            )
+            group = placement.group(object_id)
+            for replica in group:
+                automata.append(
+                    AlgorithmAServer(replica, object_id, config.initial_value, group=group)
+                )
         return automata

@@ -12,8 +12,11 @@ READ transaction of reader ``r``:
 1. ``get-tag-array`` — ask the coordinator ``s*`` for, per requested object,
    the key of the latest completed WRITE that updated it (plus the read tag
    ``t_r``);
-2. ``read-value`` — fetch exactly those keys from the servers, one version
-   per reply.
+2. ``read-value`` — fetch exactly those keys from the replica groups, one
+   version per reply; under replication the round fans out to every replica
+   and completes on a read quorum per object (quorum intersection guarantees
+   a hit, since the coordinator only names keys whose write quorum
+   completed).
 
 WRITE transactions are the shared Pseudocode 5 writer
 (:class:`~repro.protocols.coordinated.CoordinatedWriter`).
@@ -21,23 +24,34 @@ WRITE transactions are the shared Pseudocode 5 writer
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..ioa.automaton import Await, Context, ReaderAutomaton, Send
 from ..ioa.errors import SimulationError
 from ..txn.objects import Key, server_for_object
+from ..txn.placement import Placement, QuorumPolicy
 from ..txn.transactions import ReadResult, ReadTransaction
 from .base import BuildConfig, Protocol
 from .coordinated import CoordinatedServer, CoordinatedWriter, coordinator_name
+from .replication import default_policy, key_read_round, placement_or_single_copy
 
 
 class AlgorithmBReader(ReaderAutomaton):
     """Two-round reader: consult the coordinator, then fetch exact versions."""
 
-    def __init__(self, name: str, objects: Sequence[str], coordinator: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        objects: Sequence[str],
+        coordinator: str,
+        placement: Optional[Placement] = None,
+        policy: Optional[QuorumPolicy] = None,
+    ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
         self.coordinator = coordinator
+        self.placement = placement_or_single_copy(self.objects, placement)
+        self.policy = policy if policy is not None else default_policy()
 
     def run_transaction(self, txn: ReadTransaction, ctx: Context):
         if not isinstance(txn, ReadTransaction):
@@ -56,21 +70,15 @@ class AlgorithmBReader(ReaderAutomaton):
         )
         tag = replies[0].get("tag")
         keys: Dict[str, Key] = dict(replies[0].get("keys", ()))
-        # Round 2: read-value -----------------------------------------------------
-        for object_id in txn.objects:
-            yield Send(
-                dst=server_for_object(object_id),
-                msg_type="read-val",
-                payload={"txn": txn.txn_id, "object": object_id, "key": keys[object_id]},
-                phase="read-value",
-            )
-        value_replies = yield Await(
-            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "read-val-reply" and m.get("txn") == txn_id,
-            count=len(txn.objects),
-            description="read-value replies",
+        # Round 2: read-value (a read quorum per replica group) -----------------
+        chosen = {object_id: keys[object_id] for object_id in txn.objects}
+        values, value_replies = yield from key_read_round(
+            txn.txn_id, chosen, self.placement, self.policy
         )
-        values = {reply.get("object"): reply.get("value") for reply in value_replies}
-        ctx.annotate_transaction(txn.txn_id, tag=tag, protocol="algorithm-b")
+        annotations: Dict[str, Any] = {"tag": tag, "protocol": "algorithm-b"}
+        if not self.placement.is_trivial():
+            annotations["quorum_replies"] = len(value_replies)
+        ctx.annotate_transaction(txn.txn_id, **annotations)
         return ReadResult.from_mapping({obj: values[obj] for obj in txn.objects})
 
 
@@ -88,21 +96,26 @@ class AlgorithmB(Protocol):
 
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()
+        placement = config.placement()
+        policy = config.quorum_policy()
         servers = config.servers()
         coordinator = coordinator_name(servers)
         automata: List[Any] = []
         for reader in config.readers():
-            automata.append(AlgorithmBReader(reader, objects, coordinator))
+            automata.append(AlgorithmBReader(reader, objects, coordinator, placement, policy))
         for writer in config.writers():
-            automata.append(CoordinatedWriter(writer, objects, coordinator))
-        for object_id, server in zip(objects, servers):
-            automata.append(
-                CoordinatedServer(
-                    server,
-                    object_id,
-                    objects,
-                    is_coordinator=(server == coordinator),
-                    initial_value=config.initial_value,
+            automata.append(CoordinatedWriter(writer, objects, coordinator, placement, policy))
+        for object_id in objects:
+            group = placement.group(object_id)
+            for replica in group:
+                automata.append(
+                    CoordinatedServer(
+                        replica,
+                        object_id,
+                        objects,
+                        is_coordinator=(replica == coordinator),
+                        initial_value=config.initial_value,
+                        group=group,
+                    )
                 )
-            )
         return automata

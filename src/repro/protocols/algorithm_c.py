@@ -12,6 +12,13 @@ the coordinator itself stores one of the requested objects, the two requests
 are combined into a single message (as the paper notes), preserving the
 one-round property.
 
+Under the placement layer the data requests fan out to every replica of each
+requested object and the round completes once a read quorum of ``Vals``
+snapshots arrived per object (plus the coordinator's tag array); the
+per-object snapshots are unioned, and quorum intersection with the write
+quorum guarantees the union contains every key the coordinator can name for
+a completed WRITE.
+
 Fidelity note
 -------------
 The paper's pseudocode assumes the version named by the coordinator is
@@ -28,58 +35,87 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..ioa.actions import Message
 from ..ioa.automaton import Await, Context, ReaderAutomaton, Send
 from ..ioa.errors import SimulationError
 from ..txn.objects import Key, server_for_object
+from ..txn.placement import Placement, QuorumPolicy
 from ..txn.transactions import ReadResult, ReadTransaction
 from .base import BuildConfig, Protocol
 from .coordinated import CoordinatedServer, CoordinatedWriter, coordinator_name
+from .replication import (
+    default_policy,
+    key_read_round,
+    per_object_reply_await,
+    placement_or_single_copy,
+)
+
+
+def _tag_seen(collected: Sequence[Message]) -> bool:
+    return any(m.get("tag") is not None for m in collected)
 
 
 class AlgorithmCReader(ReaderAutomaton):
     """One-round reader: fetch all versions and the tag array concurrently."""
 
-    def __init__(self, name: str, objects: Sequence[str], coordinator: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        objects: Sequence[str],
+        coordinator: str,
+        placement: Optional[Placement] = None,
+        policy: Optional[QuorumPolicy] = None,
+    ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
         self.coordinator = coordinator
+        self.placement = placement_or_single_copy(self.objects, placement)
+        self.policy = policy if policy is not None else default_policy()
 
     def run_transaction(self, txn: ReadTransaction, ctx: Context):
         if not isinstance(txn, ReadTransaction):
             raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
         read_set = tuple(txn.objects)
-        read_servers = {object_id: server_for_object(object_id) for object_id in read_set}
-        coordinator_holds_read_object = self.coordinator in read_servers.values()
+        read_targets = {
+            object_id: self.placement.group(object_id) for object_id in read_set
+        }
+        coordinator_holds_read_object = any(
+            self.coordinator in group for group in read_targets.values()
+        )
 
         # Single phase: read-values-and-tags -----------------------------------
-        expected_replies = len(read_set)
         for object_id in read_set:
-            payload: Dict[str, Any] = {"txn": txn.txn_id, "object": object_id}
-            if read_servers[object_id] == self.coordinator:
-                # combine the data request and the tag-array request
-                payload["want_tags"] = True
-                payload["read_set"] = read_set
-            yield Send(
-                dst=read_servers[object_id],
-                msg_type="read-vals",
-                payload=payload,
-                phase="read-values-and-tags",
-            )
+            for replica in read_targets[object_id]:
+                payload: Dict[str, Any] = {"txn": txn.txn_id, "object": object_id}
+                if replica == self.coordinator:
+                    # combine the data request and the tag-array request
+                    payload["want_tags"] = True
+                    payload["read_set"] = read_set
+                yield Send(
+                    dst=replica,
+                    msg_type="read-vals",
+                    payload=payload,
+                    phase="read-values-and-tags",
+                )
         if not coordinator_holds_read_object:
-            expected_replies += 1
             yield Send(
                 dst=self.coordinator,
                 msg_type="get-tag-arr",
                 payload={"txn": txn.txn_id, "read_set": read_set},
                 phase="read-values-and-tags",
             )
-        replies = yield Await(
-            matcher=lambda m, txn_id=txn.txn_id: m.msg_type in ("read-vals-reply", "tag-arr-reply")
-            and m.get("txn") == txn_id,
-            count=expected_replies,
+        replies = yield per_object_reply_await(
+            txn.txn_id,
+            read_set,
+            self.placement,
+            self.policy,
+            reply_type="read-vals-reply",
             description="values and tag array",
+            extra_types=("tag-arr-reply",),
+            extra_count=0 if coordinator_holds_read_object else 1,
+            extra_ready=_tag_seen,
         )
 
         tag = None
@@ -90,9 +126,9 @@ class AlgorithmCReader(ReaderAutomaton):
                 tag = reply.get("tag")
                 keys = dict(reply.get("keys", ()))
             if reply.msg_type == "read-vals-reply":
-                versions_by_object[reply.get("object")] = {
-                    key: value for key, value in reply.get("versions", ())
-                }
+                versions_by_object.setdefault(reply.get("object"), {}).update(
+                    {key: value for key, value in reply.get("versions", ())}
+                )
         if tag is None or not keys:
             raise SimulationError(f"reader {self.name} never received the tag array for {txn.txn_id}")
 
@@ -109,33 +145,30 @@ class AlgorithmCReader(ReaderAutomaton):
         fallback_rounds = 0
         if missing:
             # Corner-case fallback (see module docstring): fetch the named
-            # versions directly, algorithm-B style.
+            # versions directly, algorithm-B style (quorum round under
+            # replication).
             fallback_rounds = 1
-            for object_id in missing:
-                yield Send(
-                    dst=read_servers[object_id],
-                    msg_type="read-val",
-                    payload={"txn": txn.txn_id, "object": object_id, "key": keys[object_id]},
-                    phase="read-value-fallback",
-                )
-            fallback_replies = yield Await(
-                matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "read-val-reply" and m.get("txn") == txn_id,
-                count=len(missing),
-                description="fallback read-value replies",
+            fallback_values, _fallback_replies = yield from key_read_round(
+                txn.txn_id,
+                {object_id: keys[object_id] for object_id in missing},
+                self.placement,
+                self.policy,
+                phase="read-value-fallback",
             )
-            for reply in fallback_replies:
-                values[reply.get("object")] = reply.get("value")
+            values.update(fallback_values)
 
         max_versions = max(
             (len(snapshot) for snapshot in versions_by_object.values()), default=1
         )
-        ctx.annotate_transaction(
-            txn.txn_id,
-            tag=tag,
-            protocol="algorithm-c",
-            fallback_rounds=fallback_rounds,
-            versions_fetched=max_versions,
-        )
+        annotations: Dict[str, Any] = {
+            "tag": tag,
+            "protocol": "algorithm-c",
+            "fallback_rounds": fallback_rounds,
+            "versions_fetched": max_versions,
+        }
+        if not self.placement.is_trivial():
+            annotations["quorum_replies"] = len(replies)
+        ctx.annotate_transaction(txn.txn_id, **annotations)
         return ReadResult.from_mapping({obj: values[obj] for obj in read_set})
 
 
@@ -153,21 +186,26 @@ class AlgorithmC(Protocol):
 
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()
+        placement = config.placement()
+        policy = config.quorum_policy()
         servers = config.servers()
         coordinator = coordinator_name(servers)
         automata: List[Any] = []
         for reader in config.readers():
-            automata.append(AlgorithmCReader(reader, objects, coordinator))
+            automata.append(AlgorithmCReader(reader, objects, coordinator, placement, policy))
         for writer in config.writers():
-            automata.append(CoordinatedWriter(writer, objects, coordinator))
-        for object_id, server in zip(objects, servers):
-            automata.append(
-                CoordinatedServer(
-                    server,
-                    object_id,
-                    objects,
-                    is_coordinator=(server == coordinator),
-                    initial_value=config.initial_value,
+            automata.append(CoordinatedWriter(writer, objects, coordinator, placement, policy))
+        for object_id in objects:
+            group = placement.group(object_id)
+            for replica in group:
+                automata.append(
+                    CoordinatedServer(
+                        replica,
+                        object_id,
+                        objects,
+                        is_coordinator=(replica == coordinator),
+                        initial_value=config.initial_value,
+                        group=group,
+                    )
                 )
-            )
         return automata

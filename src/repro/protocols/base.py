@@ -11,6 +11,9 @@ extracting histories, SNOW reports and Lemma-20 tags.
 Conventions shared by all protocol implementations:
 
 * servers are named after the object they hold (``ox`` ↦ ``sx``, ``o3`` ↦ ``s3``);
+  with ``replication_factor=N`` the placement layer adds replicas
+  ``sx.2 … sx.N`` behind the same primary name (see
+  :mod:`repro.txn.placement`);
 * readers are ``r1, r2, …`` and writers ``w1, w2, …``;
 * every protocol message belonging to a transaction carries a ``txn`` payload
   field, and every server reply to a read request carries ``num_versions`` —
@@ -32,6 +35,7 @@ from ..ioa.simulation import Simulation
 from ..ioa.trace import Trace
 from ..txn.history import History
 from ..txn.objects import object_names, server_for_object
+from ..txn.placement import Placement, QuorumPolicy, quorum_policy
 from ..txn.transactions import ReadTransaction, WriteTransaction, read as make_read, write_pairs
 
 
@@ -57,12 +61,24 @@ class BuildConfig:
     max_steps: int = 200_000
     #: optional network-conditions hook (None = the paper's reliable channels)
     fault_plane: Optional[FaultPlane] = None
+    #: replicas per object (1 = the paper's one-server-per-object setting)
+    replication_factor: int = 1
+    #: quorum policy name or instance (see :mod:`repro.txn.placement`)
+    quorum: Any = "read-one-write-all"
 
     def objects(self) -> Tuple[str, ...]:
         return object_names(self.num_objects)
 
+    def placement(self) -> Placement:
+        """The object → replica-group map of this system."""
+        return Placement.for_objects(self.objects(), self.replication_factor)
+
+    def quorum_policy(self) -> QuorumPolicy:
+        return quorum_policy(self.quorum)
+
     def servers(self) -> Tuple[str, ...]:
-        return tuple(server_for_object(o) for o in self.objects())
+        """Every storage server (all replicas), object-major, primaries first."""
+        return self.placement().servers()
 
     def readers(self) -> Tuple[str, ...]:
         return reader_names(self.num_readers)
@@ -86,6 +102,8 @@ class SystemHandle:
         self.readers = config.readers()
         self.writers = config.writers()
         self.objects = config.objects()
+        self.placement = config.placement()
+        self.quorum_policy = config.quorum_policy()
         self.servers = config.servers()
         self.initial_value = config.initial_value
         self._round_robin_reader = 0
@@ -169,10 +187,16 @@ class SystemHandle:
         return self.simulation.trace
 
     def describe(self) -> str:
-        return (
+        base = (
             f"{self.protocol.name} system: readers={list(self.readers)}, writers={list(self.writers)}, "
             f"servers={list(self.servers)}, objects={list(self.objects)}"
         )
+        if not self.placement.is_trivial():
+            base += (
+                f", replication={self.placement.replication_factor} "
+                f"({self.quorum_policy.describe()})"
+            )
+        return base
 
 
 class Protocol:
@@ -210,6 +234,12 @@ class Protocol:
             raise ValueError(f"protocol {self.name} is defined for a single reader (MWSR setting)")
         if config.num_writers > 1 and not self.supports_multiple_writers:
             raise ValueError(f"protocol {self.name} is defined for a single writer")
+        if config.replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, got {config.replication_factor}"
+            )
+        # Quorum intersection must hold for every replica group.
+        config.placement().validate_policy(config.quorum_policy())
         c2c = config.c2c if config.c2c is not None else self.default_c2c()
         if self.requires_c2c and not c2c:
             raise ValueError(
@@ -229,11 +259,17 @@ class Protocol:
         c2c: Optional[bool] = None,
         max_steps: int = 200_000,
         fault_plane: Optional[FaultPlane] = None,
+        replication_factor: int = 1,
+        quorum: Any = "read-one-write-all",
     ) -> SystemHandle:
         """Instantiate the protocol as a ready-to-run system.
 
         ``fault_plane`` installs a network-conditions hook (see
         :mod:`repro.faults`); ``None`` keeps the paper's reliable channels.
+        ``replication_factor`` places each object on a group of N servers and
+        ``quorum`` (a name or a :class:`~repro.txn.placement.QuorumPolicy`)
+        drives the read/write quorum rounds; the defaults reproduce the
+        paper's one-server-per-object system byte-for-byte.
         """
         config = BuildConfig(
             num_readers=num_readers,
@@ -245,10 +281,16 @@ class Protocol:
             scheduler=scheduler,
             max_steps=max_steps,
             fault_plane=fault_plane,
+            replication_factor=replication_factor,
+            quorum=quorum,
         )
         self.validate_config(config)
         allow_c2c = config.c2c if config.c2c is not None else self.default_c2c()
         topology = Topology(allow_client_to_client=allow_c2c)
+        placement = config.placement()
+        topology.set_replica_groups(
+            {obj: placement.group(obj) for obj in placement.objects()}
+        )
         simulation = Simulation(
             topology=topology,
             scheduler=config.scheduler,

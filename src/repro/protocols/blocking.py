@@ -33,8 +33,10 @@ from ..ioa.actions import Message
 from ..ioa.automaton import Await, Context, ReaderAutomaton, Send, ServerAutomaton, WriterAutomaton
 from ..ioa.errors import SimulationError
 from ..txn.objects import Key, VersionStore, server_for_object
+from ..txn.placement import Placement
 from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
 from .base import BuildConfig, Protocol
+from .replication import placement_or_single_copy
 
 
 @dataclass
@@ -44,15 +46,36 @@ class _PendingRequest:
 
 
 class LockingServer(ServerAutomaton):
-    """Per-object read/write locks with a FIFO queue of deferred requests."""
+    """Per-replica read/write locks with a FIFO queue of deferred requests.
 
-    def __init__(self, name: str, object_id: str, initial_value: Any = 0) -> None:
+    Replication note: each replica keeps its *own* lock table; clients take
+    locks on every replica of an object (in a global ``(object, replica)``
+    order, which keeps the system deadlock-free) and commits install at every
+    replica, so all copies stay identical.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        object_id: str,
+        initial_value: Any = 0,
+        group: Optional[Sequence[str]] = None,
+    ) -> None:
         super().__init__(name)
         self.object_id = object_id
+        self.initial_value = initial_value
+        self.group: Tuple[str, ...] = tuple(group) if group is not None else (name,)
         self.store = VersionStore(object_id, initial_value)
         self.write_locked_by: Optional[str] = None
         self.read_lock_holders: List[str] = []
         self.queue: Deque[_PendingRequest] = deque()
+
+    def forget(self) -> None:
+        """Crash-with-amnesia hook: lose store, locks and queued requests."""
+        self.store = VersionStore(self.object_id, self.initial_value)
+        self.write_locked_by = None
+        self.read_lock_holders = []
+        self.queue = deque()
 
     # ------------------------------------------------------------------
     def _can_grant_read(self) -> bool:
@@ -128,47 +151,64 @@ class LockingServer(ServerAutomaton):
 
 
 class LockingReader(ReaderAutomaton):
-    """Acquire read locks in object order, then release."""
+    """Acquire read locks in (object, replica) order, then release."""
 
-    def __init__(self, name: str, objects: Sequence[str]) -> None:
+    def __init__(
+        self,
+        name: str,
+        objects: Sequence[str],
+        placement: Optional[Placement] = None,
+    ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
+        self.placement = placement_or_single_copy(self.objects, placement)
 
     def run_transaction(self, txn: ReadTransaction, ctx: Context):
         if not isinstance(txn, ReadTransaction):
             raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
         values: Dict[str, Any] = {}
         for object_id in sorted(txn.objects):
-            yield Send(
-                dst=server_for_object(object_id),
-                msg_type="lock-read",
-                payload={"txn": txn.txn_id, "object": object_id},
-                phase="lock-read",
-            )
-            replies = yield Await(
-                matcher=lambda m, txn_id=txn.txn_id, obj=object_id: m.msg_type == "lock-read-granted"
-                and m.get("txn") == txn_id
-                and m.get("object") == obj,
-                count=1,
-                description=f"read lock on {object_id}",
-            )
-            values[object_id] = replies[0].get("value")
+            for replica in self.placement.group(object_id):
+                yield Send(
+                    dst=replica,
+                    msg_type="lock-read",
+                    payload={"txn": txn.txn_id, "object": object_id},
+                    phase="lock-read",
+                )
+                replies = yield Await(
+                    matcher=lambda m, txn_id=txn.txn_id, obj=object_id: m.msg_type == "lock-read-granted"
+                    and m.get("txn") == txn_id
+                    and m.get("object") == obj,
+                    count=1,
+                    description=f"read lock on {object_id}",
+                )
+                if object_id not in values:
+                    # All replicas hold the same committed value (write-all
+                    # commits); the primary's grant arrives first.
+                    values[object_id] = replies[0].get("value")
         for object_id in sorted(txn.objects):
-            yield Send(
-                dst=server_for_object(object_id),
-                msg_type="unlock-read",
-                payload={"txn": txn.txn_id, "object": object_id},
-                phase="unlock",
-            )
+            for replica in self.placement.group(object_id):
+                yield Send(
+                    dst=replica,
+                    msg_type="unlock-read",
+                    payload={"txn": txn.txn_id, "object": object_id},
+                    phase="unlock",
+                )
         return ReadResult.from_mapping({obj: values[obj] for obj in txn.objects})
 
 
 class LockingWriter(WriterAutomaton):
-    """Acquire write locks in object order, then commit all values."""
+    """Acquire write locks in (object, replica) order, then commit all values."""
 
-    def __init__(self, name: str, objects: Sequence[str]) -> None:
+    def __init__(
+        self,
+        name: str,
+        objects: Sequence[str],
+        placement: Optional[Placement] = None,
+    ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
+        self.placement = placement_or_single_copy(self.objects, placement)
         self.z = 0
 
     def run_transaction(self, txn: WriteTransaction, ctx: Context):
@@ -177,30 +217,34 @@ class LockingWriter(WriterAutomaton):
         self.z += 1
         key = Key(self.z, self.name)
         updates = dict(txn.updates)
+        commit_targets = 0
         for object_id in sorted(updates):
-            yield Send(
-                dst=server_for_object(object_id),
-                msg_type="lock-write",
-                payload={"txn": txn.txn_id, "object": object_id},
-                phase="lock-write",
-            )
-            yield Await(
-                matcher=lambda m, txn_id=txn.txn_id, obj=object_id: m.msg_type == "lock-write-granted"
-                and m.get("txn") == txn_id
-                and m.get("object") == obj,
-                count=1,
-                description=f"write lock on {object_id}",
-            )
+            for replica in self.placement.group(object_id):
+                yield Send(
+                    dst=replica,
+                    msg_type="lock-write",
+                    payload={"txn": txn.txn_id, "object": object_id},
+                    phase="lock-write",
+                )
+                yield Await(
+                    matcher=lambda m, txn_id=txn.txn_id, obj=object_id: m.msg_type == "lock-write-granted"
+                    and m.get("txn") == txn_id
+                    and m.get("object") == obj,
+                    count=1,
+                    description=f"write lock on {object_id}",
+                )
         for object_id in sorted(updates):
-            yield Send(
-                dst=server_for_object(object_id),
-                msg_type="commit-write",
-                payload={"txn": txn.txn_id, "object": object_id, "key": key, "value": updates[object_id]},
-                phase="commit",
-            )
+            for replica in self.placement.group(object_id):
+                commit_targets += 1
+                yield Send(
+                    dst=replica,
+                    msg_type="commit-write",
+                    payload={"txn": txn.txn_id, "object": object_id, "key": key, "value": updates[object_id]},
+                    phase="commit",
+                )
         yield Await(
             matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "commit-ack" and m.get("txn") == txn_id,
-            count=len(updates),
+            count=commit_targets,
             description="commit acks",
         )
         return WRITE_OK
@@ -220,11 +264,16 @@ class LockingProtocol(Protocol):
 
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()
+        placement = config.placement()
         automata: List[Any] = []
         for reader in config.readers():
-            automata.append(LockingReader(reader, objects))
+            automata.append(LockingReader(reader, objects, placement))
         for writer in config.writers():
-            automata.append(LockingWriter(writer, objects))
-        for object_id, server in zip(objects, config.servers()):
-            automata.append(LockingServer(server, object_id, config.initial_value))
+            automata.append(LockingWriter(writer, objects, placement))
+        for object_id in objects:
+            group = placement.group(object_id)
+            for replica in group:
+                automata.append(
+                    LockingServer(replica, object_id, config.initial_value, group=group)
+                )
         return automata

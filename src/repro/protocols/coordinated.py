@@ -2,18 +2,27 @@
 
 Both bounded-latency MWMR algorithms use the same WRITE transaction protocol
 (Pseudocode 5) and the same server-side state: a multi-version store ``Vals``
-on every server plus, on one designated *coordinator* server ``s*``, the
-append-only ``List`` recording, per WRITE transaction, which objects it
+on every storage replica plus, on one designated *coordinator* server ``s*``,
+the append-only ``List`` recording, per WRITE transaction, which objects it
 updated and under which key.  The algorithms differ only in how READ
 transactions consult the coordinator — sequentially (B: two rounds, one
 version) or concurrently (C: one round, many versions).
+
+Under the placement layer every object is held by a replica group; the
+``write-value`` phase installs at every replica and awaits a write quorum
+per object, while the coordinator remains a single logical metadata server
+(the primary replica of the first object, exactly the first server of the
+seed).  Replicating the ``List`` itself is future work (it needs a
+reconfiguration/consensus story; see ROADMAP).
 
 This module provides:
 
 * :class:`CoordinatedWriter` — the Pseudocode 5 writer (``write-value`` then
   ``update-coor``);
-* :class:`CoordinatedServer` — the server automaton handling ``write-val``,
-  ``update-coor``, ``get-tag-arr``, ``read-val`` and ``read-vals`` messages;
+* :class:`CoordinatedServer` — the storage-replica automaton
+  (:class:`~repro.protocols.replication.ReplicatedStorageServer`) extended
+  with the coordinator role (``update-coor``, ``get-tag-arr``, tag
+  piggy-backing on ``read-vals``);
 * :func:`coordinator_name` — the convention designating the coordinator.
 """
 
@@ -25,7 +34,14 @@ from ..ioa.actions import Message
 from ..ioa.automaton import Await, Context, ServerAutomaton, Send, WriterAutomaton
 from ..ioa.errors import SimulationError
 from ..txn.objects import Key, VersionStore, server_for_object
+from ..txn.placement import Placement, QuorumPolicy
 from ..txn.transactions import WriteTransaction, WRITE_OK
+from .replication import (
+    ReplicatedStorageServer,
+    default_policy,
+    placement_or_single_copy,
+    write_value_round,
+)
 
 
 def coordinator_name(servers: Sequence[str]) -> str:
@@ -41,15 +57,25 @@ class CoordinatedWriter(WriterAutomaton):
     Phases of ``W((o_{i1}, v_{i1}), …)``:
 
     1. ``write-value`` — create key ``κ = (z+1, w)``, install ``(κ, v_i)`` at
-       every written server, await all acks;
+       every replica of every written object, await a write quorum of acks
+       per object;
     2. ``update-coor`` — tell the coordinator which objects ``κ`` updated,
        await ``(ack, t_w)``; ``t_w`` is the transaction's tag.
     """
 
-    def __init__(self, name: str, objects: Sequence[str], coordinator: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        objects: Sequence[str],
+        coordinator: str,
+        placement: Optional[Placement] = None,
+        policy: Optional[QuorumPolicy] = None,
+    ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
         self.coordinator = coordinator
+        self.placement = placement_or_single_copy(self.objects, placement)
+        self.policy = policy if policy is not None else default_policy()
         self.z = 0
 
     def run_transaction(self, txn: WriteTransaction, ctx: Context):
@@ -57,18 +83,9 @@ class CoordinatedWriter(WriterAutomaton):
             raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
         self.z += 1
         key = Key(self.z, self.name)
-        # write-value phase -------------------------------------------------
-        for object_id, value in txn.updates:
-            yield Send(
-                dst=server_for_object(object_id),
-                msg_type="write-val",
-                payload={"txn": txn.txn_id, "object": object_id, "key": key, "value": value},
-                phase="write-value",
-            )
-        yield Await(
-            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "ack-write" and m.get("txn") == txn_id,
-            count=len(txn.updates),
-            description="write-value acks",
+        # write-value phase (a write quorum per written object) --------------
+        yield from write_value_round(
+            txn.txn_id, tuple(txn.updates), key, self.placement, self.policy
         )
         # update-coor phase ---------------------------------------------------
         bits = tuple((obj, 1 if obj in dict(txn.updates) else 0) for obj in self.objects)
@@ -88,16 +105,18 @@ class CoordinatedWriter(WriterAutomaton):
         return WRITE_OK
 
 
-class CoordinatedServer(ServerAutomaton):
-    """Server of algorithms B and C.
+class CoordinatedServer(ReplicatedStorageServer):
+    """Storage replica of algorithms B and C, optionally the coordinator.
 
-    Every server keeps the multi-version store ``Vals``.  The coordinator
-    additionally keeps ``List`` (entries ``(κ, bits)``, 1-based positions in
-    the pseudocode; the initial entry stands for the initial versions) and
-    answers ``get-tag-arr`` requests with, per requested object, the key of
-    the newest list entry that updated it, together with the read tag
-    ``t_r = max`` of those positions.
+    Every replica keeps the multi-version store ``Vals`` (inherited).  The
+    coordinator additionally keeps ``List`` (entries ``(κ, bits)``, 1-based
+    positions in the pseudocode; the initial entry stands for the initial
+    versions) and answers ``get-tag-arr`` requests with, per requested
+    object, the key of the newest list entry that updated it, together with
+    the read tag ``t_r = max`` of those positions.
     """
+
+    missing_key_hint = "the coordinator only hands out keys whose write-value phase completed"
 
     def __init__(
         self,
@@ -106,15 +125,19 @@ class CoordinatedServer(ServerAutomaton):
         objects: Sequence[str],
         is_coordinator: bool,
         initial_value: Any = 0,
+        group: Optional[Sequence[str]] = None,
     ) -> None:
-        super().__init__(name)
-        self.object_id = object_id
+        super().__init__(name, object_id, initial_value, group=group)
         self.objects = tuple(objects)
         self.is_coordinator = is_coordinator
-        self.store = VersionStore(object_id, initial_value)
         self.entries: List[Tuple[Key, Dict[str, int]]] = [
             (Key.initial(), {obj: 1 for obj in self.objects})
         ]
+
+    def forget(self) -> None:
+        """Amnesia: lose the store *and* (on the coordinator) the ``List``."""
+        super().forget()
+        self.entries = [(Key.initial(), {obj: 1 for obj in self.objects})]
 
     # ------------------------------------------------------------------
     # Coordinator-side helpers
@@ -136,16 +159,11 @@ class CoordinatedServer(ServerAutomaton):
         return tag, keys
 
     # ------------------------------------------------------------------
-    def on_message(self, message: Message, ctx: Context) -> None:
-        handler = getattr(self, "_on_" + message.msg_type.replace("-", "_"), None)
-        if handler is not None:
-            handler(message, ctx)
-
-    # -- writes -----------------------------------------------------------
-    def _on_write_val(self, message: Message, ctx: Context) -> None:
-        key: Key = message.get("key")
-        self.store.put(key, message.get("value"))
-        ctx.send(message.src, "ack-write", {"txn": message.get("txn")}, phase="write-value")
+    def on_unhandled(self, message: Message, ctx: Context) -> None:
+        if message.msg_type == "update-coor":
+            self._on_update_coor(message, ctx)
+        elif message.msg_type == "get-tag-arr":
+            self._on_get_tag_arr(message, ctx)
 
     def _on_update_coor(self, message: Message, ctx: Context) -> None:
         if not self.is_coordinator:
@@ -156,7 +174,6 @@ class CoordinatedServer(ServerAutomaton):
         tag = len(self.entries)
         ctx.send(message.src, "ack-coor", {"txn": message.get("txn"), "tag": tag}, phase="update-coor")
 
-    # -- reads ------------------------------------------------------------
     def _on_get_tag_arr(self, message: Message, ctx: Context) -> None:
         if not self.is_coordinator:
             raise SimulationError(f"server {self.name} is not the coordinator but received get-tag-arr")
@@ -174,41 +191,13 @@ class CoordinatedServer(ServerAutomaton):
             phase="get-tag-array",
         )
 
-    def _on_read_val(self, message: Message, ctx: Context) -> None:
-        """Algorithm B style read: fetch the value stored under an exact key."""
-        key: Key = message.get("key")
-        version = self.store.get(key)
-        if version is None:
-            raise SimulationError(
-                f"server {self.name} asked for unknown key {key!r}; "
-                "the coordinator only hands out keys whose write-value phase completed"
-            )
-        ctx.send(
-            message.src,
-            "read-val-reply",
-            {
-                "txn": message.get("txn"),
-                "object": self.object_id,
-                "value": version.value,
-                "num_versions": 1,
-            },
-            phase="read-value",
-        )
-
-    def _on_read_vals(self, message: Message, ctx: Context) -> None:
-        """Algorithm C style read: return every version (the whole ``Vals``).
+    def extend_read_vals_payload(self, message: Message, payload: Dict[str, Any]) -> None:
+        """Piggy-back the tag array when the reader combined its requests.
 
         When ``want_tags`` is set (the coordinator also holds a requested
-        object) the tag array is piggy-backed on the same reply so the READ
-        stays a single round trip per server.
+        object) the tag array rides on the same reply so the READ stays a
+        single round trip per server.
         """
-        versions = tuple((v.key, v.value) for v in self.store.all_versions())
-        payload: Dict[str, Any] = {
-            "txn": message.get("txn"),
-            "object": self.object_id,
-            "versions": versions,
-            "num_versions": len(versions),
-        }
         if message.get("want_tags"):
             if not self.is_coordinator:
                 raise SimulationError(f"server {self.name} asked for tags but is not the coordinator")
@@ -216,4 +205,3 @@ class CoordinatedServer(ServerAutomaton):
             tag, keys = self.tag_array_for(read_set)
             payload["tag"] = tag
             payload["keys"] = tuple(keys.items())
-        ctx.send(message.src, "read-vals-reply", payload, phase="read-values-and-tags")

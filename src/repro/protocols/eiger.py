@@ -38,8 +38,10 @@ from ..ioa.actions import Message
 from ..ioa.automaton import Await, Context, ReaderAutomaton, Send, ServerAutomaton, WriterAutomaton
 from ..ioa.errors import SimulationError
 from ..txn.objects import server_for_object
+from ..txn.placement import Placement, QuorumPolicy
 from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
 from .base import BuildConfig, Protocol
+from .replication import default_policy, per_object_reply_await, placement_or_single_copy
 
 
 @dataclass
@@ -57,13 +59,32 @@ class EigerVersion:
 
 
 class EigerServer(ServerAutomaton):
-    """A server with a Lamport clock and interval-versioned storage."""
+    """A server with a Lamport clock and interval-versioned storage.
 
-    def __init__(self, name: str, object_id: str, initial_value: Any = 0) -> None:
+    One replica of one object; replicas apply writes independently, each on
+    its own clock (Lamport clocks never promised cross-process agreement, so
+    per-replica clocks change nothing about Eiger's guarantees — or its
+    anomaly).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        object_id: str,
+        initial_value: Any = 0,
+        group: Optional[Sequence[str]] = None,
+    ) -> None:
         super().__init__(name)
         self.object_id = object_id
+        self.initial_value = initial_value
+        self.group: Tuple[str, ...] = tuple(group) if group is not None else (name,)
         self.clock = 0
         self.versions: List[EigerVersion] = [EigerVersion(value=initial_value, write_ts=0)]
+
+    def forget(self) -> None:
+        """Crash-with-amnesia hook: lose clock and versions."""
+        self.clock = 0
+        self.versions = [EigerVersion(value=self.initial_value, write_ts=0)]
 
     # ------------------------------------------------------------------
     def _tick(self, incoming_ts: int) -> int:
@@ -129,26 +150,40 @@ class EigerServer(ServerAutomaton):
 
 
 class EigerWriter(WriterAutomaton):
-    """A write client with a Lamport clock; writes apply independently per server."""
+    """A write client with a Lamport clock; writes apply independently per replica.
 
-    def __init__(self, name: str, objects: Sequence[str]) -> None:
+    Writes always install at **every** replica (write-all): Eiger's validity
+    intervals are per-replica state, so a replica that missed a write would
+    answer reads with a stale interval forever.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        objects: Sequence[str],
+        placement: Optional[Placement] = None,
+    ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
+        self.placement = placement_or_single_copy(self.objects, placement)
         self.clock = 0
 
     def run_transaction(self, txn: WriteTransaction, ctx: Context):
         if not isinstance(txn, WriteTransaction):
             raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
+        sends = 0
         for object_id, value in txn.updates:
-            yield Send(
-                dst=server_for_object(object_id),
-                msg_type="eiger-write",
-                payload={"txn": txn.txn_id, "object": object_id, "value": value, "ts": self.clock},
-                phase="write",
-            )
+            for replica in self.placement.group(object_id):
+                sends += 1
+                yield Send(
+                    dst=replica,
+                    msg_type="eiger-write",
+                    payload={"txn": txn.txn_id, "object": object_id, "value": value, "ts": self.clock},
+                    phase="write",
+                )
         acks = yield Await(
             matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "eiger-write-ack" and m.get("txn") == txn_id,
-            count=len(txn.updates),
+            count=sends,
             description="write acks",
         )
         self.clock = max([self.clock] + [int(a.get("ts", 0)) for a in acks]) + 1
@@ -156,11 +191,27 @@ class EigerWriter(WriterAutomaton):
 
 
 class EigerReader(ReaderAutomaton):
-    """Eiger's read-only transaction: validity-interval round, optional catch-up round."""
+    """Eiger's read-only transaction: validity-interval round, optional catch-up round.
 
-    def __init__(self, name: str, objects: Sequence[str]) -> None:
+    Under replication, round 1 fans out to every replica of each object and
+    accepts a read quorum per object, keeping, per object, the reply with
+    the largest ``evt`` (the most recently revalidated version among the
+    quorum); the optional catch-up round goes back to exactly the replica
+    whose reply was kept, since validity intervals only mean something on
+    the clock of the replica that issued them.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        objects: Sequence[str],
+        placement: Optional[Placement] = None,
+        policy: Optional[QuorumPolicy] = None,
+    ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
+        self.placement = placement_or_single_copy(self.objects, placement)
+        self.policy = policy if policy is not None else default_policy()
         self.clock = 0
 
     def run_transaction(self, txn: ReadTransaction, ctx: Context):
@@ -168,24 +219,33 @@ class EigerReader(ReaderAutomaton):
             raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
         # Round 1: latest values with validity intervals --------------------------
         for object_id in txn.objects:
-            yield Send(
-                dst=server_for_object(object_id),
-                msg_type="eiger-read",
-                payload={"txn": txn.txn_id, "object": object_id, "ts": self.clock},
-                phase="read-round-1",
-            )
-        replies = yield Await(
-            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "eiger-read-reply" and m.get("txn") == txn_id,
-            count=len(txn.objects),
+            for replica in self.placement.group(object_id):
+                yield Send(
+                    dst=replica,
+                    msg_type="eiger-read",
+                    payload={"txn": txn.txn_id, "object": object_id, "ts": self.clock},
+                    phase="read-round-1",
+                )
+        replies = yield per_object_reply_await(
+            txn.txn_id,
+            tuple(txn.objects),
+            self.placement,
+            self.policy,
+            reply_type="eiger-read-reply",
             description="round-1 replies",
         )
         self.clock = max([self.clock] + [int(r.get("ts", 0)) for r in replies]) + 1
         intervals: Dict[str, Tuple[int, int]] = {}
         values: Dict[str, Any] = {}
+        chosen_replica: Dict[str, str] = {}
         for reply in replies:
             object_id = reply.get("object")
+            evt = int(reply.get("evt", 0))
+            if object_id in intervals and evt <= intervals[object_id][0]:
+                continue  # keep the reply with the largest evt (first wins ties)
             values[object_id] = reply.get("value")
-            intervals[object_id] = (int(reply.get("evt", 0)), int(reply.get("lvt", 0)))
+            intervals[object_id] = (evt, int(reply.get("lvt", 0)))
+            chosen_replica[object_id] = reply.src
 
         effective_time = max(evt for evt, _ in intervals.values())
         stale = [obj for obj, (evt, lvt) in intervals.items() if lvt < effective_time]
@@ -196,7 +256,7 @@ class EigerReader(ReaderAutomaton):
             rounds = 2
             for object_id in stale:
                 yield Send(
-                    dst=server_for_object(object_id),
+                    dst=chosen_replica[object_id],
                     msg_type="eiger-read-at",
                     payload={
                         "txn": txn.txn_id,
@@ -240,11 +300,17 @@ class EigerProtocol(Protocol):
 
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()
+        placement = config.placement()
+        policy = config.quorum_policy()
         automata: List[Any] = []
         for reader in config.readers():
-            automata.append(EigerReader(reader, objects))
+            automata.append(EigerReader(reader, objects, placement, policy))
         for writer in config.writers():
-            automata.append(EigerWriter(writer, objects))
-        for object_id, server in zip(objects, config.servers()):
-            automata.append(EigerServer(server, object_id, config.initial_value))
+            automata.append(EigerWriter(writer, objects, placement))
+        for object_id in objects:
+            group = placement.group(object_id)
+            for replica in group:
+                automata.append(
+                    EigerServer(replica, object_id, config.initial_value, group=group)
+                )
         return automata

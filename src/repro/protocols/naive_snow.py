@@ -15,53 +15,61 @@ impossible, an adversarial or randomized schedule quickly produces an
 execution whose history the strict-serializability checker rejects — while
 the same searches over algorithm A's executions (in the possible cells) find
 nothing.
+
+Under the placement layer, writes install at a write quorum per object and
+reads take a read quorum per object, keeping the version with the largest
+key among the quorum (replies carry the key only in replicated groups, so
+single-copy traces stay byte-identical).  Replication changes nothing about
+the protocol's character: it stays NOW-but-not-S.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..ioa.actions import Message
 from ..ioa.automaton import Await, Context, ReaderAutomaton, Send, ServerAutomaton, WriterAutomaton
 from ..ioa.errors import SimulationError
 from ..txn.objects import Key, VersionStore, server_for_object
+from ..txn.placement import Placement, QuorumPolicy
 from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
 from .base import BuildConfig, Protocol
+from .replication import (
+    ReplicatedStorageServer,
+    default_policy,
+    per_object_reply_await,
+    placement_or_single_copy,
+    write_value_round,
+)
 
 
-class NaiveServer(ServerAutomaton):
-    """Installs writes immediately; answers reads with the latest value."""
+class NaiveServer(ReplicatedStorageServer):
+    """Installs writes immediately; answers reads with the latest value.
 
-    def __init__(self, name: str, object_id: str, initial_value: Any = 0) -> None:
-        super().__init__(name)
-        self.object_id = object_id
-        self.store = VersionStore(object_id, initial_value)
+    The shared storage replica already speaks this wire (``write-val`` /
+    ``read-latest``) — the only deviation from the seed's server is the
+    ``phase`` label on write acks, restored here.
+    """
 
-    def on_message(self, message: Message, ctx: Context) -> None:
-        if message.msg_type == "write-val":
-            self.store.put(message.get("key"), message.get("value"))
-            ctx.send(message.src, "ack-write", {"txn": message.get("txn")}, phase="write")
-        elif message.msg_type == "read-latest":
-            version = self.store.latest()
-            ctx.send(
-                message.src,
-                "read-latest-reply",
-                {
-                    "txn": message.get("txn"),
-                    "object": self.object_id,
-                    "value": version.value,
-                    "num_versions": 1,
-                },
-                phase="read",
-            )
+    def handle_write_val(self, message: Message, ctx: Context) -> None:
+        self.store.put(message.get("key"), message.get("value"))
+        ctx.send(message.src, "ack-write", self._ack_payload(message), phase="write")
 
 
 class NaiveWriter(WriterAutomaton):
-    """Installs each update at its server and waits for the acks."""
+    """Installs each update at a write quorum of its replica group."""
 
-    def __init__(self, name: str, objects: Sequence[str]) -> None:
+    def __init__(
+        self,
+        name: str,
+        objects: Sequence[str],
+        placement: Optional[Placement] = None,
+        policy: Optional[QuorumPolicy] = None,
+    ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
+        self.placement = placement_or_single_copy(self.objects, placement)
+        self.policy = policy if policy is not None else default_policy()
         self.z = 0
 
     def run_transaction(self, txn: WriteTransaction, ctx: Context):
@@ -69,44 +77,61 @@ class NaiveWriter(WriterAutomaton):
             raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
         self.z += 1
         key = Key(self.z, self.name)
-        for object_id, value in txn.updates:
-            yield Send(
-                dst=server_for_object(object_id),
-                msg_type="write-val",
-                payload={"txn": txn.txn_id, "object": object_id, "key": key, "value": value},
-                phase="write",
-            )
-        yield Await(
-            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "ack-write" and m.get("txn") == txn_id,
-            count=len(txn.updates),
-            description="write acks",
+        yield from write_value_round(
+            txn.txn_id, tuple(txn.updates), key, self.placement, self.policy, phase="write"
         )
         return WRITE_OK
 
 
 class NaiveReader(ReaderAutomaton):
-    """One parallel round of read-latest requests."""
+    """One parallel round of read-latest requests over the replica groups."""
 
-    def __init__(self, name: str, objects: Sequence[str]) -> None:
+    def __init__(
+        self,
+        name: str,
+        objects: Sequence[str],
+        placement: Optional[Placement] = None,
+        policy: Optional[QuorumPolicy] = None,
+    ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
+        self.placement = placement_or_single_copy(self.objects, placement)
+        self.policy = policy if policy is not None else default_policy()
 
     def run_transaction(self, txn: ReadTransaction, ctx: Context):
         if not isinstance(txn, ReadTransaction):
             raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
         for object_id in txn.objects:
-            yield Send(
-                dst=server_for_object(object_id),
-                msg_type="read-latest",
-                payload={"txn": txn.txn_id, "object": object_id},
-                phase="read",
-            )
-        replies = yield Await(
-            matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "read-latest-reply" and m.get("txn") == txn_id,
-            count=len(txn.objects),
+            for replica in self.placement.group(object_id):
+                yield Send(
+                    dst=replica,
+                    msg_type="read-latest",
+                    payload={"txn": txn.txn_id, "object": object_id},
+                    phase="read",
+                )
+        replies = yield per_object_reply_await(
+            txn.txn_id,
+            tuple(txn.objects),
+            self.placement,
+            self.policy,
+            reply_type="read-latest-reply",
             description="read replies",
         )
-        values = {reply.get("object"): reply.get("value") for reply in replies}
+        values: Dict[str, Any] = {}
+        best_key: Dict[str, Key] = {}
+        for reply in replies:
+            object_id = reply.get("object")
+            key = reply.get("key")
+            if key is None:
+                # Single-copy reply: exactly one per object, take it.
+                values[object_id] = reply.get("value")
+                continue
+            # Replicated: keep the newest version among the quorum (first
+            # reply wins key ties, which keeps the choice deterministic).
+            if object_id in best_key and key <= best_key[object_id]:
+                continue
+            best_key[object_id] = key
+            values[object_id] = reply.get("value")
         return ReadResult.from_mapping({obj: values[obj] for obj in txn.objects})
 
 
@@ -124,11 +149,17 @@ class NaiveSnowCandidate(Protocol):
 
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()
+        placement = config.placement()
+        policy = config.quorum_policy()
         automata: List[Any] = []
         for reader in config.readers():
-            automata.append(NaiveReader(reader, objects))
+            automata.append(NaiveReader(reader, objects, placement, policy))
         for writer in config.writers():
-            automata.append(NaiveWriter(writer, objects))
-        for object_id, server in zip(objects, config.servers()):
-            automata.append(NaiveServer(server, object_id, config.initial_value))
+            automata.append(NaiveWriter(writer, objects, placement, policy))
+        for object_id in objects:
+            group = placement.group(object_id)
+            for replica in group:
+                automata.append(
+                    NaiveServer(replica, object_id, config.initial_value, group=group)
+                )
         return automata

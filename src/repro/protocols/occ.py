@@ -51,8 +51,10 @@ from ..ioa.actions import Message
 from ..ioa.automaton import Await, Context, ReaderAutomaton, Send, ServerAutomaton, WriterAutomaton
 from ..ioa.errors import SimulationError
 from ..txn.objects import Key, server_for_object
+from ..txn.placement import Placement
 from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
 from .base import BuildConfig, Protocol
+from .replication import placement_or_single_copy
 
 
 class OccServer(ServerAutomaton):
@@ -62,16 +64,31 @@ class OccServer(ServerAutomaton):
     """
 
     def __init__(
-        self, name: str, object_id: str, is_timestamp_server: bool, initial_value: Any = 0
+        self,
+        name: str,
+        object_id: str,
+        is_timestamp_server: bool,
+        initial_value: Any = 0,
+        group: Optional[Sequence[str]] = None,
     ) -> None:
         super().__init__(name)
         self.object_id = object_id
         self.is_timestamp_server = is_timestamp_server
+        self.initial_value = initial_value
+        self.group: Tuple[str, ...] = tuple(group) if group is not None else (name,)
         self.timestamp_counter = 0
         self.apply_counter = 0
         self.latest_value: Any = initial_value
         self.latest_timestamp = 0
         self.latest_write_set: Tuple[str, ...] = ()
+
+    def forget(self) -> None:
+        """Crash-with-amnesia hook: lose counters and the latest version."""
+        self.timestamp_counter = 0
+        self.apply_counter = 0
+        self.latest_value = self.initial_value
+        self.latest_timestamp = 0
+        self.latest_write_set = ()
 
     def on_message(self, message: Message, ctx: Context) -> None:
         if message.msg_type == "get-ts":
@@ -111,12 +128,23 @@ class OccServer(ServerAutomaton):
 
 
 class OccWriter(WriterAutomaton):
-    """Timestamp first, install second."""
+    """Timestamp first, install second (at every replica — write-all).
 
-    def __init__(self, name: str, objects: Sequence[str], timestamp_server: str) -> None:
+    Timestamp-ordered last-writer-wins only converges when every replica
+    sees every install, so partial write quorums are not an option here.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        objects: Sequence[str],
+        timestamp_server: str,
+        placement: Optional[Placement] = None,
+    ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
         self.timestamp_server = timestamp_server
+        self.placement = placement_or_single_copy(self.objects, placement)
 
     def run_transaction(self, txn: WriteTransaction, ctx: Context):
         if not isinstance(txn, WriteTransaction):
@@ -134,22 +162,25 @@ class OccWriter(WriterAutomaton):
         )
         timestamp = int(replies[0].get("timestamp"))
         write_set = tuple(obj for obj, _ in txn.updates)
+        installs = 0
         for object_id, value in txn.updates:
-            yield Send(
-                dst=server_for_object(object_id),
-                msg_type="install",
-                payload={
-                    "txn": txn.txn_id,
-                    "object": object_id,
-                    "value": value,
-                    "timestamp": timestamp,
-                    "write_set": write_set,
-                },
-                phase="install",
-            )
+            for replica in self.placement.group(object_id):
+                installs += 1
+                yield Send(
+                    dst=replica,
+                    msg_type="install",
+                    payload={
+                        "txn": txn.txn_id,
+                        "object": object_id,
+                        "value": value,
+                        "timestamp": timestamp,
+                        "write_set": write_set,
+                    },
+                    phase="install",
+                )
         yield Await(
             matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "install-ack" and m.get("txn") == txn_id,
-            count=len(txn.updates),
+            count=installs,
             description="install acks",
         )
         ctx.annotate_transaction(txn.txn_id, protocol="occ", timestamp=timestamp)
@@ -157,31 +188,53 @@ class OccWriter(WriterAutomaton):
 
 
 class OccReader(ReaderAutomaton):
-    """Collect-validate-retry reader (non-blocking, one-version, unbounded rounds)."""
+    """Collect-validate-retry reader (non-blocking, one-version, unbounded rounds).
 
-    def __init__(self, name: str, objects: Sequence[str], max_attempts: int = 128) -> None:
+    Under replication each collect gathers from **every** replica of every
+    requested object (read-all — the counterpart of the writer's write-all);
+    the per-replica apply counters must be stable between two consecutive
+    collects at every replica, and the value chosen per object is the one
+    with the highest timestamp among its replicas (they agree whenever the
+    counters are stable and no install is in flight to part of the group).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        objects: Sequence[str],
+        max_attempts: int = 128,
+        placement: Optional[Placement] = None,
+    ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
+        self.placement = placement_or_single_copy(self.objects, placement)
         self.max_attempts = max_attempts
 
     def _collect(self, txn: ReadTransaction, attempt: int):
+        targets = 0
         for object_id in txn.objects:
-            yield Send(
-                dst=server_for_object(object_id),
-                msg_type="collect",
-                payload={"txn": txn.txn_id, "object": object_id, "attempt": attempt},
-                phase="collect",
-            )
+            for replica in self.placement.group(object_id):
+                targets += 1
+                yield Send(
+                    dst=replica,
+                    msg_type="collect",
+                    payload={"txn": txn.txn_id, "object": object_id, "attempt": attempt},
+                    phase="collect",
+                )
         replies = yield Await(
             matcher=lambda m, txn_id=txn.txn_id, a=attempt: m.msg_type == "collect-reply"
             and m.get("txn") == txn_id
             and m.get("attempt") == a,
-            count=len(txn.objects),
+            count=targets,
             description=f"collect #{attempt}",
         )
+        # Keyed by replica server: the double-collect validation is a
+        # per-replica counter comparison (at replication factor 1 the key is
+        # in bijection with the object, exactly the seed's snapshot).
         snapshot: Dict[str, Dict[str, Any]] = {}
         for reply in replies:
-            snapshot[reply.get("object")] = {
+            snapshot[reply.src] = {
+                "object": reply.get("object"),
                 "value": reply.get("value"),
                 "timestamp": int(reply.get("timestamp", 0)),
                 "write_set": tuple(reply.get("write_set", ())),
@@ -189,15 +242,38 @@ class OccReader(ReaderAutomaton):
             }
         return snapshot
 
+    def _chosen_per_object(
+        self, snapshot: Dict[str, Dict[str, Any]], read_set: Sequence[str]
+    ) -> Dict[str, Dict[str, Any]]:
+        """Per object, the replica view with the highest timestamp.
+
+        Group order breaks ties, which keeps the choice deterministic.
+        """
+        chosen: Dict[str, Dict[str, Any]] = {}
+        for object_id in read_set:
+            best: Optional[Dict[str, Any]] = None
+            for replica in self.placement.group(object_id):
+                info = snapshot.get(replica)
+                if info is None:
+                    continue
+                if best is None or info["timestamp"] > best["timestamp"]:
+                    best = info
+            if best is None:
+                raise SimulationError(
+                    f"occ reader {self.name} collected no reply for {object_id!r}"
+                )
+            chosen[object_id] = best
+        return chosen
+
     @staticmethod
-    def _write_set_closed(snapshot: Dict[str, Dict[str, Any]], read_set: Sequence[str]) -> bool:
+    def _write_set_closed(chosen: Dict[str, Dict[str, Any]], read_set: Sequence[str]) -> bool:
         """No multi-object WRITE is observed half-applied within the read set."""
         for object_i in read_set:
-            info_i = snapshot[object_i]
+            info_i = chosen[object_i]
             for object_j in info_i["write_set"]:
-                if object_j == object_i or object_j not in snapshot:
+                if object_j == object_i or object_j not in chosen:
                     continue
-                if snapshot[object_j]["timestamp"] < info_i["timestamp"]:
+                if chosen[object_j]["timestamp"] < info_i["timestamp"]:
                     return False
         return True
 
@@ -210,16 +286,18 @@ class OccReader(ReaderAutomaton):
             attempts += 1
             current = yield from self._collect(txn, attempt=attempts)
             counters_match = all(
-                previous[obj]["counter"] == current[obj]["counter"] for obj in txn.objects
+                previous[replica]["counter"] == current[replica]["counter"]
+                for replica in current
             )
-            if counters_match and self._write_set_closed(current, txn.objects):
+            chosen = self._chosen_per_object(current, txn.objects)
+            if counters_match and self._write_set_closed(chosen, txn.objects):
                 ctx.annotate_transaction(
                     txn.txn_id,
                     protocol="occ",
                     collects=attempts,
-                    snapshot_timestamp=max(current[obj]["timestamp"] for obj in txn.objects),
+                    snapshot_timestamp=max(chosen[obj]["timestamp"] for obj in txn.objects),
                 )
-                return ReadResult.from_mapping({obj: current[obj]["value"] for obj in txn.objects})
+                return ReadResult.from_mapping({obj: chosen[obj]["value"] for obj in txn.objects})
             previous = current
         raise SimulationError(
             f"occ reader {self.name} exhausted {self.max_attempts} collects for {txn.txn_id}: "
@@ -244,20 +322,26 @@ class OccProtocol(Protocol):
 
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()
+        placement = config.placement()
         servers = config.servers()
         timestamp_server = servers[0]
         automata: List[Any] = []
         for reader in config.readers():
-            automata.append(OccReader(reader, objects, max_attempts=self.max_attempts))
-        for writer in config.writers():
-            automata.append(OccWriter(writer, objects, timestamp_server))
-        for object_id, server in zip(objects, servers):
             automata.append(
-                OccServer(
-                    server,
-                    object_id,
-                    is_timestamp_server=(server == timestamp_server),
-                    initial_value=config.initial_value,
-                )
+                OccReader(reader, objects, max_attempts=self.max_attempts, placement=placement)
             )
+        for writer in config.writers():
+            automata.append(OccWriter(writer, objects, timestamp_server, placement))
+        for object_id in objects:
+            group = placement.group(object_id)
+            for replica in group:
+                automata.append(
+                    OccServer(
+                        replica,
+                        object_id,
+                        is_timestamp_server=(replica == timestamp_server),
+                        initial_value=config.initial_value,
+                        group=group,
+                    )
+                )
         return automata

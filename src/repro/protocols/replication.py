@@ -1,0 +1,382 @@
+"""Shared replica-aware storage machinery for the protocol implementations.
+
+This module is the protocol-side half of the placement layer
+(:mod:`repro.txn.placement`): a common storage-server automaton that serves
+one *replica* of one object, plus the quorum-round helpers the client
+sessions are built from.
+
+The byte-identity contract
+--------------------------
+With a trivial placement (every group of size one — the paper's setting) the
+helpers emit exactly the sends, payloads and await-resumption points of the
+pre-placement protocols, so ``replication_factor=1`` traces are byte-for-byte
+identical to the single-copy seed (pinned by ``tests/replication``).  Two
+rules implement the contract:
+
+* replies gain replica-only payload fields (``object`` on write acks, ``key``
+  on latest-value replies) **only when the serving group has more than one
+  member**, and the ``read-val-miss`` message type exists only in replicated
+  groups (a single-copy server still fails loudly on an unknown key);
+* quorum awaits use a fixed ``count`` when the placement is trivial and an
+  ``until`` predicate otherwise — both resume the session on the same
+  delivery when quorums are of size one.
+
+Quorum rounds
+-------------
+Requests are always sent to *every* replica of a group and the session
+resumes once a quorum of replies per object arrived; the surplus replies are
+delivered later and ignored (clients drop unmatched messages).  Sending to
+all and awaiting ``R``/``W`` is what makes the rounds fault-tolerant: a
+crashed or partitioned replica simply never replies, and as long as a quorum
+survives the transaction completes.  Quorum intersection (validated by the
+policy) guarantees an exact-key read quorum contains at least one replica
+that holds the key of any completed write.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ioa.actions import Message
+from ..ioa.automaton import Await, Context, Send, ServerAutomaton
+from ..ioa.errors import SimulationError
+from ..txn.objects import Key, VersionStore
+from ..txn.placement import Placement, QuorumPolicy, ReadOneWriteAll
+
+
+# ----------------------------------------------------------------------
+# The shared storage-server automaton
+# ----------------------------------------------------------------------
+class ReplicatedStorageServer(ServerAutomaton):
+    """One replica of one object: a multi-version store behind the common wire.
+
+    Handles the shared message vocabulary (``write-val``, ``read-val``,
+    ``read-latest``, ``read-vals``); anything else is offered to
+    :meth:`on_unhandled` for protocol-specific subclasses (the coordinator
+    role of algorithms B/C lives there).
+
+    ``group`` is the full replica group this server belongs to; a group of
+    one reproduces the seed's single-copy servers exactly.
+    """
+
+    #: error hint appended when a single-copy server is asked for an unknown
+    #: key (replicated servers answer ``read-val-miss`` instead of raising).
+    missing_key_hint = "the requested key was never installed at this server"
+
+    def __init__(
+        self,
+        name: str,
+        object_id: str,
+        initial_value: Any = 0,
+        group: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__(name)
+        self.object_id = object_id
+        self.initial_value = initial_value
+        self.group: Tuple[str, ...] = tuple(group) if group is not None else (name,)
+        self.store = VersionStore(object_id, initial_value)
+
+    # ------------------------------------------------------------------
+    @property
+    def replicated(self) -> bool:
+        return len(self.group) > 1
+
+    def forget(self) -> None:
+        """Crash-with-amnesia hook: lose all volatile state (the store)."""
+        self.store = VersionStore(self.object_id, self.initial_value)
+
+    def _ack_payload(self, message: Message) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"txn": message.get("txn")}
+        if self.replicated:
+            # Per-object ack counting is what partial write quorums need;
+            # single-copy acks stay field-for-field identical to the seed.
+            payload["object"] = self.object_id
+        return payload
+
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message, ctx: Context) -> None:
+        if message.msg_type == "write-val":
+            self.handle_write_val(message, ctx)
+        elif message.msg_type == "read-val":
+            self.handle_read_val(message, ctx)
+        elif message.msg_type == "read-latest":
+            self.handle_read_latest(message, ctx)
+        elif message.msg_type == "read-vals":
+            self.handle_read_vals(message, ctx)
+        else:
+            self.on_unhandled(message, ctx)
+
+    def on_unhandled(self, message: Message, ctx: Context) -> None:
+        """Hook for protocol-specific message types (default: ignore)."""
+
+    # -- writes -----------------------------------------------------------
+    def handle_write_val(self, message: Message, ctx: Context) -> None:
+        key: Key = message.get("key")
+        self.store.put(key, message.get("value"))
+        ctx.send(message.src, "ack-write", self._ack_payload(message), phase="write-value")
+
+    # -- reads ------------------------------------------------------------
+    def handle_read_val(self, message: Message, ctx: Context) -> None:
+        """Exact-key read (algorithms A and B)."""
+        key: Key = message.get("key")
+        version = self.store.get(key)
+        if version is None:
+            if not self.replicated:
+                raise SimulationError(
+                    f"server {self.name} asked for unknown key {key!r}: {self.missing_key_hint}"
+                )
+            # A replica that has not (yet) installed the key: an honest miss.
+            # Quorum intersection guarantees some replica in any read quorum
+            # has it, so the reader treats misses as progress, not failure.
+            ctx.send(
+                message.src,
+                "read-val-miss",
+                {"txn": message.get("txn"), "object": self.object_id, "num_versions": 0},
+                phase="read-value",
+            )
+            return
+        ctx.send(
+            message.src,
+            "read-val-reply",
+            {
+                "txn": message.get("txn"),
+                "object": self.object_id,
+                "value": version.value,
+                "num_versions": 1,
+            },
+            phase="read-value",
+        )
+
+    def handle_read_latest(self, message: Message, ctx: Context) -> None:
+        """Latest-value read (the naive / simple-rw wire)."""
+        version = self.store.latest()
+        payload: Dict[str, Any] = {
+            "txn": message.get("txn"),
+            "object": self.object_id,
+            "value": version.value,
+            "num_versions": 1,
+        }
+        if self.replicated:
+            # The key lets readers pick the newest version across replicas.
+            payload["key"] = version.key
+        ctx.send(message.src, "read-latest-reply", payload, phase="read")
+
+    def handle_read_vals(self, message: Message, ctx: Context) -> None:
+        """Whole-``Vals`` read (algorithm C); subclasses may extend the payload."""
+        versions = tuple((v.key, v.value) for v in self.store.all_versions())
+        payload: Dict[str, Any] = {
+            "txn": message.get("txn"),
+            "object": self.object_id,
+            "versions": versions,
+            "num_versions": len(versions),
+        }
+        self.extend_read_vals_payload(message, payload)
+        ctx.send(message.src, "read-vals-reply", payload, phase="read-values-and-tags")
+
+    def extend_read_vals_payload(self, message: Message, payload: Dict[str, Any]) -> None:
+        """Hook for coordinator piggy-backing (default: nothing)."""
+
+
+# ----------------------------------------------------------------------
+# Quorum round helpers (client-session side)
+# ----------------------------------------------------------------------
+def _count_by_object(messages: Sequence[Message], placement: Placement) -> Dict[str, int]:
+    """Per-object message counts; acks from single-copy groups carry no
+    ``object`` field, so fall back to resolving the sender's object (which
+    keeps mixed-size placements — one replicated group next to a single-copy
+    one — counting correctly)."""
+    counts: Dict[str, int] = {}
+    for message in messages:
+        obj = message.get("object")
+        if obj is None:
+            obj = placement.object_of(message.src)
+        counts[obj] = counts.get(obj, 0) + 1
+    return counts
+
+
+def write_quorum_await(
+    txn_id: str,
+    objects_written: Sequence[str],
+    placement: Placement,
+    policy: QuorumPolicy,
+    ack_type: str = "ack-write",
+    description: str = "write-value acks",
+) -> Await:
+    """The Await ending a write-value round.
+
+    Trivial placement: the seed's fixed-count await (one ack per object).
+    Replicated: resume once every written object has ``W`` acks.
+    """
+    matcher = lambda m, t=txn_id: m.msg_type == ack_type and m.get("txn") == t
+    if placement.is_trivial():
+        return Await(matcher=matcher, count=len(objects_written), description=description)
+    needed = {
+        obj: policy.write_quorum(len(placement.group(obj))) for obj in objects_written
+    }
+
+    def quorum_reached(collected: List[Message]) -> bool:
+        counts = _count_by_object(collected, placement)
+        return all(counts.get(obj, 0) >= need for obj, need in needed.items())
+
+    return Await(matcher=matcher, until=quorum_reached, description=description + " (quorum)")
+
+
+def write_value_round(
+    txn_id: str,
+    updates: Sequence[Tuple[str, Any]],
+    key: Key,
+    placement: Placement,
+    policy: QuorumPolicy,
+    phase: str = "write-value",
+):
+    """Generator: install ``(key, value)`` at every replica, await W per object.
+
+    Returns the collected acks (unused by the callers today, but the count is
+    what quorum metrics annotate).
+    """
+    for object_id, value in updates:
+        for replica in placement.group(object_id):
+            yield Send(
+                dst=replica,
+                msg_type="write-val",
+                payload={"txn": txn_id, "object": object_id, "key": key, "value": value},
+                phase=phase,
+            )
+    acks = yield write_quorum_await(
+        txn_id, [obj for obj, _ in updates], placement, policy
+    )
+    return acks
+
+
+def key_read_await(
+    txn_id: str,
+    read_set: Sequence[str],
+    placement: Placement,
+    policy: QuorumPolicy,
+    description: str = "read-value replies",
+) -> Await:
+    """The Await ending an exact-key read round.
+
+    Trivial placement: the seed's fixed-count await over ``read-val-reply``.
+    Replicated: collect ``read-val-reply``/``read-val-miss`` until every
+    object has ``R`` replies of which at least one is a hit (the hit is
+    guaranteed by quorum intersection; see module docstring).
+    """
+    if placement.is_trivial():
+        return Await(
+            matcher=lambda m, t=txn_id: m.msg_type == "read-val-reply" and m.get("txn") == t,
+            count=len(read_set),
+            description=description,
+        )
+    needed = {obj: policy.read_quorum(len(placement.group(obj))) for obj in read_set}
+
+    def quorum_reached(collected: List[Message]) -> bool:
+        counts: Dict[str, int] = {}
+        hits: Dict[str, int] = {}
+        for m in collected:
+            obj = m.get("object")
+            counts[obj] = counts.get(obj, 0) + 1
+            if m.msg_type == "read-val-reply":
+                hits[obj] = hits.get(obj, 0) + 1
+        return all(
+            counts.get(obj, 0) >= need and hits.get(obj, 0) >= 1
+            for obj, need in needed.items()
+        )
+
+    return Await(
+        matcher=lambda m, t=txn_id: m.msg_type in ("read-val-reply", "read-val-miss")
+        and m.get("txn") == t,
+        until=quorum_reached,
+        description=description + " (quorum)",
+    )
+
+
+def key_read_round(
+    txn_id: str,
+    chosen_keys: Mapping[str, Key],
+    placement: Placement,
+    policy: QuorumPolicy,
+    phase: str = "read-value",
+):
+    """Generator: fetch exact keys from every replica, await an R-quorum.
+
+    Returns ``(values, replies)`` — per-object values from the first hit per
+    object, plus the raw reply list (for quorum metrics).
+    """
+    for object_id, key in chosen_keys.items():
+        for replica in placement.group(object_id):
+            yield Send(
+                dst=replica,
+                msg_type="read-val",
+                payload={"txn": txn_id, "object": object_id, "key": key},
+                phase=phase,
+            )
+    replies = yield key_read_await(txn_id, tuple(chosen_keys), placement, policy)
+    values: Dict[str, Any] = {}
+    for reply in replies:
+        if reply.msg_type == "read-val-reply" and reply.get("object") not in values:
+            values[reply.get("object")] = reply.get("value")
+    missing = [obj for obj in chosen_keys if obj not in values]
+    if missing:
+        raise SimulationError(
+            f"read {txn_id} reached its quorum without a value for {missing!r}; "
+            "quorum intersection should make this impossible"
+        )
+    return values, replies
+
+
+def per_object_reply_await(
+    txn_id: str,
+    read_set: Sequence[str],
+    placement: Placement,
+    policy: QuorumPolicy,
+    reply_type: str,
+    description: str,
+    extra_ready: Optional[Callable[[List[Message]], bool]] = None,
+    extra_types: Tuple[str, ...] = (),
+    extra_count: int = 0,
+) -> Await:
+    """An Await for one reply round fanned out over replica groups.
+
+    Trivial placement: fixed count ``len(read_set) + extra_count`` over
+    ``reply_type`` plus ``extra_types`` (matching the seed's awaits exactly).
+    Replicated: until every object has ``R`` replies of ``reply_type`` and
+    ``extra_ready`` (if given) is satisfied — used by algorithm C to also
+    require the coordinator's tag array, and by Eiger's first round.
+    """
+    types = (reply_type,) + tuple(extra_types)
+    matcher = lambda m, t=txn_id, ts=types: m.msg_type in ts and m.get("txn") == t
+    if placement.is_trivial():
+        return Await(
+            matcher=matcher, count=len(read_set) + extra_count, description=description
+        )
+    needed = {obj: policy.read_quorum(len(placement.group(obj))) for obj in read_set}
+
+    def quorum_reached(collected: List[Message]) -> bool:
+        counts: Dict[str, int] = {}
+        for m in collected:
+            if m.msg_type == reply_type:
+                obj = m.get("object")
+                counts[obj] = counts.get(obj, 0) + 1
+        if not all(counts.get(obj, 0) >= need for obj, need in needed.items()):
+            return False
+        return extra_ready(collected) if extra_ready is not None else True
+
+    return Await(matcher=matcher, until=quorum_reached, description=description + " (quorum)")
+
+
+def default_policy() -> QuorumPolicy:
+    """The policy protocols fall back to when none is supplied."""
+    return ReadOneWriteAll()
+
+
+def placement_or_single_copy(
+    objects: Sequence[str], placement: Optional[Placement]
+) -> Placement:
+    """The placement protocols fall back to: the paper's single-copy map.
+
+    Every client automaton takes an optional ``placement`` so direct
+    construction (unit tests, proofs) keeps working without one; this is the
+    single statement of that default.
+    """
+    return placement if placement is not None else Placement.single_copy(objects)

@@ -16,6 +16,16 @@ from .objects import (
     object_names,
     server_for_object,
 )
+from .placement import (
+    MajorityQuorum,
+    Placement,
+    QuorumPolicy,
+    ReadOneWriteAll,
+    quorum_policy,
+    quorum_policy_names,
+    replica_names,
+    standard_placement,
+)
 from .transactions import (
     ReadResult,
     ReadTransaction,
@@ -43,6 +53,14 @@ __all__ = [
     "object_for_server",
     "object_names",
     "server_for_object",
+    "MajorityQuorum",
+    "Placement",
+    "QuorumPolicy",
+    "ReadOneWriteAll",
+    "quorum_policy",
+    "quorum_policy_names",
+    "replica_names",
+    "standard_placement",
     "ReadResult",
     "ReadTransaction",
     "Transaction",

@@ -1,0 +1,137 @@
+"""Crash-with-amnesia: ``preserve_state=False`` on server-crash plan entries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import ChaosScheduler, FaultInjector, FaultPlan, crash_amnesia, crash_recover
+from repro.faults.plan import CrashEvent
+from repro.ioa import FIFOScheduler
+from repro.ioa.errors import SimulationError
+from repro.protocols import get_protocol
+
+
+def build_naive(plan, seed: int = 0):
+    return get_protocol("naive-snow").build(
+        num_readers=1,
+        num_writers=1,
+        num_objects=2,
+        scheduler=ChaosScheduler(base=FIFOScheduler()),
+        seed=seed,
+        fault_plane=FaultInjector(plan, seed=seed),
+    )
+
+
+def run_write_then_read(plan):
+    handle = build_naive(plan)
+    w1 = handle.submit_write({"ox": "v1", "oy": "v1"}, txn_id="W1")
+    handle.submit_read(("ox", "oy"), txn_id="R1", after=[w1])
+    handle.run()
+    read = handle.simulation.transaction_record("R1")
+    assert read is not None and read.complete
+    return handle, dict(read.result.values)
+
+
+def test_default_crash_preserves_state():
+    """Fail-recover with durable storage: the value survives the outage."""
+    handle, values = run_write_then_read(crash_recover(server="sy", at=6, recover=12))
+    assert values == {"ox": "v1", "oy": "v1"}
+
+
+def test_amnesia_crash_loses_state():
+    """Crash-with-amnesia: the recovered server answers with its initial value."""
+    handle, values = run_write_then_read(crash_amnesia(server="sy", at=6, recover=12))
+    assert values["ox"] == "v1"
+    assert values["oy"] == 0  # the amnesiac replica forgot the write
+
+    # The trace records the state loss as an internal action at recovery.
+    faults = [
+        dict(a.info)["fault"]
+        for a in handle.trace()
+        if a.actor == "sy" and a.info and "fault" in dict(a.info)
+    ]
+    assert faults == ["crash", "recover", "amnesia"]
+
+
+def test_preserving_crash_records_no_amnesia_action():
+    handle, _values = run_write_then_read(crash_recover(server="sy", at=6, recover=12))
+    faults = [
+        dict(a.info)["fault"]
+        for a in handle.trace()
+        if a.actor == "sy" and a.info and "fault" in dict(a.info)
+    ]
+    assert faults == ["crash", "recover"]
+
+
+def test_amnesia_requires_a_forget_hook():
+    """Targeting an automaton without forget() fails loudly, not silently."""
+    plan = FaultPlan(
+        name="bad-amnesia",
+        crashes=(CrashEvent(server="r1", at=5, recover=10, preserve_state=False),),
+    )
+    handle = build_naive(plan)
+    handle.submit_write({"ox": 1}, txn_id="W1")
+    with pytest.raises(SimulationError, match="forget"):
+        handle.run()
+
+
+def test_later_durable_crash_does_not_replay_old_amnesia():
+    """A past amnesiac outage must not wipe state at a *later* durable
+    recovery: only crash windows intersecting the outage that just ended
+    count."""
+    plan = FaultPlan(
+        name="amnesia-then-durable",
+        crashes=(
+            CrashEvent(server="sy", at=4, recover=8, preserve_state=False),
+            CrashEvent(server="sy", at=20, recover=26),  # durable fail-recover
+        ),
+    )
+    handle = build_naive(plan)
+    # W1 lands before any crash and is forgotten by the amnesiac outage;
+    # W2 lands between the outages and must SURVIVE the durable one.
+    w1 = handle.submit_write({"oy": "v1"}, txn_id="W1")
+    w2 = handle.submit_write({"oy": "v2"}, txn_id="W2", after=[w1])
+    handle.submit_read(("oy",), txn_id="R1", after=[w2])
+    handle.run()
+    faults = [
+        dict(a.info)["fault"]
+        for a in handle.trace()
+        if a.actor == "sy" and a.info and "fault" in dict(a.info)
+    ]
+    assert faults.count("amnesia") == 1  # only the first recovery forgets
+    r1 = handle.simulation.transaction_record("R1")
+    assert dict(r1.result.values)["oy"] == "v2"
+
+
+def test_amnesia_is_deterministic():
+    def signature(seed):
+        handle, _ = run_write_then_read(crash_amnesia(server="sy", at=6, recover=12, seed=seed))
+        return handle.trace().signature()
+
+    assert signature(4) == signature(4)
+
+
+def test_amnesia_on_replicated_group_is_masked_by_quorum():
+    """An amnesiac replica in an rf=3 majority group does not corrupt reads:
+    algorithm B's exact-key reads treat the blank replica as a miss and the
+    surviving quorum still serves the named version."""
+    plan = crash_amnesia(server="sx.3", at=6, recover=20)
+    handle = get_protocol("algorithm-b").build(
+        num_readers=1,
+        num_writers=1,
+        num_objects=2,
+        scheduler=ChaosScheduler(base=FIFOScheduler()),
+        seed=0,
+        replication_factor=3,
+        quorum="majority",
+        fault_plane=FaultInjector(plan, seed=0),
+    )
+    w1 = handle.submit_write({"ox": "v1", "oy": "v1"}, txn_id="W1")
+    handle.submit_read(("ox", "oy"), txn_id="R1", after=[w1])
+    w2 = handle.submit_write({"ox": "v2", "oy": "v2"}, txn_id="W2", after=[w1])
+    handle.submit_read(("ox", "oy"), txn_id="R2", after=[w2])
+    handle.run()
+    assert not handle.simulation.incomplete_transactions()
+    r2 = handle.simulation.transaction_record("R2")
+    assert dict(r2.result.values) == {"ox": "v2", "oy": "v2"}
+    assert handle.snow_report().satisfies_s

@@ -1,0 +1,68 @@
+"""Golden-trace guarantee of the placement layer.
+
+``replication_factor=1`` must be a *pure generalisation*: the signatures in
+``golden_signatures.json`` were captured from the pre-placement seed kernel
+(before the placement layer existed), and every registered protocol must
+still reproduce them byte-for-byte — both with the default build arguments
+and with the replication knobs passed explicitly.
+
+If a legitimate protocol-level change intentionally alters traces, re-capture
+the fixture and say so in the commit; silent drift here means the placement
+layer leaked into the single-copy wire protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.ioa import FIFOScheduler, RandomScheduler
+from repro.protocols import protocol_names
+
+from tests.replication.conftest import run_fixed_workload
+
+GOLDEN = json.loads((Path(__file__).parent / "golden_signatures.json").read_text())
+
+CONFIGS = {
+    "fifo-2obj": (lambda: FIFOScheduler(), 2),
+    "random17-2obj": (lambda: RandomScheduler(seed=17), 2),
+    "fifo-3obj": (lambda: FIFOScheduler(), 3),
+}
+
+
+def signature_hash(handle) -> str:
+    return hashlib.sha256(repr(handle.trace().signature()).encode("utf-8")).hexdigest()
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("protocol", protocol_names())
+def test_default_build_matches_pre_placement_seed(protocol, config_name):
+    scheduler_factory, num_objects = CONFIGS[config_name]
+    handle = run_fixed_workload(
+        protocol, scheduler=scheduler_factory(), num_objects=num_objects
+    )
+    assert signature_hash(handle) == GOLDEN[protocol][config_name], (
+        f"{protocol} trace drifted from the pre-placement seed under {config_name}"
+    )
+
+
+@pytest.mark.parametrize("protocol", protocol_names())
+def test_explicit_rf1_matches_pre_placement_seed(protocol):
+    """Passing replication_factor=1 / quorum explicitly changes nothing."""
+    for quorum in ("read-one-write-all", "majority"):
+        handle = run_fixed_workload(
+            protocol,
+            scheduler=FIFOScheduler(),
+            num_objects=2,
+            replication_factor=1,
+            quorum=quorum,
+        )
+        assert signature_hash(handle) == GOLDEN[protocol]["fifo-2obj"], (protocol, quorum)
+
+
+def test_every_registered_protocol_is_pinned():
+    """A newly registered protocol must be added to the golden fixture."""
+    assert set(GOLDEN) == set(protocol_names())

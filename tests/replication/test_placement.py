@@ -1,0 +1,112 @@
+"""Unit tests for the placement layer: replica maps and quorum math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.txn.placement import (
+    MajorityQuorum,
+    Placement,
+    ReadOneWriteAll,
+    quorum_policy,
+    quorum_policy_names,
+    replica_names,
+    standard_placement,
+)
+
+
+class TestReplicaNames:
+    def test_factor_one_keeps_canonical_names(self):
+        assert replica_names("ox", 1) == ("sx",)
+        assert replica_names("o3", 1) == ("s3",)
+
+    def test_factor_three_suffixes_secondaries(self):
+        assert replica_names("ox", 3) == ("sx", "sx.2", "sx.3")
+
+    def test_factor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            replica_names("ox", 0)
+
+
+class TestPlacement:
+    def test_single_copy_matches_seed_naming(self):
+        placement = standard_placement(2, replication_factor=1)
+        assert placement.servers() == ("sx", "sy")
+        assert placement.is_trivial()
+        assert placement.replication_factor == 1
+        assert placement.primary("ox") == "sx"
+
+    def test_replicated_groups_and_lookups(self):
+        placement = standard_placement(2, replication_factor=3)
+        assert placement.group("oy") == ("sy", "sy.2", "sy.3")
+        assert placement.servers() == ("sx", "sx.2", "sx.3", "sy", "sy.2", "sy.3")
+        assert not placement.is_trivial()
+        assert placement.object_of("sx.2") == "ox"
+        assert placement.object_of("sy") == "oy"
+
+    def test_object_of_unknown_server_raises(self):
+        placement = standard_placement(2)
+        with pytest.raises(KeyError):
+            placement.object_of("nope")
+
+    def test_duplicate_server_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(groups=(("ox", ("s1",)), ("oy", ("s1",))))
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(groups=(("ox", ()),))
+
+
+class TestQuorumPolicies:
+    def test_registry_names(self):
+        assert "majority" in quorum_policy_names()
+        assert "read-one-write-all" in quorum_policy_names()
+        assert isinstance(quorum_policy("majority"), MajorityQuorum)
+        assert isinstance(quorum_policy("rowa"), ReadOneWriteAll)
+
+    def test_policy_instances_pass_through(self):
+        policy = MajorityQuorum()
+        assert quorum_policy(policy) is policy
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(KeyError):
+            quorum_policy("paxos-ultra")
+
+    @pytest.mark.parametrize("n,expected_r,expected_w", [(1, 1, 1), (2, 2, 2), (3, 2, 2), (4, 3, 3), (5, 3, 3)])
+    def test_majority_math(self, n, expected_r, expected_w):
+        policy = MajorityQuorum()
+        assert policy.read_quorum(n) == expected_r
+        assert policy.write_quorum(n) == expected_w
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7])
+    def test_majority_intersection_holds_for_all_sizes(self, n):
+        policy = MajorityQuorum()
+        policy.validate(n)  # no raise
+        assert policy.read_quorum(n) + policy.write_quorum(n) > n
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_rowa_intersection_holds_for_all_sizes(self, n):
+        policy = ReadOneWriteAll()
+        policy.validate(n)
+        assert policy.read_quorum(n) == 1
+        assert policy.write_quorum(n) == n
+
+    def test_broken_policy_is_rejected(self):
+        class ReadOneWriteOne(ReadOneWriteAll):
+            def write_quorum(self, n: int) -> int:
+                return 1
+
+        with pytest.raises(ValueError, match="intersection"):
+            ReadOneWriteOne().validate(3)
+
+    def test_placement_validates_policy_per_group(self):
+        placement = standard_placement(2, replication_factor=3)
+        placement.validate_policy(MajorityQuorum())  # no raise
+
+        class TooSmall(MajorityQuorum):
+            def read_quorum(self, n: int) -> int:
+                return 1
+
+        with pytest.raises(ValueError):
+            placement.validate_policy(TooSmall())
