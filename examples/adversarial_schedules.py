@@ -20,24 +20,9 @@ Run with::
 
 from __future__ import annotations
 
-from repro.ioa import AdversarialScheduler, DelayRule, holds_message, until_message_delivered, until_transaction_done
+from repro.faults import fracture_rules
+from repro.ioa import AdversarialScheduler
 from repro.protocols import get_protocol
-
-
-def fracture_rules(read_id: str, write_id: str):
-    """Hold the read at sx until the write landed there; hold the write at sy until the read finished."""
-    return [
-        DelayRule(
-            name="read-at-sx-after-write-installed",
-            holds=holds_message(dst="sx", predicate=lambda m: m.get("txn") == read_id),
-            until=until_message_delivered("write-val", dst="sx"),
-        ),
-        DelayRule(
-            name="write-at-sy-after-read-done",
-            holds=holds_message(dst="sy", predicate=lambda m: m.get("txn") == write_id),
-            until=until_transaction_done(read_id),
-        ),
-    ]
 
 
 def run(protocol_name: str) -> None:
@@ -45,7 +30,11 @@ def run(protocol_name: str) -> None:
     handle = protocol.build(num_readers=1, num_writers=1, num_objects=2)
     write_id = handle.submit_write({"ox": "new", "oy": "new"}, writer="w1")
     read_id = handle.submit_read(["ox", "oy"])
-    handle.simulation.scheduler = AdversarialScheduler(rules=fracture_rules(read_id, write_id))
+    # The fracture schedule (shared with repro.faults.adversary): hold the
+    # read at sx until the write landed there; hold the write at sy until
+    # the read finished.
+    rules = fracture_rules(read_id, write_id, late_server="sx", early_server="sy")
+    handle.simulation.scheduler = AdversarialScheduler(rules=rules)
     handle.run_to_completion()
 
     record = handle.simulation.transaction_record(read_id)

@@ -1,30 +1,40 @@
 """The placement layer in action: quorum reads riding through a replica crash.
 
 The paper assumes one server per object; ``repro.txn.placement`` replaces
-that with replica groups and quorum policies.  This walkthrough runs the same
-workload three ways and prints what changes:
+that with replica groups and quorum policies, and ``repro.consensus`` does
+the same for the coordinator.  This walkthrough runs the same workload
+several ways and prints what changes:
 
 1. the single-copy system (``replication_factor=1``) — the paper's setting;
 2. the same system with a fail-stopped server: the only copy dies, reads
    touching it never finish (the seed's availability story);
 3. ``replication_factor=3`` with majority quorums and the *same* crash: the
    outage is absorbed by the surviving quorum — full availability, identical
-   SNOW verdict, identical read results.
+   SNOW verdict, identical read results;
+4. with ``--consensus-factor 3``, a fourth run: the *coordinator's leader*
+   fail-stops mid-run, the surviving consensus members elect a replacement,
+   and the run still completes with the same verdict — the last single point
+   of failure closed.
 
-Run with:  PYTHONPATH=src python examples/replicated_reads.py
+Run with:  PYTHONPATH=src python examples/replicated_reads.py [--consensus-factor 3]
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.faults import ChaosScheduler, FaultInjector, FaultPlan
 from repro.faults.plan import CrashEvent
 from repro.ioa import FIFOScheduler
 from repro.protocols import get_protocol
+from repro.txn import coordinator_group_names, object_names, replica_names
 
 PROTOCOL = "algorithm-b"
+NUM_OBJECTS = 2
+SEED = 3
 
 
-def run(replication_factor: int, crash_server: str | None, label: str):
+def run(replication_factor: int, crash_server: str | None, label: str, consensus_factor: int = 1):
     plan = None
     if crash_server is not None:
         plan = FaultPlan(
@@ -34,12 +44,13 @@ def run(replication_factor: int, crash_server: str | None, label: str):
     handle = get_protocol(PROTOCOL).build(
         num_readers=2,
         num_writers=2,
-        num_objects=2,
+        num_objects=NUM_OBJECTS,
         scheduler=ChaosScheduler(base=FIFOScheduler()),
-        seed=3,
+        seed=SEED,
         replication_factor=replication_factor,
         quorum="majority" if replication_factor > 1 else "read-one-write-all",
-        fault_plane=FaultInjector(plan, seed=3) if plan is not None else None,
+        consensus_factor=consensus_factor,
+        fault_plane=FaultInjector(plan, seed=SEED) if plan is not None else None,
     )
     w1 = handle.submit_write({o: f"v1-{o}" for o in handle.objects}, txn_id="W1")
     handle.submit_read(handle.objects, txn_id="R1")
@@ -63,10 +74,38 @@ def run(replication_factor: int, crash_server: str | None, label: str):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description="quorum reads riding through crashes")
+    parser.add_argument(
+        "--consensus-factor",
+        type=int,
+        default=1,
+        help="replicate the coordinator over N consensus members (default 1)",
+    )
+    args = parser.parse_args()
     print(__doc__)
+
+    # Names are derived from the build conventions, never hard-coded: the
+    # first object's primary replica, its last replica, the consensus leader.
+    first_object = object_names(NUM_OBJECTS)[0]
+    primary = replica_names(first_object, 1)[0]
+    last_replica = replica_names(first_object, 3)[-1]
+
     run(1, None, "replication_factor=1, fault-free (the paper's system)")
-    run(1, "sx", "replication_factor=1, crash sx — the only copy of ox dies")
-    run(3, "sx.3", "replication_factor=3 + majority, crash sx.3 — the quorum absorbs it")
+    run(1, primary, f"replication_factor=1, crash {primary} — the only copy of {first_object} dies")
+    run(
+        3,
+        last_replica,
+        f"replication_factor=3 + majority, crash {last_replica} — the quorum absorbs it",
+    )
+    if args.consensus_factor > 1:
+        leader = coordinator_group_names(args.consensus_factor)[0]
+        run(
+            3,
+            leader,
+            f"replication_factor=3 + consensus_factor={args.consensus_factor}, "
+            f"crash leader {leader} — the survivors elect a replacement",
+            consensus_factor=args.consensus_factor,
+        )
 
 
 if __name__ == "__main__":

@@ -17,7 +17,11 @@ The package is organised in layers:
   table/series formatting used by the benchmark harness;
 * :mod:`repro.faults` — fault injection and network conditions (latency,
   drops, duplication, partitions, server crashes) layered *optionally* on the
-  kernel: with no plan installed the reliable paper model is untouched.
+  kernel: with no plan installed the reliable paper model is untouched;
+* :mod:`repro.consensus` — the replicated coordinator log (Raft-style
+  consensus: ``ConsensusLog``, ``LeaderElection``, ``ReplicatedCoordinator``)
+  that removes the coordinator single point of failure of algorithms B/C and
+  OCC; ``consensus_factor=1`` leaves everything byte-identical to the seed.
 
 Quickstart::
 

@@ -212,6 +212,54 @@ class ReplicationMetrics:
         }
 
 
+@dataclass(frozen=True)
+class ConsensusMetrics:
+    """Replicated-coordinator measurements of one execution.
+
+    Only populated when the system was built with ``consensus_factor > 1``.
+    Everything is extracted from the self-describing internal actions the
+    consensus members record (``candidacy`` / ``became-leader`` / ``apply``),
+    so the block works uniformly across protocols and fault regimes.
+
+    ``commit_latency`` is measured on the virtual clock from a request's
+    (re)proposal to its application — the consensus tax each coordinator
+    round pays; ``leader_elected_at`` records the virtual time of each
+    election win, from which leaderless windows are derived (election vtime
+    minus the crash time; see ``tests/consensus/test_leaderless_window.py``).
+    """
+
+    members: int
+    elections: int
+    leaders_elected: int
+    max_term: int
+    entries_applied: int
+    commit_latency: AggregateStats
+    #: virtual times at which new leaders were elected (for window bounds)
+    leader_elected_at: Tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        return (
+            f"consensus: members={self.members} elections={self.elections} "
+            f"leaders_elected={self.leaders_elected} max_term={self.max_term} "
+            f"applied={self.entries_applied}; commit latency: {self.commit_latency.describe()}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "consensus_members": self.members,
+            "elections": self.elections,
+            "leaders_elected": self.leaders_elected,
+            "max_term": self.max_term,
+            "entries_applied": self.entries_applied,
+            "commit_latency_mean": round(self.commit_latency.mean, 2)
+            if self.commit_latency.count
+            else None,
+            "commit_latency_p95": self.commit_latency.p95
+            if self.commit_latency.count
+            else None,
+        }
+
+
 @dataclass
 class ExperimentMetrics:
     """Aggregated measurements of one protocol execution."""
@@ -230,6 +278,8 @@ class ExperimentMetrics:
     faults: Optional[FaultMetrics] = None
     #: populated only for runs with replication_factor > 1
     replication: Optional[ReplicationMetrics] = None
+    #: populated only for runs with consensus_factor > 1
+    consensus: Optional[ConsensusMetrics] = None
 
     def reads(self) -> Tuple[TransactionMetrics, ...]:
         return tuple(t for t in self.transactions if t.kind == "read")
@@ -257,6 +307,8 @@ class ExperimentMetrics:
             lines.append("  " + self.faults.describe())
         if self.replication is not None:
             lines.append("  " + self.replication.describe())
+        if self.consensus is not None:
+            lines.append("  " + self.consensus.describe())
         return "\n".join(lines)
 
 
@@ -328,6 +380,45 @@ def _collect_replication_metrics(
     )
 
 
+def _collect_consensus_metrics(simulation: Simulation) -> Optional[ConsensusMetrics]:
+    """Build the consensus block when a replicated coordinator is registered."""
+    from ..ioa.actions import ActionKind
+
+    group = getattr(simulation.topology, "consensus_group", lambda: ())()
+    if not group:
+        return None
+    elections = leaders = applied = 0
+    max_term = 1
+    latencies: List[int] = []
+    elected_at: List[int] = []
+    for action in simulation.trace:
+        if action.kind != ActionKind.INTERNAL or not action.info:
+            continue
+        info = dict(action.info)
+        kind = info.get("consensus")
+        if kind is None:
+            continue
+        max_term = max(max_term, int(info.get("term", 1)))
+        if kind == "candidacy":
+            elections += 1
+        elif kind == "became-leader":
+            leaders += 1
+            elected_at.append(int(info.get("vtime", 0)))
+        elif kind == "apply":
+            applied += 1
+            if "commit_latency" in info:
+                latencies.append(int(info["commit_latency"]))
+    return ConsensusMetrics(
+        members=len(group),
+        elections=elections,
+        leaders_elected=leaders,
+        max_term=max_term,
+        entries_applied=applied,
+        commit_latency=AggregateStats.from_values(latencies),
+        leader_elected_at=tuple(elected_at),
+    )
+
+
 def collect_metrics(
     simulation: Simulation,
     protocol_name: str = "",
@@ -377,4 +468,5 @@ def collect_metrics(
         total_steps=simulation.steps_taken,
         faults=_collect_fault_metrics(simulation),
         replication=_collect_replication_metrics(simulation, placement, quorum_policy),
+        consensus=_collect_consensus_metrics(simulation),
     )

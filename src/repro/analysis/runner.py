@@ -16,18 +16,32 @@ from ..core.snow import SnowReport, check_snow
 from ..faults.chaos import ChaosScheduler
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
-from ..ioa.scheduler import FIFOScheduler, LIFOScheduler, RandomScheduler, Scheduler
+from ..ioa.scheduler import (
+    AdversarialScheduler,
+    FIFOScheduler,
+    LIFOScheduler,
+    RandomScheduler,
+    Scheduler,
+)
 from ..protocols.registry import get_protocol
 from ..txn.history import History
 from .metrics import ExperimentMetrics, collect_metrics
 from .workload import GeneratedWorkload, WorkloadSpec, generate_workload, submit_workload
 
 #: Registry of config-addressable schedulers; extend via register_scheduler.
+#: ``chaos+adversarial`` composes the fault-plane-aware chaos scheduler over
+#: a rule-driven adversary (rules are added to ``scheduler.base`` after the
+#: build, or via :func:`repro.faults.adversary.hunt_s_violations`): the
+#: adversary orders events *and* the fault plan loses/delays them — the
+#: combination the fault-aware S-violation hunts drive.
 _SCHEDULER_FACTORIES: Dict[str, Callable[[int], Scheduler]] = {
     "fifo": lambda seed: FIFOScheduler(),
     "lifo": lambda seed: LIFOScheduler(),
     "random": lambda seed: RandomScheduler(seed=seed),
     "chaos": lambda seed: ChaosScheduler(seed=seed),
+    "chaos+adversarial": lambda seed: ChaosScheduler(
+        base=AdversarialScheduler(base=RandomScheduler(seed=seed)), seed=seed
+    ),
 }
 
 
@@ -75,6 +89,9 @@ class ExperimentConfig:
     replication_factor: int = 1
     #: quorum policy name (see :func:`repro.txn.placement.quorum_policy_names`).
     quorum: str = "read-one-write-all"
+    #: consensus members replicating the coordinator; 1 is the seed's single
+    #: designated server (see :mod:`repro.consensus`).
+    consensus_factor: int = 1
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, seed=seed, workload=replace(self.workload, seed=seed))
@@ -86,6 +103,8 @@ class ExperimentConfig:
         )
         if self.replication_factor > 1:
             base += f" [replication={self.replication_factor}, quorum={self.quorum}]"
+        if self.consensus_factor > 1:
+            base += f" [consensus={self.consensus_factor}]"
         if self.faults is not None:
             base += f" [{self.faults.describe()}]"
         return base
@@ -122,15 +141,15 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     if (
         config.faults is not None
         and config.faults.latency is not None
-        and config.scheduler != "chaos"
+        and not config.scheduler.startswith("chaos")
     ):
-        # Only the chaos scheduler honours ready_at stamps; any other named
+        # Only the chaos schedulers honour ready_at stamps; any other named
         # scheduler would silently ignore the latency model while the fault
         # metrics still report the plan as active — a misconfiguration that
         # looks like a healthy latency experiment.
         raise ValueError(
             f"fault plan {config.faults.name or 'faults'!r} has a latency model, which only the "
-            f"'chaos' scheduler honours; got scheduler={config.scheduler!r}"
+            f"'chaos'-family schedulers honour; got scheduler={config.scheduler!r}"
         )
     protocol = get_protocol(config.protocol)
     build_kwargs: Dict[str, Any] = dict(
@@ -142,6 +161,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         initial_value=config.initial_value,
         replication_factor=config.replication_factor,
         quorum=config.quorum,
+        consensus_factor=config.consensus_factor,
     )
     if config.c2c is not None:
         build_kwargs["c2c"] = config.c2c

@@ -327,6 +327,100 @@ def replication_grid_rows(
     return rows
 
 
+def sweep_consensus_factor(
+    protocols: Sequence[str] = ("algorithm-b", "algorithm-c", "occ-double-collect"),
+    factors: Sequence[int] = (1, 3),
+    num_readers: int = 2,
+    num_writers: int = 2,
+    num_objects: int = 2,
+    workload: Optional[WorkloadSpec] = None,
+    seed: int = 11,
+    crash_at: int = 14,
+    check_properties: bool = True,
+) -> Dict[str, Dict[Tuple[int, str], ExperimentResult]]:
+    """The failover grid: protocol × consensus factor × coordinator fate.
+
+    Per factor, two scenarios run: ``none`` (fault-free baseline) and
+    ``crash-leader`` — a fail-stop of the coordinator's leader mid-run.  At
+    factor 1 the "leader" is the designated first storage server and the
+    crash stalls every coordinator-dependent transaction (the seed's single
+    point of failure); at factor ≥ 3 the surviving consensus members elect a
+    new leader after a bounded leaderless window and the run completes with
+    the fault-free verdicts.  Returns ``{protocol: {(factor, scenario):
+    result}}``.
+    """
+    from ..faults.scenarios import coordinator_failover
+    from ..txn.objects import object_names, server_for_object
+    from ..txn.placement import coordinator_group_names
+
+    workload = workload or WorkloadSpec(
+        reads_per_reader=6, writes_per_writer=3, read_size=num_objects, write_size=num_objects, seed=seed
+    )
+    single_coordinator = server_for_object(object_names(num_objects)[0])
+    grid: Dict[str, Dict[Tuple[int, str], ExperimentResult]] = {}
+    for protocol in protocols:
+        row: Dict[Tuple[int, str], ExperimentResult] = {}
+        for factor in factors:
+            group = coordinator_group_names(factor)
+            leader = group[0] if group else single_coordinator
+            scenarios: Dict[str, FaultPlan] = {
+                "none": FaultPlan.none(),
+                "crash-leader": coordinator_failover(leader=leader, at=crash_at, seed=seed),
+            }
+            for scenario_name, plan in scenarios.items():
+                config = ExperimentConfig(
+                    protocol=protocol,
+                    num_readers=num_readers,
+                    num_writers=num_writers,
+                    num_objects=num_objects,
+                    workload=workload,
+                    scheduler="chaos",
+                    seed=seed,
+                    check_properties=check_properties,
+                    faults=plan,
+                    consensus_factor=factor,
+                )
+                row[(factor, scenario_name)] = run_experiment(config)
+        grid[protocol] = row
+    return grid
+
+
+def consensus_grid_rows(
+    grid: Mapping[str, Mapping[Tuple[int, str], ExperimentResult]],
+) -> List[Dict[str, Any]]:
+    """Flatten a failover grid into JSON-ready rows.
+
+    One row per protocol × consensus factor × scenario, carrying the SNOW
+    verdict, availability, the election/term counters and the commit-latency
+    tax — the machine-readable record tracked across PRs via
+    ``BENCH_failover.json``.
+    """
+    rows: List[Dict[str, Any]] = []
+    for protocol, cells in grid.items():
+        for (factor, scenario), result in cells.items():
+            metrics = result.metrics
+            faults = metrics.faults
+            row: Dict[str, Any] = {
+                "protocol": protocol,
+                "consensus_factor": factor,
+                "scenario": scenario,
+                "snow": result.property_string(),
+                "consistent": result.snow.satisfies_s if result.snow is not None else None,
+                "max_read_rounds": metrics.max_read_rounds(),
+                "total_messages": metrics.total_messages,
+            }
+            if faults is not None:
+                row["availability"] = round(faults.availability, 4)
+                row["read_availability"] = round(faults.read_availability, 4)
+                row["write_availability"] = round(faults.write_availability, 4)
+            else:
+                row["availability"] = 1.0
+            if metrics.consensus is not None:
+                row.update(metrics.consensus.as_dict())
+            rows.append(row)
+    return rows
+
+
 def sweep_read_size(
     protocols: Sequence[str] = ("simple-rw", "algorithm-a", "algorithm-b", "algorithm-c", "s2pl"),
     read_sizes: Sequence[int] = (1, 2, 4, 6),

@@ -1,0 +1,474 @@
+"""``ReplicatedCoordinator``: the consensus member automaton.
+
+A group of these automata replaces the designated coordinator server of the
+coordinator-dependent protocols (the ``List`` of algorithms B/C, OCC's
+timestamp oracle) with a replicated state machine.  Clients *broadcast* each
+coordinator request to every member — exactly the send-to-all discipline the
+quorum rounds of the placement layer use — and the current leader replicates
+the request through the log; once committed, it applies the request to the
+state machine and sends the single reply.  Followers buffer the broadcast
+copies they receive: if the leader dies before committing, the buffered
+requests are what the next leader re-proposes, so no request is lost with the
+crashed leader.
+
+Exactly-once application
+------------------------
+A request may legally appear twice in the log (an old leader appended it, a
+new leader re-proposed it from its buffer before learning of the append).
+``request_id`` (``"<msg_type>/<txn>"``) dedups at apply time: the state
+machine transition runs once, the reply is memoized, and later applications
+of the same id just re-send the memoized reply.  Surplus replies are dropped
+by the clients (their awaits match the first), so client-visible behaviour is
+exactly the single-coordinator behaviour.
+
+Elections
+---------
+Event-driven Raft: a member arms its (seeded, randomized) election timer only
+while it holds buffered requests that have not been committed — an election
+is only needed when progress is blocked — and a firing timer re-arms instead
+of electing if the leader showed signs of life since it was armed.  This
+keeps fault-free executions election-free and lets every run quiesce (no
+heartbeat traffic, no timer churn after the workload drains), while a dead
+leader is replaced within a bounded number of timeout windows (the
+``leaderless window`` regression tests pin the bound).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ioa.actions import Message
+from ..ioa.automaton import Context, ServerAutomaton
+from ..ioa.errors import SimulationError
+from .election import DEFAULT_TIMEOUT_RANGE, LeaderElection
+from .log import NOOP, ConsensusLog, LogEntry
+from .machines import CoordinatorStateMachine
+
+#: Re-exported under the name the rest of the repository uses.
+DEFAULT_ELECTION_TIMEOUT: Tuple[int, int] = DEFAULT_TIMEOUT_RANGE
+
+
+def _freeze_payload(payload: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(sorted(payload.items(), key=lambda kv: kv[0]))
+
+
+class _PendingRequest:
+    """A buffered client request awaiting commitment."""
+
+    __slots__ = ("msg_type", "payload", "client")
+
+    def __init__(self, msg_type: str, payload: Tuple[Tuple[str, Any], ...], client: str) -> None:
+        self.msg_type = msg_type
+        self.payload = payload
+        self.client = client
+
+
+class ReplicatedCoordinator(ServerAutomaton):
+    """One member of the replicated coordinator group."""
+
+    def __init__(
+        self,
+        name: str,
+        group: Sequence[str],
+        machine: CoordinatorStateMachine,
+        seed: int = 0,
+        election_timeout: Tuple[int, int] = DEFAULT_ELECTION_TIMEOUT,
+    ) -> None:
+        super().__init__(name)
+        self.group: Tuple[str, ...] = tuple(group)
+        if name not in self.group:
+            raise SimulationError(f"consensus member {name!r} is not in its group {self.group}")
+        self.machine = machine
+        self.seed = seed
+        self.election_timeout = tuple(election_timeout)
+        self.election = LeaderElection(
+            member=name,
+            index=self.group.index(name),
+            group_size=len(self.group),
+            initial_leader=self.group[0],
+            seed=seed,
+            timeout_range=self.election_timeout,
+        )
+        self.log = ConsensusLog()
+        #: known leader of the current term (None while electing)
+        self.leader: Optional[str] = self.group[0]
+        #: buffered client requests not yet known committed (insertion order)
+        self.pending: "OrderedDict[str, _PendingRequest]" = OrderedDict()
+        #: request_id -> (client, reply_type, reply_payload) for every applied
+        #: request — the RSM reply cache that makes re-application idempotent
+        self.applied_replies: Dict[str, Tuple[str, str, Dict[str, Any]]] = {}
+        # leader-side replication cursors
+        self.next_index: Dict[str, int] = {}
+        self.match_index: Dict[str, int] = {}
+        # election-timer bookkeeping (at most one live timer per member)
+        self._timer_live = False
+        self._armed_at = 0
+        self._last_heard = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def peers(self) -> Tuple[str, ...]:
+        return tuple(m for m in self.group if m != self.name)
+
+    def forget(self) -> None:
+        """Crash-with-amnesia hook: lose *all* volatile state.
+
+        Raft's safety argument assumes term/vote/log survive crashes; an
+        amnesiac member can double-vote, so replicated-coordinator systems
+        model crash-recovery with durable state — this hook exists to keep
+        the fault plane's contract honest, and tests document the hazard.
+        """
+        self.election = LeaderElection(
+            member=self.name,
+            index=self.group.index(self.name),
+            group_size=len(self.group),
+            initial_leader=self.group[0],
+            seed=self.seed,
+            timeout_range=self.election_timeout,
+        )
+        if self.name == self.group[0]:
+            # A blank bootstrap leader must not resume leading: it lost its log.
+            self.election.step_down(self.election.term)
+        self.log = ConsensusLog()
+        self.leader = None
+        self.pending = OrderedDict()
+        self.applied_replies = {}
+        self.next_index = {}
+        self.match_index = {}
+        self.machine.reset()
+        self._timer_live = False
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message, ctx: Context) -> None:
+        msg_type = message.msg_type
+        if msg_type in self.machine.request_types:
+            self._on_client_request(message, ctx)
+        elif msg_type == "cns-append":
+            self._on_append(message, ctx)
+        elif msg_type == "cns-append-ack":
+            self._on_append_ack(message, ctx)
+        elif msg_type == "cns-vote-req":
+            self._on_vote_request(message, ctx)
+        elif msg_type == "cns-vote":
+            self._on_vote(message, ctx)
+
+    # ------------------------------------------------------------------
+    # Client requests
+    # ------------------------------------------------------------------
+    def _on_client_request(self, message: Message, ctx: Context) -> None:
+        request_id = f"{message.msg_type}/{message.get('txn')}"
+        if request_id in self.applied_replies:
+            # Already served; only the leader re-sends (followers stay quiet
+            # so the client sees at most a few copies, never a quorum storm).
+            if self.election.is_leader:
+                self._send_reply(request_id, ctx)
+            return
+        if self.election.is_leader:
+            if not self.log.contains_request(request_id):
+                self.log.append(
+                    LogEntry(
+                        term=self.election.term,
+                        request_id=request_id,
+                        msg_type=message.msg_type,
+                        payload=_freeze_payload(message.payload),
+                        client=message.src,
+                        proposed_at=ctx.vtime,
+                    )
+                )
+                self._replicate(ctx)
+                self._maybe_commit(ctx)
+            return
+        # Follower / candidate: buffer the broadcast copy and make sure an
+        # election timer is running — if the leader never commits this, the
+        # timer is what converts the buffered copy into a re-proposal.
+        self.pending.setdefault(
+            request_id,
+            _PendingRequest(message.msg_type, _freeze_payload(message.payload), message.src),
+        )
+        self._ensure_timer(ctx)
+
+    # ------------------------------------------------------------------
+    # Replication (leader side)
+    # ------------------------------------------------------------------
+    def _replicate(self, ctx: Context) -> None:
+        for peer in self.peers:
+            self._send_append(peer, ctx)
+
+    def _send_append(self, peer: str, ctx: Context) -> None:
+        next_index = self.next_index.get(peer, self.log.last_index + 1)
+        prev_index = next_index - 1
+        ctx.send(
+            peer,
+            "cns-append",
+            {
+                "term": self.election.term,
+                "prev_index": prev_index,
+                "prev_term": self.log.term_at(prev_index) if prev_index <= self.log.last_index else 0,
+                "entries": self.log.entries_from(next_index),
+                "commit": self.log.commit_index,
+            },
+            phase="consensus",
+        )
+
+    def _maybe_commit(self, ctx: Context) -> None:
+        """Advance the commit index to the highest current-term entry
+        replicated on a majority (counting self), then apply.
+
+        An advanced commit is immediately broadcast (an append carrying the
+        new commit index, usually with no entries): followers apply and drop
+        the request from their buffers, which is what lets their election
+        timers quiesce — without it the *last* request of a burst would sit
+        uncommitted at the followers forever and trigger a needless election
+        at idle.
+        """
+        before = self.log.commit_index
+        for index in range(self.log.last_index, self.log.commit_index, -1):
+            if self.log.term_at(index) != self.election.term:
+                break
+            replicas = 1 + sum(1 for p in self.peers if self.match_index.get(p, 0) >= index)
+            if replicas >= self.election.majority:
+                self.log.advance_commit(index)
+                break
+        self._apply_committed(ctx)
+        if self.log.commit_index > before:
+            self._replicate(ctx)
+
+    def _on_append_ack(self, message: Message, ctx: Context) -> None:
+        term = int(message.get("term", 0))
+        if term > self.election.term:
+            self._step_down(term, leader=None, ctx=ctx)
+            return
+        if not self.election.is_leader or term < self.election.term:
+            return
+        peer = message.src
+        if message.get("ok"):
+            match = int(message.get("match", 0))
+            self.match_index[peer] = max(self.match_index.get(peer, 0), match)
+            self.next_index[peer] = self.match_index[peer] + 1
+            self._maybe_commit(ctx)
+        else:
+            # Fast backtrack to the follower's committed prefix, which the
+            # log-matching property guarantees agrees with ours.
+            self.next_index[peer] = int(message.get("match", 0)) + 1
+            self._send_append(peer, ctx)
+
+    # ------------------------------------------------------------------
+    # Replication (follower side)
+    # ------------------------------------------------------------------
+    def _on_append(self, message: Message, ctx: Context) -> None:
+        term = int(message.get("term", 0))
+        if term < self.election.term:
+            ctx.send(
+                message.src,
+                "cns-append-ack",
+                {"term": self.election.term, "ok": False, "match": self.log.commit_index},
+                phase="consensus",
+            )
+            return
+        if term > self.election.term or not self.election.is_follower:
+            self._step_down(term, leader=message.src, ctx=ctx)
+        self.leader = message.src
+        self._last_heard = ctx.vtime
+        prev_index = int(message.get("prev_index", 0))
+        prev_term = int(message.get("prev_term", 0))
+        if not self.log.matches(prev_index, prev_term):
+            ctx.send(
+                message.src,
+                "cns-append-ack",
+                {"term": self.election.term, "ok": False, "match": self.log.commit_index},
+                phase="consensus",
+            )
+            return
+        entries = tuple(message.get("entries", ()))
+        self.log.merge(prev_index, entries)
+        self.log.advance_commit(int(message.get("commit", 0)))
+        self._apply_committed(ctx)
+        # Acknowledge exactly the prefix this append established — a stale
+        # longer suffix past it must not inflate the leader's match cursor.
+        ctx.send(
+            message.src,
+            "cns-append-ack",
+            {"term": self.election.term, "ok": True, "match": prev_index + len(entries)},
+            phase="consensus",
+        )
+
+    # ------------------------------------------------------------------
+    # Elections
+    # ------------------------------------------------------------------
+    def _on_vote_request(self, message: Message, ctx: Context) -> None:
+        term = int(message.get("term", 0))
+        candidate = message.src
+        if term > self.election.term:
+            self._step_down(term, leader=None, ctx=ctx)
+        granted = (
+            self.election.may_grant(candidate, term)
+            and not self.election.is_leader
+            and self.log.up_to_date(
+                int(message.get("last_index", 0)), int(message.get("last_term", 0))
+            )
+        )
+        if granted:
+            self.election.grant(candidate)
+            self._last_heard = ctx.vtime  # a live candidacy counts as liveness
+        ctx.send(
+            candidate,
+            "cns-vote",
+            {"term": self.election.term, "granted": granted},
+            phase="consensus",
+        )
+
+    def _on_vote(self, message: Message, ctx: Context) -> None:
+        term = int(message.get("term", 0))
+        if term > self.election.term:
+            self._step_down(term, leader=None, ctx=ctx)
+            return
+        if not self.election.is_candidate or term < self.election.term:
+            return
+        if message.get("granted") and self.election.record_vote(message.src):
+            self._become_leader(ctx)
+
+    def _start_election(self, ctx: Context) -> None:
+        term = self.election.start_candidacy()
+        self.leader = None
+        ctx.internal(consensus="candidacy", term=term, member=self.name)
+        for peer in self.peers:
+            ctx.send(
+                peer,
+                "cns-vote-req",
+                {
+                    "term": term,
+                    "last_index": self.log.last_index,
+                    "last_term": self.log.last_term,
+                },
+                phase="consensus",
+            )
+        if self.election.record_vote(self.name):  # single-survivor groups
+            self._become_leader(ctx)
+
+    def _become_leader(self, ctx: Context) -> None:
+        self.election.become_leader()
+        self.leader = self.name
+        self.next_index = {p: self.log.last_index + 1 for p in self.peers}
+        self.match_index = {p: 0 for p in self.peers}
+        ctx.internal(
+            consensus="became-leader",
+            term=self.election.term,
+            member=self.name,
+            vtime=ctx.vtime,
+        )
+        # A no-op of the new term commits every prior-term entry beneath it
+        # (Raft §5.4.2), and the buffered requests the old leader never
+        # committed are re-proposed behind it.
+        self.log.append(
+            LogEntry(
+                term=self.election.term,
+                request_id=f"{NOOP}/{self.election.term}/{self.name}",
+                msg_type=NOOP,
+                proposed_at=ctx.vtime,
+            )
+        )
+        for request_id, request in self.pending.items():
+            if self.log.contains_request(request_id) or request_id in self.applied_replies:
+                continue
+            self.log.append(
+                LogEntry(
+                    term=self.election.term,
+                    request_id=request_id,
+                    msg_type=request.msg_type,
+                    payload=request.payload,
+                    client=request.client,
+                    proposed_at=ctx.vtime,
+                )
+            )
+        self._replicate(ctx)
+        self._maybe_commit(ctx)
+
+    def _step_down(self, term: int, leader: Optional[str], ctx: Context) -> None:
+        was_leader = self.election.is_leader
+        self.election.step_down(term)
+        self.leader = leader
+        if was_leader:
+            ctx.internal(consensus="stepped-down", term=term, member=self.name)
+
+    # ------------------------------------------------------------------
+    # Election timer
+    # ------------------------------------------------------------------
+    def _ensure_timer(self, ctx: Context) -> None:
+        if self._timer_live or self.election.is_leader:
+            return
+        self._timer_live = True
+        self._armed_at = ctx.vtime
+        ctx.set_timeout(self.election.next_timeout(), kind="election")
+
+    def on_timeout(self, info: Mapping[str, Any], ctx: Context) -> None:
+        self._timer_live = False
+        if self.election.is_leader or not self.pending:
+            return  # nothing blocked on a leader: quiesce
+        if self.election.is_follower and self._last_heard >= self._armed_at:
+            # The leader (or an election) showed signs of life during this
+            # window — grant another full window before interfering.
+            self._ensure_timer(ctx)
+            return
+        self._start_election(ctx)
+        self._ensure_timer(ctx)
+
+    # ------------------------------------------------------------------
+    # Apply + reply
+    # ------------------------------------------------------------------
+    def _apply_committed(self, ctx: Context) -> None:
+        for index, entry in self.log.take_unapplied():
+            if entry.is_noop():
+                continue
+            if entry.request_id not in self.applied_replies:
+                reply_type, reply_payload = self.machine.apply(
+                    entry.msg_type, dict(entry.payload)
+                )
+                self.applied_replies[entry.request_id] = (entry.client, reply_type, reply_payload)
+            self.pending.pop(entry.request_id, None)
+            ctx.internal(
+                consensus="apply",
+                index=index,
+                term=entry.term,
+                request=entry.request_id,
+                commit_latency=max(0, ctx.vtime - entry.proposed_at),
+            )
+            if self.election.is_leader:
+                self._send_reply(entry.request_id, ctx)
+
+    def _send_reply(self, request_id: str, ctx: Context) -> None:
+        client, reply_type, reply_payload = self.applied_replies[request_id]
+        msg_type = request_id.split("/", 1)[0]
+        ctx.send(client, reply_type, reply_payload, phase=self.machine.reply_phase(msg_type))
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.election.describe().split(': ', 1)[1]}, "
+            f"{self.log.describe()}, pending={len(self.pending)}, {self.machine.describe()}"
+        )
+
+
+def consensus_members(
+    group: Sequence[str],
+    machine_factory,
+    seed: int = 0,
+    election_timeout: Tuple[int, int] = DEFAULT_ELECTION_TIMEOUT,
+) -> List[ReplicatedCoordinator]:
+    """Build one :class:`ReplicatedCoordinator` per name in ``group``.
+
+    ``machine_factory`` is called once per member so every member applies its
+    *own* copy of the state machine (shared state would fake agreement).
+    """
+    return [
+        ReplicatedCoordinator(
+            name=member,
+            group=group,
+            machine=machine_factory(),
+            seed=seed,
+            election_timeout=election_timeout,
+        )
+        for member in group
+    ]

@@ -1,0 +1,179 @@
+"""The replicated log data structure (the Raft log, 1-based indices).
+
+:class:`ConsensusLog` is a pure data structure — no I/O, no randomness — so
+its safety-critical operations (the match check, conflict-truncating merge
+and commit/apply bookkeeping) are unit-testable in isolation and shared by
+every :class:`~repro.consensus.coordinator.ReplicatedCoordinator` member.
+
+Safety invariants maintained here:
+
+* **Log matching** — :meth:`merge` only appends past a ``(prev_index,
+  prev_term)`` pair that :meth:`matches` accepted, and truncates conflicting
+  suffixes; two logs that agree on an index+term therefore agree on the whole
+  prefix.
+* **Commit stability** — committed entries are never truncated; a merge that
+  would rewrite a committed entry raises :class:`~repro.ioa.errors.
+  SimulationError` (it would mean election safety was already broken).
+* **Apply order** — :meth:`take_unapplied` hands out committed entries
+  exactly once, in index order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from ..ioa.errors import SimulationError
+
+#: Entry type appended by a freshly elected leader to commit prior-term
+#: entries (Raft §5.4.2: a leader only counts replicas for entries of its
+#: own term, so it commits the no-op and everything before it).
+NOOP = "noop"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One replicated coordinator request.
+
+    ``request_id`` is the dedup key (``"<msg_type>/<txn>"``): re-proposed
+    entries after a leader change may appear twice in the log, and the apply
+    path uses the id to apply the state-machine transition exactly once
+    (replies are memoized and re-sent instead).  ``proposed_at`` is the
+    virtual time the entry was (re)proposed, which is what commit-latency
+    metrics measure against.
+    """
+
+    term: int
+    request_id: str
+    msg_type: str
+    payload: Tuple[Tuple[str, Any], ...] = ()
+    client: str = ""
+    proposed_at: int = 0
+
+    def is_noop(self) -> bool:
+        return self.msg_type == NOOP
+
+    def describe(self) -> str:
+        return f"[t{self.term} {self.request_id}]"
+
+
+class ConsensusLog:
+    """Append/commit/apply state of one consensus member."""
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+        self.commit_index = 0
+        self.last_applied = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> Tuple[LogEntry, ...]:
+        return tuple(self._entries)
+
+    @property
+    def last_index(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_term(self) -> int:
+        return self._entries[-1].term if self._entries else 0
+
+    def entry(self, index: int) -> LogEntry:
+        if not (1 <= index <= self.last_index):
+            raise SimulationError(f"log index {index} out of range [1, {self.last_index}]")
+        return self._entries[index - 1]
+
+    def term_at(self, index: int) -> int:
+        """Term of the entry at ``index`` (0 for the empty prefix)."""
+        if index == 0:
+            return 0
+        return self.entry(index).term
+
+    def entries_from(self, index: int) -> Tuple[LogEntry, ...]:
+        """All entries at positions >= ``index``."""
+        return tuple(self._entries[max(0, index - 1):])
+
+    def contains_request(self, request_id: str) -> bool:
+        return any(e.request_id == request_id for e in self._entries)
+
+    def committed_entries(self) -> Tuple[LogEntry, ...]:
+        return tuple(self._entries[: self.commit_index])
+
+    # ------------------------------------------------------------------
+    # Leader-side append
+    # ------------------------------------------------------------------
+    def append(self, entry: LogEntry) -> int:
+        """Append a new entry (leader path); returns its 1-based index."""
+        self._entries.append(entry)
+        return self.last_index
+
+    # ------------------------------------------------------------------
+    # Follower-side replication
+    # ------------------------------------------------------------------
+    def matches(self, prev_index: int, prev_term: int) -> bool:
+        """Whether this log contains ``(prev_index, prev_term)``."""
+        if prev_index == 0:
+            return True
+        if prev_index > self.last_index:
+            return False
+        return self.term_at(prev_index) == prev_term
+
+    def merge(self, prev_index: int, entries: Tuple[LogEntry, ...]) -> None:
+        """Install ``entries`` after ``prev_index``, truncating conflicts.
+
+        Callers must have checked :meth:`matches` first.  An entry that is
+        already present with the same term is left untouched (idempotent
+        re-delivery); a term conflict truncates the suffix from that point.
+        """
+        index = prev_index
+        for entry in entries:
+            index += 1
+            if index <= self.last_index:
+                if self.term_at(index) == entry.term:
+                    continue
+                if index <= self.commit_index:
+                    raise SimulationError(
+                        f"consensus log asked to truncate committed entry {index} "
+                        f"(commit_index={self.commit_index}): election safety is broken"
+                    )
+                del self._entries[index - 1:]
+            self._entries.append(entry)
+
+    # ------------------------------------------------------------------
+    # Commit / apply bookkeeping
+    # ------------------------------------------------------------------
+    def advance_commit(self, index: int) -> int:
+        """Raise the commit index (clamped to the log end); returns it."""
+        index = min(int(index), self.last_index)
+        if index > self.commit_index:
+            self.commit_index = index
+        return self.commit_index
+
+    def take_unapplied(self) -> Tuple[Tuple[int, LogEntry], ...]:
+        """Committed-but-unapplied ``(index, entry)`` pairs, advancing the
+        apply cursor — each committed entry is handed out exactly once."""
+        if self.last_applied >= self.commit_index:
+            return ()
+        newly = tuple(
+            (i, self._entries[i - 1])
+            for i in range(self.last_applied + 1, self.commit_index + 1)
+        )
+        self.last_applied = self.commit_index
+        return newly
+
+    # ------------------------------------------------------------------
+    # Election support
+    # ------------------------------------------------------------------
+    def up_to_date(self, last_index: int, last_term: int) -> bool:
+        """Raft's voting restriction: is ``(last_term, last_index)`` at least
+        as up-to-date as this log?  Guarantees a new leader holds every
+        committed entry (leader completeness)."""
+        return (last_term, last_index) >= (self.last_term, self.last_index)
+
+    def describe(self) -> str:
+        return (
+            f"ConsensusLog(len={self.last_index}, commit={self.commit_index}, "
+            f"applied={self.last_applied})"
+        )

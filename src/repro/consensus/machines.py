@@ -1,0 +1,155 @@
+"""The coordinator state machines that the consensus log replicates.
+
+The metadata the paper's bounded-latency algorithms route through one
+designated server comes in two shapes:
+
+* the append-only **``List``** of algorithms B and C (Pseudocodes 5-7):
+  per WRITE transaction, which objects it updated and under which key,
+  answering ``update-coor`` (append, returning the tag) and ``get-tag-arr``
+  (per requested object, the key of the newest entry updating it);
+* the monotonic **timestamp counter** of the OCC baseline, answering
+  ``get-ts``.
+
+Both are factored out here as plain deterministic state machines so that the
+single-copy coordinator server (``consensus_factor=1``; see
+:class:`~repro.protocols.coordinated.CoordinatedServer`) and the replicated
+:class:`~repro.consensus.coordinator.ReplicatedCoordinator` members apply
+*one shared implementation* — state-machine safety across the group is then
+Raft's apply-in-commit-order guarantee plus determinism of these transitions.
+
+A state machine maps ``(msg_type, payload) -> (reply_type, reply_payload)``;
+it never does I/O and never consults time or randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from ..ioa.errors import SimulationError
+from ..txn.objects import Key
+
+
+class CoordinatorList:
+    """The coordinator's append-only ``List`` (1-based positions).
+
+    The initial entry stands for the initial versions (``κ₀`` updating every
+    object), exactly as in the pseudocode; the tag of a WRITE is the length
+    of the list after its entry is appended.
+    """
+
+    def __init__(self, objects: Sequence[str]) -> None:
+        self.objects = tuple(objects)
+        self.entries: List[Tuple[Key, Dict[str, int]]] = []
+        self.reset()
+
+    def reset(self) -> None:
+        """(Re)initialise to the single initial entry — the amnesia hook."""
+        self.entries = [(Key.initial(), {obj: 1 for obj in self.objects})]
+
+    # ------------------------------------------------------------------
+    def append(self, key: Key, bits: Mapping[str, Any]) -> int:
+        """Record that the WRITE keyed ``key`` updated ``bits``; returns its tag."""
+        self.entries.append((key, {obj: int(bits.get(obj, 0)) for obj in self.objects}))
+        return len(self.entries)
+
+    def latest_index_for(self, object_id: str) -> int:
+        for position in range(len(self.entries) - 1, -1, -1):
+            if self.entries[position][1].get(object_id, 0) == 1:
+                return position + 1
+        raise SimulationError(f"coordinator list has no entry for object {object_id!r}")
+
+    def tag_array_for(self, read_set: Sequence[str]) -> Tuple[int, Dict[str, Key]]:
+        """``(t_r, {object: κ})`` for the requested read set."""
+        keys: Dict[str, Key] = {}
+        tag = 1
+        for object_id in read_set:
+            index = self.latest_index_for(object_id)
+            tag = max(tag, index)
+            keys[object_id] = self.entries[index - 1][0]
+        return tag, keys
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+# ----------------------------------------------------------------------
+# State-machine interface and the two coordinator machines
+# ----------------------------------------------------------------------
+class CoordinatorStateMachine:
+    """Deterministic request → reply transition function over private state."""
+
+    #: the client message types this machine serves (the consensus members
+    #: treat exactly these as replicable requests)
+    request_types: Tuple[str, ...] = ()
+
+    def apply(self, msg_type: str, payload: Mapping[str, Any]) -> Tuple[str, Dict[str, Any]]:
+        raise NotImplementedError
+
+    def reply_phase(self, msg_type: str) -> str:
+        """Trace phase label for the reply to ``msg_type``."""
+        return ""
+
+    def reset(self) -> None:
+        """Drop all state (the crash-with-amnesia hook)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class ListStateMachine(CoordinatorStateMachine):
+    """The ``List`` service of algorithms B and C."""
+
+    request_types = ("update-coor", "get-tag-arr")
+    _PHASES = {"update-coor": "update-coor", "get-tag-arr": "get-tag-array"}
+
+    def __init__(self, objects: Sequence[str]) -> None:
+        self.list = CoordinatorList(objects)
+
+    def apply(self, msg_type: str, payload: Mapping[str, Any]) -> Tuple[str, Dict[str, Any]]:
+        if msg_type == "update-coor":
+            tag = self.list.append(payload["key"], dict(payload.get("bits", ())))
+            return "ack-coor", {"txn": payload.get("txn"), "tag": tag}
+        if msg_type == "get-tag-arr":
+            read_set = tuple(payload.get("read_set", ()))
+            tag, keys = self.list.tag_array_for(read_set)
+            return "tag-arr-reply", {
+                "txn": payload.get("txn"),
+                "tag": tag,
+                "keys": tuple(keys.items()),
+                "num_versions": 1,
+            }
+        raise SimulationError(f"ListStateMachine cannot apply {msg_type!r}")
+
+    def reply_phase(self, msg_type: str) -> str:
+        return self._PHASES.get(msg_type, "")
+
+    def reset(self) -> None:
+        self.list.reset()
+
+    def describe(self) -> str:
+        return f"ListStateMachine({len(self.list)} entries)"
+
+
+class TimestampStateMachine(CoordinatorStateMachine):
+    """The monotonic timestamp oracle of the OCC baseline."""
+
+    request_types = ("get-ts",)
+
+    def __init__(self) -> None:
+        self.counter = 0
+
+    def apply(self, msg_type: str, payload: Mapping[str, Any]) -> Tuple[str, Dict[str, Any]]:
+        if msg_type != "get-ts":
+            raise SimulationError(f"TimestampStateMachine cannot apply {msg_type!r}")
+        self.counter += 1
+        return "ts-reply", {"txn": payload.get("txn"), "timestamp": self.counter}
+
+    def reply_phase(self, msg_type: str) -> str:
+        return "get-timestamp"
+
+    def reset(self) -> None:
+        self.counter = 0
+
+    def describe(self) -> str:
+        return f"TimestampStateMachine(counter={self.counter})"

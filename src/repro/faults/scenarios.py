@@ -92,6 +92,26 @@ def fail_stop(server: str = "s1", at: int = 10, seed: int = 0) -> FaultPlan:
     return FaultPlan(name="fail-stop", crashes=(CrashEvent(server=server, at=at, recover=None),), seed=seed)
 
 
+def coordinator_failover(leader: str = "coor", at: int = 12, seed: int = 0) -> FaultPlan:
+    """Fail-stop the replicated coordinator's *leader* mid-run.
+
+    The acceptance scenario of the consensus layer: with
+    ``consensus_factor >= 3`` the surviving members hold an election after a
+    bounded leaderless window and every transaction still completes with the
+    same SNOW/Lemma-20 verdicts — whereas at ``consensus_factor=1`` the same
+    crash (of the designated first server) stalls every coordinator-dependent
+    transaction forever, which is the single point of failure this subsystem
+    removes.  ``leader`` is the *bootstrap* leader name (the group's first
+    member); crash it before any election and the fault hits the actual
+    leader deterministically.
+    """
+    return FaultPlan(
+        name="coordinator-failover",
+        crashes=(CrashEvent(server=leader, at=at, recover=None),),
+        seed=seed,
+    )
+
+
 def healed_partition(
     left: Sequence[str], right: Sequence[str], start: int = 5, heal: int = 40, seed: int = 0
 ) -> FaultPlan:

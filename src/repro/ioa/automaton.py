@@ -132,6 +132,10 @@ class Automaton:
     def on_message(self, message: Message, ctx: "Context") -> None:  # pragma: no cover - default no-op
         """Called when a message addressed to this automaton is delivered."""
 
+    def on_timeout(self, info: Mapping[str, Any], ctx: "Context") -> None:  # pragma: no cover - default no-op
+        """Called when a timer this automaton armed via ``ctx.set_timeout``
+        fires.  ``info`` is the keyword payload passed at arming time."""
+
     # -- introspection ---------------------------------------------------
     def is_server(self) -> bool:
         return self.kind == "server"
@@ -211,6 +215,20 @@ class Context:
     def now(self) -> int:
         """Current logical time = number of actions in the trace so far."""
         return len(self._kernel.trace)
+
+    @property
+    def vtime(self) -> int:
+        """Virtual time: the fault plane's clock when one is installed,
+        otherwise the kernel's step counter (fast-forwarded past idle gaps
+        when timers are pending) — the clock timeouts are measured on."""
+        return self._kernel.now()
+
+    def set_timeout(self, delay: int, **info: Any):
+        """Arm a timer for this automaton ``delay`` virtual-time steps from
+        now; the kernel calls :meth:`Automaton.on_timeout` with ``info`` when
+        it fires.  Timeouts never fire early, and fire eventually even if the
+        system would otherwise go idle."""
+        return self._kernel.set_timeout(self._actor, delay, info)
 
     def send(
         self,

@@ -58,6 +58,7 @@ class Topology:
     def __post_init__(self) -> None:
         self._kinds: Dict[str, str] = {}
         self._replica_groups: Dict[str, Tuple[str, ...]] = {}
+        self._consensus_group: Tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
     def register(self, automaton: Automaton) -> None:
@@ -74,6 +75,20 @@ class Topology:
         lets tools ask which servers co-hold an object.
         """
         self._replica_groups = {obj: tuple(group) for obj, group in groups.items()}
+
+    def set_consensus_group(self, group: Iterable[str]) -> None:
+        """Record the replicated-coordinator group of the built system.
+
+        Empty (the default) means the coordinator — if the protocol has one —
+        is a single designated storage server, exactly the seed's setting.
+        The SNOW checkers consult this to treat the group as *one logical
+        metadata server* (see :mod:`repro.core.snow`).
+        """
+        self._consensus_group = tuple(group)
+
+    def consensus_group(self) -> Tuple[str, ...]:
+        """The replicated-coordinator members (empty when unreplicated)."""
+        return self._consensus_group
 
     def replica_group(self, object_id: str) -> Tuple[str, ...]:
         """The replica group registered for ``object_id`` (empty if unknown)."""
@@ -141,6 +156,8 @@ class Topology:
                 f"{obj}→[{','.join(group)}]" for obj, group in self._replica_groups.items()
             )
             base += f", replicas: {groups}"
+        if self._consensus_group:
+            base += f", consensus: [{','.join(self._consensus_group)}]"
         return base + ")"
 
 
@@ -189,6 +206,12 @@ class FaultPlane:
 
     def suppress_delivery(self, message: Any, kernel: Any) -> bool:
         """``True`` = swallow this delivery (duplicate copy); default never."""
+        return False
+
+    def suppress_timeout(self, timeout: Any, kernel: Any) -> bool:
+        """``True`` = swallow this timeout firing (e.g. its owner is
+        crashed; the plane may ``kernel.reschedule_timeout`` it to fire at
+        recovery instead); default never."""
         return False
 
     def now(self, kernel: Any) -> int:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .actions import Message
 from .errors import SchedulerError
@@ -61,7 +61,29 @@ class PendingInvocation:
         return f"invoke {self.txn_id} at {self.client} (enqueued @{self.enqueued_at})"
 
 
-PendingEvent = Union[PendingDelivery, PendingInvocation]
+@dataclass(frozen=True)
+class PendingTimeout:
+    """A timer armed by an automaton via ``Context.set_timeout``.
+
+    ``ready_at`` is the virtual-time step at which the timer may fire; the
+    kernel only offers a timeout to the scheduler once it is ripe (the fault
+    plane's clock — or, without one, the step counter, fast-forwarded at
+    idle), so under any scheduler a timeout models "this fires only after the
+    delay has elapsed, and certainly once the system would otherwise sit
+    still".  Timeouts are what drive the consensus layer's leader elections;
+    systems that arm none behave byte-for-byte as before this type existed.
+    """
+
+    owner: str
+    info: Mapping[str, Any]
+    enqueued_at: int
+    ready_at: int
+
+    def describe(self) -> str:
+        return f"timeout at {self.owner} (ready @{self.ready_at})"
+
+
+PendingEvent = Union[PendingDelivery, PendingInvocation, PendingTimeout]
 
 
 class Scheduler:

@@ -64,6 +64,7 @@ from .scheduler import (
     PendingDelivery,
     PendingEvent,
     PendingInvocation,
+    PendingTimeout,
     Scheduler,
 )
 from .trace import Trace
@@ -145,6 +146,10 @@ class Simulation:
         self._automata: Dict[str, Automaton] = {}
         self._contexts: Dict[str, Context] = {}
         self._pending_deliveries: List[PendingDelivery] = []
+        self._pending_timeouts: List[PendingTimeout] = []
+        #: idle-advanced clock for timer ripeness when no fault plane is
+        #: installed (see :meth:`now`); never moves backwards.
+        self._timeout_clock = 0
         self._client_queues: Dict[str, Deque[_QueuedTransaction]] = {}
         self._sessions: Dict[str, SessionState] = {}
         self._records: Dict[Any, TransactionRecord] = {}
@@ -232,6 +237,22 @@ class Simulation:
         """The in-flight messages (read-only view)."""
         return tuple(self._pending_deliveries)
 
+    def pending_timeouts(self) -> Tuple[PendingTimeout, ...]:
+        """The armed-but-unfired timers (read-only view)."""
+        return tuple(self._pending_timeouts)
+
+    def now(self) -> int:
+        """The virtual clock timeouts are measured on.
+
+        With a fault plane installed this is the plane's clock; without one
+        it is the step counter, fast-forwarded at idle so pending timers
+        still fire eventually (the asynchronous-model reading: a timeout is
+        long compared to message delay, but finite).
+        """
+        if self.fault_plane is not None:
+            return self.fault_plane.now(self)
+        return max(self._steps_taken, self._timeout_clock)
+
     def has_pending_invocations(self) -> bool:
         """Whether any client invocation is currently enabled.
 
@@ -274,6 +295,9 @@ class Simulation:
     def pending_events(self) -> List[PendingEvent]:
         """The events the scheduler may choose from right now."""
         events: List[PendingEvent] = list(self._pending_deliveries)
+        if self._pending_timeouts:
+            now = self.now()
+            events.extend(t for t in self._pending_timeouts if t.ready_at <= now)
         for client, queue in self._client_queues.items():
             if not queue:
                 continue
@@ -299,6 +323,14 @@ class Simulation:
         pending = self.pending_events()
         if not pending and self.fault_plane is not None and self.fault_plane.on_idle(self):
             pending = self.pending_events()
+        if not pending and self.fault_plane is None and self._pending_timeouts:
+            # Idle but timers are armed: fast-forward to the earliest one
+            # (with a fault plane installed, on_idle above does this jump
+            # boundary-by-boundary so faults stay ordered with timers).
+            self._timeout_clock = max(
+                self._timeout_clock, min(t.ready_at for t in self._pending_timeouts)
+            )
+            pending = self.pending_events()
         if not pending:
             return False
         if self._steps_taken >= self.max_steps:
@@ -311,6 +343,9 @@ class Simulation:
         if isinstance(event, PendingDelivery):
             self._pending_deliveries.remove(event)
             self._deliver(event.message)
+        elif isinstance(event, PendingTimeout):
+            self._pending_timeouts.remove(event)
+            self._fire_timeout(event)
         elif isinstance(event, PendingInvocation):
             queue = self._client_queues[event.client]
             if not queue or queue[0].txn_id != event.txn_id:
@@ -357,6 +392,38 @@ class Simulation:
         )
         self._pending_deliveries.append(delivery)
         return delivery
+
+    def set_timeout(self, owner: str, delay: int, info: Mapping[str, Any]) -> PendingTimeout:
+        """Arm a timer for ``owner`` to fire ``delay`` virtual-time steps from
+        now (used through ``Context.set_timeout``)."""
+        if owner not in self._automata:
+            raise UnknownProcessError(owner)
+        timeout = PendingTimeout(
+            owner=owner,
+            info=dict(info),
+            enqueued_at=next(self._enqueue_counter),
+            ready_at=self.now() + max(1, int(delay)),
+        )
+        self._pending_timeouts.append(timeout)
+        return timeout
+
+    def reschedule_timeout(self, timeout: PendingTimeout, ready_at: int) -> PendingTimeout:
+        """Re-arm a (suppressed) timeout at a later virtual time — fault
+        planes use this to defer a crashed owner's timer to its recovery."""
+        later = PendingTimeout(
+            owner=timeout.owner,
+            info=timeout.info,
+            enqueued_at=next(self._enqueue_counter),
+            ready_at=max(int(ready_at), timeout.ready_at),
+        )
+        self._pending_timeouts.append(later)
+        return later
+
+    def _fire_timeout(self, timeout: PendingTimeout) -> None:
+        if self.fault_plane is not None and self.fault_plane.suppress_timeout(timeout, self):
+            return
+        self.trace.append(internal_action(timeout.owner, {"timeout": True, **dict(timeout.info)}))
+        self.automaton(timeout.owner).on_timeout(dict(timeout.info), self._contexts[timeout.owner])
 
     def _send_from(
         self, src: str, dst: str, msg_type: str, payload: Mapping[str, Any], phase: str = ""

@@ -31,8 +31,14 @@ from ..ioa.errors import SimulationError
 from ..txn.objects import Key, server_for_object
 from ..txn.placement import Placement, QuorumPolicy
 from ..txn.transactions import ReadResult, ReadTransaction
+from ..consensus.machines import ListStateMachine
 from .base import BuildConfig, Protocol
-from .coordinated import CoordinatedServer, CoordinatedWriter, coordinator_name
+from .coordinated import (
+    CoordinatedServer,
+    CoordinatedWriter,
+    consensus_members_for,
+    coordinator_targets,
+)
 from .replication import default_policy, key_read_round, placement_or_single_copy
 
 
@@ -46,23 +52,29 @@ class AlgorithmBReader(ReaderAutomaton):
         coordinator: str,
         placement: Optional[Placement] = None,
         policy: Optional[QuorumPolicy] = None,
+        coordinator_group: Optional[Sequence[str]] = None,
     ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
         self.coordinator = coordinator
+        self.coordinator_group = (
+            tuple(coordinator_group) if coordinator_group else (coordinator,)
+        )
         self.placement = placement_or_single_copy(self.objects, placement)
         self.policy = policy if policy is not None else default_policy()
 
     def run_transaction(self, txn: ReadTransaction, ctx: Context):
         if not isinstance(txn, ReadTransaction):
             raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
-        # Round 1: get-tag-array ------------------------------------------------
-        yield Send(
-            dst=self.coordinator,
-            msg_type="get-tag-arr",
-            payload={"txn": txn.txn_id, "read_set": tuple(txn.objects)},
-            phase="get-tag-array",
-        )
+        # Round 1: get-tag-array (broadcast to the coordinator group; the
+        # first — and with consensus, only committed — reply wins) -------------
+        for target in self.coordinator_group:
+            yield Send(
+                dst=target,
+                msg_type="get-tag-arr",
+                payload={"txn": txn.txn_id, "read_set": tuple(txn.objects)},
+                phase="get-tag-array",
+            )
         replies = yield Await(
             matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "tag-arr-reply" and m.get("txn") == txn_id,
             count=1,
@@ -88,6 +100,7 @@ class AlgorithmB(Protocol):
     name = "algorithm-b"
     description = "Paper's algorithm B: strictly serializable, non-blocking, one-version, two-round reads (MWMR, no C2C)"
     requires_c2c = False
+    has_coordinator = True
     supports_multiple_readers = True
     supports_multiple_writers = True
     claimed_properties = "SNW + one-version (Theorem 4)"
@@ -98,13 +111,22 @@ class AlgorithmB(Protocol):
         objects = config.objects()
         placement = config.placement()
         policy = config.quorum_policy()
-        servers = config.servers()
-        coordinator = coordinator_name(servers)
+        coordinator_group = coordinator_targets(config)
+        coordinator = coordinator_group[0]
+        replicated_coordinator = len(coordinator_group) > 1
         automata: List[Any] = []
         for reader in config.readers():
-            automata.append(AlgorithmBReader(reader, objects, coordinator, placement, policy))
+            automata.append(
+                AlgorithmBReader(
+                    reader, objects, coordinator, placement, policy, coordinator_group
+                )
+            )
         for writer in config.writers():
-            automata.append(CoordinatedWriter(writer, objects, coordinator, placement, policy))
+            automata.append(
+                CoordinatedWriter(
+                    writer, objects, coordinator, placement, policy, coordinator_group
+                )
+            )
         for object_id in objects:
             group = placement.group(object_id)
             for replica in group:
@@ -113,9 +135,10 @@ class AlgorithmB(Protocol):
                         replica,
                         object_id,
                         objects,
-                        is_coordinator=(replica == coordinator),
+                        is_coordinator=(not replicated_coordinator and replica == coordinator),
                         initial_value=config.initial_value,
                         group=group,
                     )
                 )
+        automata.extend(consensus_members_for(config, lambda: ListStateMachine(objects)))
         return automata

@@ -43,8 +43,14 @@ from ..ioa.errors import SimulationError
 from ..txn.objects import Key, server_for_object
 from ..txn.placement import Placement, QuorumPolicy
 from ..txn.transactions import ReadResult, ReadTransaction
+from ..consensus.machines import ListStateMachine
 from .base import BuildConfig, Protocol
-from .coordinated import CoordinatedServer, CoordinatedWriter, coordinator_name
+from .coordinated import (
+    CoordinatedServer,
+    CoordinatedWriter,
+    consensus_members_for,
+    coordinator_targets,
+)
 from .replication import (
     default_policy,
     key_read_round,
@@ -67,10 +73,14 @@ class AlgorithmCReader(ReaderAutomaton):
         coordinator: str,
         placement: Optional[Placement] = None,
         policy: Optional[QuorumPolicy] = None,
+        coordinator_group: Optional[Sequence[str]] = None,
     ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
         self.coordinator = coordinator
+        self.coordinator_group = (
+            tuple(coordinator_group) if coordinator_group else (coordinator,)
+        )
         self.placement = placement_or_single_copy(self.objects, placement)
         self.policy = policy if policy is not None else default_policy()
 
@@ -81,7 +91,11 @@ class AlgorithmCReader(ReaderAutomaton):
         read_targets = {
             object_id: self.placement.group(object_id) for object_id in read_set
         }
-        coordinator_holds_read_object = any(
+        # Combining the data and tag requests into one message only applies
+        # when the coordinator *is* a storage server (the unreplicated
+        # deployment); a consensus group holds no objects.
+        replicated_coordinator = len(self.coordinator_group) > 1
+        coordinator_holds_read_object = not replicated_coordinator and any(
             self.coordinator in group for group in read_targets.values()
         )
 
@@ -89,7 +103,7 @@ class AlgorithmCReader(ReaderAutomaton):
         for object_id in read_set:
             for replica in read_targets[object_id]:
                 payload: Dict[str, Any] = {"txn": txn.txn_id, "object": object_id}
-                if replica == self.coordinator:
+                if coordinator_holds_read_object and replica == self.coordinator:
                     # combine the data request and the tag-array request
                     payload["want_tags"] = True
                     payload["read_set"] = read_set
@@ -100,12 +114,13 @@ class AlgorithmCReader(ReaderAutomaton):
                     phase="read-values-and-tags",
                 )
         if not coordinator_holds_read_object:
-            yield Send(
-                dst=self.coordinator,
-                msg_type="get-tag-arr",
-                payload={"txn": txn.txn_id, "read_set": read_set},
-                phase="read-values-and-tags",
-            )
+            for target in self.coordinator_group:
+                yield Send(
+                    dst=target,
+                    msg_type="get-tag-arr",
+                    payload={"txn": txn.txn_id, "read_set": read_set},
+                    phase="read-values-and-tags",
+                )
         replies = yield per_object_reply_await(
             txn.txn_id,
             read_set,
@@ -116,6 +131,10 @@ class AlgorithmCReader(ReaderAutomaton):
             extra_types=("tag-arr-reply",),
             extra_count=0 if coordinator_holds_read_object else 1,
             extra_ready=_tag_seen,
+            # With a replicated coordinator the number of tag replies is not
+            # fixed (only the leader answers; a failover may answer twice), so
+            # a fixed count cannot express readiness — use the predicate form.
+            force_quorum=replicated_coordinator,
         )
 
         tag = None
@@ -178,6 +197,7 @@ class AlgorithmC(Protocol):
     name = "algorithm-c"
     description = "Paper's algorithm C: strictly serializable, non-blocking, one-round, multi-version reads (MWMR, no C2C)"
     requires_c2c = False
+    has_coordinator = True
     supports_multiple_readers = True
     supports_multiple_writers = True
     claimed_properties = "SNW + one-round (Theorem 5)"
@@ -188,13 +208,22 @@ class AlgorithmC(Protocol):
         objects = config.objects()
         placement = config.placement()
         policy = config.quorum_policy()
-        servers = config.servers()
-        coordinator = coordinator_name(servers)
+        coordinator_group = coordinator_targets(config)
+        coordinator = coordinator_group[0]
+        replicated_coordinator = len(coordinator_group) > 1
         automata: List[Any] = []
         for reader in config.readers():
-            automata.append(AlgorithmCReader(reader, objects, coordinator, placement, policy))
+            automata.append(
+                AlgorithmCReader(
+                    reader, objects, coordinator, placement, policy, coordinator_group
+                )
+            )
         for writer in config.writers():
-            automata.append(CoordinatedWriter(writer, objects, coordinator, placement, policy))
+            automata.append(
+                CoordinatedWriter(
+                    writer, objects, coordinator, placement, policy, coordinator_group
+                )
+            )
         for object_id in objects:
             group = placement.group(object_id)
             for replica in group:
@@ -203,9 +232,10 @@ class AlgorithmC(Protocol):
                         replica,
                         object_id,
                         objects,
-                        is_coordinator=(replica == coordinator),
+                        is_coordinator=(not replicated_coordinator and replica == coordinator),
                         initial_value=config.initial_value,
                         group=group,
                     )
                 )
+        automata.extend(consensus_members_for(config, lambda: ListStateMachine(objects)))
         return automata

@@ -35,7 +35,12 @@ from ..ioa.simulation import Simulation
 from ..ioa.trace import Trace
 from ..txn.history import History
 from ..txn.objects import object_names, server_for_object
-from ..txn.placement import Placement, QuorumPolicy, quorum_policy
+from ..txn.placement import (
+    Placement,
+    QuorumPolicy,
+    coordinator_group_names,
+    quorum_policy,
+)
 from ..txn.transactions import ReadTransaction, WriteTransaction, read as make_read, write_pairs
 
 
@@ -65,6 +70,12 @@ class BuildConfig:
     replication_factor: int = 1
     #: quorum policy name or instance (see :mod:`repro.txn.placement`)
     quorum: Any = "read-one-write-all"
+    #: consensus members replicating the coordinator / timestamp oracle
+    #: (1 = the seed's single designated server, byte-identical)
+    consensus_factor: int = 1
+    #: randomized election timeout window in virtual-time steps (None = the
+    #: consensus layer's default; only meaningful with consensus_factor > 1)
+    election_timeout: Optional[Tuple[int, int]] = None
 
     def objects(self) -> Tuple[str, ...]:
         return object_names(self.num_objects)
@@ -79,6 +90,10 @@ class BuildConfig:
     def servers(self) -> Tuple[str, ...]:
         """Every storage server (all replicas), object-major, primaries first."""
         return self.placement().servers()
+
+    def consensus_group(self) -> Tuple[str, ...]:
+        """The replicated-coordinator members (empty at consensus_factor=1)."""
+        return coordinator_group_names(self.consensus_factor)
 
     def readers(self) -> Tuple[str, ...]:
         return reader_names(self.num_readers)
@@ -105,6 +120,7 @@ class SystemHandle:
         self.placement = config.placement()
         self.quorum_policy = config.quorum_policy()
         self.servers = config.servers()
+        self.consensus_group = config.consensus_group()
         self.initial_value = config.initial_value
         self._round_robin_reader = 0
         self._round_robin_writer = 0
@@ -196,6 +212,8 @@ class SystemHandle:
                 f", replication={self.placement.replication_factor} "
                 f"({self.quorum_policy.describe()})"
             )
+        if self.consensus_group:
+            base += f", consensus={len(self.consensus_group)} members [{','.join(self.consensus_group)}]"
         return base
 
 
@@ -210,6 +228,9 @@ class Protocol:
     description: str = ""
     #: whether the protocol needs client-to-client communication (algorithm A does)
     requires_c2c: bool = False
+    #: whether the protocol routes through a designated coordinator /
+    #: timestamp oracle (the metadata service consensus_factor replicates)
+    has_coordinator: bool = False
     #: whether the protocol is defined for more than one reader / writer
     supports_multiple_readers: bool = True
     supports_multiple_writers: bool = True
@@ -238,6 +259,15 @@ class Protocol:
             raise ValueError(
                 f"replication_factor must be >= 1, got {config.replication_factor}"
             )
+        if config.consensus_factor < 1:
+            raise ValueError(
+                f"consensus_factor must be >= 1, got {config.consensus_factor}"
+            )
+        if config.consensus_factor > 1 and not self.has_coordinator:
+            raise ValueError(
+                f"protocol {self.name} has no coordinator/metadata service to replicate "
+                f"(consensus_factor={config.consensus_factor} needs one)"
+            )
         # Quorum intersection must hold for every replica group.
         config.placement().validate_policy(config.quorum_policy())
         c2c = config.c2c if config.c2c is not None else self.default_c2c()
@@ -261,6 +291,8 @@ class Protocol:
         fault_plane: Optional[FaultPlane] = None,
         replication_factor: int = 1,
         quorum: Any = "read-one-write-all",
+        consensus_factor: int = 1,
+        election_timeout: Optional[Tuple[int, int]] = None,
     ) -> SystemHandle:
         """Instantiate the protocol as a ready-to-run system.
 
@@ -268,8 +300,11 @@ class Protocol:
         :mod:`repro.faults`); ``None`` keeps the paper's reliable channels.
         ``replication_factor`` places each object on a group of N servers and
         ``quorum`` (a name or a :class:`~repro.txn.placement.QuorumPolicy`)
-        drives the read/write quorum rounds; the defaults reproduce the
-        paper's one-server-per-object system byte-for-byte.
+        drives the read/write quorum rounds.  ``consensus_factor`` replicates
+        the coordinator / timestamp oracle over N consensus members (see
+        :mod:`repro.consensus`); ``election_timeout`` overrides their
+        randomized election window.  The defaults reproduce the paper's
+        one-server-per-object, single-coordinator system byte-for-byte.
         """
         config = BuildConfig(
             num_readers=num_readers,
@@ -283,6 +318,8 @@ class Protocol:
             fault_plane=fault_plane,
             replication_factor=replication_factor,
             quorum=quorum,
+            consensus_factor=consensus_factor,
+            election_timeout=election_timeout,
         )
         self.validate_config(config)
         allow_c2c = config.c2c if config.c2c is not None else self.default_c2c()
@@ -291,6 +328,7 @@ class Protocol:
         topology.set_replica_groups(
             {obj: placement.group(obj) for obj in placement.objects()}
         )
+        topology.set_consensus_group(config.consensus_group())
         simulation = Simulation(
             topology=topology,
             scheduler=config.scheduler,

@@ -10,10 +10,17 @@ version) or concurrently (C: one round, many versions).
 
 Under the placement layer every object is held by a replica group; the
 ``write-value`` phase installs at every replica and awaits a write quorum
-per object, while the coordinator remains a single logical metadata server
-(the primary replica of the first object, exactly the first server of the
-seed).  Replicating the ``List`` itself is future work (it needs a
-reconfiguration/consensus story; see ROADMAP).
+per object.  The ``List`` itself is a metadata service with two deployments:
+
+* ``consensus_factor=1`` (the seed's setting) — one logical metadata server,
+  the primary replica of the first object, exactly the first server of the
+  seed; the :class:`CoordinatedServer` there holds the ``List``;
+* ``consensus_factor>=2`` — the ``List`` becomes a replicated state machine
+  over a dedicated consensus group (:mod:`repro.consensus`): clients
+  broadcast their coordinator requests to every member and the elected
+  leader replies once the request committed.  Both deployments apply the
+  *same* :class:`~repro.consensus.machines.CoordinatorList`, so their
+  metadata transitions are identical by construction.
 
 This module provides:
 
@@ -23,13 +30,17 @@ This module provides:
   (:class:`~repro.protocols.replication.ReplicatedStorageServer`) extended
   with the coordinator role (``update-coor``, ``get-tag-arr``, tag
   piggy-backing on ``read-vals``);
-* :func:`coordinator_name` — the convention designating the coordinator.
+* :func:`coordinator_name` / :func:`coordinator_targets` — the conventions
+  designating the coordinator (single server or consensus group);
+* :func:`consensus_members_for` — the consensus-group automata of a build.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..consensus.coordinator import DEFAULT_ELECTION_TIMEOUT, consensus_members
+from ..consensus.machines import CoordinatorList
 from ..ioa.actions import Message
 from ..ioa.automaton import Await, Context, ServerAutomaton, Send, WriterAutomaton
 from ..ioa.errors import SimulationError
@@ -51,6 +62,31 @@ def coordinator_name(servers: Sequence[str]) -> str:
     return servers[0]
 
 
+def coordinator_targets(config) -> Tuple[str, ...]:
+    """The processes clients address coordinator requests to.
+
+    The consensus group when the metadata service is replicated
+    (``consensus_factor >= 2``), else the designated first storage server —
+    a one-element group, so client code is a single loop either way and
+    ``consensus_factor=1`` sends are byte-identical to the seed.
+    """
+    group = config.consensus_group()
+    if group:
+        return group
+    return (coordinator_name(config.servers()),)
+
+
+def consensus_members_for(config, machine_factory) -> List[Any]:
+    """The consensus-group automata of a build (empty at consensus_factor=1)."""
+    group = config.consensus_group()
+    if not group:
+        return []
+    timeout = config.election_timeout or DEFAULT_ELECTION_TIMEOUT
+    return consensus_members(
+        group, machine_factory, seed=config.seed, election_timeout=timeout
+    )
+
+
 class CoordinatedWriter(WriterAutomaton):
     """Writer of algorithms B and C (Pseudocode 5).
 
@@ -70,10 +106,14 @@ class CoordinatedWriter(WriterAutomaton):
         coordinator: str,
         placement: Optional[Placement] = None,
         policy: Optional[QuorumPolicy] = None,
+        coordinator_group: Optional[Sequence[str]] = None,
     ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
         self.coordinator = coordinator
+        self.coordinator_group: Tuple[str, ...] = (
+            tuple(coordinator_group) if coordinator_group else (coordinator,)
+        )
         self.placement = placement_or_single_copy(self.objects, placement)
         self.policy = policy if policy is not None else default_policy()
         self.z = 0
@@ -87,14 +127,16 @@ class CoordinatedWriter(WriterAutomaton):
         yield from write_value_round(
             txn.txn_id, tuple(txn.updates), key, self.placement, self.policy
         )
-        # update-coor phase ---------------------------------------------------
+        # update-coor phase (broadcast to the coordinator group; only the
+        # consensus leader answers, once the entry committed) -----------------
         bits = tuple((obj, 1 if obj in dict(txn.updates) else 0) for obj in self.objects)
-        yield Send(
-            dst=self.coordinator,
-            msg_type="update-coor",
-            payload={"txn": txn.txn_id, "key": key, "bits": bits},
-            phase="update-coor",
-        )
+        for target in self.coordinator_group:
+            yield Send(
+                dst=target,
+                msg_type="update-coor",
+                payload={"txn": txn.txn_id, "key": key, "bits": bits},
+                phase="update-coor",
+            )
         acks = yield Await(
             matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "ack-coor" and m.get("txn") == txn_id,
             count=1,
@@ -130,33 +172,29 @@ class CoordinatedServer(ReplicatedStorageServer):
         super().__init__(name, object_id, initial_value, group=group)
         self.objects = tuple(objects)
         self.is_coordinator = is_coordinator
-        self.entries: List[Tuple[Key, Dict[str, int]]] = [
-            (Key.initial(), {obj: 1 for obj in self.objects})
-        ]
+        # The same List implementation the replicated coordinator applies —
+        # one definition of the metadata transitions for both deployments.
+        self.coordinator_list = CoordinatorList(self.objects)
+
+    @property
+    def entries(self) -> List[Tuple[Key, Dict[str, int]]]:
+        """The raw ``List`` entries (kept for introspection and tests)."""
+        return self.coordinator_list.entries
 
     def forget(self) -> None:
         """Amnesia: lose the store *and* (on the coordinator) the ``List``."""
         super().forget()
-        self.entries = [(Key.initial(), {obj: 1 for obj in self.objects})]
+        self.coordinator_list.reset()
 
     # ------------------------------------------------------------------
     # Coordinator-side helpers
     # ------------------------------------------------------------------
     def latest_index_for(self, object_id: str) -> int:
-        for position in range(len(self.entries) - 1, -1, -1):
-            if self.entries[position][1].get(object_id, 0) == 1:
-                return position + 1
-        raise SimulationError(f"coordinator list has no entry for object {object_id!r}")
+        return self.coordinator_list.latest_index_for(object_id)
 
     def tag_array_for(self, read_set: Sequence[str]) -> Tuple[int, Dict[str, Key]]:
         """``(t_r, {object: κ})`` for the requested read set."""
-        keys: Dict[str, Key] = {}
-        tag = 1
-        for object_id in read_set:
-            index = self.latest_index_for(object_id)
-            tag = max(tag, index)
-            keys[object_id] = self.entries[index - 1][0]
-        return tag, keys
+        return self.coordinator_list.tag_array_for(read_set)
 
     # ------------------------------------------------------------------
     def on_unhandled(self, message: Message, ctx: Context) -> None:
@@ -168,10 +206,7 @@ class CoordinatedServer(ReplicatedStorageServer):
     def _on_update_coor(self, message: Message, ctx: Context) -> None:
         if not self.is_coordinator:
             raise SimulationError(f"server {self.name} is not the coordinator but received update-coor")
-        key: Key = message.get("key")
-        bits = dict(message.get("bits", ()))
-        self.entries.append((key, {obj: int(bits.get(obj, 0)) for obj in self.objects}))
-        tag = len(self.entries)
+        tag = self.coordinator_list.append(message.get("key"), dict(message.get("bits", ())))
         ctx.send(message.src, "ack-coor", {"txn": message.get("txn"), "tag": tag}, phase="update-coor")
 
     def _on_get_tag_arr(self, message: Message, ctx: Context) -> None:

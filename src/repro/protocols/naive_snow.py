@@ -53,6 +53,8 @@ class NaiveServer(ReplicatedStorageServer):
 
     def handle_write_val(self, message: Message, ctx: Context) -> None:
         self.store.put(message.get("key"), message.get("value"))
+        if message.get("repair"):
+            return  # read-repair installs are fire-and-forget (no ack)
         ctx.send(message.src, "ack-write", self._ack_payload(message), phase="write")
 
 

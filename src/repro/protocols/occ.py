@@ -47,6 +47,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..consensus.machines import TimestampStateMachine
 from ..ioa.actions import Message
 from ..ioa.automaton import Await, Context, ReaderAutomaton, Send, ServerAutomaton, WriterAutomaton
 from ..ioa.errors import SimulationError
@@ -54,6 +55,7 @@ from ..txn.objects import Key, server_for_object
 from ..txn.placement import Placement
 from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
 from .base import BuildConfig, Protocol
+from .coordinated import consensus_members_for, coordinator_targets
 from .replication import placement_or_single_copy
 
 
@@ -140,21 +142,26 @@ class OccWriter(WriterAutomaton):
         objects: Sequence[str],
         timestamp_server: str,
         placement: Optional[Placement] = None,
+        timestamp_group: Optional[Sequence[str]] = None,
     ) -> None:
         super().__init__(name)
         self.objects = tuple(objects)
         self.timestamp_server = timestamp_server
+        self.timestamp_group: Tuple[str, ...] = (
+            tuple(timestamp_group) if timestamp_group else (timestamp_server,)
+        )
         self.placement = placement_or_single_copy(self.objects, placement)
 
     def run_transaction(self, txn: WriteTransaction, ctx: Context):
         if not isinstance(txn, WriteTransaction):
             raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
-        yield Send(
-            dst=self.timestamp_server,
-            msg_type="get-ts",
-            payload={"txn": txn.txn_id},
-            phase="get-timestamp",
-        )
+        for target in self.timestamp_group:
+            yield Send(
+                dst=target,
+                msg_type="get-ts",
+                payload={"txn": txn.txn_id},
+                phase="get-timestamp",
+            )
         replies = yield Await(
             matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "ts-reply" and m.get("txn") == txn_id,
             count=1,
@@ -311,6 +318,7 @@ class OccProtocol(Protocol):
     name = "occ-double-collect"
     description = "Validating-retry snapshot reads: SNW + one-version but unbounded rounds under contention"
     requires_c2c = False
+    has_coordinator = True  # the timestamp oracle is its metadata service
     supports_multiple_readers = True
     supports_multiple_writers = True
     claimed_properties = "S, N, W, one-version; rounds unbounded (Figure 1b, ∞ column)"
@@ -323,15 +331,18 @@ class OccProtocol(Protocol):
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()
         placement = config.placement()
-        servers = config.servers()
-        timestamp_server = servers[0]
+        timestamp_group = coordinator_targets(config)
+        timestamp_server = timestamp_group[0]
+        replicated_oracle = len(timestamp_group) > 1
         automata: List[Any] = []
         for reader in config.readers():
             automata.append(
                 OccReader(reader, objects, max_attempts=self.max_attempts, placement=placement)
             )
         for writer in config.writers():
-            automata.append(OccWriter(writer, objects, timestamp_server, placement))
+            automata.append(
+                OccWriter(writer, objects, timestamp_server, placement, timestamp_group)
+            )
         for object_id in objects:
             group = placement.group(object_id)
             for replica in group:
@@ -339,9 +350,10 @@ class OccProtocol(Protocol):
                     OccServer(
                         replica,
                         object_id,
-                        is_timestamp_server=(replica == timestamp_server),
+                        is_timestamp_server=(not replicated_oracle and replica == timestamp_server),
                         initial_value=config.initial_value,
                         group=group,
                     )
                 )
+        automata.extend(consensus_members_for(config, TimestampStateMachine))
         return automata

@@ -113,6 +113,11 @@ class ReplicatedStorageServer(ServerAutomaton):
     def handle_write_val(self, message: Message, ctx: Context) -> None:
         key: Key = message.get("key")
         self.store.put(key, message.get("value"))
+        if message.get("repair"):
+            # Read-repair install: a reader writing a freshest version back
+            # to a stale replica.  Fire-and-forget — no ack, so repairs never
+            # race a write transaction's quorum accounting.
+            return
         ctx.send(message.src, "ack-write", self._ack_payload(message), phase="write-value")
 
     # -- reads ------------------------------------------------------------
@@ -297,11 +302,22 @@ def key_read_round(
     placement: Placement,
     policy: QuorumPolicy,
     phase: str = "read-value",
+    read_repair: bool = True,
 ):
     """Generator: fetch exact keys from every replica, await an R-quorum.
 
     Returns ``(values, replies)`` — per-object values from the first hit per
     object, plus the raw reply list (for quorum metrics).
+
+    **Read-repair**: a ``read-val-miss`` in the collected quorum means a
+    replica diverged from its group (it never installed — or, after a
+    crash-with-amnesia, *forgot* — the version the metadata layer named).
+    The round ends by writing the freshest version back to each such stale
+    replica (a fire-and-forget ``repair`` install), restoring durability of
+    the named version to the full group: after the repair even a
+    ``read-one-write-all`` read served by the formerly-amnesiac replica finds
+    it.  Single-copy groups never produce misses, so ``replication_factor=1``
+    traces are untouched.
     """
     for object_id, key in chosen_keys.items():
         for replica in placement.group(object_id):
@@ -322,6 +338,23 @@ def key_read_round(
             f"read {txn_id} reached its quorum without a value for {missing!r}; "
             "quorum intersection should make this impossible"
         )
+    if read_repair:
+        for reply in replies:
+            if reply.msg_type != "read-val-miss":
+                continue
+            object_id = reply.get("object")
+            yield Send(
+                dst=reply.src,
+                msg_type="write-val",
+                payload={
+                    "txn": txn_id,
+                    "object": object_id,
+                    "key": chosen_keys[object_id],
+                    "value": values[object_id],
+                    "repair": True,
+                },
+                phase="read-repair",
+            )
     return values, replies
 
 
@@ -335,18 +368,21 @@ def per_object_reply_await(
     extra_ready: Optional[Callable[[List[Message]], bool]] = None,
     extra_types: Tuple[str, ...] = (),
     extra_count: int = 0,
+    force_quorum: bool = False,
 ) -> Await:
     """An Await for one reply round fanned out over replica groups.
 
     Trivial placement: fixed count ``len(read_set) + extra_count`` over
     ``reply_type`` plus ``extra_types`` (matching the seed's awaits exactly).
-    Replicated: until every object has ``R`` replies of ``reply_type`` and
+    Replicated — or whenever ``force_quorum`` is set (a replicated
+    *coordinator* also makes reply counts variable, even over single-copy
+    storage): until every object has ``R`` replies of ``reply_type`` and
     ``extra_ready`` (if given) is satisfied — used by algorithm C to also
     require the coordinator's tag array, and by Eiger's first round.
     """
     types = (reply_type,) + tuple(extra_types)
     matcher = lambda m, t=txn_id, ts=types: m.msg_type in ts and m.get("txn") == t
-    if placement.is_trivial():
+    if placement.is_trivial() and not force_quorum:
         return Await(
             matcher=matcher, count=len(read_set) + extra_count, description=description
         )

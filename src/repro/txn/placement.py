@@ -46,6 +46,23 @@ def replica_names(object_id: str, replication_factor: int) -> Tuple[str, ...]:
     return (primary,) + tuple(f"{primary}.{i}" for i in range(2, replication_factor + 1))
 
 
+def coordinator_group_names(consensus_factor: int, base: str = "coor") -> Tuple[str, ...]:
+    """The replicated-coordinator group, alongside the replica groups.
+
+    With ``consensus_factor=1`` the coordinator stays where the paper puts it
+    — on the first storage server — and *no* dedicated group exists, so this
+    returns ``()`` (the byte-identity contract of the consensus layer).  With
+    N >= 2 the coordinator role moves to N dedicated consensus members named
+    like replicas: ``coor, coor.2, …, coor.N`` (the first member is the
+    bootstrap leader, mirroring "the first server doubles as coordinator").
+    """
+    if consensus_factor < 1:
+        raise ValueError(f"consensus_factor must be >= 1, got {consensus_factor}")
+    if consensus_factor == 1:
+        return ()
+    return (base,) + tuple(f"{base}.{i}" for i in range(2, consensus_factor + 1))
+
+
 # ----------------------------------------------------------------------
 # Quorum policies
 # ----------------------------------------------------------------------

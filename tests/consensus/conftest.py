@@ -1,0 +1,58 @@
+"""Shared helpers for the consensus-layer tests.
+
+``run_consensus_workload`` mirrors ``tests/replication/conftest.py`` — the
+same fixed explicit-id workload — but threads the consensus knobs through
+``Protocol.build`` and defaults to the chaos scheduler (leader-crash plans
+need the virtual clock honoured).
+"""
+
+from __future__ import annotations
+
+from repro.faults import ChaosScheduler, FaultInjector, coordinator_failover
+from repro.ioa import FIFOScheduler
+
+from tests.replication.conftest import run_fixed_workload
+
+COORDINATOR_PROTOCOLS = ("algorithm-b", "algorithm-c", "occ-double-collect")
+
+
+def run_consensus_workload(
+    protocol_name: str,
+    consensus_factor: int = 3,
+    plan=None,
+    scheduler=None,
+    seed: int = 3,
+    election_timeout=None,
+    run_to_completion: bool = False,
+):
+    """Build, submit the fixed explicit-id workload, run; returns the handle."""
+    return run_fixed_workload(
+        protocol_name,
+        scheduler=scheduler or ChaosScheduler(base=FIFOScheduler()),
+        seed=seed,
+        consensus_factor=consensus_factor,
+        election_timeout=election_timeout,
+        plan=plan,
+        run_to_completion=run_to_completion,
+    )
+
+
+def leader_crash_plan(at: int = 12, seed: int = 3):
+    return coordinator_failover(leader="coor", at=at, seed=seed)
+
+
+def consensus_internals(handle):
+    """All consensus-tagged internal actions of a finished run, as dicts."""
+    return [
+        dict(action.info)
+        for action in handle.trace()
+        if action.info and "consensus" in dict(action.info)
+    ]
+
+
+def members_of(handle):
+    """The ReplicatedCoordinator automata of a built system."""
+    return [
+        handle.simulation.automaton(name)
+        for name in handle.simulation.topology.consensus_group()
+    ]

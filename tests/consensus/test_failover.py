@@ -1,0 +1,135 @@
+"""Acceptance: leader failover with unchanged verdicts (the ISSUE criterion).
+
+With ``consensus_factor=3``, fail-stopping the coordinator's leader mid-run
+must yield a re-election and full availability after the leaderless window,
+with SNOW / Lemma-20 verdicts and read results identical to the fault-free
+factor-3 run.  At ``consensus_factor=1`` the same crash (of the designated
+first server) stalls every coordinator-dependent transaction — the single
+point of failure the subsystem removes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import coordinator_failover
+
+from tests.consensus.conftest import (
+    COORDINATOR_PROTOCOLS,
+    consensus_internals,
+    leader_crash_plan,
+    run_consensus_workload,
+)
+
+
+def read_results(handle):
+    return {
+        str(r.txn_id): r.result
+        for r in handle.simulation.transaction_records()
+        if str(r.txn_id).startswith("R")
+    }
+
+
+@pytest.mark.parametrize("protocol", COORDINATOR_PROTOCOLS)
+def test_leader_crash_is_absorbed_at_cf3(protocol):
+    baseline = run_consensus_workload(protocol, consensus_factor=3)
+    crashed = run_consensus_workload(protocol, consensus_factor=3, plan=leader_crash_plan())
+
+    # Availability: every transaction completed despite the dead leader.
+    assert not crashed.simulation.incomplete_transactions()
+
+    # A re-election actually happened (this was not a lucky routing accident).
+    elected = [
+        i for i in consensus_internals(crashed) if i["consensus"] == "became-leader"
+    ]
+    assert elected and all(i["member"] != "coor" for i in elected)
+
+    # Same SNOW verdict, same Lemma-20 verdict, same values read.
+    assert (
+        crashed.snow_report().property_string()
+        == baseline.snow_report().property_string()
+    )
+    assert baseline.serializability().ok and crashed.serializability().ok
+    assert read_results(crashed) == read_results(baseline)
+
+
+@pytest.mark.parametrize("protocol", COORDINATOR_PROTOCOLS)
+def test_same_crash_stalls_the_single_coordinator_at_cf1(protocol):
+    """The contrast cell: at cf=1 the 'leader' is the designated first server."""
+    crashed = run_consensus_workload(
+        protocol,
+        consensus_factor=1,
+        plan=coordinator_failover(leader="sx", at=12, seed=3),
+    )
+    assert crashed.simulation.incomplete_transactions()
+
+
+@pytest.mark.parametrize("protocol", COORDINATOR_PROTOCOLS)
+def test_fault_free_cf3_holds_no_elections(protocol):
+    """The bootstrap leader just leads: elections only happen under faults."""
+    handle = run_consensus_workload(protocol, consensus_factor=3, run_to_completion=True)
+    assert all(
+        i["consensus"] not in ("candidacy", "became-leader")
+        for i in consensus_internals(handle)
+    )
+
+
+@pytest.mark.parametrize("protocol", COORDINATOR_PROTOCOLS)
+def test_cf3_matches_cf1_results_fault_free(protocol):
+    """Replicating the coordinator is client-transparent when nothing fails.
+
+    Only the real-time-ordered read (R2, submitted ``after`` W2) has a
+    deployment-independent answer; R1 races W1 and may legally land on either
+    side of it — consensus changes timing, and both outcomes are covered by
+    the (asserted-identical) serializability verdicts.
+    """
+    single = run_consensus_workload(protocol, consensus_factor=1, run_to_completion=True)
+    replicated = run_consensus_workload(protocol, consensus_factor=3, run_to_completion=True)
+    assert read_results(single)["R2"] == read_results(replicated)["R2"]
+    assert (
+        single.snow_report().property_string()
+        == replicated.snow_report().property_string()
+    )
+
+
+def test_failover_composes_with_replication():
+    """rf=3 + cf=3: crash a storage replica AND the consensus leader."""
+    from repro.faults import FaultPlan
+    from repro.faults.plan import CrashEvent
+
+    plan = FaultPlan(
+        name="double-crash",
+        crashes=(
+            CrashEvent(server="coor", at=12, recover=None),
+            CrashEvent(server="sx.3", at=6, recover=None),
+        ),
+        seed=3,
+    )
+    from tests.replication.conftest import run_fixed_workload
+    from repro.faults import ChaosScheduler
+    from repro.ioa import FIFOScheduler
+
+    handle = run_fixed_workload(
+        "algorithm-b",
+        scheduler=ChaosScheduler(base=FIFOScheduler()),
+        replication_factor=3,
+        quorum="majority",
+        consensus_factor=3,
+        plan=plan,
+        run_to_completion=False,
+    )
+    assert not handle.simulation.incomplete_transactions()
+    assert handle.snow_report().satisfies_s
+    assert any(
+        i["consensus"] == "became-leader" for i in consensus_internals(handle)
+    )
+
+
+def test_failover_is_deterministic():
+    def signature(seed):
+        handle = run_consensus_workload(
+            "algorithm-b", consensus_factor=3, plan=leader_crash_plan(seed=seed), seed=seed
+        )
+        return handle.trace().signature()
+
+    assert signature(5) == signature(5)

@@ -1,0 +1,56 @@
+"""Regression: the leaderless window is bounded by the election timeout.
+
+After the leader fail-stops, the time until a survivor is elected is governed
+by the randomized election timeout ``(low, high)``: a follower's running
+timer may get one "grace" window (the leader showed signs of life while it
+was armed), so the window is at most two full windows plus the election
+exchange itself — and never shorter than one minimum window (timers cannot
+fire early).  Both bounds are checked across seeds and the window must scale
+with the configured range (the knob actually steers the system).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.consensus.conftest import (
+    consensus_internals,
+    leader_crash_plan,
+    run_consensus_workload,
+)
+
+CRASH_AT = 12
+#: election exchange slack: vote round trips + commit of the no-op entry
+ELECTION_SLACK = 20
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def leaderless_window(seed: int, timeout) -> int:
+    handle = run_consensus_workload(
+        "algorithm-b",
+        consensus_factor=3,
+        plan=leader_crash_plan(at=CRASH_AT, seed=seed),
+        seed=seed,
+        election_timeout=timeout,
+    )
+    assert not handle.simulation.incomplete_transactions()
+    elected = [
+        i for i in consensus_internals(handle) if i["consensus"] == "became-leader"
+    ]
+    assert elected, "the crash must trigger a re-election"
+    return elected[0]["vtime"] - CRASH_AT
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("timeout", [(20, 30), (40, 80)])
+def test_window_bounded_by_two_timeout_windows(seed, timeout):
+    low, high = timeout
+    window = leaderless_window(seed, timeout)
+    assert low <= window <= 2 * high + ELECTION_SLACK, (seed, timeout, window)
+
+
+def test_window_scales_with_the_timeout_range():
+    """Doubling the timeout range must lengthen the window — the knob steers."""
+    small = [leaderless_window(seed, (20, 30)) for seed in SEEDS]
+    large = [leaderless_window(seed, (120, 160)) for seed in SEEDS]
+    assert max(small) < min(large)

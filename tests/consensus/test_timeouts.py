@@ -1,0 +1,99 @@
+"""Kernel timeout mechanics: the virtual-time timer facility elections ride on."""
+
+from __future__ import annotations
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.plan import CrashEvent
+from repro.ioa import Automaton, FIFOScheduler, ServerAutomaton, Simulation
+
+
+class TimerBox(ServerAutomaton):
+    """Arms one timer at start; records when it fires."""
+
+    def __init__(self, name: str, delay: int, rearm: int = 0) -> None:
+        super().__init__(name)
+        self.delay = delay
+        self.rearm = rearm
+        self.fired = []
+
+    def on_start(self, ctx) -> None:
+        ctx.set_timeout(self.delay, label="tick")
+
+    def on_timeout(self, info, ctx) -> None:
+        self.fired.append((ctx.vtime, info["label"]))
+        if self.rearm > 0:
+            self.rearm -= 1
+            ctx.set_timeout(self.delay, label="tick")
+
+
+def test_idle_system_fast_forwards_to_the_timer():
+    sim = Simulation(scheduler=FIFOScheduler())
+    box = sim.add_automaton(TimerBox("t1", delay=50))
+    sim.run()
+    assert [label for _, label in box.fired] == ["tick"]
+    # The idle fast-forward jumped the virtual clock to the timer's stamp.
+    assert box.fired[0][0] >= 50
+
+
+def test_timers_fire_in_ready_order_and_chain():
+    sim = Simulation(scheduler=FIFOScheduler())
+    fast = sim.add_automaton(TimerBox("fast", delay=10, rearm=2))
+    slow = sim.add_automaton(TimerBox("slow", delay=45))
+    sim.run()
+    assert len(fast.fired) == 3 and len(slow.fired) == 1
+    assert fast.fired[0][0] <= slow.fired[0][0]
+    # Each re-arm lands a full delay later on the virtual clock.
+    assert fast.fired[1][0] >= fast.fired[0][0] + 10
+
+
+def test_timeout_firing_is_recorded_as_internal_action():
+    sim = Simulation(scheduler=FIFOScheduler())
+    sim.add_automaton(TimerBox("t1", delay=5))
+    sim.run()
+    infos = [dict(a.info) for a in sim.trace if a.info and dict(a.info).get("timeout")]
+    assert infos and infos[0]["label"] == "tick"
+
+
+def test_timers_never_fire_early_under_fifo():
+    """A busy run may not deliver a timer before its virtual ready time."""
+    sim = Simulation(scheduler=FIFOScheduler())
+    box = sim.add_automaton(TimerBox("t1", delay=30))
+
+    class Chatter(Automaton):
+        def on_start(self, ctx):
+            ctx.set_timeout(1, label="kick")
+
+        def on_timeout(self, info, ctx):
+            if len(sim.trace) < 40:
+                ctx.set_timeout(1, label="kick")
+
+    sim.add_automaton(Chatter("noise"))
+    sim.run()
+    assert box.fired and box.fired[0][0] >= 30
+
+
+def test_crashed_owner_timer_is_deferred_to_recovery():
+    plan = FaultPlan(name="crash", crashes=(CrashEvent(server="t1", at=0, recover=100),))
+    sim = Simulation(scheduler=FIFOScheduler(), fault_plane=FaultInjector(plan, seed=0))
+    box = sim.add_automaton(TimerBox("t1", delay=10))
+    sim.run()
+    assert box.fired and box.fired[0][0] >= 100  # fired only after recovery
+
+
+def test_fail_stopped_owner_timer_dies_with_it():
+    plan = FaultPlan(name="stop", crashes=(CrashEvent(server="t1", at=0, recover=None),))
+    sim = Simulation(scheduler=FIFOScheduler(), fault_plane=FaultInjector(plan, seed=0))
+    box = sim.add_automaton(TimerBox("t1", delay=10))
+    sim.run()
+    assert box.fired == []
+
+
+def test_timer_determinism():
+    def signature():
+        sim = Simulation(scheduler=FIFOScheduler())
+        sim.add_automaton(TimerBox("a", delay=7, rearm=3))
+        sim.add_automaton(TimerBox("b", delay=11, rearm=2))
+        sim.run()
+        return sim.trace.signature()
+
+    assert signature() == signature()

@@ -22,6 +22,8 @@ def run_fixed_workload(
     num_objects: int = 2,
     replication_factor: int = 1,
     quorum: str = "read-one-write-all",
+    consensus_factor: int = 1,
+    election_timeout=None,
     plan=None,
     run_to_completion: bool = True,
 ):
@@ -37,6 +39,8 @@ def run_fixed_workload(
         seed=seed,
         replication_factor=replication_factor,
         quorum=quorum,
+        consensus_factor=consensus_factor,
+        election_timeout=election_timeout,
         fault_plane=FaultInjector(plan, seed=seed) if plan is not None else None,
     )
     w1 = handle.submit_write(

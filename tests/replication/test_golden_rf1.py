@@ -66,3 +66,21 @@ def test_explicit_rf1_matches_pre_placement_seed(protocol):
 def test_every_registered_protocol_is_pinned():
     """A newly registered protocol must be added to the golden fixture."""
     assert set(GOLDEN) == set(protocol_names())
+
+
+@pytest.mark.parametrize("protocol", protocol_names())
+def test_explicit_consensus1_matches_pre_consensus_seed(protocol):
+    """Passing consensus_factor=1 explicitly changes nothing, for every
+    protocol: the consensus layer's byte-identity contract (no members are
+    instantiated, no timers armed, sends/awaits identical)."""
+    handle = run_fixed_workload(
+        protocol, scheduler=FIFOScheduler(), num_objects=2, consensus_factor=1
+    )
+    assert signature_hash(handle) == GOLDEN[protocol]["fifo-2obj"], protocol
+
+
+def test_consensus_factor_rejected_without_coordinator():
+    """Protocols with no coordinator fail loudly instead of silently
+    ignoring the knob."""
+    with pytest.raises(ValueError, match="no coordinator"):
+        run_fixed_workload("simple-rw", consensus_factor=3)
