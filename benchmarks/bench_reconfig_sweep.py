@@ -1,0 +1,107 @@
+"""Extension experiment: the reconfiguration grid — membership change live.
+
+The reconfiguration layer (:mod:`repro.consensus.reconfig`) turns membership
+change into a joint-consensus mid-run event: replica groups (and the
+consensus group) move to a new configuration through a ``C_old,new`` window
+in which every quorum must hold in both configurations, added replicas sync
+state before the change commits, and retired replicas answer
+``epoch-mismatch`` until the kernel removes them.  This benchmark measures
+what that buys: every reconfig-capable protocol runs the same workload at
+``replication_factor=3`` + majority, fault-free, with a dead replica being
+replaced mid-run, and with a group growing rf 3 → 5 — and reports per cell
+the SNOW verdict, availability, epochs, transfer volume, epoch retries and
+the unavailability window.
+
+Two records are emitted: a human-readable table and
+``results/BENCH_reconfig.json`` — the machine-readable ``protocol ×
+scenario`` rows tracked across PRs (the reconfiguration sibling of
+``BENCH_failover.json``).
+
+Expected shape: *membership change is a non-event* — replace-dead-replica
+completes with availability 1.0, zero epoch retries, an unavailability
+window of 0 and byte-for-byte the fault-free SNOW verdict; grow-group
+transfers every installed version to the new replicas before committing.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, reconfig_grid_rows, sweep_reconfig
+
+from benchutil import emit, emit_json
+
+PROTOCOLS = ("algorithm-a", "algorithm-b")
+SEED = 13
+
+HEADERS = [
+    "protocol",
+    "scenario",
+    "SNOW",
+    "avail",
+    "epochs",
+    "transferred",
+    "retries",
+    "unavail window",
+    "msgs",
+]
+
+
+def regenerate():
+    grid = sweep_reconfig(protocols=PROTOCOLS, seed=SEED)
+    rows = reconfig_grid_rows(grid)
+    table_rows = [
+        [
+            row["protocol"],
+            row["scenario"],
+            row["snow"],
+            f"{row['availability']:.2f}",
+            row.get("epochs", "-"),
+            row.get("transfer_versions", "-"),
+            row.get("epoch_retries", "-"),
+            row.get("unavailability_window", "-"),
+            row["total_messages"],
+        ]
+        for row in rows
+    ]
+    table = format_table(
+        HEADERS,
+        table_rows,
+        title="Reconfiguration grid: membership change as a mid-run experiment",
+    )
+    return grid, rows, table
+
+
+def test_reconfig_sweep(benchmark):
+    grid, rows, table = benchmark(regenerate)
+    emit("reconfig_sweep", table)
+    emit_json(
+        "reconfig",
+        {"grid": rows, "protocols": list(PROTOCOLS), "seed": SEED},
+    )
+
+    cells = {(r["protocol"], r["scenario"]): r for r in rows}
+    assert len(rows) == len(PROTOCOLS) * 3
+
+    for protocol in PROTOCOLS:
+        baseline = cells[(protocol, "none")]
+        assert baseline["availability"] == 1.0
+
+        # Replace-dead-replica: the headline acceptance numbers — full
+        # availability, a measured unavailability window of 0, and the
+        # fault-free SNOW / consistency verdicts riding through unchanged.
+        replaced = cells[(protocol, "replace-dead-replica")]
+        assert replaced["availability"] == 1.0, protocol
+        assert replaced["unavailability_window"] == 0, protocol
+        assert replaced["snow"] == baseline["snow"], protocol
+        assert replaced["consistent"] is True, protocol
+        assert replaced["reconfigs_completed"] == 1
+        assert replaced["epochs"] == 2  # one joint entry + one commit
+        assert replaced["retired_servers"] == 1
+        assert replaced["transfer_versions"] >= 1  # the new replica synced
+
+        # Grow-group: fault-free growth, state transferred before commit.
+        grown = cells[(protocol, "grow-group")]
+        assert grown["availability"] == 1.0, protocol
+        assert grown["snow"] == baseline["snow"], protocol
+        assert grown["consistent"] is True, protocol
+        assert grown["retired_servers"] == 0
+        assert grown["transfer_versions"] >= 2  # two added replicas synced

@@ -260,6 +260,49 @@ class ConsensusMetrics:
         }
 
 
+@dataclass(frozen=True)
+class ReconfigMetrics:
+    """Membership-reconfiguration measurements of one execution.
+
+    Only populated when the system was built with a
+    :class:`~repro.consensus.reconfig.ReconfigPlan`.  ``epochs`` is the final
+    placement epoch (each change contributes a joint entry and a commit, so
+    one completed change = two epochs); ``transfer_versions`` totals the
+    versions streamed to freshly added replicas; ``epoch_retries`` counts the
+    client rounds that had to restart after an ``epoch-mismatch``; and
+    ``unavailability_window`` is the longest virtual-time span any single
+    transaction spent blocked on such retries (0 when no round ever had to
+    retry — the "membership change as a non-event" target the
+    replace-dead-replica scenario pins in ``BENCH_reconfig.json``).
+    """
+
+    epochs: int
+    reconfigs_completed: int
+    joint_windows: int
+    transfer_versions: int
+    epoch_retries: int
+    unavailability_window: int
+    retired_servers: int
+
+    def describe(self) -> str:
+        return (
+            f"reconfig: epochs={self.epochs} completed={self.reconfigs_completed} "
+            f"transferred={self.transfer_versions} retries={self.epoch_retries} "
+            f"unavailability_window={self.unavailability_window} retired={self.retired_servers}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "epochs": self.epochs,
+            "reconfigs_completed": self.reconfigs_completed,
+            "joint_windows": self.joint_windows,
+            "transfer_versions": self.transfer_versions,
+            "epoch_retries": self.epoch_retries,
+            "unavailability_window": self.unavailability_window,
+            "retired_servers": self.retired_servers,
+        }
+
+
 @dataclass
 class ExperimentMetrics:
     """Aggregated measurements of one protocol execution."""
@@ -280,6 +323,8 @@ class ExperimentMetrics:
     replication: Optional[ReplicationMetrics] = None
     #: populated only for runs with consensus_factor > 1
     consensus: Optional[ConsensusMetrics] = None
+    #: populated only for runs built with a reconfiguration plan
+    reconfig: Optional[ReconfigMetrics] = None
 
     def reads(self) -> Tuple[TransactionMetrics, ...]:
         return tuple(t for t in self.transactions if t.kind == "read")
@@ -309,6 +354,8 @@ class ExperimentMetrics:
             lines.append("  " + self.replication.describe())
         if self.consensus is not None:
             lines.append("  " + self.consensus.describe())
+        if self.reconfig is not None:
+            lines.append("  " + self.reconfig.describe())
         return "\n".join(lines)
 
 
@@ -419,16 +466,54 @@ def _collect_consensus_metrics(simulation: Simulation) -> Optional[ConsensusMetr
     )
 
 
+def _collect_reconfig_metrics(simulation: Simulation, directory) -> Optional[ReconfigMetrics]:
+    """Build the reconfiguration block from the shared placement directory."""
+    if directory is None:
+        return None
+    joints = sum(1 for t in directory.transitions if t["kind"] == "joint-begin")
+    commits = sum(1 for t in directory.transitions if t["kind"] == "commit")
+    # The longest span any one transaction was blocked behind epoch retries:
+    # from its first retry to its response (or to the final clock if it never
+    # responded; to its last retry when no virtual clock was recorded).
+    window = 0
+    first_retry: Dict[str, int] = {}
+    last_retry: Dict[str, int] = {}
+    for txn, vtime in directory.retries:
+        first_retry.setdefault(txn, vtime)
+        last_retry[txn] = vtime
+    records = {str(r.txn_id): r for r in simulation.transaction_records()}
+    for txn, started in first_retry.items():
+        record = records.get(txn)
+        if record is not None and record.respond_vtime is not None:
+            span = record.respond_vtime - started
+        elif record is not None and not record.complete:
+            span = simulation.now() - started
+        else:
+            span = last_retry[txn] - started + 1
+        window = max(window, span)
+    return ReconfigMetrics(
+        epochs=directory.epoch,
+        reconfigs_completed=commits,
+        joint_windows=joints,
+        transfer_versions=directory.transfer_volume(),
+        epoch_retries=len(directory.retries),
+        unavailability_window=window,
+        retired_servers=len(directory.retired),
+    )
+
+
 def collect_metrics(
     simulation: Simulation,
     protocol_name: str = "",
     placement=None,
     quorum_policy=None,
+    directory=None,
 ) -> ExperimentMetrics:
     """Aggregate per-transaction measurements from a finished simulation.
 
     ``placement`` / ``quorum_policy`` (optional) enable the replication
-    block; pass them from the built system's handle.
+    block; ``directory`` (optional) the reconfiguration block; pass them
+    from the built system's handle.
     """
     transactions: List[TransactionMetrics] = []
     total_messages = 0
@@ -469,4 +554,5 @@ def collect_metrics(
         faults=_collect_fault_metrics(simulation),
         replication=_collect_replication_metrics(simulation, placement, quorum_policy),
         consensus=_collect_consensus_metrics(simulation),
+        reconfig=_collect_reconfig_metrics(simulation, directory),
     )

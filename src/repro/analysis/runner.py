@@ -92,6 +92,9 @@ class ExperimentConfig:
     #: consensus members replicating the coordinator; 1 is the seed's single
     #: designated server (see :mod:`repro.consensus`).
     consensus_factor: int = 1
+    #: scheduled membership changes; None keeps membership fixed for the
+    #: whole run (see :mod:`repro.consensus.reconfig`).
+    reconfig: Optional[Any] = None
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, seed=seed, workload=replace(self.workload, seed=seed))
@@ -105,6 +108,8 @@ class ExperimentConfig:
             base += f" [replication={self.replication_factor}, quorum={self.quorum}]"
         if self.consensus_factor > 1:
             base += f" [consensus={self.consensus_factor}]"
+        if self.reconfig is not None:
+            base += f" [{self.reconfig.describe()}]"
         if self.faults is not None:
             base += f" [{self.faults.describe()}]"
         return base
@@ -162,6 +167,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         replication_factor=config.replication_factor,
         quorum=config.quorum,
         consensus_factor=config.consensus_factor,
+        reconfig=config.reconfig,
     )
     if config.c2c is not None:
         build_kwargs["c2c"] = config.c2c
@@ -187,6 +193,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         protocol_name=config.protocol,
         placement=handle.placement,
         quorum_policy=handle.quorum_policy,
+        directory=handle.directory,
     )
     snow = check_snow(handle.simulation, history) if config.check_properties else None
     return ExperimentResult(

@@ -421,6 +421,103 @@ def consensus_grid_rows(
     return rows
 
 
+def sweep_reconfig(
+    protocols: Sequence[str] = ("algorithm-a", "algorithm-b"),
+    replication_factor: int = 3,
+    quorum: str = "majority",
+    num_readers: int = 2,
+    num_writers: int = 2,
+    num_objects: int = 2,
+    workload: Optional[WorkloadSpec] = None,
+    seed: int = 13,
+    check_properties: bool = True,
+) -> Dict[str, Dict[str, ExperimentResult]]:
+    """The reconfiguration grid: protocol × membership scenario.
+
+    Three scenarios run per protocol at ``replication_factor=3`` + majority:
+
+    * ``none`` — fixed membership, the baseline every verdict is compared to;
+    * ``replace-dead-replica`` — the last replica of the first object's group
+      fail-stops, then a joint-consensus change swaps in a fresh replica (the
+      "replace a dead replica is an experiment, not an outage" scenario);
+    * ``grow-group`` — the first object's group grows rf 3 → 5 mid-run,
+      fault-free (state transfer before commit).
+
+    Returns ``{protocol: {scenario: result}}``.
+    """
+    from ..faults.scenarios import grow_group_mid_run, replace_dead_replica
+    from ..txn.objects import object_names
+
+    workload = workload or WorkloadSpec(
+        reads_per_reader=6, writes_per_writer=3, read_size=num_objects, write_size=num_objects, seed=seed
+    )
+    first_object = object_names(num_objects)[0]
+    scenarios: Dict[str, Tuple[Optional[FaultPlan], Any]] = {
+        "none": (None, None),
+        "replace-dead-replica": replace_dead_replica(
+            first_object, replication_factor, seed=seed
+        ),
+        "grow-group": grow_group_mid_run(first_object, replication_factor),
+    }
+    grid: Dict[str, Dict[str, ExperimentResult]] = {}
+    for protocol in protocols:
+        row: Dict[str, ExperimentResult] = {}
+        for scenario_name, (plan, reconfig) in scenarios.items():
+            config = ExperimentConfig(
+                protocol=protocol,
+                num_readers=num_readers,
+                num_writers=num_writers,
+                num_objects=num_objects,
+                workload=workload,
+                scheduler="chaos",
+                seed=seed,
+                check_properties=check_properties,
+                faults=plan,
+                replication_factor=replication_factor,
+                quorum=quorum,
+                reconfig=reconfig,
+            )
+            row[scenario_name] = run_experiment(config)
+        grid[protocol] = row
+    return grid
+
+
+def reconfig_grid_rows(
+    grid: Mapping[str, Mapping[str, ExperimentResult]],
+) -> List[Dict[str, Any]]:
+    """Flatten a reconfiguration grid into JSON-ready rows.
+
+    One row per protocol × scenario, carrying the SNOW verdict, availability,
+    and the reconfiguration accounting (epochs, transfer volume, epoch
+    retries, unavailability window) — the machine-readable record tracked
+    across PRs via ``BENCH_reconfig.json``.
+    """
+    rows: List[Dict[str, Any]] = []
+    for protocol, cells in grid.items():
+        for scenario, result in cells.items():
+            metrics = result.metrics
+            faults = metrics.faults
+            row: Dict[str, Any] = {
+                "protocol": protocol,
+                "scenario": scenario,
+                "snow": result.property_string(),
+                "consistent": result.snow.satisfies_s if result.snow is not None else None,
+                "max_read_rounds": metrics.max_read_rounds(),
+                "total_messages": metrics.total_messages,
+            }
+            if faults is not None:
+                row["availability"] = round(faults.availability, 4)
+            else:
+                row["availability"] = 1.0
+            if metrics.replication is not None:
+                row["replication_factor"] = metrics.replication.replication_factor
+                row["quorum"] = metrics.replication.quorum
+            if metrics.reconfig is not None:
+                row.update(metrics.reconfig.as_dict())
+            rows.append(row)
+    return rows
+
+
 def sweep_read_size(
     protocols: Sequence[str] = ("simple-rw", "algorithm-a", "algorithm-b", "algorithm-c", "s2pl"),
     read_sizes: Sequence[int] = (1, 2, 4, 6),

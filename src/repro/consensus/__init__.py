@@ -33,7 +33,9 @@ else in the repository.
 """
 
 from .coordinator import (
+    CONFIG,
     DEFAULT_ELECTION_TIMEOUT,
+    RECONFIG,
     ReplicatedCoordinator,
     consensus_members,
 )
@@ -45,11 +47,33 @@ from .machines import (
     ListStateMachine,
     TimestampStateMachine,
 )
+from .reconfig import (
+    ADMIN_NAME,
+    CONSENSUS_GROUP,
+    REPLICA_GROUP,
+    PlacementDirectory,
+    ReconfigDriver,
+    ReconfigPlan,
+    ReconfigRequest,
+    set_consensus_group,
+    set_replica_group,
+)
 
 __all__ = [
+    "CONFIG",
     "DEFAULT_ELECTION_TIMEOUT",
+    "RECONFIG",
     "ReplicatedCoordinator",
     "consensus_members",
+    "ADMIN_NAME",
+    "CONSENSUS_GROUP",
+    "REPLICA_GROUP",
+    "PlacementDirectory",
+    "ReconfigDriver",
+    "ReconfigPlan",
+    "ReconfigRequest",
+    "set_consensus_group",
+    "set_replica_group",
     "CANDIDATE",
     "FOLLOWER",
     "LEADER",

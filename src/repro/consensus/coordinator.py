@@ -48,6 +48,15 @@ from .machines import CoordinatorStateMachine
 #: Re-exported under the name the rest of the repository uses.
 DEFAULT_ELECTION_TIMEOUT: Tuple[int, int] = DEFAULT_TIMEOUT_RANGE
 
+#: Client-side message type asking the group to change its own membership.
+RECONFIG = "cns-reconfig"
+
+#: Log entry type carrying a configuration (``C_old,new`` or ``C_new``).
+#: Configuration entries take effect as soon as they are *in the log*
+#: (Raft's rule), not when they commit; while the latest config entry is a
+#: joint one, elections and commits need majorities in both configurations.
+CONFIG = "cns-config"
+
 
 def _freeze_payload(payload: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
     return tuple(sorted(payload.items(), key=lambda kv: kv[0]))
@@ -74,6 +83,7 @@ class ReplicatedCoordinator(ServerAutomaton):
         machine: CoordinatorStateMachine,
         seed: int = 0,
         election_timeout: Tuple[int, int] = DEFAULT_ELECTION_TIMEOUT,
+        bootstrap_leader: Optional[str] = None,
     ) -> None:
         super().__init__(name)
         self.group: Tuple[str, ...] = tuple(group)
@@ -82,17 +92,29 @@ class ReplicatedCoordinator(ServerAutomaton):
         self.machine = machine
         self.seed = seed
         self.election_timeout = tuple(election_timeout)
+        #: the configuration this member was constructed with; the live
+        #: ``self.group`` is re-derived from the newest config entry in the
+        #: log (``_refresh_config``) and falls back to this one.
+        self._initial_group: Tuple[str, ...] = self.group
+        #: ``(old, new)`` while the newest config entry in the log is joint
+        self.joint: Optional[Tuple[Tuple[str, ...], Tuple[str, ...]]] = None
+        #: a late-joining member names a *current* member as its bootstrap
+        #: leader so it never believes itself leader of term 1
+        self.bootstrap_leader = bootstrap_leader if bootstrap_leader is not None else self.group[0]
         self.election = LeaderElection(
             member=name,
             index=self.group.index(name),
             group_size=len(self.group),
-            initial_leader=self.group[0],
+            initial_leader=self.bootstrap_leader,
             seed=seed,
             timeout_range=self.election_timeout,
         )
         self.log = ConsensusLog()
         #: known leader of the current term (None while electing)
-        self.leader: Optional[str] = self.group[0]
+        self.leader: Optional[str] = self.bootstrap_leader
+        #: set when this leader committed a C_new that excludes it: hand off
+        #: leadership once the commit has been broadcast
+        self._handoff_pending = False
         #: buffered client requests not yet known committed (insertion order)
         self.pending: "OrderedDict[str, _PendingRequest]" = OrderedDict()
         #: request_id -> (client, reply_type, reply_payload) for every applied
@@ -105,11 +127,99 @@ class ReplicatedCoordinator(ServerAutomaton):
         self._timer_live = False
         self._armed_at = 0
         self._last_heard = 0
+        #: set when this member refused a vote to a candidate with an
+        #: inferior log while no leader is known: the group needs a healthy
+        #: member to campaign (and re-replicate) or the stale candidate
+        #: disrupts forever — see ``_on_vote_request``
+        self._repair = False
 
     # ------------------------------------------------------------------
     @property
     def peers(self) -> Tuple[str, ...]:
         return tuple(m for m in self.group if m != self.name)
+
+    # ------------------------------------------------------------------
+    # Configuration (joint consensus)
+    # ------------------------------------------------------------------
+    def _quorum_ok(self, supporters) -> bool:
+        """Whether ``supporters`` form a quorum of the *current* config.
+
+        Under a joint configuration a quorum must hold in **both** the old
+        and the new group (members in both count for both) — the rule that
+        makes any quorum taken during the transition intersect any quorum of
+        either epoch, so two leaders (or two commits) can never coexist
+        across the change.
+        """
+        members = set(supporters)
+
+        def majority_of(group: Tuple[str, ...]) -> bool:
+            return len(members & set(group)) >= len(group) // 2 + 1
+
+        if self.joint is not None:
+            old, new = self.joint
+            return majority_of(old) and majority_of(new)
+        return majority_of(self.group)
+
+    def _refresh_config(self) -> None:
+        """Adopt the newest configuration entry in the log (Raft's rule:
+        a configuration takes effect when it is appended, not committed)."""
+        for entry in reversed(self.log.entries):
+            if entry.msg_type != CONFIG:
+                continue
+            payload = dict(entry.payload)
+            if payload.get("phase") == "new":
+                self.group = tuple(payload["group"])
+                self.joint = None
+            else:
+                old, new = tuple(payload["old"]), tuple(payload["new"])
+                self.joint = (old, new)
+                self.group = old + tuple(m for m in new if m not in old)
+            return
+        self.group = self._initial_group
+        self.joint = None
+
+    def _append_config_entry(
+        self,
+        request_id: str,
+        phase: str,
+        payload: Mapping[str, Any],
+        client: str,
+        ctx: Context,
+    ) -> None:
+        """Append one configuration entry and adopt it (no replication —
+        shared by the leader proposal path and the post-election re-propose
+        loop, which replicates once after all re-proposals)."""
+        self.log.append(
+            LogEntry(
+                term=self.election.term,
+                request_id=request_id,
+                msg_type=CONFIG,
+                payload=_freeze_payload({"phase": phase, **payload}),
+                client=client,
+                proposed_at=ctx.vtime,
+            )
+        )
+        self._refresh_config()
+        ctx.internal(
+            consensus="config",
+            phase=phase,
+            term=self.election.term,
+            member=self.name,
+            group=",".join(self.joint[1] if self.joint else self.group),
+        )
+
+    def _append_config(
+        self,
+        request_id: str,
+        phase: str,
+        payload: Mapping[str, Any],
+        client: str,
+        ctx: Context,
+    ) -> None:
+        """Append a configuration entry, adopt it, and replicate."""
+        self._append_config_entry(request_id, phase, payload, client, ctx)
+        self._replicate(ctx)
+        self._maybe_commit(ctx)
 
     def forget(self) -> None:
         """Crash-with-amnesia hook: lose *all* volatile state.
@@ -119,15 +229,18 @@ class ReplicatedCoordinator(ServerAutomaton):
         model crash-recovery with durable state — this hook exists to keep
         the fault plane's contract honest, and tests document the hazard.
         """
+        self.group = self._initial_group
+        self.joint = None
+        self._handoff_pending = False
         self.election = LeaderElection(
             member=self.name,
             index=self.group.index(self.name),
             group_size=len(self.group),
-            initial_leader=self.group[0],
+            initial_leader=self.bootstrap_leader,
             seed=self.seed,
             timeout_range=self.election_timeout,
         )
-        if self.name == self.group[0]:
+        if self.name == self.bootstrap_leader:
             # A blank bootstrap leader must not resume leading: it lost its log.
             self.election.step_down(self.election.term)
         self.log = ConsensusLog()
@@ -138,13 +251,14 @@ class ReplicatedCoordinator(ServerAutomaton):
         self.match_index = {}
         self.machine.reset()
         self._timer_live = False
+        self._repair = False
 
     # ------------------------------------------------------------------
     # Message dispatch
     # ------------------------------------------------------------------
     def on_message(self, message: Message, ctx: Context) -> None:
         msg_type = message.msg_type
-        if msg_type in self.machine.request_types:
+        if msg_type in self.machine.request_types or msg_type == RECONFIG:
             self._on_client_request(message, ctx)
         elif msg_type == "cns-append":
             self._on_append(message, ctx)
@@ -159,7 +273,8 @@ class ReplicatedCoordinator(ServerAutomaton):
     # Client requests
     # ------------------------------------------------------------------
     def _on_client_request(self, message: Message, ctx: Context) -> None:
-        request_id = f"{message.msg_type}/{message.get('txn')}"
+        ident = message.get("txn") if message.msg_type != RECONFIG else message.get("reconfig")
+        request_id = f"{message.msg_type}/{ident}"
         if request_id in self.applied_replies:
             # Already served; only the leader re-sends (followers stay quiet
             # so the client sees at most a few copies, never a quorum storm).
@@ -168,6 +283,25 @@ class ReplicatedCoordinator(ServerAutomaton):
             return
         if self.election.is_leader:
             if not self.log.contains_request(request_id):
+                if message.msg_type == RECONFIG:
+                    if self.joint is not None:
+                        raise SimulationError(
+                            "a second membership change arrived while C_old,new is "
+                            "in flight: at most one configuration change at a time"
+                        )
+                    # A membership change enters the log as the joint
+                    # configuration C_old,new (adopted on append).
+                    self._append_config(
+                        request_id,
+                        "joint",
+                        {
+                            "old": tuple(message.get("old", ())),
+                            "new": tuple(message.get("new", ())),
+                        },
+                        client=message.src,
+                        ctx=ctx,
+                    )
+                    return
                 self.log.append(
                     LogEntry(
                         term=self.election.term,
@@ -228,13 +362,24 @@ class ReplicatedCoordinator(ServerAutomaton):
         for index in range(self.log.last_index, self.log.commit_index, -1):
             if self.log.term_at(index) != self.election.term:
                 break
-            replicas = 1 + sum(1 for p in self.peers if self.match_index.get(p, 0) >= index)
-            if replicas >= self.election.majority:
+            supporters = {self.name} | {
+                p for p in self.peers if self.match_index.get(p, 0) >= index
+            }
+            if self._quorum_ok(supporters):
                 self.log.advance_commit(index)
                 break
         self._apply_committed(ctx)
         if self.log.commit_index > before:
             self._replicate(ctx)
+        if self._handoff_pending and self.election.is_leader:
+            # This leader committed a C_new that excludes it: the commit has
+            # been broadcast above, so abdicate — the remaining members hold
+            # an election the next time progress needs a leader.
+            self._handoff_pending = False
+            ctx.internal(
+                consensus="leader-handoff", term=self.election.term, member=self.name
+            )
+            self._step_down(self.election.term, leader=None, ctx=ctx)
 
     def _on_append_ack(self, message: Message, ctx: Context) -> None:
         term = int(message.get("term", 0))
@@ -272,6 +417,7 @@ class ReplicatedCoordinator(ServerAutomaton):
             self._step_down(term, leader=message.src, ctx=ctx)
         self.leader = message.src
         self._last_heard = ctx.vtime
+        self._repair = False  # a live leader is doing the re-replication
         prev_index = int(message.get("prev_index", 0))
         prev_term = int(message.get("prev_term", 0))
         if not self.log.matches(prev_index, prev_term):
@@ -284,6 +430,9 @@ class ReplicatedCoordinator(ServerAutomaton):
             return
         entries = tuple(message.get("entries", ()))
         self.log.merge(prev_index, entries)
+        # A merge may have installed *or truncated* a configuration entry;
+        # re-derive the active config from the log (cheap: logs are short).
+        self._refresh_config()
         self.log.advance_commit(int(message.get("commit", 0)))
         self._apply_committed(ctx)
         # Acknowledge exactly the prefix this append established — a stale
@@ -301,11 +450,13 @@ class ReplicatedCoordinator(ServerAutomaton):
     def _on_vote_request(self, message: Message, ctx: Context) -> None:
         term = int(message.get("term", 0))
         candidate = message.src
+        was_leader = self.election.is_leader
         if term > self.election.term:
             self._step_down(term, leader=None, ctx=ctx)
         granted = (
             self.election.may_grant(candidate, term)
             and not self.election.is_leader
+            and candidate in self.group  # elections are restricted to the current config
             and self.log.up_to_date(
                 int(message.get("last_index", 0)), int(message.get("last_term", 0))
             )
@@ -319,6 +470,21 @@ class ReplicatedCoordinator(ServerAutomaton):
             {"term": self.election.term, "granted": granted},
             phase="consensus",
         )
+        if not granted and self.name in self.group and not self.election.is_leader:
+            # A stale member (e.g. back from a healed partition, campaigning
+            # on requests the group long committed) can depose a quiescent
+            # leader it cannot replace: without heartbeats nobody would ever
+            # re-replicate, so the stale candidate campaigns forever.  The
+            # refusers hold better logs — a deposed leader reclaims
+            # leadership immediately (asymmetric, so no duel), and refusing
+            # followers arm their randomized repair timers; whichever
+            # campaigns first wins, and the new term's replication catches
+            # the stale member up, drains its buffer and restores quiescence.
+            if was_leader:
+                self._start_election(ctx)
+            else:
+                self._repair = True
+                self._ensure_timer(ctx)
 
     def _on_vote(self, message: Message, ctx: Context) -> None:
         term = int(message.get("term", 0))
@@ -327,8 +493,10 @@ class ReplicatedCoordinator(ServerAutomaton):
             return
         if not self.election.is_candidate or term < self.election.term:
             return
-        if message.get("granted") and self.election.record_vote(message.src):
-            self._become_leader(ctx)
+        if message.get("granted"):
+            self.election.record_vote(message.src)
+            if self._quorum_ok(self.election.votes):
+                self._become_leader(ctx)
 
     def _start_election(self, ctx: Context) -> None:
         term = self.election.start_candidacy()
@@ -345,12 +513,14 @@ class ReplicatedCoordinator(ServerAutomaton):
                 },
                 phase="consensus",
             )
-        if self.election.record_vote(self.name):  # single-survivor groups
+        self.election.record_vote(self.name)
+        if self._quorum_ok(self.election.votes):  # single-survivor groups
             self._become_leader(ctx)
 
     def _become_leader(self, ctx: Context) -> None:
         self.election.become_leader()
         self.leader = self.name
+        self._repair = False
         self.next_index = {p: self.log.last_index + 1 for p in self.peers}
         self.match_index = {p: 0 for p in self.peers}
         ctx.internal(
@@ -373,6 +543,22 @@ class ReplicatedCoordinator(ServerAutomaton):
         for request_id, request in self.pending.items():
             if self.log.contains_request(request_id) or request_id in self.applied_replies:
                 continue
+            if request.msg_type == RECONFIG:
+                if self.joint is not None:
+                    continue  # another change is mid-flight; stays buffered
+                # Re-propose a buffered membership change as its joint entry.
+                payload = dict(request.payload)
+                self._append_config_entry(
+                    request_id,
+                    "joint",
+                    {
+                        "old": tuple(payload.get("old", ())),
+                        "new": tuple(payload.get("new", ())),
+                    },
+                    client=request.client,
+                    ctx=ctx,
+                )
+                continue
             self.log.append(
                 LogEntry(
                     term=self.election.term,
@@ -383,6 +569,7 @@ class ReplicatedCoordinator(ServerAutomaton):
                     proposed_at=ctx.vtime,
                 )
             )
+        self._maybe_advance_config(ctx)
         self._replicate(ctx)
         self._maybe_commit(ctx)
 
@@ -405,8 +592,10 @@ class ReplicatedCoordinator(ServerAutomaton):
 
     def on_timeout(self, info: Mapping[str, Any], ctx: Context) -> None:
         self._timer_live = False
-        if self.election.is_leader or not self.pending:
+        if self.election.is_leader or not (self.pending or self._repair):
             return  # nothing blocked on a leader: quiesce
+        if self.name not in self.group:
+            return  # removed from the config: never campaign, await retirement
         if self.election.is_follower and self._last_heard >= self._armed_at:
             # The leader (or an election) showed signs of life during this
             # window — grant another full window before interfering.
@@ -418,9 +607,72 @@ class ReplicatedCoordinator(ServerAutomaton):
     # ------------------------------------------------------------------
     # Apply + reply
     # ------------------------------------------------------------------
+    def _maybe_advance_config(self, ctx: Context) -> None:
+        """Leader rule: once the joint entry C_old,new is committed, append
+        C_new (also run at election time, in case the previous leader died
+        between committing the joint entry and proposing C_new)."""
+        if not self.election.is_leader or self.joint is None:
+            return
+        for index in range(self.log.last_index, 0, -1):
+            entry = self.log.entry(index)
+            if entry.msg_type != CONFIG:
+                continue
+            payload = dict(entry.payload)
+            if payload.get("phase") != "joint":
+                return  # newest config is already C_new
+            if index > self.log.commit_index:
+                return  # joint entry not committed yet
+            if self.log.contains_request(f"{entry.request_id}/new"):
+                return
+            self._append_config(
+                f"{entry.request_id}/new",
+                "new",
+                {"group": tuple(payload["new"]), "request": entry.request_id},
+                client=entry.client,
+                ctx=ctx,
+            )
+            return
+
+    def _apply_config(self, entry: LogEntry, ctx: Context) -> None:
+        """Apply a committed configuration entry (both phases are config-
+        only: the coordinator state machine never sees them)."""
+        payload = dict(entry.payload)
+        if payload.get("phase") == "joint":
+            self._maybe_advance_config(ctx)
+            return
+        # C_new committed: answer the original cns-reconfig request exactly
+        # once (the reply is memoized under the *request's* id, so a re-sent
+        # request after failover gets the same done message back).
+        request_id = str(payload.get("request", ""))
+        if request_id and request_id not in self.applied_replies:
+            self.applied_replies[request_id] = (
+                entry.client,
+                "cns-reconfig-done",
+                {
+                    "reconfig": int(request_id.rsplit("/", 1)[-1]),
+                    "group": tuple(payload.get("group", ())),
+                },
+            )
+        self.pending.pop(request_id, None)
+        if self.election.is_leader:
+            if request_id:
+                self._send_reply(request_id, ctx)
+            if self.name not in tuple(payload.get("group", ())):
+                self._handoff_pending = True
+
     def _apply_committed(self, ctx: Context) -> None:
         for index, entry in self.log.take_unapplied():
             if entry.is_noop():
+                continue
+            if entry.msg_type == CONFIG:
+                self._apply_config(entry, ctx)
+                ctx.internal(
+                    consensus="apply",
+                    index=index,
+                    term=entry.term,
+                    request=entry.request_id,
+                    commit_latency=max(0, ctx.vtime - entry.proposed_at),
+                )
                 continue
             if entry.request_id not in self.applied_replies:
                 reply_type, reply_payload = self.machine.apply(
@@ -441,7 +693,8 @@ class ReplicatedCoordinator(ServerAutomaton):
     def _send_reply(self, request_id: str, ctx: Context) -> None:
         client, reply_type, reply_payload = self.applied_replies[request_id]
         msg_type = request_id.split("/", 1)[0]
-        ctx.send(client, reply_type, reply_payload, phase=self.machine.reply_phase(msg_type))
+        phase = "reconfig" if msg_type == RECONFIG else self.machine.reply_phase(msg_type)
+        ctx.send(client, reply_type, reply_payload, phase=phase)
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -45,9 +45,12 @@ from .scenarios import (
     duplicating_network,
     fail_stop,
     flaky_everything,
+    grow_group_mid_run,
     healed_partition,
     lossy_network,
     partition_grid_scenarios,
+    replace_dead_replica,
+    shrink_consensus_group_mid_run,
     slow_network,
     standard_fault_scenarios,
     tail_latency,
@@ -76,9 +79,12 @@ __all__ = [
     "duplicating_network",
     "fail_stop",
     "flaky_everything",
+    "grow_group_mid_run",
     "healed_partition",
     "lossy_network",
     "partition_grid_scenarios",
+    "replace_dead_replica",
+    "shrink_consensus_group_mid_run",
     "slow_network",
     "standard_fault_scenarios",
     "tail_latency",

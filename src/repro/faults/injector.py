@@ -93,6 +93,7 @@ class FaultInjector(FaultPlane):
         self._virtual_now = 0
         self._crashed: Set[str] = set()
         self._crash_onset: Dict[str, int] = {}  # server -> when its current outage began
+        self._removed: Set[str] = set()  # retired mid-run (reconfiguration)
         self._attached = False
         self._names_validated = False
 
@@ -214,6 +215,22 @@ class FaultInjector(FaultPlane):
     def describe(self) -> str:
         return f"FaultInjector({self.plan.describe()}; {self.stats.describe()})"
 
+    def on_remove(self, name: str, kernel: Any) -> None:
+        """Drop all transport state for a retired automaton.
+
+        Mail held for it — in either direction: parked messages *from* a
+        retired process must die with it too, or their receivers would reply
+        to a ghost — is discarded, and the name is excluded from future
+        crash transitions so a crash event outliving the retirement neither
+        sweeps nor "recovers" a ghost.
+        """
+        self._held = [
+            h for h in self._held if h.message.dst != name and h.message.src != name
+        ]
+        self._crashed.discard(name)
+        self._crash_onset.pop(name, None)
+        self._removed.add(name)
+
     # ------------------------------------------------------------------
     # Admission pipeline
     # ------------------------------------------------------------------
@@ -315,7 +332,9 @@ class FaultInjector(FaultPlane):
         network into the transport buffer (held until recovery).  Transitions
         are recorded as internal actions so traces stay self-describing.
         """
-        currently = {c.server for c in self.plan.crashes if c.crashed(now)}
+        currently = {
+            c.server for c in self.plan.crashes if c.crashed(now) and c.server not in self._removed
+        }
         for server in sorted(currently - self._crashed):
             self.stats.crashes += 1
             self._crash_onset[server] = now

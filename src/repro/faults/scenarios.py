@@ -10,7 +10,7 @@ verdict side by side.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from .plan import (
     BimodalLatency,
@@ -110,6 +110,105 @@ def coordinator_failover(leader: str = "coor", at: int = 12, seed: int = 0) -> F
         crashes=(CrashEvent(server=leader, at=at, recover=None),),
         seed=seed,
     )
+
+
+def replace_dead_replica(
+    object_id: str = "ox",
+    replication_factor: int = 3,
+    crash_at: int = 8,
+    reconfig_at: int = 30,
+    seed: int = 0,
+) -> Tuple[FaultPlan, Any]:
+    """Fail-stop the last replica of one group, then reconfigure it away.
+
+    The acceptance scenario of the reconfiguration layer: with a majority
+    quorum at ``replication_factor=3`` the crash costs nothing (the surviving
+    quorum absorbs it), and at ``reconfig_at`` the joint-consensus change
+    swaps the dead replica for a fresh one (``sx.3`` → ``sx.4``), which syncs
+    the object's versions from a retained replica before the change commits.
+    Expected outcome: availability 1.0 and an unavailability window of 0 —
+    replacing a dead replica is an experiment, not an outage.
+
+    Returns ``(FaultPlan, ReconfigPlan)`` — pass them as the ``faults`` and
+    ``reconfig`` arguments of one experiment.
+    """
+    from ..consensus.reconfig import ReconfigPlan, set_replica_group
+    from ..txn.placement import next_replica_names, replica_names
+
+    group = replica_names(object_id, replication_factor)
+    dead = group[-1]
+    replacement = next_replica_names(object_id, group)[0]
+    new_group = tuple(s for s in group if s != dead) + (replacement,)
+    plan = FaultPlan(
+        name="replace-dead-replica",
+        crashes=(CrashEvent(server=dead, at=crash_at, recover=None),),
+        seed=seed,
+    )
+    reconfig = ReconfigPlan(
+        name="replace-dead-replica",
+        requests=(set_replica_group(object_id, new_group, at=reconfig_at),),
+    )
+    return plan, reconfig
+
+
+def grow_group_mid_run(
+    object_id: str = "ox",
+    replication_factor: int = 3,
+    to_factor: int = 5,
+    at: int = 20,
+) -> Tuple[FaultPlan, Any]:
+    """Grow one object's replica group mid-run (e.g. rf 3 → 5), fault-free.
+
+    The added replicas sync state before the change commits, so reads served
+    by the grown group never miss a completed write.  Returns
+    ``(FaultPlan.none(), ReconfigPlan)``.
+    """
+    from ..consensus.reconfig import ReconfigPlan, set_replica_group
+    from ..txn.placement import next_replica_names, replica_names
+
+    if to_factor <= replication_factor:
+        raise ValueError(
+            f"grow_group_mid_run grows the group: to_factor={to_factor} "
+            f"must exceed replication_factor={replication_factor}"
+        )
+    group = replica_names(object_id, replication_factor)
+    added = next_replica_names(object_id, group, count=to_factor - replication_factor)
+    reconfig = ReconfigPlan(
+        name="grow-group",
+        requests=(set_replica_group(object_id, group + added, at=at),),
+    )
+    return FaultPlan.none(), reconfig
+
+
+def shrink_consensus_group_mid_run(
+    consensus_factor: int = 3,
+    to_factor: int = 2,
+    at: int = 20,
+    drop_leader: bool = True,
+) -> Tuple[FaultPlan, Any]:
+    """Shrink the replicated-coordinator group mid-run, fault-free.
+
+    With ``drop_leader`` the member that leaves is the bootstrap leader, so
+    the change exercises the leader hand-off: the leader replicates and
+    commits ``C_new``, answers the driver, and abdicates; the surviving
+    members elect a successor when the next coordinator request needs one.
+    Returns ``(FaultPlan.none(), ReconfigPlan)``.
+    """
+    from ..consensus.reconfig import ReconfigPlan, set_consensus_group
+    from ..txn.placement import coordinator_group_names
+
+    if not (1 <= to_factor < consensus_factor):
+        raise ValueError(
+            f"shrink_consensus_group_mid_run shrinks the group: need "
+            f"1 <= to_factor={to_factor} < consensus_factor={consensus_factor}"
+        )
+    group = coordinator_group_names(consensus_factor)
+    new_group = group[1:][:to_factor] if drop_leader else group[:to_factor]
+    reconfig = ReconfigPlan(
+        name="shrink-consensus",
+        requests=(set_consensus_group(new_group, at=at),),
+    )
+    return FaultPlan.none(), reconfig
 
 
 def healed_partition(

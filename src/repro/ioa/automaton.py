@@ -252,6 +252,28 @@ class Context:
         """Deterministic per-simulation random source (seeded by the kernel)."""
         return self._kernel.rng
 
+    # -- membership reconfiguration (the admin surface) -----------------
+    @property
+    def topology(self):
+        """The live topology (reconfig drivers update groups through it)."""
+        return self._kernel.topology
+
+    def has_automaton(self, name: str) -> bool:
+        """Whether ``name`` is currently registered on the kernel (a
+        rejoining member may still exist if its retirement drain is
+        pending)."""
+        return name in self._kernel._automata
+
+    def spawn(self, automaton: "Automaton") -> "Automaton":
+        """Register a new automaton mid-run (dynamic membership growth);
+        its START action is recorded at the point of joining."""
+        return self._kernel.add_automaton(automaton)
+
+    def retire(self, name: str, force: bool = False) -> bool:
+        """Remove an automaton mid-run (dynamic membership shrink); see
+        :meth:`~repro.ioa.simulation.Simulation.remove_automaton`."""
+        return self._kernel.remove_automaton(name, force=force)
+
 
 @dataclass
 class SessionState:

@@ -65,6 +65,27 @@ class Topology:
         """Record the kind of a named automaton (called by the kernel)."""
         self._kinds[automaton.name] = automaton.kind
 
+    def unregister(self, name: str) -> None:
+        """Forget a retired automaton (the reconfiguration layer's removal).
+
+        Any later send to or from the name raises
+        :class:`~repro.ioa.errors.UnknownProcessError` — a retired server is
+        gone, not silent.  The name is also dropped from any replica group or
+        consensus group it appeared in, keeping :meth:`describe` honest.
+        """
+        if name not in self._kinds:
+            raise UnknownProcessError(name)
+        del self._kinds[name]
+        self._replica_groups = {
+            obj: tuple(s for s in group if s != name)
+            for obj, group in self._replica_groups.items()
+        }
+        self._consensus_group = tuple(m for m in self._consensus_group if m != name)
+
+    def update_replica_group(self, object_id: str, group: Tuple[str, ...]) -> None:
+        """Re-point one object's replica group (a committed reconfiguration)."""
+        self._replica_groups[object_id] = tuple(group)
+
     def set_replica_groups(self, groups: Mapping[str, Tuple[str, ...]]) -> None:
         """Record the object → replica-group placement of the built system.
 
@@ -213,6 +234,11 @@ class FaultPlane:
         crashed; the plane may ``kernel.reschedule_timeout`` it to fire at
         recovery instead); default never."""
         return False
+
+    def on_remove(self, name: str, kernel: Any) -> None:
+        """Called when the kernel retires an automaton mid-run; the plane
+        drops any transport state it holds for the name (held mail, crash
+        tracking).  Default: nothing held, nothing to do."""
 
     def now(self, kernel: Any) -> int:
         """The plane's virtual clock (in kernel steps)."""

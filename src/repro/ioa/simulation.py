@@ -163,6 +163,13 @@ class Simulation:
     # System construction
     # ------------------------------------------------------------------
     def add_automaton(self, automaton: Automaton) -> Automaton:
+        """Register an automaton — before the run, or dynamically mid-run.
+
+        Mid-run registration (the reconfiguration layer spawning a fresh
+        replica or consensus member) records the START action at the point
+        of joining and runs ``on_start`` immediately, so late automata get
+        the same life-cycle as founding ones.
+        """
         if automaton.name in self._automata:
             raise DuplicateProcessError(automaton.name)
         self._automata[automaton.name] = automaton
@@ -170,7 +177,50 @@ class Simulation:
         self._contexts[automaton.name] = Context(self, automaton.name)
         if isinstance(automaton, ClientAutomaton):
             self._client_queues[automaton.name] = deque()
+        if self._started:
+            self.trace.append(Action.make(ActionKind.START, automaton.name))
+            automaton.on_start(self._contexts[automaton.name])
         return automaton
+
+    def remove_automaton(self, name: str, force: bool = False) -> bool:
+        """Retire an automaton mid-run (the reconfiguration removal path).
+
+        Returns ``False`` — removing nothing — while pending deliveries
+        still involve the automaton (either direction: a message *from* a
+        retired process must die with it too, or its receiver would reply to
+        a ghost), unless ``force`` is set (then they are dropped with the
+        automaton; the reconfig driver only forces after a drain window).
+        Timers owned by the automaton die with it, and the fault plane is
+        told to drop any transport state it holds for the name.  Clients
+        with queued or in-flight transactions cannot be removed — that
+        would orphan their records.
+        """
+        automaton = self.automaton(name)
+        if isinstance(automaton, ClientAutomaton):
+            if name in self._sessions or self._client_queues.get(name):
+                raise SimulationError(
+                    f"cannot retire client {name!r} with queued or in-flight transactions"
+                )
+        in_flight = [
+            d for d in self._pending_deliveries
+            if d.message.dst == name or d.message.src == name
+        ]
+        if in_flight and not force:
+            return False
+        if in_flight:
+            self._pending_deliveries = [
+                d for d in self._pending_deliveries
+                if d.message.dst != name and d.message.src != name
+            ]
+        self._pending_timeouts = [t for t in self._pending_timeouts if t.owner != name]
+        if self.fault_plane is not None:
+            self.fault_plane.on_remove(name, self)
+        self.trace.append(internal_action(name, {"lifecycle": "retired"}))
+        del self._automata[name]
+        del self._contexts[name]
+        self._client_queues.pop(name, None)
+        self.topology.unregister(name)
+        return True
 
     def add_automata(self, automata: Iterable[Automaton]) -> None:
         for automaton in automata:

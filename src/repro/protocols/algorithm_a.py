@@ -67,6 +67,10 @@ class AlgorithmAReader(ReaderAutomaton):
     ``(κ₀, all-ones)`` standing for the initial versions.
     """
 
+    #: shared placement directory when built with a reconfiguration plan
+    #: (injected by the build; None keeps the rounds byte-identical)
+    directory = None
+
     def __init__(
         self,
         name: str,
@@ -117,7 +121,8 @@ class AlgorithmAReader(ReaderAutomaton):
         # read-value phase: one parallel round over the replica groups,
         # one version per reply, first hit per object within the quorum.
         values, replies = yield from key_read_round(
-            txn.txn_id, chosen, self.placement, self.policy
+            txn.txn_id, chosen, self.placement, self.policy,
+            directory=self.directory, ctx=ctx,
         )
         annotations: Dict[str, Any] = {"tag": tag, "protocol": "algorithm-a"}
         if not self.placement.is_trivial():
@@ -131,6 +136,9 @@ class AlgorithmAReader(ReaderAutomaton):
 # ----------------------------------------------------------------------
 class AlgorithmAWriter(WriterAutomaton):
     """A writer of algorithm A: write-value phase then info-reader phase."""
+
+    #: shared placement directory when built with a reconfiguration plan
+    directory = None
 
     def __init__(
         self,
@@ -154,7 +162,8 @@ class AlgorithmAWriter(WriterAutomaton):
         key = Key(self.z, self.name)
         # write-value phase (a write quorum per written object) --------------
         yield from write_value_round(
-            txn.txn_id, tuple(txn.updates), key, self.placement, self.policy
+            txn.txn_id, tuple(txn.updates), key, self.placement, self.policy,
+            directory=self.directory, ctx=ctx,
         )
         # info-reader phase (client-to-client!) ------------------------------
         bits = tuple((obj, 1 if obj in dict(txn.updates) else 0) for obj in self.objects)
@@ -193,11 +202,15 @@ class AlgorithmA(Protocol):
     name = "algorithm-a"
     description = "Paper's algorithm A: SNOW in the multi-writer single-reader setting using C2C"
     requires_c2c = True
+    supports_reconfig = True
     supports_multiple_readers = False
     supports_multiple_writers = True
     claimed_properties = "SNOW (Theorem 3)"
     claimed_read_rounds = 1
     claimed_versions = 1
+
+    def make_replica(self, config, object_id, name, group):
+        return AlgorithmAServer(name, object_id, config.initial_value, group=group)
 
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()

@@ -38,12 +38,16 @@ from .coordinated import (
     CoordinatedWriter,
     consensus_members_for,
     coordinator_targets,
+    live_coordinator_targets,
 )
 from .replication import default_policy, key_read_round, placement_or_single_copy
 
 
 class AlgorithmBReader(ReaderAutomaton):
     """Two-round reader: consult the coordinator, then fetch exact versions."""
+
+    #: shared placement directory when built with a reconfiguration plan
+    directory = None
 
     def __init__(
         self,
@@ -68,7 +72,7 @@ class AlgorithmBReader(ReaderAutomaton):
             raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
         # Round 1: get-tag-array (broadcast to the coordinator group; the
         # first — and with consensus, only committed — reply wins) -------------
-        for target in self.coordinator_group:
+        for target in live_coordinator_targets(self.directory, self.coordinator_group):
             yield Send(
                 dst=target,
                 msg_type="get-tag-arr",
@@ -85,7 +89,8 @@ class AlgorithmBReader(ReaderAutomaton):
         # Round 2: read-value (a read quorum per replica group) -----------------
         chosen = {object_id: keys[object_id] for object_id in txn.objects}
         values, value_replies = yield from key_read_round(
-            txn.txn_id, chosen, self.placement, self.policy
+            txn.txn_id, chosen, self.placement, self.policy,
+            directory=self.directory, ctx=ctx,
         )
         annotations: Dict[str, Any] = {"tag": tag, "protocol": "algorithm-b"}
         if not self.placement.is_trivial():
@@ -101,11 +106,28 @@ class AlgorithmB(Protocol):
     description = "Paper's algorithm B: strictly serializable, non-blocking, one-version, two-round reads (MWMR, no C2C)"
     requires_c2c = False
     has_coordinator = True
+    supports_reconfig = True
     supports_multiple_readers = True
     supports_multiple_writers = True
     claimed_properties = "SNW + one-version (Theorem 4)"
     claimed_read_rounds = 2
     claimed_versions = 1
+
+    def make_consensus_machine(self, config: BuildConfig) -> ListStateMachine:
+        return ListStateMachine(config.objects())
+
+    def make_replica(self, config: BuildConfig, object_id: str, name: str, group):
+        # Dynamic replicas are plain storage replicas: the coordinator role
+        # lives on the designated first server (or the consensus group) and
+        # never migrates through a replica-group change.
+        return CoordinatedServer(
+            name,
+            object_id,
+            config.objects(),
+            is_coordinator=False,
+            initial_value=config.initial_value,
+            group=group,
+        )
 
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()
@@ -140,5 +162,7 @@ class AlgorithmB(Protocol):
                         group=group,
                     )
                 )
-        automata.extend(consensus_members_for(config, lambda: ListStateMachine(objects)))
+        automata.extend(
+            consensus_members_for(config, lambda: self.make_consensus_machine(config))
+        )
         return automata

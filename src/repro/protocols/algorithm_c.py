@@ -204,6 +204,9 @@ class AlgorithmC(Protocol):
     claimed_read_rounds = 1
     claimed_versions = None  # up to |W|
 
+    def make_consensus_machine(self, config: BuildConfig) -> ListStateMachine:
+        return ListStateMachine(config.objects())
+
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()
         placement = config.placement()
@@ -237,5 +240,7 @@ class AlgorithmC(Protocol):
                         group=group,
                     )
                 )
-        automata.extend(consensus_members_for(config, lambda: ListStateMachine(objects)))
+        automata.extend(
+            consensus_members_for(config, lambda: self.make_consensus_machine(config))
+        )
         return automata

@@ -28,6 +28,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..consensus.reconfig import (
+    CONSENSUS_GROUP,
+    REPLICA_GROUP,
+    PlacementDirectory,
+    ReconfigDriver,
+    ReconfigPlan,
+)
 from ..ioa.automaton import Automaton
 from ..ioa.network import FaultPlane, Topology
 from ..ioa.scheduler import Scheduler
@@ -76,6 +83,9 @@ class BuildConfig:
     #: randomized election timeout window in virtual-time steps (None = the
     #: consensus layer's default; only meaningful with consensus_factor > 1)
     election_timeout: Optional[Tuple[int, int]] = None
+    #: scheduled membership changes (None = fixed membership, byte-identical
+    #: to the seed; see :mod:`repro.consensus.reconfig`)
+    reconfig: Optional[ReconfigPlan] = None
 
     def objects(self) -> Tuple[str, ...]:
         return object_names(self.num_objects)
@@ -110,10 +120,14 @@ class SystemHandle:
         protocol: "Protocol",
         simulation: Simulation,
         config: BuildConfig,
+        directory=None,
     ) -> None:
         self.protocol = protocol
         self.simulation = simulation
         self.config = config
+        #: the shared epoch-versioned placement directory; None unless the
+        #: system was built with a reconfiguration plan
+        self.directory = directory
         self.readers = config.readers()
         self.writers = config.writers()
         self.objects = config.objects()
@@ -214,6 +228,8 @@ class SystemHandle:
             )
         if self.consensus_group:
             base += f", consensus={len(self.consensus_group)} members [{','.join(self.consensus_group)}]"
+        if self.directory is not None:
+            base += f", reconfigurable (epoch {self.directory.epoch})"
         return base
 
 
@@ -231,6 +247,9 @@ class Protocol:
     #: whether the protocol routes through a designated coordinator /
     #: timestamp oracle (the metadata service consensus_factor replicates)
     has_coordinator: bool = False
+    #: whether the protocol supports mid-run membership reconfiguration (its
+    #: client rounds are epoch-aware and it implements :meth:`make_replica`)
+    supports_reconfig: bool = False
     #: whether the protocol is defined for more than one reader / writer
     supports_multiple_readers: bool = True
     supports_multiple_writers: bool = True
@@ -244,6 +263,24 @@ class Protocol:
     # ------------------------------------------------------------------
     def make_automata(self, config: BuildConfig) -> Sequence[Automaton]:
         raise NotImplementedError
+
+    def make_replica(
+        self, config: BuildConfig, object_id: str, name: str, group: Tuple[str, ...]
+    ) -> Automaton:
+        """Build one storage replica for a mid-run membership change.
+
+        Protocols that set ``supports_reconfig`` override this with exactly
+        the server class :meth:`make_automata` uses, so a spawned replica is
+        indistinguishable from a founding one.
+        """
+        raise NotImplementedError(
+            f"protocol {self.name} does not build dynamic replicas (supports_reconfig=False)"
+        )
+
+    def make_consensus_machine(self, config: BuildConfig):
+        """The coordinator state machine the consensus group replicates
+        (None for protocols without a coordinator)."""
+        return None
 
     def default_c2c(self) -> bool:
         return self.requires_c2c
@@ -268,6 +305,46 @@ class Protocol:
                 f"protocol {self.name} has no coordinator/metadata service to replicate "
                 f"(consensus_factor={config.consensus_factor} needs one)"
             )
+        if config.reconfig is not None and config.reconfig.requests:
+            if not self.supports_reconfig:
+                raise ValueError(
+                    f"protocol {self.name} does not support membership reconfiguration "
+                    "(its client rounds are not epoch-aware)"
+                )
+            if any(r.kind == REPLICA_GROUP for r in config.reconfig.requests) and (
+                type(self).make_replica is Protocol.make_replica
+            ):
+                raise ValueError(
+                    f"protocol {self.name} sets supports_reconfig but does not "
+                    "override make_replica; replica-group changes cannot spawn "
+                    "its servers"
+                )
+            if any(r.kind == CONSENSUS_GROUP for r in config.reconfig.requests) and (
+                config.consensus_factor < 2
+            ):
+                raise ValueError(
+                    "consensus-group reconfiguration needs consensus_factor >= 2 "
+                    "(there is no group to reconfigure at factor 1)"
+                )
+            if self.has_coordinator and config.consensus_factor == 1:
+                # The designated coordinator is the primary of the first
+                # object; retiring it through a replica-group change would
+                # strand every coordinator round (the coordinator role does
+                # not migrate). Replicate the coordinator first.
+                coordinator = config.servers()[0]
+                first_object = config.objects()[0]
+                for request in config.reconfig.requests:
+                    if (
+                        request.object_id == first_object
+                        and coordinator not in request.group
+                    ):
+                        raise ValueError(
+                            f"reconfiguration would retire {coordinator!r}, the "
+                            f"designated coordinator of protocol {self.name}; the "
+                            "coordinator role does not migrate through a replica-"
+                            "group change — replicate it with consensus_factor >= 2 "
+                            "first"
+                        )
         # Quorum intersection must hold for every replica group.
         config.placement().validate_policy(config.quorum_policy())
         c2c = config.c2c if config.c2c is not None else self.default_c2c()
@@ -293,6 +370,7 @@ class Protocol:
         quorum: Any = "read-one-write-all",
         consensus_factor: int = 1,
         election_timeout: Optional[Tuple[int, int]] = None,
+        reconfig: Optional[ReconfigPlan] = None,
     ) -> SystemHandle:
         """Instantiate the protocol as a ready-to-run system.
 
@@ -303,7 +381,11 @@ class Protocol:
         drives the read/write quorum rounds.  ``consensus_factor`` replicates
         the coordinator / timestamp oracle over N consensus members (see
         :mod:`repro.consensus`); ``election_timeout`` overrides their
-        randomized election window.  The defaults reproduce the paper's
+        randomized election window.  ``reconfig`` installs a
+        :class:`~repro.consensus.reconfig.ReconfigPlan` of mid-run membership
+        changes (a shared epoch-versioned
+        :class:`~repro.consensus.reconfig.PlacementDirectory` plus the admin
+        driver automaton).  The defaults reproduce the paper's
         one-server-per-object, single-coordinator system byte-for-byte.
         """
         config = BuildConfig(
@@ -320,6 +402,7 @@ class Protocol:
             quorum=quorum,
             consensus_factor=consensus_factor,
             election_timeout=election_timeout,
+            reconfig=reconfig,
         )
         self.validate_config(config)
         allow_c2c = config.c2c if config.c2c is not None else self.default_c2c()
@@ -337,7 +420,59 @@ class Protocol:
             fault_plane=config.fault_plane,
         )
         simulation.add_automata(self.make_automata(config))
-        return SystemHandle(protocol=self, simulation=simulation, config=config)
+        directory = None
+        if config.reconfig is not None and config.reconfig.requests:
+            directory = self._install_reconfig(config, placement, simulation)
+        return SystemHandle(
+            protocol=self, simulation=simulation, config=config, directory=directory
+        )
+
+    def _install_reconfig(
+        self, config: BuildConfig, placement: Placement, simulation: Simulation
+    ) -> PlacementDirectory:
+        """Wire the reconfiguration layer onto a freshly built system.
+
+        The shared :class:`PlacementDirectory` is handed (by reference) to
+        every automaton exposing a ``directory`` attribute — the epoch-aware
+        clients and storage replicas — and the admin driver is registered
+        with the factories it needs to spawn replicas / consensus members.
+        """
+        directory = PlacementDirectory(
+            placement, config.quorum_policy(), config.consensus_group()
+        )
+        for automaton in simulation.automata():
+            if hasattr(automaton, "directory"):
+                automaton.directory = directory
+        consensus_member_factory = None
+        if config.consensus_factor > 1:
+            from ..consensus.coordinator import (
+                DEFAULT_ELECTION_TIMEOUT,
+                ReplicatedCoordinator,
+            )
+
+            timeout = tuple(config.election_timeout or DEFAULT_ELECTION_TIMEOUT)
+            bootstrap = config.consensus_group()[0]
+
+            def consensus_member_factory(name, union, _protocol=self):
+                return ReplicatedCoordinator(
+                    name=name,
+                    group=union,
+                    machine=_protocol.make_consensus_machine(config),
+                    seed=config.seed,
+                    election_timeout=timeout,
+                    bootstrap_leader=bootstrap,
+                )
+
+        driver = ReconfigDriver(
+            plan=config.reconfig,
+            directory=directory,
+            replica_factory=lambda obj, name, group: self.make_replica(
+                config, obj, name, group
+            ),
+            consensus_member_factory=consensus_member_factory,
+        )
+        simulation.add_automaton(driver)
+        return directory
 
     def describe(self) -> str:
         rounds = "unbounded" if self.claimed_read_rounds is None else str(self.claimed_read_rounds)

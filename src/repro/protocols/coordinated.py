@@ -62,6 +62,21 @@ def coordinator_name(servers: Sequence[str]) -> str:
     return servers[0]
 
 
+def live_coordinator_targets(directory, fallback: Tuple[str, ...]) -> Tuple[str, ...]:
+    """The coordinator group a client must broadcast to *right now*.
+
+    Under reconfiguration the shared directory's view wins (the union of
+    ``C_old,new`` while a consensus change is joint); without a directory —
+    or when it tracks no consensus group — the build-time targets stand.
+    One definition, used by every coordinator-addressing client.
+    """
+    if directory is not None:
+        targets = directory.coordinator_targets()
+        if targets:
+            return targets
+    return fallback
+
+
 def coordinator_targets(config) -> Tuple[str, ...]:
     """The processes clients address coordinator requests to.
 
@@ -99,6 +114,10 @@ class CoordinatedWriter(WriterAutomaton):
        await ``(ack, t_w)``; ``t_w`` is the transaction's tag.
     """
 
+    #: shared placement directory when built with a reconfiguration plan
+    #: (injected by the build; None keeps the rounds byte-identical)
+    directory = None
+
     def __init__(
         self,
         name: str,
@@ -118,6 +137,9 @@ class CoordinatedWriter(WriterAutomaton):
         self.policy = policy if policy is not None else default_policy()
         self.z = 0
 
+    def _coordinator_targets(self) -> Tuple[str, ...]:
+        return live_coordinator_targets(self.directory, self.coordinator_group)
+
     def run_transaction(self, txn: WriteTransaction, ctx: Context):
         if not isinstance(txn, WriteTransaction):
             raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
@@ -125,12 +147,13 @@ class CoordinatedWriter(WriterAutomaton):
         key = Key(self.z, self.name)
         # write-value phase (a write quorum per written object) --------------
         yield from write_value_round(
-            txn.txn_id, tuple(txn.updates), key, self.placement, self.policy
+            txn.txn_id, tuple(txn.updates), key, self.placement, self.policy,
+            directory=self.directory, ctx=ctx,
         )
         # update-coor phase (broadcast to the coordinator group; only the
         # consensus leader answers, once the entry committed) -----------------
         bits = tuple((obj, 1 if obj in dict(txn.updates) else 0) for obj in self.objects)
-        for target in self.coordinator_group:
+        for target in self._coordinator_targets():
             yield Send(
                 dst=target,
                 msg_type="update-coor",

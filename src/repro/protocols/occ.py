@@ -328,6 +328,9 @@ class OccProtocol(Protocol):
     def __init__(self, max_attempts: int = 128) -> None:
         self.max_attempts = max_attempts
 
+    def make_consensus_machine(self, config: BuildConfig) -> TimestampStateMachine:
+        return TimestampStateMachine()
+
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()
         placement = config.placement()
@@ -355,5 +358,7 @@ class OccProtocol(Protocol):
                         group=group,
                     )
                 )
-        automata.extend(consensus_members_for(config, TimestampStateMachine))
+        automata.extend(
+            consensus_members_for(config, lambda: self.make_consensus_machine(config))
+        )
         return automata

@@ -63,6 +63,12 @@ class ReplicatedStorageServer(ServerAutomaton):
     #: key (replicated servers answer ``read-val-miss`` instead of raising).
     missing_key_hint = "the requested key was never installed at this server"
 
+    #: the shared :class:`~repro.consensus.reconfig.PlacementDirectory` when
+    #: the system was built with a reconfiguration plan (injected by the
+    #: build); ``None`` — the default — keeps every wire byte identical to
+    #: the placement-layer seed.
+    directory = None
+
     def __init__(
         self,
         name: str,
@@ -87,14 +93,45 @@ class ReplicatedStorageServer(ServerAutomaton):
 
     def _ack_payload(self, message: Message) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"txn": message.get("txn")}
-        if self.replicated:
+        if self.replicated or self.directory is not None:
             # Per-object ack counting is what partial write quorums need;
             # single-copy acks stay field-for-field identical to the seed.
             payload["object"] = self.object_id
+        self._echo_attempt(message, payload)
         return payload
+
+    def _echo_attempt(self, message: Message, payload: Dict[str, Any]) -> None:
+        """Echo the reconfig-aware round's attempt counter, when present.
+
+        Epoch-retried rounds tag requests with ``attempt`` so replies of a
+        superseded attempt cannot satisfy the retried round's await; without
+        a directory no request ever carries the field and no reply grows it.
+        """
+        attempt = message.get("attempt")
+        if attempt is not None:
+            payload["attempt"] = attempt
 
     # ------------------------------------------------------------------
     def on_message(self, message: Message, ctx: Context) -> None:
+        if self.directory is not None:
+            if message.msg_type == "sync-req":
+                self._on_sync_req(message, ctx)
+                return
+            if message.msg_type == "sync-state":
+                self._on_sync_state(message, ctx)
+                return
+            if self.directory.is_retired(self.name) and message.get("txn") is not None:
+                # A retired replica serves nothing: it answers every
+                # transaction-carrying request with the current epoch so the
+                # client refreshes its view and retries against C_new.
+                payload = {
+                    "txn": message.get("txn"),
+                    "object": self.object_id,
+                    "epoch": self.directory.epoch,
+                }
+                self._echo_attempt(message, payload)
+                ctx.send(message.src, "epoch-mismatch", payload, phase="reconfig")
+                return
         if message.msg_type == "write-val":
             self.handle_write_val(message, ctx)
         elif message.msg_type == "read-val":
@@ -108,6 +145,46 @@ class ReplicatedStorageServer(ServerAutomaton):
 
     def on_unhandled(self, message: Message, ctx: Context) -> None:
         """Hook for protocol-specific message types (default: ignore)."""
+
+    # -- state transfer (reconfiguration) ---------------------------------
+    def _on_sync_req(self, message: Message, ctx: Context) -> None:
+        """Stream this replica's versions to each freshly added replica."""
+        versions = tuple((v.key, v.value) for v in self.store.all_versions())
+        for target in message.get("targets", ()):
+            ctx.send(
+                target,
+                "sync-state",
+                {
+                    "object": self.object_id,
+                    "versions": versions,
+                    "reconfig": message.get("reconfig"),
+                    "admin": message.get("admin"),
+                },
+                phase="reconfig-sync",
+            )
+
+    def _on_sync_state(self, message: Message, ctx: Context) -> None:
+        """Install a retained replica's versions, then report to the driver.
+
+        ``count`` — versions actually installed (the initial version and any
+        already-present key are skipped) — is the transfer volume the
+        reconfiguration metrics aggregate.
+        """
+        installed = 0
+        for key, value in message.get("versions", ()):
+            if self.store.get(key) is None:
+                self.store.put(key, value)
+                installed += 1
+        ctx.send(
+            message.get("admin"),
+            "sync-done",
+            {
+                "object": self.object_id,
+                "count": installed,
+                "reconfig": message.get("reconfig"),
+            },
+            phase="reconfig-sync",
+        )
 
     # -- writes -----------------------------------------------------------
     def handle_write_val(self, message: Message, ctx: Context) -> None:
@@ -126,31 +203,29 @@ class ReplicatedStorageServer(ServerAutomaton):
         key: Key = message.get("key")
         version = self.store.get(key)
         if version is None:
-            if not self.replicated:
+            if not self.replicated and self.directory is None:
                 raise SimulationError(
                     f"server {self.name} asked for unknown key {key!r}: {self.missing_key_hint}"
                 )
             # A replica that has not (yet) installed the key: an honest miss.
             # Quorum intersection guarantees some replica in any read quorum
             # has it, so the reader treats misses as progress, not failure.
-            ctx.send(
-                message.src,
-                "read-val-miss",
-                {"txn": message.get("txn"), "object": self.object_id, "num_versions": 0},
-                phase="read-value",
-            )
-            return
-        ctx.send(
-            message.src,
-            "read-val-reply",
-            {
+            payload: Dict[str, Any] = {
                 "txn": message.get("txn"),
                 "object": self.object_id,
-                "value": version.value,
-                "num_versions": 1,
-            },
-            phase="read-value",
-        )
+                "num_versions": 0,
+            }
+            self._echo_attempt(message, payload)
+            ctx.send(message.src, "read-val-miss", payload, phase="read-value")
+            return
+        payload = {
+            "txn": message.get("txn"),
+            "object": self.object_id,
+            "value": version.value,
+            "num_versions": 1,
+        }
+        self._echo_attempt(message, payload)
+        ctx.send(message.src, "read-val-reply", payload, phase="read-value")
 
     def handle_read_latest(self, message: Message, ctx: Context) -> None:
         """Latest-value read (the naive / simple-rw wire)."""
@@ -226,6 +301,46 @@ def write_quorum_await(
     return Await(matcher=matcher, until=quorum_reached, description=description + " (quorum)")
 
 
+#: how many epoch-mismatch retries a round takes before failing loudly —
+#: far above anything a single in-flight reconfiguration can cause.
+MAX_EPOCH_RETRIES = 6
+
+
+def _has_mismatch(collected: Sequence[Message]) -> bool:
+    return any(m.msg_type == "epoch-mismatch" for m in collected)
+
+
+def _group_counts_ok(
+    collected: Sequence[Message],
+    needs: Mapping[str, Tuple[Tuple[Tuple[str, ...], int], ...]],
+    reply_types: Tuple[str, ...],
+) -> bool:
+    """Joint-quorum readiness: per object, per active configuration, at
+    least the required number of ``reply_types`` replies from that group's
+    members (a replica in both configs counts for both)."""
+    for object_id, group_needs in needs.items():
+        for group, need in group_needs:
+            members = set(group)
+            got = sum(
+                1
+                for m in collected
+                if m.msg_type in reply_types
+                and m.get("object") == object_id
+                and m.src in members
+            )
+            if got < need:
+                return False
+    return True
+
+
+def _note_epoch_retry(txn_id: str, attempt: int, directory, ctx) -> None:
+    if ctx is not None:
+        ctx.internal(reconfig="epoch-retry", txn=txn_id, attempt=attempt, vtime=ctx.vtime)
+        directory.note_retry(txn_id, ctx.vtime)
+    else:  # pragma: no cover - defensive: rounds without a ctx still retry
+        directory.note_retry(txn_id, 0)
+
+
 def write_value_round(
     txn_id: str,
     updates: Sequence[Tuple[str, Any]],
@@ -233,24 +348,74 @@ def write_value_round(
     placement: Placement,
     policy: QuorumPolicy,
     phase: str = "write-value",
+    directory=None,
+    ctx=None,
 ):
     """Generator: install ``(key, value)`` at every replica, await W per object.
 
     Returns the collected acks (unused by the callers today, but the count is
     what quorum metrics annotate).
+
+    With a :class:`~repro.consensus.reconfig.PlacementDirectory` the round is
+    epoch-aware: requests go to ``C_old ∪ C_new`` and carry the current epoch
+    plus an attempt counter, the await needs a write quorum in *every* active
+    configuration, and an ``epoch-mismatch`` reply (a retired replica) makes
+    the round refresh its view of the groups and start over.  Without a
+    directory the round is byte-identical to the placement-layer seed.
     """
-    for object_id, value in updates:
-        for replica in placement.group(object_id):
-            yield Send(
-                dst=replica,
-                msg_type="write-val",
-                payload={"txn": txn_id, "object": object_id, "key": key, "value": value},
-                phase=phase,
+    if directory is None:
+        for object_id, value in updates:
+            for replica in placement.group(object_id):
+                yield Send(
+                    dst=replica,
+                    msg_type="write-val",
+                    payload={"txn": txn_id, "object": object_id, "key": key, "value": value},
+                    phase=phase,
+                )
+        acks = yield write_quorum_await(
+            txn_id, [obj for obj, _ in updates], placement, policy
+        )
+        return acks
+
+    attempt = 0
+    while True:
+        attempt += 1
+        if attempt > MAX_EPOCH_RETRIES:
+            raise SimulationError(
+                f"write {txn_id} exhausted {MAX_EPOCH_RETRIES} epoch retries; "
+                "the configuration should have stabilised long before this"
             )
-    acks = yield write_quorum_await(
-        txn_id, [obj for obj, _ in updates], placement, policy
-    )
-    return acks
+        epoch = directory.epoch
+        needs = {obj: directory.write_needed(obj) for obj, _ in updates}
+        for object_id, value in updates:
+            for replica in directory.targets(object_id):
+                yield Send(
+                    dst=replica,
+                    msg_type="write-val",
+                    payload={
+                        "txn": txn_id,
+                        "object": object_id,
+                        "key": key,
+                        "value": value,
+                        "epoch": epoch,
+                        "attempt": attempt,
+                    },
+                    phase=phase,
+                )
+        matcher = (
+            lambda m, t=txn_id, a=attempt: m.msg_type in ("ack-write", "epoch-mismatch")
+            and m.get("txn") == t
+            and m.get("attempt") == a
+        )
+        ready = lambda collected, n=needs: _group_counts_ok(collected, n, ("ack-write",))
+        acks = yield Await(
+            matcher=matcher,
+            until=lambda collected, r=ready: _has_mismatch(collected) or r(collected),
+            description="write-value acks (epoch quorum)",
+        )
+        if ready(acks):
+            return acks
+        _note_epoch_retry(txn_id, attempt, directory, ctx)
 
 
 def key_read_await(
@@ -303,6 +468,8 @@ def key_read_round(
     policy: QuorumPolicy,
     phase: str = "read-value",
     read_repair: bool = True,
+    directory=None,
+    ctx=None,
 ):
     """Generator: fetch exact keys from every replica, await an R-quorum.
 
@@ -318,7 +485,19 @@ def key_read_round(
     ``read-one-write-all`` read served by the formerly-amnesiac replica finds
     it.  Single-copy groups never produce misses, so ``replication_factor=1``
     traces are untouched.
+
+    With a :class:`~repro.consensus.reconfig.PlacementDirectory` the round is
+    epoch-aware, exactly like :func:`write_value_round`: joint configurations
+    need a read quorum per active config (plus at least one hit per object —
+    guaranteed by intersection with the old group, which holds every
+    completed write), and an ``epoch-mismatch`` reply restarts the round
+    against the refreshed groups.
     """
+    if directory is not None:
+        result = yield from _epoch_key_read_round(
+            txn_id, chosen_keys, directory, phase, read_repair, ctx
+        )
+        return result
     for object_id, key in chosen_keys.items():
         for replica in placement.group(object_id):
             yield Send(
@@ -356,6 +535,84 @@ def key_read_round(
                 phase="read-repair",
             )
     return values, replies
+
+
+def _epoch_key_read_round(
+    txn_id: str,
+    chosen_keys: Mapping[str, Key],
+    directory,
+    phase: str,
+    read_repair: bool,
+    ctx,
+):
+    """The epoch-aware body of :func:`key_read_round` (directory installed)."""
+    attempt = 0
+    while True:
+        attempt += 1
+        if attempt > MAX_EPOCH_RETRIES:
+            raise SimulationError(
+                f"read {txn_id} exhausted {MAX_EPOCH_RETRIES} epoch retries; "
+                "the configuration should have stabilised long before this"
+            )
+        epoch = directory.epoch
+        needs = {obj: directory.read_needed(obj) for obj in chosen_keys}
+        for object_id, key in chosen_keys.items():
+            for replica in directory.targets(object_id):
+                yield Send(
+                    dst=replica,
+                    msg_type="read-val",
+                    payload={
+                        "txn": txn_id,
+                        "object": object_id,
+                        "key": key,
+                        "epoch": epoch,
+                        "attempt": attempt,
+                    },
+                    phase=phase,
+                )
+
+        def ready(collected, n=needs):
+            hits = {m.get("object") for m in collected if m.msg_type == "read-val-reply"}
+            if not all(obj in hits for obj in n):
+                return False  # at least one actual value per object
+            return _group_counts_ok(collected, n, ("read-val-reply", "read-val-miss"))
+
+        matcher = (
+            lambda m, t=txn_id, a=attempt: m.msg_type
+            in ("read-val-reply", "read-val-miss", "epoch-mismatch")
+            and m.get("txn") == t
+            and m.get("attempt") == a
+        )
+        replies = yield Await(
+            matcher=matcher,
+            until=lambda collected, r=ready: _has_mismatch(collected) or r(collected),
+            description="read-value replies (epoch quorum)",
+        )
+        if not ready(replies):
+            _note_epoch_retry(txn_id, attempt, directory, ctx)
+            continue
+        values: Dict[str, Any] = {}
+        for reply in replies:
+            if reply.msg_type == "read-val-reply" and reply.get("object") not in values:
+                values[reply.get("object")] = reply.get("value")
+        if read_repair:
+            for reply in replies:
+                if reply.msg_type != "read-val-miss" or directory.is_retired(reply.src):
+                    continue
+                object_id = reply.get("object")
+                yield Send(
+                    dst=reply.src,
+                    msg_type="write-val",
+                    payload={
+                        "txn": txn_id,
+                        "object": object_id,
+                        "key": chosen_keys[object_id],
+                        "value": values[object_id],
+                        "repair": True,
+                    },
+                    phase="read-repair",
+                )
+        return values, replies
 
 
 def per_object_reply_await(

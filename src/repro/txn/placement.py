@@ -46,6 +46,29 @@ def replica_names(object_id: str, replication_factor: int) -> Tuple[str, ...]:
     return (primary,) + tuple(f"{primary}.{i}" for i in range(2, replication_factor + 1))
 
 
+def next_replica_names(object_id: str, taken: Sequence[str], count: int = 1) -> Tuple[str, ...]:
+    """Fresh replica names for ``object_id`` not colliding with ``taken``.
+
+    Reconfiguration grows a group with servers named by the same convention
+    as :func:`replica_names` (``sx.2, sx.3, …``), skipping suffixes already
+    in use — so a replacement for a retired ``sx.3`` in the group
+    ``(sx, sx.2, sx.3)`` is deterministically ``sx.4``.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    primary = server_for_object(object_id)
+    used = set(taken)
+    fresh = []
+    suffix = 2
+    while len(fresh) < count:
+        candidate = f"{primary}.{suffix}"
+        if candidate not in used:
+            fresh.append(candidate)
+            used.add(candidate)
+        suffix += 1
+    return tuple(fresh)
+
+
 def coordinator_group_names(consensus_factor: int, base: str = "coor") -> Tuple[str, ...]:
     """The replicated-coordinator group, alongside the replica groups.
 
@@ -245,6 +268,22 @@ class Placement:
     @property
     def replication_factor(self) -> int:
         return max((len(group) for _, group in self.groups), default=1)
+
+    def with_group(self, object_id: str, group: Sequence[str]) -> "Placement":
+        """A new placement with ``object_id``'s replica group replaced.
+
+        The epoch-transition primitive of the reconfiguration layer: every
+        other group is untouched, and the constructor re-validates the whole
+        map (no empty groups, no server in two groups).
+        """
+        if object_id not in self._by_object:
+            raise KeyError(f"object {object_id!r} is not placed")
+        return Placement(
+            groups=tuple(
+                (obj, tuple(group) if obj == object_id else existing)
+                for obj, existing in self.groups
+            )
+        )
 
     def validate_policy(self, policy: QuorumPolicy) -> None:
         for _, group in self.groups:

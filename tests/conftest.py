@@ -8,6 +8,14 @@ from repro.ioa import FIFOScheduler, RandomScheduler
 from repro.protocols import get_protocol
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "invariants: safety-invariant gate tests (consensus + reconfiguration); "
+        "run as a fast CI gate via `-m invariants`",
+    )
+
+
 def build_system(
     protocol_name: str,
     num_readers: int = 1,

@@ -4,16 +4,33 @@
 same fixed explicit-id workload — but threads the consensus knobs through
 ``Protocol.build`` and defaults to the chaos scheduler (leader-crash plans
 need the virtual clock honoured).
+
+Every helper-produced handle is registered with the shared invariant checker
+(``tests/invariants.py``), and the autouse ``invariant_autocheck`` fixture
+re-checks election safety, log matching, state-machine safety and the
+reconfiguration invariants at the end of each test in this suite.
 """
 
 from __future__ import annotations
 
-from repro.faults import ChaosScheduler, FaultInjector, coordinator_failover
+import pytest
+
+from repro.faults import ChaosScheduler, coordinator_failover
 from repro.ioa import FIFOScheduler
 
+from tests import invariants
+from tests.invariants import consensus_internals  # noqa: F401  (re-exported)
 from tests.replication.conftest import run_fixed_workload
 
 COORDINATOR_PROTOCOLS = ("algorithm-b", "algorithm-c", "occ-double-collect")
+
+
+@pytest.fixture(autouse=True)
+def invariant_autocheck():
+    """Apply the shared safety-invariant checker to every run of this suite."""
+    invariants.reset()
+    yield
+    invariants.check_registered()
 
 
 def run_consensus_workload(
@@ -23,6 +40,7 @@ def run_consensus_workload(
     scheduler=None,
     seed: int = 3,
     election_timeout=None,
+    reconfig=None,
     run_to_completion: bool = False,
 ):
     """Build, submit the fixed explicit-id workload, run; returns the handle."""
@@ -33,6 +51,7 @@ def run_consensus_workload(
         consensus_factor=consensus_factor,
         election_timeout=election_timeout,
         plan=plan,
+        reconfig=reconfig,
         run_to_completion=run_to_completion,
     )
 
@@ -41,18 +60,6 @@ def leader_crash_plan(at: int = 12, seed: int = 3):
     return coordinator_failover(leader="coor", at=at, seed=seed)
 
 
-def consensus_internals(handle):
-    """All consensus-tagged internal actions of a finished run, as dicts."""
-    return [
-        dict(action.info)
-        for action in handle.trace()
-        if action.info and "consensus" in dict(action.info)
-    ]
-
-
 def members_of(handle):
     """The ReplicatedCoordinator automata of a built system."""
-    return [
-        handle.simulation.automaton(name)
-        for name in handle.simulation.topology.consensus_group()
-    ]
+    return invariants.consensus_members(handle)

@@ -1,14 +1,10 @@
 """Consensus safety invariants as trace/state assertions across seeds.
 
-The three Raft safety properties, checked on real executions (leader crash +
-randomized chaos schedules, several seeds):
-
-* **election safety** — at most one leader is elected per term;
-* **log matching** — any two members' logs agree on every index where both
-  have an entry with the same term, and committed prefixes agree outright;
-* **state-machine safety** — the sequences of applied requests at any two
-  members are prefix-consistent (no member ever applies a different request
-  at the same position).
+The three Raft safety properties — election safety, log matching and
+state-machine safety — now live in the shared checker ``tests/invariants.py``
+(applied automatically to every run in this suite by the autouse fixture);
+this module keeps the *explicit* cross-seed executions that exercise them
+hardest: leader crash + randomized chaos schedules, several seeds.
 """
 
 from __future__ import annotations
@@ -20,13 +16,18 @@ from repro.ioa import RandomScheduler
 
 from tests.consensus.conftest import (
     COORDINATOR_PROTOCOLS,
-    consensus_internals,
     leader_crash_plan,
-    members_of,
     run_consensus_workload,
+)
+from tests.invariants import (
+    check_election_safety,
+    check_log_matching,
+    check_state_machine_safety,
 )
 
 SEEDS = (0, 1, 2, 3, 4)
+
+pytestmark = pytest.mark.invariants
 
 
 def run_crashy(protocol: str, seed: int):
@@ -39,58 +40,15 @@ def run_crashy(protocol: str, seed: int):
     )
 
 
-def assert_election_safety(handle):
-    leaders_per_term = {}
-    for info in consensus_internals(handle):
-        if info["consensus"] == "became-leader":
-            leaders_per_term.setdefault(info["term"], set()).add(info["member"])
-    for term, leaders in leaders_per_term.items():
-        assert len(leaders) <= 1, f"term {term} elected {sorted(leaders)}"
-
-
-def assert_log_matching(handle):
-    members = members_of(handle)
-    for a in members:
-        for b in members:
-            if a.name >= b.name:
-                continue
-            # Same (index, term) => identical entry, and identical prefix.
-            upto = min(a.log.last_index, b.log.last_index)
-            for index in range(upto, 0, -1):
-                if a.log.term_at(index) == b.log.term_at(index):
-                    assert a.log.entries[:index] == b.log.entries[:index], (
-                        f"{a.name} and {b.name} diverge below matching index {index}"
-                    )
-                    break
-            # Committed prefixes agree outright.
-            committed = min(a.log.commit_index, b.log.commit_index)
-            assert a.log.entries[:committed] == b.log.entries[:committed]
-
-
-def assert_state_machine_safety(handle):
-    members = members_of(handle)
-    applied = {
-        m.name: [e.request_id for e in m.log.entries[: m.log.last_applied] if not e.is_noop()]
-        for m in members
-    }
-    names = sorted(applied)
-    for i, a in enumerate(names):
-        for b in names[i + 1:]:
-            shorter, longer = sorted((applied[a], applied[b]), key=len)
-            assert longer[: len(shorter)] == shorter, (
-                f"{a} and {b} applied divergent sequences"
-            )
-
-
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("protocol", COORDINATOR_PROTOCOLS)
 def test_safety_invariants_across_seeds(protocol, seed):
     handle = run_crashy(protocol, seed)
     # Liveness first: the crash must have been absorbed (majority alive).
     assert not handle.simulation.incomplete_transactions(), (protocol, seed)
-    assert_election_safety(handle)
-    assert_log_matching(handle)
-    assert_state_machine_safety(handle)
+    check_election_safety(handle)
+    check_log_matching(handle)
+    check_state_machine_safety(handle)
     # And the executions stay strictly serializable through the failover.
     assert handle.serializability().ok, (protocol, seed)
 

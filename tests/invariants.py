@@ -1,0 +1,180 @@
+"""The shared safety-invariant checker applied to every simulation run.
+
+Promoted out of ``tests/consensus/test_safety.py`` (PR 3) into one reusable
+module so that *every* simulation-running test in ``tests/consensus``,
+``tests/replication`` and ``tests/reconfig`` gets the same trace/state
+assertions for free: the test helpers register each finished handle with
+:func:`register`, and an autouse fixture in those suites' conftests calls
+:func:`check_registered` at teardown.
+
+Invariants checked (each skipped automatically when the run has nothing it
+applies to):
+
+* **election safety** — at most one leader is elected per term;
+* **log matching** — two members' logs agree below any index where their
+  terms agree, and committed prefixes agree outright;
+* **state-machine safety** — applied request sequences are prefix-consistent
+  across members;
+* **quorum intersection across epochs** *(new)* — for every joint
+  configuration a run entered, every read quorum of ``C_old,new`` intersects
+  every write quorum of ``C_old`` and of ``C_new`` (checked exhaustively
+  over minimal quorum subsets);
+* **at-most-one-config-in-flight** *(new)* — the directory's transition log
+  alternates ``joint-begin`` / ``commit`` strictly: no second change starts
+  before the previous one commits.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List
+
+#: handles registered by the suite helpers since the last fixture reset
+REGISTERED: List[object] = []
+
+
+def register(handle):
+    """Record a finished system handle for end-of-test invariant checking."""
+    REGISTERED.append(handle)
+    return handle
+
+
+def reset():
+    REGISTERED.clear()
+
+
+def check_registered():
+    """Run :func:`check_all` over every handle registered during the test."""
+    handles, REGISTERED[:] = list(REGISTERED), []
+    for handle in handles:
+        check_all(handle)
+
+
+def check_all(handle):
+    """Every applicable invariant for one finished run."""
+    if consensus_members(handle):
+        check_election_safety(handle)
+        check_log_matching(handle)
+        check_state_machine_safety(handle)
+    directory = getattr(handle, "directory", None)
+    if directory is not None:
+        check_quorum_intersection_across_epochs(directory)
+        check_at_most_one_config_in_flight(directory)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def consensus_members(handle):
+    """The live ReplicatedCoordinator automata of a finished run."""
+    return [
+        handle.simulation.automaton(name)
+        for name in handle.simulation.topology.consensus_group()
+    ]
+
+
+def consensus_internals(handle):
+    """All consensus-tagged internal actions of a finished run, as dicts."""
+    return [
+        dict(action.info)
+        for action in handle.trace()
+        if action.info and "consensus" in dict(action.info)
+    ]
+
+
+# ----------------------------------------------------------------------
+# The PR 3 consensus invariants
+# ----------------------------------------------------------------------
+def check_election_safety(handle):
+    """At most one leader is elected per term."""
+    leaders_per_term = {}
+    for info in consensus_internals(handle):
+        if info["consensus"] == "became-leader":
+            leaders_per_term.setdefault(info["term"], set()).add(info["member"])
+    for term, leaders in leaders_per_term.items():
+        assert len(leaders) <= 1, f"term {term} elected {sorted(leaders)}"
+
+
+def check_log_matching(handle):
+    """Same (index, term) => identical entry and identical prefix; committed
+    prefixes agree outright."""
+    members = consensus_members(handle)
+    for a in members:
+        for b in members:
+            if a.name >= b.name:
+                continue
+            upto = min(a.log.last_index, b.log.last_index)
+            for index in range(upto, 0, -1):
+                if a.log.term_at(index) == b.log.term_at(index):
+                    assert a.log.entries[:index] == b.log.entries[:index], (
+                        f"{a.name} and {b.name} diverge below matching index {index}"
+                    )
+                    break
+            committed = min(a.log.commit_index, b.log.commit_index)
+            assert a.log.entries[:committed] == b.log.entries[:committed]
+
+
+def check_state_machine_safety(handle):
+    """Applied request sequences are prefix-consistent across members."""
+    members = consensus_members(handle)
+    applied = {
+        m.name: [e.request_id for e in m.log.entries[: m.log.last_applied] if not e.is_noop()]
+        for m in members
+    }
+    names = sorted(applied)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            shorter, longer = sorted((applied[a], applied[b]), key=len)
+            assert longer[: len(shorter)] == shorter, (
+                f"{a} and {b} applied divergent sequences"
+            )
+
+
+# ----------------------------------------------------------------------
+# The reconfiguration invariants (new in this PR)
+# ----------------------------------------------------------------------
+def joint_quorums_intersect(old, new, policy) -> bool:
+    """Exhaustive check that every read quorum of C_old,new intersects every
+    write quorum of C_old and of C_new (minimal subsets suffice: any larger
+    quorum contains a minimal one)."""
+    r_old, r_new = policy.read_quorum(len(old)), policy.read_quorum(len(new))
+    w_old, w_new = policy.write_quorum(len(old)), policy.write_quorum(len(new))
+    read_quorums = [
+        set(ro) | set(rn)
+        for ro in combinations(old, r_old)
+        for rn in combinations(new, r_new)
+    ]
+    write_quorums = [set(w) for w in combinations(old, w_old)]
+    write_quorums += [set(w) for w in combinations(new, w_new)]
+    return all(rq & wq for rq in read_quorums for wq in write_quorums)
+
+
+def check_quorum_intersection_across_epochs(directory):
+    """Every joint configuration the run entered kept quorum intersection
+    with both of its epochs."""
+    for transition in directory.transitions:
+        if transition["kind"] != "joint-begin":
+            continue
+        old, new = transition["old"], transition["new"]
+        assert joint_quorums_intersect(old, new, directory.policy), (
+            f"joint config {old} -> {new} (epoch {transition['epoch']}) has a "
+            f"read quorum missing a write quorum under {directory.policy.describe()}"
+        )
+
+
+def check_at_most_one_config_in_flight(directory):
+    """joint-begin / commit must strictly alternate in the transition log,
+    and a finished run must not leave a change half-done unless transactions
+    are also stuck (a fault regime may legally strand the driver)."""
+    in_flight = False
+    for transition in directory.transitions:
+        if transition["kind"] == "joint-begin":
+            assert not in_flight, (
+                f"second joint-begin at epoch {transition['epoch']} while a "
+                "configuration change was still in flight"
+            )
+            in_flight = True
+        elif transition["kind"] == "commit":
+            assert in_flight, f"commit at epoch {transition['epoch']} without a joint-begin"
+            in_flight = False
+    assert in_flight == directory.in_flight()

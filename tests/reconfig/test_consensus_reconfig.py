@@ -1,0 +1,202 @@
+"""End-to-end consensus-group reconfiguration: joint consensus in the log.
+
+Grow and shrink the replicated-coordinator group mid-run, through the
+``C_old,new`` → ``C_new`` log entries: commit quorums and elections must
+hold in both configurations while joint, new members catch up through
+ordinary log replication, and a leader excluded by ``C_new`` hands off after
+committing it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.coordinator import CONFIG
+from repro.consensus.reconfig import ReconfigPlan, set_consensus_group
+from repro.faults import ChaosScheduler, shrink_consensus_group_mid_run
+from repro.ioa import FIFOScheduler, RandomScheduler
+
+from tests.invariants import consensus_members
+from tests.reconfig.conftest import final_read_values, run_reconfig_workload
+
+pytestmark = pytest.mark.invariants
+
+
+def run_consensus_change(requests, protocol="algorithm-b", seed=3, scheduler=None, rounds=4):
+    return run_reconfig_workload(
+        protocol,
+        reconfig=ReconfigPlan(name="cns", requests=tuple(requests)),
+        consensus_factor=3,
+        replication_factor=1,
+        quorum="read-one-write-all",
+        seed=seed,
+        scheduler=scheduler,
+        rounds=rounds,
+    )
+
+
+class TestGrowConsensusGroup:
+    def test_grow_3_to_5(self):
+        handle = run_consensus_change(
+            [set_consensus_group(("coor", "coor.2", "coor.3", "coor.4", "coor.5"), at=20)]
+        )
+        group = handle.simulation.topology.consensus_group()
+        assert group == ("coor", "coor.2", "coor.3", "coor.4", "coor.5")
+        members = consensus_members(handle)
+        # Every member — including the two spawned mid-run — holds the full
+        # committed log and applied the same state machine transitions.
+        assert len({m.log.commit_index for m in members}) == 1
+        assert len({len(m.machine.list) for m in members}) == 1
+        assert final_read_values(handle, "R4")["ox"] == "v4-ox"
+
+    def test_config_entries_in_every_log(self):
+        handle = run_consensus_change(
+            [set_consensus_group(("coor", "coor.2", "coor.3", "coor.4"), at=20)]
+        )
+        for member in consensus_members(handle):
+            phases = [
+                dict(e.payload).get("phase")
+                for e in member.log.committed_entries()
+                if e.msg_type == CONFIG
+            ]
+            assert phases == ["joint", "new"], member.name
+
+    def test_grown_group_survives_later_leader_loss(self):
+        """After growing 3 → 5, the joint machinery leaves a healthy group:
+        a later election (forced by stepping the leader down) still works."""
+        handle = run_consensus_change(
+            [set_consensus_group(("coor", "coor.2", "coor.3", "coor.4", "coor.5"), at=15)],
+            rounds=3,
+        )
+        members = {m.name: m for m in consensus_members(handle)}
+        leader = next(m for m in members.values() if m.election.is_leader)
+        assert leader.joint is None
+        assert leader.group == ("coor", "coor.2", "coor.3", "coor.4", "coor.5")
+
+
+class TestShrinkConsensusGroup:
+    def test_shrink_drops_leader_and_hands_off(self):
+        _, reconfig = shrink_consensus_group_mid_run(3, to_factor=2, at=20)
+        handle = run_reconfig_workload(
+            "algorithm-b",
+            reconfig=reconfig,
+            consensus_factor=3,
+            replication_factor=1,
+            quorum="read-one-write-all",
+            rounds=4,
+        )
+        group = handle.simulation.topology.consensus_group()
+        assert group == ("coor.2", "coor.3")
+        assert "coor" not in [a.name for a in handle.simulation.automata()]
+        handoffs = [
+            dict(a.info)
+            for a in handle.trace()
+            if a.info and dict(a.info).get("consensus") == "leader-handoff"
+        ]
+        assert [h["member"] for h in handoffs] == ["coor"]
+        # A successor led the remaining requests to completion.
+        assert any(m.election.is_leader for m in consensus_members(handle))
+        assert not handle.simulation.incomplete_transactions()
+        assert final_read_values(handle, "R4")["ox"] == "v4-ox"
+
+    def test_shrink_keeping_leader(self):
+        _, reconfig = shrink_consensus_group_mid_run(3, to_factor=2, at=20, drop_leader=False)
+        handle = run_reconfig_workload(
+            "algorithm-b",
+            reconfig=reconfig,
+            consensus_factor=3,
+            replication_factor=1,
+            quorum="read-one-write-all",
+            rounds=4,
+        )
+        assert handle.simulation.topology.consensus_group() == ("coor", "coor.2")
+        leader = next(m for m in consensus_members(handle) if m.election.is_leader)
+        assert leader.name == "coor"  # no hand-off needed
+        assert not handle.simulation.incomplete_transactions()
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_shrink_across_random_schedules(self, seed):
+        _, reconfig = shrink_consensus_group_mid_run(3, to_factor=2, at=20)
+        handle = run_reconfig_workload(
+            "algorithm-b",
+            reconfig=reconfig,
+            consensus_factor=3,
+            replication_factor=1,
+            quorum="read-one-write-all",
+            seed=seed,
+            scheduler=ChaosScheduler(base=RandomScheduler(seed=seed), seed=seed),
+            rounds=4,
+        )
+        assert not handle.simulation.incomplete_transactions(), seed
+        assert handle.serializability().ok, seed
+
+
+class TestReconfigUnderFailover:
+    @pytest.mark.parametrize("seed", (0, 1, 2, 3, 4))
+    def test_leader_crash_during_consensus_change(self, seed):
+        """The leader fail-stops right as the membership change starts: the
+        buffered ``cns-reconfig`` request survives at the followers, the
+        successor re-proposes it as a fresh joint entry, and the change
+        still commits with every transaction completing."""
+        from repro.faults import coordinator_failover
+
+        handle = run_reconfig_workload(
+            "algorithm-b",
+            reconfig=ReconfigPlan(
+                name="grow-under-crash",
+                requests=(
+                    set_consensus_group(("coor", "coor.2", "coor.3", "coor.4"), at=20),
+                ),
+            ),
+            consensus_factor=3,
+            replication_factor=1,
+            quorum="read-one-write-all",
+            plan=coordinator_failover(leader="coor", at=22, seed=seed),
+            seed=seed,
+            scheduler=ChaosScheduler(base=RandomScheduler(seed=seed), seed=seed),
+            rounds=4,
+            run_to_completion=False,
+        )
+        assert not handle.simulation.incomplete_transactions(), seed
+        assert handle.simulation.topology.consensus_group() == (
+            "coor", "coor.2", "coor.3", "coor.4",
+        )
+        assert handle.directory.epoch == 2
+        assert handle.serializability().ok, seed
+
+
+class TestJointQuorumSemantics:
+    def test_commit_needs_both_majorities_while_joint(self):
+        """White-box: a leader in a joint config refuses to commit with only
+        the old majority."""
+        handle = run_consensus_change(
+            [set_consensus_group(("coor", "coor.2", "coor.3", "coor.4", "coor.5"), at=20)],
+            rounds=2,
+        )
+        leader = next(m for m in consensus_members(handle) if m.election.is_leader)
+        leader.joint = (("coor", "coor.2", "coor.3"), ("coor.4", "coor.5"))
+        assert leader._quorum_ok({"coor", "coor.2"}) is False  # old only
+        assert leader._quorum_ok({"coor.4", "coor.5"}) is False  # new only
+        assert leader._quorum_ok({"coor", "coor.2", "coor.4", "coor.5"}) is True
+        leader.joint = None
+        assert leader._quorum_ok({"coor", "coor.2", "coor.3"}) is True
+
+    def test_votes_restricted_to_current_config(self):
+        """A member outside the voter's current config is not granted votes."""
+        handle = run_consensus_change(
+            [set_consensus_group(("coor.2", "coor.3"), at=20)], rounds=3
+        )
+        member = consensus_members(handle)[0]
+        assert "coor" not in member.group
+
+    def test_consensus_factor_1_rejects_consensus_reconfig(self):
+        with pytest.raises(ValueError, match="consensus_factor >= 2"):
+            run_reconfig_workload(
+                "algorithm-b",
+                reconfig=ReconfigPlan(
+                    requests=(set_consensus_group(("coor", "coor.2"), at=5),)
+                ),
+                consensus_factor=1,
+                replication_factor=1,
+                quorum="read-one-write-all",
+            )

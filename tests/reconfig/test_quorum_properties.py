@@ -1,0 +1,99 @@
+"""Property-based quorum tests over joint configurations.
+
+Randomized (seeded, fully deterministic) checks that any read quorum of
+``C_old,new`` intersects any write quorum — of the joint configuration, of
+``C_old`` alone, and of ``C_new`` alone — for all group sizes 1–7, both
+registered policies, and skewed/non-uniform groups (different sizes and
+arbitrary member names, overlapping or disjoint).
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.txn.placement import MajorityQuorum, ReadOneWriteAll, quorum_policy_names
+
+from tests.invariants import joint_quorums_intersect
+
+POLICIES = {"majority": MajorityQuorum(), "read-one-write-all": ReadOneWriteAll()}
+SIZES = range(1, 8)
+
+pytestmark = pytest.mark.invariants
+
+
+def names(prefix: str, n: int):
+    return tuple(f"{prefix}{i}" for i in range(1, n + 1))
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("old_size", SIZES)
+@pytest.mark.parametrize("new_size", SIZES)
+def test_joint_quorums_intersect_all_sizes(policy_name, old_size, new_size):
+    """Exhaustive over minimal quorum subsets, for every (|old|, |new|) pair
+    1–7 × 1–7, with maximal overlap between the groups (the common case:
+    grow/shrink/replace keeps most members)."""
+    policy = POLICIES[policy_name]
+    overlap = min(old_size, new_size) - (1 if min(old_size, new_size) > 1 else 0)
+    shared = names("s", overlap)
+    old = shared + names("o", old_size - overlap)
+    new = shared + names("n", new_size - overlap)
+    assert joint_quorums_intersect(old, new, policy)
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("seed", (0, 1, 2, 3, 4))
+def test_joint_quorums_intersect_random_skewed_groups(policy_name, seed):
+    """Seeded random groups: skewed sizes, arbitrary names, any overlap —
+    including fully disjoint old/new (a complete group swap)."""
+    policy = POLICIES[policy_name]
+    rng = random.Random(seed * 7919 + 13)
+    pool = [f"srv-{i}" for i in range(16)]
+    for _ in range(25):
+        old = tuple(rng.sample(pool, rng.randint(1, 7)))
+        new = tuple(rng.sample(pool, rng.randint(1, 7)))
+        assert joint_quorums_intersect(old, new, policy), (old, new, policy_name)
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_single_epoch_intersection_within_each_config(policy_name):
+    """The classic (non-joint) property both policies are validated for:
+    R + W > n within every group size."""
+    policy = POLICIES[policy_name]
+    for n in SIZES:
+        group = names("s", n)
+        r, w = policy.read_quorum(n), policy.write_quorum(n)
+        assert all(
+            set(rq) & set(wq)
+            for rq in combinations(group, r)
+            for wq in combinations(group, w)
+        )
+
+
+def test_registered_policy_names_covered():
+    """Every registered quorum policy is exercised by these properties."""
+    assert set(POLICIES) == set(quorum_policy_names()) - {"rowa"}
+
+
+@pytest.mark.parametrize("seed", (0, 1))
+def test_joint_read_misses_write_without_old_quorum(seed):
+    """Counter-property: dropping the old-group requirement from the joint
+    read quorum *does* break intersection (i.e. the joint rule is not
+    vacuous) — a read quorum of C_new alone can miss a write quorum of
+    C_old when the groups barely overlap."""
+    policy = MajorityQuorum()
+    rng = random.Random(seed)
+    found_gap = False
+    pool = [f"srv-{i}" for i in range(12)]
+    for _ in range(50):
+        old = tuple(rng.sample(pool, 5))
+        new = tuple(n for n in pool if n not in old)[:5]
+        r_new = policy.read_quorum(len(new))
+        w_old = policy.write_quorum(len(old))
+        for read_q in combinations(new, r_new):
+            for write_q in combinations(old, w_old):
+                if not (set(read_q) & set(write_q)):
+                    found_gap = True
+    assert found_gap

@@ -1,0 +1,164 @@
+"""Unit tests: reconfiguration requests, plans and the placement directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.reconfig import (
+    CONSENSUS_GROUP,
+    REPLICA_GROUP,
+    PlacementDirectory,
+    ReconfigPlan,
+    ReconfigRequest,
+    set_consensus_group,
+    set_replica_group,
+)
+from repro.ioa.errors import SimulationError
+from repro.txn.placement import MajorityQuorum, Placement, ReadOneWriteAll
+
+
+def make_directory(rf: int = 3, consensus=()):
+    placement = Placement.for_objects(("ox", "oy"), rf)
+    return PlacementDirectory(placement, MajorityQuorum(), consensus)
+
+
+# ----------------------------------------------------------------------
+# Requests and plans
+# ----------------------------------------------------------------------
+class TestRequests:
+    def test_replica_group_request(self):
+        request = set_replica_group("ox", ("sx", "sx.2"), at=7)
+        assert request.kind == REPLICA_GROUP
+        assert request.object_id == "ox"
+        assert request.group == ("sx", "sx.2")
+        assert request.at == 7
+
+    def test_consensus_group_request(self):
+        request = set_consensus_group(("coor.2", "coor.3"), at=3)
+        assert request.kind == CONSENSUS_GROUP
+        assert request.group == ("coor.2", "coor.3")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            set_replica_group("ox", (), at=0)
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            set_replica_group("ox", ("sx", "sx"), at=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown reconfiguration kind"):
+            ReconfigRequest(kind="nope", group=("sx",))
+
+    def test_replica_request_needs_object(self):
+        with pytest.raises(ValueError, match="names its object"):
+            ReconfigRequest(kind=REPLICA_GROUP, group=("sx",))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            set_replica_group("ox", ("sx",), at=-1)
+
+    def test_plan_describe(self):
+        plan = ReconfigPlan(
+            name="p", requests=(set_replica_group("ox", ("sx", "sx.2"), at=4),)
+        )
+        assert "ox" in plan.describe()
+        assert ReconfigPlan().describe().endswith("none")
+
+
+# ----------------------------------------------------------------------
+# The directory: epochs, joint quorums, retirement
+# ----------------------------------------------------------------------
+class TestDirectory:
+    def test_initial_view_matches_placement(self):
+        directory = make_directory()
+        assert directory.epoch == 0
+        assert directory.group("ox") == ("sx", "sx.2", "sx.3")
+        assert directory.targets("ox") == ("sx", "sx.2", "sx.3")
+        assert directory.read_needed("ox") == ((("sx", "sx.2", "sx.3"), 2),)
+        assert not directory.in_flight()
+
+    def test_joint_view_unions_targets_and_doubles_quorums(self):
+        directory = make_directory()
+        directory.begin_joint("ox", ("sx", "sx.2", "sx.4"), vtime=5)
+        assert directory.epoch == 1
+        assert directory.in_flight()
+        assert directory.targets("ox") == ("sx", "sx.2", "sx.3", "sx.4")
+        assert directory.group("ox") == ("sx", "sx.2", "sx.4")
+        needs = dict(directory.write_needed("ox"))
+        assert needs[("sx", "sx.2", "sx.3")] == 2
+        assert needs[("sx", "sx.2", "sx.4")] == 2
+
+    def test_commit_retires_removed_and_bumps_epoch(self):
+        directory = make_directory()
+        directory.begin_joint("ox", ("sx", "sx.2", "sx.4"))
+        removed = directory.commit_joint("ox")
+        assert removed == ("sx.3",)
+        assert directory.is_retired("sx.3")
+        assert directory.epoch == 2
+        assert directory.placement.group("ox") == ("sx", "sx.2", "sx.4")
+        assert not directory.in_flight()
+
+    def test_at_most_one_change_in_flight(self):
+        directory = make_directory()
+        directory.begin_joint("ox", ("sx", "sx.2", "sx.4"))
+        with pytest.raises(SimulationError, match="at most one configuration change"):
+            directory.begin_joint("oy", ("sy", "sy.2", "sy.4"))
+
+    def test_consensus_joint_blocks_storage_joint(self):
+        directory = make_directory(consensus=("coor", "coor.2", "coor.3"))
+        directory.begin_consensus_joint(("coor.2", "coor.3"))
+        with pytest.raises(SimulationError, match="at most one configuration change"):
+            directory.begin_joint("ox", ("sx", "sx.2", "sx.4"))
+
+    def test_commit_without_joint_fails(self):
+        directory = make_directory()
+        with pytest.raises(SimulationError, match="no joint configuration"):
+            directory.commit_joint("ox")
+        with pytest.raises(SimulationError, match="no consensus joint"):
+            directory.commit_consensus_joint()
+
+    def test_consensus_targets_union_while_joint(self):
+        directory = make_directory(consensus=("coor", "coor.2", "coor.3"))
+        assert directory.coordinator_targets() == ("coor", "coor.2", "coor.3")
+        directory.begin_consensus_joint(("coor.2", "coor.3", "coor.4"))
+        assert directory.coordinator_targets() == ("coor", "coor.2", "coor.3", "coor.4")
+        removed = directory.commit_consensus_joint()
+        assert removed == ("coor",)
+        assert directory.consensus_group() == ("coor.2", "coor.3", "coor.4")
+        assert directory.coordinator_targets() == ("coor.2", "coor.3", "coor.4")
+
+    def test_consensus_joint_requires_group(self):
+        directory = make_directory(consensus=())
+        with pytest.raises(SimulationError, match="no consensus group"):
+            directory.begin_consensus_joint(("coor.2",))
+
+    def test_new_group_validated_against_policy(self):
+        placement = Placement.for_objects(("ox",), 1)
+        directory = PlacementDirectory(placement, ReadOneWriteAll(), ())
+        with pytest.raises(ValueError):
+            directory.begin_joint("ox", ())
+
+    def test_transfer_and_retry_accounting(self):
+        directory = make_directory()
+        directory.record_transfer("ox", 3)
+        directory.record_transfer("oy", 2)
+        directory.note_retry("R1", 17)
+        assert directory.transfer_volume() == 5
+        assert directory.retries == [("R1", 17)]
+
+    def test_transitions_record_both_phases(self):
+        directory = make_directory()
+        directory.begin_joint("ox", ("sx", "sx.2", "sx.4"), vtime=10)
+        directory.commit_joint("ox", vtime=20)
+        kinds = [t["kind"] for t in directory.transitions]
+        assert kinds == ["joint-begin", "commit"]
+        assert directory.transitions[0]["old"] == ("sx", "sx.2", "sx.3")
+        assert directory.transitions[1]["new"] == ("sx", "sx.2", "sx.4")
+
+    def test_describe_mentions_joint_and_retired(self):
+        directory = make_directory()
+        directory.begin_joint("ox", ("sx", "sx.2", "sx.4"))
+        assert "->" in directory.describe()
+        directory.commit_joint("ox")
+        assert "sx.3" in directory.describe()

@@ -4,13 +4,30 @@
 replication knobs through ``Protocol.build`` — the same explicit-id workload
 the golden signatures were captured with, so signatures are comparable
 across runs *and* across the refactor boundary.
+
+Every handle the helper returns is registered with the shared invariant
+checker (``tests/invariants.py``); the autouse ``invariant_autocheck``
+fixture re-checks the safety invariants at the end of each test, so every
+simulation run in this suite passes through the checker automatically.
 """
 
 from __future__ import annotations
 
+import pytest
+
 from repro.faults import FaultInjector
 from repro.ioa import FIFOScheduler
 from repro.protocols import get_protocol
+
+from tests import invariants
+
+
+@pytest.fixture(autouse=True)
+def invariant_autocheck():
+    """Apply the shared safety-invariant checker to every run of this suite."""
+    invariants.reset()
+    yield
+    invariants.check_registered()
 
 
 def run_fixed_workload(
@@ -25,6 +42,7 @@ def run_fixed_workload(
     consensus_factor: int = 1,
     election_timeout=None,
     plan=None,
+    reconfig=None,
     run_to_completion: bool = True,
 ):
     """Build, submit the fixed explicit-id workload, run; returns the handle."""
@@ -41,6 +59,7 @@ def run_fixed_workload(
         quorum=quorum,
         consensus_factor=consensus_factor,
         election_timeout=election_timeout,
+        reconfig=reconfig,
         fault_plane=FaultInjector(plan, seed=seed) if plan is not None else None,
     )
     w1 = handle.submit_write(
@@ -55,4 +74,4 @@ def run_fixed_workload(
         handle.run_to_completion()
     else:
         handle.run()
-    return handle
+    return invariants.register(handle)

@@ -84,3 +84,28 @@ def test_consensus_factor_rejected_without_coordinator():
     ignoring the knob."""
     with pytest.raises(ValueError, match="no coordinator"):
         run_fixed_workload("simple-rw", consensus_factor=3)
+
+
+@pytest.mark.parametrize("protocol", protocol_names())
+def test_explicit_reconfig_off_matches_seed(protocol):
+    """Passing reconfig=None (and an empty plan) explicitly changes nothing,
+    for every protocol: the reconfiguration layer's byte-identity contract —
+    no directory, no driver, no epoch fields on any wire."""
+    from repro.consensus.reconfig import ReconfigPlan
+
+    for reconfig in (None, ReconfigPlan(name="empty")):
+        handle = run_fixed_workload(
+            protocol, scheduler=FIFOScheduler(), num_objects=2, reconfig=reconfig
+        )
+        assert handle.directory is None
+        assert signature_hash(handle) == GOLDEN[protocol]["fifo-2obj"], (protocol, reconfig)
+
+
+def test_reconfig_rejected_without_support():
+    """Protocols whose rounds are not epoch-aware fail loudly instead of
+    silently ignoring a reconfiguration plan."""
+    from repro.consensus.reconfig import ReconfigPlan, set_replica_group
+
+    plan = ReconfigPlan(requests=(set_replica_group("ox", ("sx", "sx.2"), at=5),))
+    with pytest.raises(ValueError, match="does not support membership reconfiguration"):
+        run_fixed_workload("simple-rw", reconfig=plan)
