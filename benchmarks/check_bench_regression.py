@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff regenerated BENCH_*.json against HEAD.
+
+The tiny-grid CI job reruns every sweep (they are deterministic per seed),
+which rewrites ``benchmarks/results/BENCH_*.json`` in the working tree.
+This script then compares each row's **invariant columns** — availability,
+the SNOW verdict string, the consistency verdict and the unavailability
+window — against the version committed at ``HEAD`` and fails the build when
+any of them regressed:
+
+* ``availability`` may not decrease;
+* ``snow`` must be identical;
+* ``consistent`` may not degrade from ``True``;
+* ``unavailability_window`` may not increase.
+
+Rows are matched on their identity columns (protocol / scenario / plan /
+factors).  A row present at HEAD but missing from the regenerated grid is a
+failure too — a silently dropped cell hides regressions.  Brand-new files
+and brand-new rows pass (they have no baseline yet); a changed value in a
+non-invariant column (latency means, message counts) is reported but does
+not fail the gate.
+
+Usage: ``python benchmarks/check_bench_regression.py`` from the repo root
+(or anywhere inside the repository — paths are derived from this file).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+RESULTS = BENCH_DIR / "results"
+
+#: columns identifying one grid cell (whichever subset a row carries)
+IDENTITY = (
+    "protocol",
+    "scenario",
+    "plan",
+    "replication_factor",
+    "consensus_factor",
+    "quorum",
+)
+#: the gated columns and their comparison direction
+INVARIANTS: Tuple[Tuple[str, str], ...] = (
+    ("availability", "not-below"),
+    ("snow", "equal"),
+    ("consistent", "not-degraded"),
+    ("unavailability_window", "not-above"),
+)
+
+
+def committed_version(path: Path) -> Optional[Dict[str, Any]]:
+    """The file's content at HEAD, or None when it is new there."""
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{rel}"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def row_key(row: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple((field, row[field]) for field in IDENTITY if field in row)
+
+
+def index_rows(payload: Dict[str, Any]) -> Dict[Tuple, Dict[str, Any]]:
+    rows = payload.get("grid", [])
+    indexed: Dict[Tuple, Dict[str, Any]] = {}
+    for row in rows:
+        indexed[row_key(row)] = row
+    return indexed
+
+
+def compare_cell(old: Dict[str, Any], new: Dict[str, Any]) -> List[str]:
+    problems: List[str] = []
+    for column, rule in INVARIANTS:
+        if column not in old:
+            continue
+        before, after = old.get(column), new.get(column)
+        if rule == "equal" and after != before:
+            problems.append(f"{column}: {before!r} -> {after!r}")
+        elif rule == "not-below" and isinstance(before, (int, float)):
+            if not isinstance(after, (int, float)) or after < before:
+                problems.append(f"{column}: {before!r} -> {after!r}")
+        elif rule == "not-above" and isinstance(before, (int, float)):
+            if not isinstance(after, (int, float)) or after > before:
+                problems.append(f"{column}: {before!r} -> {after!r}")
+        elif rule == "not-degraded" and before is True and after is not True:
+            problems.append(f"{column}: True -> {after!r}")
+    return problems
+
+
+def main() -> int:
+    failures: List[str] = []
+    checked = 0
+    for path in sorted(RESULTS.glob("BENCH_*.json")):
+        baseline = committed_version(path)
+        if baseline is None:
+            print(f"[bench-regression] {path.name}: new file, no baseline — skipped")
+            continue
+        current = json.loads(path.read_text(encoding="utf-8"))
+        old_rows = index_rows(baseline)
+        new_rows = index_rows(current)
+        for key, old_row in old_rows.items():
+            checked += 1
+            label = f"{path.name} {dict(key)}"
+            new_row = new_rows.get(key)
+            if new_row is None:
+                failures.append(f"{label}: row disappeared from the regenerated grid")
+                continue
+            for problem in compare_cell(old_row, new_row):
+                failures.append(f"{label}: {problem}")
+        extra = set(new_rows) - set(old_rows)
+        for key in sorted(extra):
+            print(f"[bench-regression] {path.name}: new row {dict(key)} (no baseline)")
+    print(f"[bench-regression] checked {checked} baseline rows")
+    if failures:
+        print("\n[bench-regression] REGRESSIONS:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("[bench-regression] ok — no invariant column regressed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -303,6 +303,53 @@ class ReconfigMetrics:
         }
 
 
+@dataclass(frozen=True)
+class ControllerMetrics:
+    """Automated-rebalancing measurements of one execution.
+
+    Only populated when the system was built with a
+    :class:`~repro.consensus.controller.ControllerPolicy`.  Everything comes
+    from the controller's self-describing internal actions plus the shared
+    directory: ``time_to_heal`` is the virtual-time span from the first
+    ``replica-dead`` detection to the last derived change reaching its
+    target configuration (``None`` when nothing was detected or nothing
+    healed); ``converged`` means every derived change reached its target and
+    no configuration change was left in flight.
+    """
+
+    probes: int
+    acks: int
+    dead_detected: int
+    plans_replace: int
+    plans_grow: int
+    plans_rejected: int
+    healed: int
+    time_to_heal: Optional[int]
+    converged: bool
+
+    def describe(self) -> str:
+        heal = "-" if self.time_to_heal is None else str(self.time_to_heal)
+        return (
+            f"controller: probes={self.probes} acks={self.acks} "
+            f"dead={self.dead_detected} replace={self.plans_replace} "
+            f"grow={self.plans_grow} healed={self.healed} "
+            f"time_to_heal={heal} converged={self.converged}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "probes": self.probes,
+            "probe_acks": self.acks,
+            "dead_detected": self.dead_detected,
+            "plans_replace": self.plans_replace,
+            "plans_grow": self.plans_grow,
+            "plans_rejected": self.plans_rejected,
+            "healed": self.healed,
+            "time_to_heal": self.time_to_heal,
+            "converged": self.converged,
+        }
+
+
 @dataclass
 class ExperimentMetrics:
     """Aggregated measurements of one protocol execution."""
@@ -325,6 +372,8 @@ class ExperimentMetrics:
     consensus: Optional[ConsensusMetrics] = None
     #: populated only for runs built with a reconfiguration plan
     reconfig: Optional[ReconfigMetrics] = None
+    #: populated only for runs built with a rebalancing controller
+    controller: Optional[ControllerMetrics] = None
 
     def reads(self) -> Tuple[TransactionMetrics, ...]:
         return tuple(t for t in self.transactions if t.kind == "read")
@@ -356,6 +405,8 @@ class ExperimentMetrics:
             lines.append("  " + self.consensus.describe())
         if self.reconfig is not None:
             lines.append("  " + self.reconfig.describe())
+        if self.controller is not None:
+            lines.append("  " + self.controller.describe())
         return "\n".join(lines)
 
 
@@ -502,6 +553,73 @@ def _collect_reconfig_metrics(simulation: Simulation, directory) -> Optional[Rec
     )
 
 
+def _collect_controller_metrics(
+    simulation: Simulation, directory
+) -> Optional[ControllerMetrics]:
+    """Build the rebalancing block from the controller's internal actions."""
+    from ..ioa.actions import ActionKind
+
+    probes = acks = dead = replaces = grows = rejected = healed = 0
+    first_dead: Optional[int] = None
+    last_heal: Optional[int] = None
+    seen = False
+    for action in simulation.trace:
+        if (
+            action.kind == ActionKind.RECV
+            and action.message is not None
+            and action.message.msg_type == "ctl-ack"
+        ):
+            # Count delivered acks from the trace itself: acks landing after
+            # the final tick would be invisible to any per-tick counter.
+            acks += 1
+            continue
+        if action.kind != ActionKind.INTERNAL or not action.info:
+            continue
+        info = dict(action.info)
+        if info.get("reconfig") == "rejected":
+            rejected += 1
+            continue
+        kind = info.get("controller")
+        if kind is None:
+            continue
+        seen = True
+        if kind == "tick":
+            probes += int(info.get("probes", 0))
+        elif kind == "replica-dead":
+            dead += 1
+            if first_dead is None:
+                first_dead = int(info.get("vtime", 0))
+        elif kind == "plan-replace":
+            replaces += 1
+        elif kind == "plan-grow":
+            grows += 1
+        elif kind == "healed":
+            healed += 1
+            last_heal = int(info.get("vtime", 0))
+    if not seen:
+        return None
+    time_to_heal = (
+        last_heal - first_dead
+        if first_dead is not None and last_heal is not None
+        else None
+    )
+    converged = (
+        healed == replaces + grows
+        and (directory is None or not directory.in_flight())
+    )
+    return ControllerMetrics(
+        probes=probes,
+        acks=acks,
+        dead_detected=dead,
+        plans_replace=replaces,
+        plans_grow=grows,
+        plans_rejected=rejected,
+        healed=healed,
+        time_to_heal=time_to_heal,
+        converged=converged,
+    )
+
+
 def collect_metrics(
     simulation: Simulation,
     protocol_name: str = "",
@@ -555,4 +673,5 @@ def collect_metrics(
         replication=_collect_replication_metrics(simulation, placement, quorum_policy),
         consensus=_collect_consensus_metrics(simulation),
         reconfig=_collect_reconfig_metrics(simulation, directory),
+        controller=_collect_controller_metrics(simulation, directory),
     )

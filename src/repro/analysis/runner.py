@@ -95,6 +95,9 @@ class ExperimentConfig:
     #: scheduled membership changes; None keeps membership fixed for the
     #: whole run (see :mod:`repro.consensus.reconfig`).
     reconfig: Optional[Any] = None
+    #: automated-rebalancing policy; None runs without the control loop
+    #: (see :mod:`repro.consensus.controller`).
+    controller: Optional[Any] = None
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, seed=seed, workload=replace(self.workload, seed=seed))
@@ -110,6 +113,8 @@ class ExperimentConfig:
             base += f" [consensus={self.consensus_factor}]"
         if self.reconfig is not None:
             base += f" [{self.reconfig.describe()}]"
+        if self.controller is not None:
+            base += f" [{self.controller.describe()}]"
         if self.faults is not None:
             base += f" [{self.faults.describe()}]"
         return base
@@ -168,6 +173,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         quorum=config.quorum,
         consensus_factor=config.consensus_factor,
         reconfig=config.reconfig,
+        controller=config.controller,
     )
     if config.c2c is not None:
         build_kwargs["c2c"] = config.c2c

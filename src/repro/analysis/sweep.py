@@ -518,6 +518,115 @@ def reconfig_grid_rows(
     return rows
 
 
+def sweep_controller(
+    protocols: Sequence[str] = (
+        "algorithm-a",
+        "algorithm-b",
+        "algorithm-c",
+        "occ-double-collect",
+        "eiger",
+        "naive-snow",
+    ),
+    replication_factor: int = 3,
+    quorum: str = "majority",
+    num_readers: int = 2,
+    num_writers: int = 2,
+    num_objects: int = 2,
+    workload: Optional[WorkloadSpec] = None,
+    seed: int = 17,
+    check_properties: bool = True,
+) -> Dict[str, Dict[str, ExperimentResult]]:
+    """The self-healing grid: protocol family × controller scenario.
+
+    Two scenarios run per protocol at ``replication_factor=3`` + majority,
+    both with the rebalancing controller installed:
+
+    * ``none`` — fault-free; the controller probes but derives nothing (its
+      zero-plan behaviour is itself an acceptance criterion);
+    * ``auto-heal-dead-replica`` — the last replica of the first object's
+      group fail-stops with **no hand-authored plan**; the controller must
+      detect it and restore full group strength autonomously.
+
+    Returns ``{protocol: {scenario: result}}``.  The s2pl baseline is
+    excluded: its lock rounds block on a fail-stopped replica by design
+    (giving up N is its defining property), so dead-replica scenarios stall
+    regardless of membership machinery.
+    """
+    from ..consensus.controller import ControllerPolicy
+    from ..faults.scenarios import auto_heal
+    from ..txn.objects import object_names
+
+    workload = workload or WorkloadSpec(
+        reads_per_reader=6, writes_per_writer=3, read_size=num_objects, write_size=num_objects, seed=seed
+    )
+    first_object = object_names(num_objects)[0]
+    plan, policy = auto_heal(first_object, replication_factor, seed=seed)
+    scenarios: Dict[str, Tuple[Optional[FaultPlan], Any]] = {
+        "none": (None, ControllerPolicy()),
+        "auto-heal-dead-replica": (plan, policy),
+    }
+    grid: Dict[str, Dict[str, ExperimentResult]] = {}
+    for protocol in protocols:
+        row: Dict[str, ExperimentResult] = {}
+        for scenario_name, (fault_plan, controller) in scenarios.items():
+            config = ExperimentConfig(
+                protocol=protocol,
+                num_readers=num_readers,
+                num_writers=num_writers,
+                num_objects=num_objects,
+                workload=workload,
+                scheduler="chaos",
+                seed=seed,
+                check_properties=check_properties,
+                faults=fault_plan,
+                replication_factor=replication_factor,
+                quorum=quorum,
+                controller=controller,
+            )
+            row[scenario_name] = run_experiment(config)
+        grid[protocol] = row
+    return grid
+
+
+def controller_grid_rows(
+    grid: Mapping[str, Mapping[str, ExperimentResult]],
+) -> List[Dict[str, Any]]:
+    """Flatten a self-healing grid into JSON-ready rows.
+
+    One row per protocol × scenario, carrying the SNOW verdict,
+    availability, the controller accounting (probes, detections, derived
+    plans, time-to-heal, convergence) and the reconfiguration columns —
+    the machine-readable record tracked across PRs via
+    ``BENCH_controller.json``.
+    """
+    rows: List[Dict[str, Any]] = []
+    for protocol, cells in grid.items():
+        for scenario, result in cells.items():
+            metrics = result.metrics
+            faults = metrics.faults
+            row: Dict[str, Any] = {
+                "protocol": protocol,
+                "scenario": scenario,
+                "snow": result.property_string(),
+                "consistent": result.snow.satisfies_s if result.snow is not None else None,
+                "max_read_rounds": metrics.max_read_rounds(),
+                "total_messages": metrics.total_messages,
+            }
+            if faults is not None:
+                row["availability"] = round(faults.availability, 4)
+            else:
+                row["availability"] = 1.0
+            if metrics.replication is not None:
+                row["replication_factor"] = metrics.replication.replication_factor
+                row["quorum"] = metrics.replication.quorum
+            if metrics.reconfig is not None:
+                row.update(metrics.reconfig.as_dict())
+            if metrics.controller is not None:
+                row.update(metrics.controller.as_dict())
+            rows.append(row)
+    return rows
+
+
 def sweep_read_size(
     protocols: Sequence[str] = ("simple-rw", "algorithm-a", "algorithm-b", "algorithm-c", "s2pl"),
     read_sizes: Sequence[int] = (1, 2, 4, 6),

@@ -32,6 +32,7 @@ by the build seed, so consensus executions are as replayable as everything
 else in the repository.
 """
 
+from .controller import CONTROLLER_NAME, ControllerPolicy, ReconfigController
 from .coordinator import (
     CONFIG,
     DEFAULT_ELECTION_TIMEOUT,
@@ -61,6 +62,9 @@ from .reconfig import (
 
 __all__ = [
     "CONFIG",
+    "CONTROLLER_NAME",
+    "ControllerPolicy",
+    "ReconfigController",
     "DEFAULT_ELECTION_TIMEOUT",
     "RECONFIG",
     "ReplicatedCoordinator",

@@ -39,6 +39,7 @@ from .adversary import (
     hunt_s_violations,
 )
 from .scenarios import (
+    auto_heal,
     coordinator_failover,
     crash_amnesia,
     crash_recover,
@@ -73,6 +74,7 @@ __all__ = [
     "chaos_adversarial_scheduler",
     "fracture_rules",
     "hunt_s_violations",
+    "auto_heal",
     "coordinator_failover",
     "crash_amnesia",
     "crash_recover",

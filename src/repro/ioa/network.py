@@ -59,11 +59,16 @@ class Topology:
         self._kinds: Dict[str, str] = {}
         self._replica_groups: Dict[str, Tuple[str, ...]] = {}
         self._consensus_group: Tuple[str, ...] = ()
+        #: kinds of unregistered automata: introspection over already-
+        #: delivered messages (:meth:`kind_of`) keeps working after a
+        #: retirement, while new sends to the name still fail loudly
+        self._removed_kinds: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     def register(self, automaton: Automaton) -> None:
         """Record the kind of a named automaton (called by the kernel)."""
         self._kinds[automaton.name] = automaton.kind
+        self._removed_kinds.pop(automaton.name, None)
 
     def unregister(self, name: str) -> None:
         """Forget a retired automaton (the reconfiguration layer's removal).
@@ -72,9 +77,13 @@ class Topology:
         :class:`~repro.ioa.errors.UnknownProcessError` — a retired server is
         gone, not silent.  The name is also dropped from any replica group or
         consensus group it appeared in, keeping :meth:`describe` honest.
+        :meth:`kind_of` keeps answering from a tombstone, so sessions that
+        collected replies from the server *before* its retirement can still
+        account rounds for them.
         """
         if name not in self._kinds:
             raise UnknownProcessError(name)
+        self._removed_kinds[name] = self._kinds[name]
         del self._kinds[name]
         self._replica_groups = {
             obj: tuple(s for s in group if s != name)
@@ -126,7 +135,10 @@ class Topology:
         try:
             return self._kinds[name]
         except KeyError:
-            raise UnknownProcessError(name) from None
+            try:
+                return self._removed_kinds[name]
+            except KeyError:
+                raise UnknownProcessError(name) from None
 
     def is_client(self, name: str) -> bool:
         return self.kind_of(name) in ("reader", "writer", "client")

@@ -50,9 +50,11 @@ from .coordinated import (
     CoordinatedWriter,
     consensus_members_for,
     coordinator_targets,
+    live_coordinator_targets,
 )
 from .replication import (
     default_policy,
+    epoch_quorum_round,
     key_read_round,
     per_object_reply_await,
     placement_or_single_copy,
@@ -65,6 +67,10 @@ def _tag_seen(collected: Sequence[Message]) -> bool:
 
 class AlgorithmCReader(ReaderAutomaton):
     """One-round reader: fetch all versions and the tag array concurrently."""
+
+    #: shared placement directory when built with a reconfiguration plan
+    #: (injected by the build; None keeps the rounds byte-identical)
+    directory = None
 
     def __init__(
         self,
@@ -84,9 +90,8 @@ class AlgorithmCReader(ReaderAutomaton):
         self.placement = placement_or_single_copy(self.objects, placement)
         self.policy = policy if policy is not None else default_policy()
 
-    def run_transaction(self, txn: ReadTransaction, ctx: Context):
-        if not isinstance(txn, ReadTransaction):
-            raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
+    def _fixed_membership_round(self, txn: ReadTransaction):
+        """The seed's single round (no directory): byte-identical wire."""
         read_set = tuple(txn.objects)
         read_targets = {
             object_id: self.placement.group(object_id) for object_id in read_set
@@ -136,6 +141,81 @@ class AlgorithmCReader(ReaderAutomaton):
             # a fixed count cannot express readiness — use the predicate form.
             force_quorum=replicated_coordinator,
         )
+        return replies
+
+    def _epoch_round(self, txn: ReadTransaction, ctx: Context):
+        """The epoch-aware body of the single read round (directory installed).
+
+        Requests go to ``C_old ∪ C_new`` of every requested object and carry
+        epoch+attempt stamps; readiness needs a read quorum of ``Vals``
+        snapshots per object per active configuration plus the tag array, and
+        an ``epoch-mismatch`` (a retired replica) restarts the round against
+        the refreshed groups.  The tag request is re-broadcast per attempt —
+        idempotent at the single coordinator (a read) and deduplicated by
+        request id at a replicated one.
+        """
+        read_set = tuple(txn.objects)
+        directory = self.directory
+        replicated_coordinator = len(self.coordinator_group) > 1
+
+        def send_factory(epoch: int, attempt: int):
+            sends = []
+            coordinator_holds = not replicated_coordinator and any(
+                self.coordinator in directory.targets(object_id)
+                for object_id in read_set
+            )
+            for object_id in read_set:
+                for replica in directory.targets(object_id):
+                    payload: Dict[str, Any] = {
+                        "txn": txn.txn_id,
+                        "object": object_id,
+                        "epoch": epoch,
+                        "attempt": attempt,
+                    }
+                    if coordinator_holds and replica == self.coordinator:
+                        payload["want_tags"] = True
+                        payload["read_set"] = read_set
+                    sends.append(
+                        Send(
+                            dst=replica,
+                            msg_type="read-vals",
+                            payload=payload,
+                            phase="read-values-and-tags",
+                        )
+                    )
+            if not coordinator_holds:
+                for target in live_coordinator_targets(directory, self.coordinator_group):
+                    sends.append(
+                        Send(
+                            dst=target,
+                            msg_type="get-tag-arr",
+                            payload={"txn": txn.txn_id, "read_set": read_set},
+                            phase="read-values-and-tags",
+                        )
+                    )
+            return sends
+
+        replies, _attempt = yield from epoch_quorum_round(
+            txn.txn_id,
+            directory,
+            ctx,
+            send_factory,
+            reply_types=("read-vals-reply",),
+            needs_factory=lambda: {obj: directory.read_needed(obj) for obj in read_set},
+            extra_ready=_tag_seen,
+            description="values and tag array",
+            unfiltered_types=("tag-arr-reply",),
+        )
+        return replies
+
+    def run_transaction(self, txn: ReadTransaction, ctx: Context):
+        if not isinstance(txn, ReadTransaction):
+            raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
+        read_set = tuple(txn.objects)
+        if self.directory is not None:
+            replies = yield from self._epoch_round(txn, ctx)
+        else:
+            replies = yield from self._fixed_membership_round(txn)
 
         tag = None
         keys: Dict[str, Key] = {}
@@ -173,6 +253,8 @@ class AlgorithmCReader(ReaderAutomaton):
                 self.placement,
                 self.policy,
                 phase="read-value-fallback",
+                directory=self.directory,
+                ctx=ctx,
             )
             values.update(fallback_values)
 
@@ -198,6 +280,7 @@ class AlgorithmC(Protocol):
     description = "Paper's algorithm C: strictly serializable, non-blocking, one-round, multi-version reads (MWMR, no C2C)"
     requires_c2c = False
     has_coordinator = True
+    supports_reconfig = True
     supports_multiple_readers = True
     supports_multiple_writers = True
     claimed_properties = "SNW + one-round (Theorem 5)"
@@ -206,6 +289,19 @@ class AlgorithmC(Protocol):
 
     def make_consensus_machine(self, config: BuildConfig) -> ListStateMachine:
         return ListStateMachine(config.objects())
+
+    def make_replica(self, config: BuildConfig, object_id: str, name: str, group):
+        # Dynamic replicas are plain storage replicas: the coordinator role
+        # lives on the designated first server (or the consensus group) and
+        # never migrates through a replica-group change.
+        return CoordinatedServer(
+            name,
+            object_id,
+            config.objects(),
+            is_coordinator=False,
+            initial_value=config.initial_value,
+            group=group,
+        )
 
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()

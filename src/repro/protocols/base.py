@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..consensus.controller import ControllerPolicy, ReconfigController
 from ..consensus.reconfig import (
     CONSENSUS_GROUP,
     REPLICA_GROUP,
@@ -86,6 +87,9 @@ class BuildConfig:
     #: scheduled membership changes (None = fixed membership, byte-identical
     #: to the seed; see :mod:`repro.consensus.reconfig`)
     reconfig: Optional[ReconfigPlan] = None
+    #: automated-rebalancing control loop (None = no controller, byte-
+    #: identical; see :mod:`repro.consensus.controller`)
+    controller: Optional[ControllerPolicy] = None
 
     def objects(self) -> Tuple[str, ...]:
         return object_names(self.num_objects)
@@ -305,6 +309,19 @@ class Protocol:
                 f"protocol {self.name} has no coordinator/metadata service to replicate "
                 f"(consensus_factor={config.consensus_factor} needs one)"
             )
+        if config.controller is not None:
+            if not self.supports_reconfig:
+                raise ValueError(
+                    f"protocol {self.name} does not support membership reconfiguration "
+                    "(its client rounds are not epoch-aware), so the rebalancing "
+                    "controller cannot drive it"
+                )
+            if type(self).make_replica is Protocol.make_replica:
+                raise ValueError(
+                    f"protocol {self.name} sets supports_reconfig but does not "
+                    "override make_replica; the rebalancing controller cannot "
+                    "spawn its replacement replicas"
+                )
         if config.reconfig is not None and config.reconfig.requests:
             if not self.supports_reconfig:
                 raise ValueError(
@@ -371,6 +388,7 @@ class Protocol:
         consensus_factor: int = 1,
         election_timeout: Optional[Tuple[int, int]] = None,
         reconfig: Optional[ReconfigPlan] = None,
+        controller: Optional[ControllerPolicy] = None,
     ) -> SystemHandle:
         """Instantiate the protocol as a ready-to-run system.
 
@@ -385,7 +403,10 @@ class Protocol:
         :class:`~repro.consensus.reconfig.ReconfigPlan` of mid-run membership
         changes (a shared epoch-versioned
         :class:`~repro.consensus.reconfig.PlacementDirectory` plus the admin
-        driver automaton).  The defaults reproduce the paper's
+        driver automaton); ``controller`` installs the automated-rebalancing
+        control loop (:mod:`repro.consensus.controller`), which *derives*
+        membership changes from observed failures and latency and feeds them
+        to the same driver.  The defaults reproduce the paper's
         one-server-per-object, single-coordinator system byte-for-byte.
         """
         config = BuildConfig(
@@ -403,6 +424,7 @@ class Protocol:
             consensus_factor=consensus_factor,
             election_timeout=election_timeout,
             reconfig=reconfig,
+            controller=controller,
         )
         self.validate_config(config)
         allow_c2c = config.c2c if config.c2c is not None else self.default_c2c()
@@ -421,7 +443,9 @@ class Protocol:
         )
         simulation.add_automata(self.make_automata(config))
         directory = None
-        if config.reconfig is not None and config.reconfig.requests:
+        if (
+            config.reconfig is not None and config.reconfig.requests
+        ) or config.controller is not None:
             directory = self._install_reconfig(config, placement, simulation)
         return SystemHandle(
             protocol=self, simulation=simulation, config=config, directory=directory
@@ -440,6 +464,12 @@ class Protocol:
         directory = PlacementDirectory(
             placement, config.quorum_policy(), config.consensus_group()
         )
+        if self.has_coordinator and config.consensus_factor == 1:
+            # The coordinator role does not migrate through replica-group
+            # changes: at consensus_factor=1 the designated first server must
+            # never be retired by a *derived* change (planned changes are
+            # rejected at validation already).
+            directory.protected.add(config.servers()[0])
         for automaton in simulation.automata():
             if hasattr(automaton, "directory"):
                 automaton.directory = directory
@@ -464,7 +494,7 @@ class Protocol:
                 )
 
         driver = ReconfigDriver(
-            plan=config.reconfig,
+            plan=config.reconfig if config.reconfig is not None else ReconfigPlan(),
             directory=directory,
             replica_factory=lambda obj, name, group: self.make_replica(
                 config, obj, name, group
@@ -472,6 +502,10 @@ class Protocol:
             consensus_member_factory=consensus_member_factory,
         )
         simulation.add_automaton(driver)
+        if config.controller is not None:
+            simulation.add_automaton(
+                ReconfigController(policy=config.controller, directory=directory)
+            )
         return directory
 
     def describe(self) -> str:

@@ -36,7 +36,12 @@ from ..txn.objects import Key, VersionStore, server_for_object
 from ..txn.placement import Placement
 from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
 from .base import BuildConfig, Protocol
-from .replication import placement_or_single_copy
+from .replication import (
+    DirectoryAwareServer,
+    _note_epoch_retry,
+    check_epoch_retry_budget,
+    placement_or_single_copy,
+)
 
 
 @dataclass
@@ -45,13 +50,19 @@ class _PendingRequest:
     is_write: bool
 
 
-class LockingServer(ServerAutomaton):
+class LockingServer(DirectoryAwareServer, ServerAutomaton):
     """Per-replica read/write locks with a FIFO queue of deferred requests.
 
     Replication note: each replica keeps its *own* lock table; clients take
     locks on every replica of an object (in a global ``(object, replica)``
     order, which keeps the system deadlock-free) and commits install at every
     replica, so all copies stay identical.
+
+    Under a reconfiguration directory, a retired replica answers every lock
+    or commit request with ``epoch-mismatch`` (via the shared mixin), which
+    makes the client release its partial locks and restart the transaction
+    against the refreshed groups; ``unlock-write`` exists for exactly that
+    abort path (release a write lock without installing).
     """
 
     def __init__(
@@ -87,26 +98,56 @@ class LockingServer(ServerAutomaton):
     def _grant_read(self, message: Message, ctx: Context) -> None:
         self.read_lock_holders.append(message.src)
         version = self.store.latest()
-        ctx.send(
-            message.src,
-            "lock-read-granted",
-            {
-                "txn": message.get("txn"),
-                "object": self.object_id,
-                "value": version.value,
-                "num_versions": 1,
-            },
-            phase="lock-read",
-        )
+        payload = {
+            "txn": message.get("txn"),
+            "object": self.object_id,
+            "value": version.value,
+            "num_versions": 1,
+        }
+        self._echo_attempt(message, payload)
+        ctx.send(message.src, "lock-read-granted", payload, phase="lock-read")
 
     def _grant_write(self, message: Message, ctx: Context) -> None:
         self.write_locked_by = message.src
-        ctx.send(
-            message.src,
-            "lock-write-granted",
-            {"txn": message.get("txn"), "object": self.object_id},
-            phase="lock-write",
+        payload = {"txn": message.get("txn"), "object": self.object_id}
+        self._echo_attempt(message, payload)
+        ctx.send(message.src, "lock-write-granted", payload, phase="lock-write")
+
+    def _purge_queue(self, src: str, txn: Any) -> None:
+        """Drop deferred requests a restarting client no longer waits for."""
+        self.queue = deque(
+            pending
+            for pending in self.queue
+            if not (pending.message.src == src and pending.message.get("txn") == txn)
         )
+
+    def handle_directory_message(self, message: Message, ctx: Context) -> bool:
+        handled = super().handle_directory_message(message, ctx)
+        if (
+            handled
+            and self.directory is not None
+            and self.directory.is_retired(self.name)
+        ):
+            # Retirement flush: clients whose lock requests were *queued*
+            # before this server retired would otherwise wait forever (no
+            # grant, no mismatch) — bounce them all and drop the locks the
+            # moment any post-retirement message proves we are still being
+            # addressed.
+            self._flush_retired(ctx)
+        return handled
+
+    def _flush_retired(self, ctx: Context) -> None:
+        while self.queue:
+            pending = self.queue.popleft()
+            payload = {
+                "txn": pending.message.get("txn"),
+                "object": self.object_id,
+                "epoch": self.directory.epoch,
+            }
+            self._echo_attempt(pending.message, payload)
+            ctx.send(pending.message.src, "epoch-mismatch", payload, phase="reconfig")
+        self.write_locked_by = None
+        self.read_lock_holders = []
 
     def _drain_queue(self, ctx: Context) -> None:
         """Grant deferred requests from the front while compatible."""
@@ -125,6 +166,8 @@ class LockingServer(ServerAutomaton):
 
     # ------------------------------------------------------------------
     def on_message(self, message: Message, ctx: Context) -> None:
+        if self.handle_directory_message(message, ctx):
+            return
         if message.msg_type == "lock-read":
             if self._can_grant_read():
                 self._grant_read(message, ctx)
@@ -133,12 +176,22 @@ class LockingServer(ServerAutomaton):
         elif message.msg_type == "unlock-read":
             if message.src in self.read_lock_holders:
                 self.read_lock_holders.remove(message.src)
+            if self.directory is not None:
+                self._purge_queue(message.src, message.get("txn"))
             self._drain_queue(ctx)
         elif message.msg_type == "lock-write":
             if self._can_grant_write():
                 self._grant_write(message, ctx)
             else:
                 self.queue.append(_PendingRequest(message=message, is_write=True))
+        elif message.msg_type == "unlock-write":
+            # Abort-path release (epoch retries only): drop the lock and any
+            # still-queued requests of the restarting transaction, install
+            # nothing.
+            if self.write_locked_by == message.src:
+                self.write_locked_by = None
+            self._purge_queue(message.src, message.get("txn"))
+            self._drain_queue(ctx)
         elif message.msg_type == "commit-write":
             if self.write_locked_by != message.src:
                 raise SimulationError(
@@ -146,12 +199,19 @@ class LockingServer(ServerAutomaton):
                 )
             self.store.put(message.get("key"), message.get("value"))
             self.write_locked_by = None
-            ctx.send(message.src, "commit-ack", {"txn": message.get("txn")}, phase="commit")
+            payload = {"txn": message.get("txn"), "object": self.object_id} if (
+                self.directory is not None
+            ) else {"txn": message.get("txn")}
+            self._echo_attempt(message, payload)
+            ctx.send(message.src, "commit-ack", payload, phase="commit")
             self._drain_queue(ctx)
 
 
 class LockingReader(ReaderAutomaton):
     """Acquire read locks in (object, replica) order, then release."""
+
+    #: shared placement directory when built with a reconfiguration plan
+    directory = None
 
     def __init__(
         self,
@@ -163,9 +223,76 @@ class LockingReader(ReaderAutomaton):
         self.objects = tuple(objects)
         self.placement = placement_or_single_copy(self.objects, placement)
 
+    def _run_epoch(self, txn: ReadTransaction, ctx: Context):
+        """Epoch-aware strict 2PL read: restart-on-mismatch, then release.
+
+        Lock targets are re-read from the directory per attempt (the union
+        ``C_old ∪ C_new`` while a change is joint), so a transaction crossing
+        a membership change locks every live copy; an ``epoch-mismatch``
+        from a retired replica releases the partial lock set and restarts.
+        """
+        directory = self.directory
+        attempt = 0
+        while True:
+            attempt += 1
+            check_epoch_retry_budget("read", txn.txn_id, attempt)
+            values: Dict[str, Any] = {}
+            granted: List[Tuple[str, str]] = []
+            mismatch = False
+            for object_id in sorted(txn.objects):
+                if mismatch:
+                    break
+                for replica in directory.targets(object_id):
+                    if directory.is_retired(replica):
+                        # Retired (possibly already removed) between the
+                        # targets snapshot and this send: the config moved.
+                        mismatch = True
+                        break
+                    yield Send(
+                        dst=replica,
+                        msg_type="lock-read",
+                        payload={
+                            "txn": txn.txn_id,
+                            "object": object_id,
+                            "attempt": attempt,
+                        },
+                        phase="lock-read",
+                    )
+                    replies = yield Await(
+                        matcher=lambda m, t=txn.txn_id, o=object_id, a=attempt: m.msg_type
+                        in ("lock-read-granted", "epoch-mismatch")
+                        and m.get("txn") == t
+                        and m.get("object") == o
+                        and m.get("attempt") == a,
+                        count=1,
+                        description=f"read lock on {object_id} (epoch)",
+                    )
+                    if replies[0].msg_type == "epoch-mismatch":
+                        mismatch = True
+                        break
+                    granted.append((object_id, replica))
+                    if object_id not in values:
+                        values[object_id] = replies[0].get("value")
+            for object_id, replica in granted:
+                if directory.is_retired(replica):
+                    continue  # retired since its grant; nothing to release
+                yield Send(
+                    dst=replica,
+                    msg_type="unlock-read",
+                    payload={"txn": txn.txn_id, "object": object_id},
+                    phase="unlock",
+                )
+            if mismatch:
+                _note_epoch_retry(txn.txn_id, attempt, directory, ctx)
+                continue
+            return ReadResult.from_mapping({obj: values[obj] for obj in txn.objects})
+
     def run_transaction(self, txn: ReadTransaction, ctx: Context):
         if not isinstance(txn, ReadTransaction):
             raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
+        if self.directory is not None:
+            result = yield from self._run_epoch(txn, ctx)
+            return result
         values: Dict[str, Any] = {}
         for object_id in sorted(txn.objects):
             for replica in self.placement.group(object_id):
@@ -200,6 +327,9 @@ class LockingReader(ReaderAutomaton):
 class LockingWriter(WriterAutomaton):
     """Acquire write locks in (object, replica) order, then commit all values."""
 
+    #: shared placement directory when built with a reconfiguration plan
+    directory = None
+
     def __init__(
         self,
         name: str,
@@ -211,11 +341,116 @@ class LockingWriter(WriterAutomaton):
         self.placement = placement_or_single_copy(self.objects, placement)
         self.z = 0
 
+    def _run_epoch(self, txn: WriteTransaction, key: Key, ctx: Context):
+        """Epoch-aware strict 2PL write: restart lock acquisition on mismatch.
+
+        Commits go to exactly the granted replicas; a replica retired between
+        its grant and the commit answers the commit with ``epoch-mismatch``,
+        which counts as released (it is leaving the group and its copy is
+        irrelevant from the commit of the change on).
+        """
+        directory = self.directory
+        updates = dict(txn.updates)
+        attempt = 0
+        while True:
+            attempt += 1
+            check_epoch_retry_budget("write", txn.txn_id, attempt)
+            granted: List[Tuple[str, str]] = []
+            mismatch = False
+            for object_id in sorted(updates):
+                if mismatch:
+                    break
+                for replica in directory.targets(object_id):
+                    if directory.is_retired(replica):
+                        mismatch = True
+                        break
+                    yield Send(
+                        dst=replica,
+                        msg_type="lock-write",
+                        payload={
+                            "txn": txn.txn_id,
+                            "object": object_id,
+                            "attempt": attempt,
+                        },
+                        phase="lock-write",
+                    )
+                    replies = yield Await(
+                        matcher=lambda m, t=txn.txn_id, o=object_id, a=attempt: m.msg_type
+                        in ("lock-write-granted", "epoch-mismatch")
+                        and m.get("txn") == t
+                        and m.get("object") == o
+                        and m.get("attempt") == a,
+                        count=1,
+                        description=f"write lock on {object_id} (epoch)",
+                    )
+                    if replies[0].msg_type == "epoch-mismatch":
+                        mismatch = True
+                        break
+                    granted.append((object_id, replica))
+            held = set(granted)
+            if not mismatch:
+                # Commit-set recheck: a change that joint-began *while we
+                # were blocked in a lock queue* may have added replicas we
+                # hold no lock on — committing to the grant set alone would
+                # leave them permanently missing this write.  Restart so the
+                # refreshed acquisition covers the live target set.
+                for object_id in sorted(updates):
+                    for replica in directory.targets(object_id):
+                        if (object_id, replica) not in held and not directory.is_retired(replica):
+                            mismatch = True
+                            break
+                    if mismatch:
+                        break
+            if mismatch:
+                for object_id, replica in granted:
+                    if directory.is_retired(replica):
+                        continue
+                    yield Send(
+                        dst=replica,
+                        msg_type="unlock-write",
+                        payload={"txn": txn.txn_id, "object": object_id},
+                        phase="unlock",
+                    )
+                _note_epoch_retry(txn.txn_id, attempt, directory, ctx)
+                continue
+            commit_set = [
+                (object_id, replica)
+                for object_id, replica in granted
+                if not directory.is_retired(replica)
+            ]
+            for object_id, replica in commit_set:
+                yield Send(
+                    dst=replica,
+                    msg_type="commit-write",
+                    payload={
+                        "txn": txn.txn_id,
+                        "object": object_id,
+                        "key": key,
+                        "value": updates[object_id],
+                        "attempt": attempt,
+                    },
+                    phase="commit",
+                )
+            need = len(commit_set)
+            if need:
+                yield Await(
+                    matcher=lambda m, t=txn.txn_id, a=attempt: m.msg_type
+                    in ("commit-ack", "epoch-mismatch")
+                    and m.get("txn") == t
+                    and m.get("attempt") == a,
+                    until=lambda collected, n=need: len(collected) >= n,
+                    description="commit acks (epoch)",
+                )
+            return WRITE_OK
+
     def run_transaction(self, txn: WriteTransaction, ctx: Context):
         if not isinstance(txn, WriteTransaction):
             raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
         self.z += 1
         key = Key(self.z, self.name)
+        if self.directory is not None:
+            result = yield from self._run_epoch(txn, key, ctx)
+            return result
         updates = dict(txn.updates)
         commit_targets = 0
         for object_id in sorted(updates):
@@ -261,6 +496,10 @@ class LockingProtocol(Protocol):
     claimed_properties = "S, W, one-version; gives up N and one-round"
     claimed_read_rounds = None  # q sequential lock rounds for a q-object read
     claimed_versions = 1
+    supports_reconfig = True
+
+    def make_replica(self, config: BuildConfig, object_id: str, name: str, group):
+        return LockingServer(name, object_id, config.initial_value, group=group)
 
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()

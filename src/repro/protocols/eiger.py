@@ -41,7 +41,16 @@ from ..txn.objects import server_for_object
 from ..txn.placement import Placement, QuorumPolicy
 from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
 from .base import BuildConfig, Protocol
-from .replication import default_policy, per_object_reply_await, placement_or_single_copy
+from .replication import (
+    DirectoryAwareServer,
+    _has_mismatch,
+    _note_epoch_retry,
+    check_epoch_retry_budget,
+    default_policy,
+    epoch_quorum_round,
+    per_object_reply_await,
+    placement_or_single_copy,
+)
 
 
 @dataclass
@@ -58,7 +67,7 @@ class EigerVersion:
         return self.valid_until is None or logical_time < self.valid_until
 
 
-class EigerServer(ServerAutomaton):
+class EigerServer(DirectoryAwareServer, ServerAutomaton):
     """A server with a Lamport clock and interval-versioned storage.
 
     One replica of one object; replicas apply writes independently, each on
@@ -101,52 +110,95 @@ class EigerServer(ServerAutomaton):
         # Older than every version: the initial version is the floor.
         return self.versions[0]
 
+    # -- reconfiguration state transfer -----------------------------------
+    def sync_versions(self) -> Tuple[Any, ...]:
+        """Eiger state is the interval-version list plus the Lamport clock."""
+        return (
+            self.clock,
+            tuple((v.value, v.write_ts, v.valid_until) for v in self.versions),
+        )
+
+    def install_sync(self, versions: Sequence[Any]) -> int:
+        """Install source history without ever discarding an applied write.
+
+        A freshly spawned replica (only the initial version) adopts the
+        source's list wholesale.  A replica that already applied writes of
+        its own — possible when an epoch-aware write quorum completed at the
+        new replica before the sync arrived — keeps every applied version
+        (it acked them; dropping one would break quorum intersection) and
+        only splices in the source versions that confidently predate its
+        first applied write on the Lamport order.
+        """
+        clock, entries = versions
+        incoming = [
+            EigerVersion(value=value, write_ts=int(write_ts), valid_until=valid_until)
+            for value, write_ts, valid_until in entries
+        ]
+        self.clock = max(self.clock, int(clock))
+        if len(self.versions) == 1:
+            if len(incoming) <= 1:
+                return 0
+            before = len(self.versions)
+            self.versions = incoming
+            return len(self.versions) - before
+        first_applied = self.versions[1]
+        older = [
+            version
+            for version in incoming[1:]
+            if version.valid_until is not None
+            and version.write_ts < first_applied.write_ts
+        ]
+        if not older:
+            return 0
+        initial = self.versions[0]
+        initial.valid_until = older[0].write_ts
+        older[-1].valid_until = first_applied.write_ts
+        self.versions = [initial] + older + self.versions[1:]
+        return len(older)
+
     # ------------------------------------------------------------------
     def on_message(self, message: Message, ctx: Context) -> None:
+        if self.handle_directory_message(message, ctx):
+            return
         if message.msg_type == "eiger-write":
             ts = self._tick(message.get("ts", 0))
             self.latest().valid_until = ts
             self.versions.append(EigerVersion(value=message.get("value"), write_ts=ts))
-            ctx.send(
-                message.src,
-                "eiger-write-ack",
-                {"txn": message.get("txn"), "ts": self.clock},
-                phase="write",
-            )
+            payload: Dict[str, Any] = {"txn": message.get("txn"), "ts": self.clock}
+            if self.directory is not None:
+                # Per-object ack counting is what the epoch-aware partial
+                # write quorums need; plain runs stay field-identical.
+                payload["object"] = self.object_id
+                self._echo_attempt(message, payload)
+            ctx.send(message.src, "eiger-write-ack", payload, phase="write")
         elif message.msg_type == "eiger-read":
             self._tick(message.get("ts", 0))
             version = self.latest()
-            ctx.send(
-                message.src,
-                "eiger-read-reply",
-                {
-                    "txn": message.get("txn"),
-                    "object": self.object_id,
-                    "value": version.value,
-                    "evt": version.write_ts,
-                    "lvt": self.clock,
-                    "ts": self.clock,
-                    "num_versions": 1,
-                },
-                phase="read-round-1",
-            )
+            payload = {
+                "txn": message.get("txn"),
+                "object": self.object_id,
+                "value": version.value,
+                "evt": version.write_ts,
+                "lvt": self.clock,
+                "ts": self.clock,
+                "num_versions": 1,
+            }
+            self._echo_attempt(message, payload)
+            ctx.send(message.src, "eiger-read-reply", payload, phase="read-round-1")
         elif message.msg_type == "eiger-read-at":
             self._tick(message.get("ts", 0))
             effective_time = int(message.get("effective_time", 0))
             version = self.version_at(effective_time)
-            ctx.send(
-                message.src,
-                "eiger-read-at-reply",
-                {
-                    "txn": message.get("txn"),
-                    "object": self.object_id,
-                    "value": version.value,
-                    "evt": version.write_ts,
-                    "ts": self.clock,
-                    "num_versions": 1,
-                },
-                phase="read-round-2",
-            )
+            payload = {
+                "txn": message.get("txn"),
+                "object": self.object_id,
+                "value": version.value,
+                "evt": version.write_ts,
+                "ts": self.clock,
+                "num_versions": 1,
+            }
+            self._echo_attempt(message, payload)
+            ctx.send(message.src, "eiger-read-at-reply", payload, phase="read-round-2")
 
 
 class EigerWriter(WriterAutomaton):
@@ -154,8 +206,14 @@ class EigerWriter(WriterAutomaton):
 
     Writes always install at **every** replica (write-all): Eiger's validity
     intervals are per-replica state, so a replica that missed a write would
-    answer reads with a stale interval forever.
+    answer reads with a stale interval forever.  Under a reconfiguration
+    directory the install becomes an epoch-aware quorum round instead; the
+    reader's largest-``evt``-within-the-quorum rule then rides on quorum
+    intersection to observe every completed write.
     """
+
+    #: shared placement directory when built with a reconfiguration plan
+    directory = None
 
     def __init__(
         self,
@@ -171,6 +229,42 @@ class EigerWriter(WriterAutomaton):
     def run_transaction(self, txn: WriteTransaction, ctx: Context):
         if not isinstance(txn, WriteTransaction):
             raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
+        if self.directory is not None:
+            directory = self.directory
+            updates = tuple(txn.updates)
+
+            def send_factory(epoch: int, attempt: int):
+                return [
+                    Send(
+                        dst=replica,
+                        msg_type="eiger-write",
+                        payload={
+                            "txn": txn.txn_id,
+                            "object": object_id,
+                            "value": value,
+                            "ts": self.clock,
+                            "epoch": epoch,
+                            "attempt": attempt,
+                        },
+                        phase="write",
+                    )
+                    for object_id, value in updates
+                    for replica in directory.targets(object_id)
+                ]
+
+            acks, _attempt = yield from epoch_quorum_round(
+                txn.txn_id,
+                directory,
+                ctx,
+                send_factory,
+                reply_types=("eiger-write-ack",),
+                needs_factory=lambda: {
+                    obj: directory.write_needed(obj) for obj, _ in updates
+                },
+                description="write acks",
+            )
+            self.clock = max([self.clock] + [int(a.get("ts", 0)) for a in acks]) + 1
+            return WRITE_OK
         sends = 0
         for object_id, value in txn.updates:
             for replica in self.placement.group(object_id):
@@ -199,7 +293,15 @@ class EigerReader(ReaderAutomaton):
     quorum); the optional catch-up round goes back to exactly the replica
     whose reply was kept, since validity intervals only mean something on
     the clock of the replica that issued them.
+
+    Under a reconfiguration directory both rounds are epoch-aware: round 1
+    is a quorum round per active configuration, and an ``epoch-mismatch`` in
+    either round (a replica retired under the read) restarts the read
+    against the refreshed groups, bounded by the shared retry budget.
     """
+
+    #: shared placement directory when built with a reconfiguration plan
+    directory = None
 
     def __init__(
         self,
@@ -214,9 +316,125 @@ class EigerReader(ReaderAutomaton):
         self.policy = policy if policy is not None else default_policy()
         self.clock = 0
 
+    def _select_round1(self, replies) -> Tuple[Dict[str, Any], Dict[str, Tuple[int, int]], Dict[str, str]]:
+        """Per object: keep the reply with the largest ``evt`` (ties: first)."""
+        intervals: Dict[str, Tuple[int, int]] = {}
+        values: Dict[str, Any] = {}
+        chosen_replica: Dict[str, str] = {}
+        for reply in replies:
+            if reply.msg_type != "eiger-read-reply":
+                continue
+            object_id = reply.get("object")
+            evt = int(reply.get("evt", 0))
+            if object_id in intervals and evt <= intervals[object_id][0]:
+                continue
+            values[object_id] = reply.get("value")
+            intervals[object_id] = (evt, int(reply.get("lvt", 0)))
+            chosen_replica[object_id] = reply.src
+        return values, intervals, chosen_replica
+
+    def _run_epoch(self, txn: ReadTransaction, ctx: Context):
+        """The epoch-aware read (directory installed): both rounds retryable."""
+        directory = self.directory
+        read_set = tuple(txn.objects)
+        attempt = 0
+        restarts = 0
+        while True:
+            restarts += 1
+            check_epoch_retry_budget("read", txn.txn_id, restarts)
+
+            def send_factory(epoch: int, attempt: int):
+                return [
+                    Send(
+                        dst=replica,
+                        msg_type="eiger-read",
+                        payload={
+                            "txn": txn.txn_id,
+                            "object": object_id,
+                            "ts": self.clock,
+                            "epoch": epoch,
+                            "attempt": attempt,
+                        },
+                        phase="read-round-1",
+                    )
+                    for object_id in read_set
+                    for replica in directory.targets(object_id)
+                ]
+
+            replies, attempt = yield from epoch_quorum_round(
+                txn.txn_id,
+                directory,
+                ctx,
+                send_factory,
+                reply_types=("eiger-read-reply",),
+                needs_factory=lambda: {
+                    obj: directory.read_needed(obj) for obj in read_set
+                },
+                description="round-1 replies",
+                start_attempt=attempt,
+            )
+            self.clock = max([self.clock] + [int(r.get("ts", 0)) for r in replies]) + 1
+            values, intervals, chosen_replica = self._select_round1(replies)
+            effective_time = max(evt for evt, _ in intervals.values())
+            stale = [obj for obj, (evt, lvt) in intervals.items() if lvt < effective_time]
+
+            rounds = 1
+            if stale:
+                # Round 2: ask the chosen replicas for the version valid at
+                # ET.  A replica chosen in round 1 may have been retired (or
+                # even removed from the kernel after its drain) between the
+                # rounds — restart the read instead of addressing a ghost.
+                if any(directory.is_retired(chosen_replica[obj]) for obj in stale):
+                    _note_epoch_retry(txn.txn_id, attempt, directory, ctx)
+                    continue
+                rounds = 2
+                attempt += 1
+                for object_id in stale:
+                    yield Send(
+                        dst=chosen_replica[object_id],
+                        msg_type="eiger-read-at",
+                        payload={
+                            "txn": txn.txn_id,
+                            "object": object_id,
+                            "effective_time": effective_time,
+                            "ts": self.clock,
+                            "attempt": attempt,
+                        },
+                        phase="read-round-2",
+                    )
+                need = len(stale)
+                catch_up = yield Await(
+                    matcher=lambda m, t=txn.txn_id, a=attempt: m.msg_type
+                    in ("eiger-read-at-reply", "epoch-mismatch")
+                    and m.get("txn") == t
+                    and m.get("attempt") == a,
+                    until=lambda collected, n=need: _has_mismatch(collected)
+                    or sum(1 for m in collected if m.msg_type == "eiger-read-at-reply") >= n,
+                    description="round-2 replies (epoch)",
+                )
+                hits = [m for m in catch_up if m.msg_type == "eiger-read-at-reply"]
+                if len(hits) < need:
+                    _note_epoch_retry(txn.txn_id, attempt, directory, ctx)
+                    continue
+                self.clock = max([self.clock] + [int(r.get("ts", 0)) for r in hits]) + 1
+                for reply in hits:
+                    values[reply.get("object")] = reply.get("value")
+
+            ctx.annotate_transaction(
+                txn.txn_id,
+                protocol="eiger",
+                effective_time=effective_time,
+                eiger_rounds=rounds,
+                accepted_first_round=not stale,
+            )
+            return ReadResult.from_mapping({obj: values[obj] for obj in read_set})
+
     def run_transaction(self, txn: ReadTransaction, ctx: Context):
         if not isinstance(txn, ReadTransaction):
             raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
+        if self.directory is not None:
+            result = yield from self._run_epoch(txn, ctx)
+            return result
         # Round 1: latest values with validity intervals --------------------------
         for object_id in txn.objects:
             for replica in self.placement.group(object_id):
@@ -292,11 +510,15 @@ class EigerProtocol(Protocol):
     name = "eiger"
     description = "Eiger-style Lamport-clock read-only transactions (bounded latency, NOT strictly serializable)"
     requires_c2c = False
+    supports_reconfig = True
     supports_multiple_readers = True
     supports_multiple_writers = True
     claimed_properties = "NOW + bounded rounds; S claimed by [15] but refuted in Section 6"
     claimed_read_rounds = 2
     claimed_versions = 1
+
+    def make_replica(self, config: BuildConfig, object_id: str, name: str, group):
+        return EigerServer(name, object_id, config.initial_value, group=group)
 
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()

@@ -37,6 +37,7 @@ from .base import BuildConfig, Protocol
 from .replication import (
     ReplicatedStorageServer,
     default_policy,
+    epoch_quorum_round,
     per_object_reply_await,
     placement_or_single_copy,
     write_value_round,
@@ -61,6 +62,10 @@ class NaiveServer(ReplicatedStorageServer):
 class NaiveWriter(WriterAutomaton):
     """Installs each update at a write quorum of its replica group."""
 
+    #: shared placement directory when built with a reconfiguration plan
+    #: (injected by the build; None keeps the rounds byte-identical)
+    directory = None
+
     def __init__(
         self,
         name: str,
@@ -80,13 +85,17 @@ class NaiveWriter(WriterAutomaton):
         self.z += 1
         key = Key(self.z, self.name)
         yield from write_value_round(
-            txn.txn_id, tuple(txn.updates), key, self.placement, self.policy, phase="write"
+            txn.txn_id, tuple(txn.updates), key, self.placement, self.policy, phase="write",
+            directory=self.directory, ctx=ctx,
         )
         return WRITE_OK
 
 
 class NaiveReader(ReaderAutomaton):
     """One parallel round of read-latest requests over the replica groups."""
+
+    #: shared placement directory when built with a reconfiguration plan
+    directory = None
 
     def __init__(
         self,
@@ -103,22 +112,56 @@ class NaiveReader(ReaderAutomaton):
     def run_transaction(self, txn: ReadTransaction, ctx: Context):
         if not isinstance(txn, ReadTransaction):
             raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
-        for object_id in txn.objects:
-            for replica in self.placement.group(object_id):
-                yield Send(
-                    dst=replica,
-                    msg_type="read-latest",
-                    payload={"txn": txn.txn_id, "object": object_id},
-                    phase="read",
-                )
-        replies = yield per_object_reply_await(
-            txn.txn_id,
-            tuple(txn.objects),
-            self.placement,
-            self.policy,
-            reply_type="read-latest-reply",
-            description="read replies",
-        )
+        if self.directory is not None:
+            directory = self.directory
+            read_set = tuple(txn.objects)
+
+            def send_factory(epoch: int, attempt: int):
+                return [
+                    Send(
+                        dst=replica,
+                        msg_type="read-latest",
+                        payload={
+                            "txn": txn.txn_id,
+                            "object": object_id,
+                            "epoch": epoch,
+                            "attempt": attempt,
+                        },
+                        phase="read",
+                    )
+                    for object_id in read_set
+                    for replica in directory.targets(object_id)
+                ]
+
+            replies, _attempt = yield from epoch_quorum_round(
+                txn.txn_id,
+                directory,
+                ctx,
+                send_factory,
+                reply_types=("read-latest-reply",),
+                needs_factory=lambda: {
+                    obj: directory.read_needed(obj) for obj in read_set
+                },
+                description="read replies",
+            )
+            replies = [m for m in replies if m.msg_type == "read-latest-reply"]
+        else:
+            for object_id in txn.objects:
+                for replica in self.placement.group(object_id):
+                    yield Send(
+                        dst=replica,
+                        msg_type="read-latest",
+                        payload={"txn": txn.txn_id, "object": object_id},
+                        phase="read",
+                    )
+            replies = yield per_object_reply_await(
+                txn.txn_id,
+                tuple(txn.objects),
+                self.placement,
+                self.policy,
+                reply_type="read-latest-reply",
+                description="read replies",
+            )
         values: Dict[str, Any] = {}
         best_key: Dict[str, Key] = {}
         for reply in replies:
@@ -148,6 +191,10 @@ class NaiveSnowCandidate(Protocol):
     claimed_properties = "NOW (S fails: fractured reads)"
     claimed_read_rounds = 1
     claimed_versions = 1
+    supports_reconfig = True
+
+    def make_replica(self, config: BuildConfig, object_id: str, name: str, group):
+        return NaiveServer(name, object_id, config.initial_value, group=group)
 
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()

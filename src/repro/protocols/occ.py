@@ -55,11 +55,11 @@ from ..txn.objects import Key, server_for_object
 from ..txn.placement import Placement
 from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
 from .base import BuildConfig, Protocol
-from .coordinated import consensus_members_for, coordinator_targets
-from .replication import placement_or_single_copy
+from .coordinated import consensus_members_for, coordinator_targets, live_coordinator_targets
+from .replication import DirectoryAwareServer, epoch_quorum_round, placement_or_single_copy
 
 
-class OccServer(ServerAutomaton):
+class OccServer(DirectoryAwareServer, ServerAutomaton):
     """Timestamp-ordered latest-value store with an apply counter.
 
     The first server additionally acts as the timestamp oracle for writers.
@@ -92,7 +92,25 @@ class OccServer(ServerAutomaton):
         self.latest_timestamp = 0
         self.latest_write_set = ()
 
+    # -- reconfiguration state transfer -----------------------------------
+    def sync_versions(self) -> Tuple[Any, ...]:
+        """OCC state is a latest-version register, not a multi-version store:
+        stream the (timestamp, value, write-set) triple."""
+        return ((self.latest_timestamp, self.latest_value, tuple(self.latest_write_set)),)
+
+    def install_sync(self, versions: Sequence[Any]) -> int:
+        installed = 0
+        for timestamp, value, write_set in versions:
+            if int(timestamp) > self.latest_timestamp:
+                self.latest_timestamp = int(timestamp)
+                self.latest_value = value
+                self.latest_write_set = tuple(write_set)
+                installed += 1
+        return installed
+
     def on_message(self, message: Message, ctx: Context) -> None:
+        if self.handle_directory_message(message, ctx):
+            return
         if message.msg_type == "get-ts":
             if not self.is_timestamp_server:
                 raise SimulationError(f"server {self.name} is not the timestamp server")
@@ -110,7 +128,13 @@ class OccServer(ServerAutomaton):
                 self.latest_timestamp = timestamp
                 self.latest_value = message.get("value")
                 self.latest_write_set = tuple(message.get("write_set", ()))
-            ctx.send(message.src, "install-ack", {"txn": message.get("txn")}, phase="install")
+            payload: Dict[str, Any] = {"txn": message.get("txn")}
+            if self.directory is not None:
+                # Per-object ack counting is what the epoch-aware partial
+                # install quorums need; plain runs stay field-identical.
+                payload["object"] = self.object_id
+                self._echo_attempt(message, payload)
+            ctx.send(message.src, "install-ack", payload, phase="install")
         elif message.msg_type == "collect":
             ctx.send(
                 message.src,
@@ -133,8 +157,16 @@ class OccWriter(WriterAutomaton):
     """Timestamp first, install second (at every replica — write-all).
 
     Timestamp-ordered last-writer-wins only converges when every replica
-    sees every install, so partial write quorums are not an option here.
+    sees every install, so partial write quorums are not an option here —
+    except under a reconfiguration directory, where installs become an
+    epoch-aware round (a write quorum per active configuration, with
+    ``epoch-mismatch`` retries): quorum intersection with the collect
+    quorums then carries the latest install to every read.
     """
+
+    #: shared placement directory when built with a reconfiguration plan
+    #: (injected by the build; None keeps the rounds byte-identical)
+    directory = None
 
     def __init__(
         self,
@@ -155,7 +187,7 @@ class OccWriter(WriterAutomaton):
     def run_transaction(self, txn: WriteTransaction, ctx: Context):
         if not isinstance(txn, WriteTransaction):
             raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
-        for target in self.timestamp_group:
+        for target in live_coordinator_targets(self.directory, self.timestamp_group):
             yield Send(
                 dst=target,
                 msg_type="get-ts",
@@ -169,6 +201,10 @@ class OccWriter(WriterAutomaton):
         )
         timestamp = int(replies[0].get("timestamp"))
         write_set = tuple(obj for obj, _ in txn.updates)
+        if self.directory is not None:
+            yield from self._epoch_install_round(txn, timestamp, write_set, ctx)
+            ctx.annotate_transaction(txn.txn_id, protocol="occ", timestamp=timestamp)
+            return WRITE_OK
         installs = 0
         for object_id, value in txn.updates:
             for replica in self.placement.group(object_id):
@@ -193,6 +229,46 @@ class OccWriter(WriterAutomaton):
         ctx.annotate_transaction(txn.txn_id, protocol="occ", timestamp=timestamp)
         return WRITE_OK
 
+    def _epoch_install_round(self, txn: WriteTransaction, timestamp: int, write_set, ctx: Context):
+        """Epoch-aware install: a write quorum per object per active config.
+
+        Retried installs are idempotent at the replicas (a duplicate install
+        only bumps the apply counter, which at worst costs the reader one
+        extra collect round).
+        """
+        directory = self.directory
+        updates = tuple(txn.updates)
+
+        def send_factory(epoch: int, attempt: int):
+            return [
+                Send(
+                    dst=replica,
+                    msg_type="install",
+                    payload={
+                        "txn": txn.txn_id,
+                        "object": object_id,
+                        "value": value,
+                        "timestamp": timestamp,
+                        "write_set": write_set,
+                        "epoch": epoch,
+                        "attempt": attempt,
+                    },
+                    phase="install",
+                )
+                for object_id, value in updates
+                for replica in directory.targets(object_id)
+            ]
+
+        yield from epoch_quorum_round(
+            txn.txn_id,
+            directory,
+            ctx,
+            send_factory,
+            reply_types=("install-ack",),
+            needs_factory=lambda: {obj: directory.write_needed(obj) for obj, _ in updates},
+            description="install acks",
+        )
+
 
 class OccReader(ReaderAutomaton):
     """Collect-validate-retry reader (non-blocking, one-version, unbounded rounds).
@@ -203,7 +279,17 @@ class OccReader(ReaderAutomaton):
     collects at every replica, and the value chosen per object is the one
     with the highest timestamp among its replicas (they agree whenever the
     counters are stable and no install is in flight to part of the group).
+
+    Under a reconfiguration directory each collect is instead an epoch-aware
+    quorum round (a read quorum per object per active configuration, with
+    ``epoch-mismatch`` retries); the double-collect validation then runs
+    over the replicas common to both collects, which must still cover a read
+    quorum — intersection with the install quorums keeps the chosen versions
+    current.
     """
+
+    #: shared placement directory when built with a reconfiguration plan
+    directory = None
 
     def __init__(
         self,
@@ -249,8 +335,71 @@ class OccReader(ReaderAutomaton):
             }
         return snapshot
 
+    def _collect_epoch(self, txn: ReadTransaction, ctx: Context, start_attempt: int):
+        """One epoch-aware collect over the directory's current targets.
+
+        Returns ``(snapshot, attempt)``; the attempt counter is global across
+        the transaction's collects so stale replies of an earlier collect can
+        never satisfy a later collect's await.
+        """
+        directory = self.directory
+
+        def send_factory(epoch: int, attempt: int):
+            return [
+                Send(
+                    dst=replica,
+                    msg_type="collect",
+                    payload={
+                        "txn": txn.txn_id,
+                        "object": object_id,
+                        "attempt": attempt,
+                        "epoch": epoch,
+                    },
+                    phase="collect",
+                )
+                for object_id in txn.objects
+                for replica in directory.targets(object_id)
+            ]
+
+        replies, attempt = yield from epoch_quorum_round(
+            txn.txn_id,
+            directory,
+            ctx,
+            send_factory,
+            reply_types=("collect-reply",),
+            needs_factory=lambda: {
+                obj: directory.read_needed(obj) for obj in txn.objects
+            },
+            description=f"collect (from #{start_attempt + 1})",
+            start_attempt=start_attempt,
+        )
+        snapshot: Dict[str, Dict[str, Any]] = {}
+        for reply in replies:
+            if reply.msg_type != "collect-reply":
+                continue
+            snapshot[reply.src] = {
+                "object": reply.get("object"),
+                "value": reply.get("value"),
+                "timestamp": int(reply.get("timestamp", 0)),
+                "write_set": tuple(reply.get("write_set", ())),
+                "counter": int(reply.get("counter", 0)),
+            }
+        return snapshot, attempt
+
+    def _common_covers_quorum(self, common, read_set: Sequence[str]) -> bool:
+        """Whether the replicas answering *both* collects still cover a read
+        quorum per object per active configuration — the stability check's
+        footing when membership moved between the collects."""
+        for object_id in read_set:
+            for group, need in self.directory.read_needed(object_id):
+                if sum(1 for replica in group if replica in common) < need:
+                    return False
+        return True
+
     def _chosen_per_object(
-        self, snapshot: Dict[str, Dict[str, Any]], read_set: Sequence[str]
+        self,
+        snapshot: Dict[str, Dict[str, Any]],
+        read_set: Sequence[str],
     ) -> Dict[str, Dict[str, Any]]:
         """Per object, the replica view with the highest timestamp.
 
@@ -258,8 +407,12 @@ class OccReader(ReaderAutomaton):
         """
         chosen: Dict[str, Dict[str, Any]] = {}
         for object_id in read_set:
+            if self.directory is not None:
+                candidates = self.directory.targets(object_id)
+            else:
+                candidates = self.placement.group(object_id)
             best: Optional[Dict[str, Any]] = None
-            for replica in self.placement.group(object_id):
+            for replica in candidates:
                 info = snapshot.get(replica)
                 if info is None:
                     continue
@@ -287,6 +440,9 @@ class OccReader(ReaderAutomaton):
     def run_transaction(self, txn: ReadTransaction, ctx: Context):
         if not isinstance(txn, ReadTransaction):
             raise SimulationError(f"reader {self.name} received a non-READ transaction {txn!r}")
+        if self.directory is not None:
+            result = yield from self._run_epoch(txn, ctx)
+            return result
         previous = yield from self._collect(txn, attempt=1)
         attempts = 1
         while attempts < self.max_attempts:
@@ -311,6 +467,39 @@ class OccReader(ReaderAutomaton):
             "write contention never quiesced"
         )
 
+    def _run_epoch(self, txn: ReadTransaction, ctx: Context):
+        """The epoch-aware collect-validate-retry loop (directory installed)."""
+        previous, attempt = yield from self._collect_epoch(txn, ctx, 0)
+        collects = 1
+        while collects < self.max_attempts:
+            collects += 1
+            current, attempt = yield from self._collect_epoch(txn, ctx, attempt)
+            common = set(previous) & set(current)
+            counters_match = all(
+                previous[replica]["counter"] == current[replica]["counter"]
+                for replica in common
+            )
+            chosen = self._chosen_per_object(current, txn.objects)
+            if (
+                counters_match
+                and self._common_covers_quorum(common, txn.objects)
+                and self._write_set_closed(chosen, txn.objects)
+            ):
+                ctx.annotate_transaction(
+                    txn.txn_id,
+                    protocol="occ",
+                    collects=collects,
+                    snapshot_timestamp=max(chosen[obj]["timestamp"] for obj in txn.objects),
+                )
+                return ReadResult.from_mapping(
+                    {obj: chosen[obj]["value"] for obj in txn.objects}
+                )
+            previous = current
+        raise SimulationError(
+            f"occ reader {self.name} exhausted {self.max_attempts} collects for {txn.txn_id}: "
+            "write contention never quiesced"
+        )
+
 
 class OccProtocol(Protocol):
     """Strictly serializable, non-blocking, one-version reads with unbounded rounds."""
@@ -319,6 +508,7 @@ class OccProtocol(Protocol):
     description = "Validating-retry snapshot reads: SNW + one-version but unbounded rounds under contention"
     requires_c2c = False
     has_coordinator = True  # the timestamp oracle is its metadata service
+    supports_reconfig = True
     supports_multiple_readers = True
     supports_multiple_writers = True
     claimed_properties = "S, N, W, one-version; rounds unbounded (Figure 1b, ∞ column)"
@@ -330,6 +520,18 @@ class OccProtocol(Protocol):
 
     def make_consensus_machine(self, config: BuildConfig) -> TimestampStateMachine:
         return TimestampStateMachine()
+
+    def make_replica(self, config: BuildConfig, object_id: str, name: str, group):
+        # Dynamic replicas never carry the oracle role: the timestamp server
+        # is the designated first server (or the consensus group) and never
+        # migrates through a replica-group change.
+        return OccServer(
+            name,
+            object_id,
+            is_timestamp_server=False,
+            initial_value=config.initial_value,
+            group=group,
+        )
 
     def make_automata(self, config: BuildConfig) -> Sequence[Any]:
         objects = config.objects()

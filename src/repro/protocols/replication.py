@@ -45,9 +45,149 @@ from ..txn.placement import Placement, QuorumPolicy, ReadOneWriteAll
 
 
 # ----------------------------------------------------------------------
+# The directory-aware server behaviour (shared by every protocol family)
+# ----------------------------------------------------------------------
+class DirectoryAwareServer:
+    """Mixin giving any storage automaton the reconfiguration wire protocol.
+
+    Three behaviours, all dormant (zero wire bytes) until the build injects a
+    shared :class:`~repro.consensus.reconfig.PlacementDirectory`:
+
+    * **retired replicas answer ``epoch-mismatch``** — once the directory
+      marks this server retired, every transaction-carrying request is
+      answered with the current epoch instead of data, so the client
+      refreshes its view of the groups and retries against ``C_new``;
+    * **state transfer** — ``sync-req`` streams this replica's state to each
+      freshly added replica (via :meth:`sync_versions`), ``sync-state``
+      installs it (via :meth:`install_sync`) and reports the transfer volume
+      to the driver;
+    * **controller probes** — ``ctl-probe`` is answered with ``ctl-ack`` so
+      the rebalancing controller can observe liveness and round-trip
+      latency without touching any transaction wire.
+
+    Subclasses whose state is not a :class:`VersionStore` named ``store``
+    override the two sync hooks.
+    """
+
+    #: the shared :class:`~repro.consensus.reconfig.PlacementDirectory` when
+    #: the system was built with a reconfiguration plan (injected by the
+    #: build); ``None`` — the default — keeps every wire byte identical to
+    #: the placement-layer seed.
+    directory = None
+
+    def _echo_attempt(self, message: Message, payload: Dict[str, Any]) -> None:
+        """Echo the reconfig-aware round's attempt counter, when present.
+
+        Epoch-retried rounds tag requests with ``attempt`` so replies of a
+        superseded attempt cannot satisfy the retried round's await; without
+        a directory no request ever carries the field and no reply grows it.
+        """
+        attempt = message.get("attempt")
+        if attempt is not None:
+            payload["attempt"] = attempt
+
+    def handle_directory_message(self, message: Message, ctx: Context) -> bool:
+        """Consume reconfiguration-plane messages; ``True`` when handled.
+
+        Call first from ``on_message``; with no directory installed this is a
+        single attribute check and nothing else runs.
+        """
+        if self.directory is None:
+            return False
+        if message.msg_type == "sync-req":
+            self._on_sync_req(message, ctx)
+            return True
+        if message.msg_type == "sync-state":
+            self._on_sync_state(message, ctx)
+            return True
+        if message.msg_type == "ctl-probe":
+            ctx.send(
+                message.src,
+                "ctl-ack",
+                {
+                    "object": message.get("object"),
+                    "probe": message.get("probe"),
+                    "sent": message.get("sent"),
+                },
+                phase="controller",
+            )
+            return True
+        if self.directory.is_retired(self.name) and message.get("txn") is not None:
+            # A retired replica serves nothing: it answers every
+            # transaction-carrying request with the current epoch so the
+            # client refreshes its view and retries against C_new.
+            payload = {
+                "txn": message.get("txn"),
+                "object": self.object_id,
+                "epoch": self.directory.epoch,
+            }
+            self._echo_attempt(message, payload)
+            ctx.send(message.src, "epoch-mismatch", payload, phase="reconfig")
+            return True
+        return False
+
+    # -- state transfer (reconfiguration) ---------------------------------
+    def sync_versions(self) -> Tuple[Any, ...]:
+        """The serialisable state streamed to a freshly added replica.
+
+        Default: the ``(key, value)`` pairs of a :class:`VersionStore` named
+        ``store`` — the representation of algorithms A/B/C, the naive
+        baselines and the locking baseline.  Protocol families with a
+        different storage shape (OCC's latest-version registers, Eiger's
+        interval versions) override this together with :meth:`install_sync`.
+        """
+        return tuple((v.key, v.value) for v in self.store.all_versions())
+
+    def install_sync(self, versions: Sequence[Any]) -> int:
+        """Install a retained replica's streamed state; returns the number of
+        versions actually installed (the transfer volume)."""
+        installed = 0
+        for key, value in versions:
+            if self.store.get(key) is None:
+                self.store.put(key, value)
+                installed += 1
+        return installed
+
+    def _on_sync_req(self, message: Message, ctx: Context) -> None:
+        """Stream this replica's versions to each freshly added replica."""
+        versions = self.sync_versions()
+        for target in message.get("targets", ()):
+            ctx.send(
+                target,
+                "sync-state",
+                {
+                    "object": self.object_id,
+                    "versions": versions,
+                    "reconfig": message.get("reconfig"),
+                    "admin": message.get("admin"),
+                },
+                phase="reconfig-sync",
+            )
+
+    def _on_sync_state(self, message: Message, ctx: Context) -> None:
+        """Install a retained replica's versions, then report to the driver.
+
+        ``count`` — versions actually installed (the initial version and any
+        already-present key are skipped) — is the transfer volume the
+        reconfiguration metrics aggregate.
+        """
+        installed = self.install_sync(message.get("versions", ()))
+        ctx.send(
+            message.get("admin"),
+            "sync-done",
+            {
+                "object": self.object_id,
+                "count": installed,
+                "reconfig": message.get("reconfig"),
+            },
+            phase="reconfig-sync",
+        )
+
+
+# ----------------------------------------------------------------------
 # The shared storage-server automaton
 # ----------------------------------------------------------------------
-class ReplicatedStorageServer(ServerAutomaton):
+class ReplicatedStorageServer(DirectoryAwareServer, ServerAutomaton):
     """One replica of one object: a multi-version store behind the common wire.
 
     Handles the shared message vocabulary (``write-val``, ``read-val``,
@@ -62,12 +202,6 @@ class ReplicatedStorageServer(ServerAutomaton):
     #: error hint appended when a single-copy server is asked for an unknown
     #: key (replicated servers answer ``read-val-miss`` instead of raising).
     missing_key_hint = "the requested key was never installed at this server"
-
-    #: the shared :class:`~repro.consensus.reconfig.PlacementDirectory` when
-    #: the system was built with a reconfiguration plan (injected by the
-    #: build); ``None`` — the default — keeps every wire byte identical to
-    #: the placement-layer seed.
-    directory = None
 
     def __init__(
         self,
@@ -100,38 +234,10 @@ class ReplicatedStorageServer(ServerAutomaton):
         self._echo_attempt(message, payload)
         return payload
 
-    def _echo_attempt(self, message: Message, payload: Dict[str, Any]) -> None:
-        """Echo the reconfig-aware round's attempt counter, when present.
-
-        Epoch-retried rounds tag requests with ``attempt`` so replies of a
-        superseded attempt cannot satisfy the retried round's await; without
-        a directory no request ever carries the field and no reply grows it.
-        """
-        attempt = message.get("attempt")
-        if attempt is not None:
-            payload["attempt"] = attempt
-
     # ------------------------------------------------------------------
     def on_message(self, message: Message, ctx: Context) -> None:
-        if self.directory is not None:
-            if message.msg_type == "sync-req":
-                self._on_sync_req(message, ctx)
-                return
-            if message.msg_type == "sync-state":
-                self._on_sync_state(message, ctx)
-                return
-            if self.directory.is_retired(self.name) and message.get("txn") is not None:
-                # A retired replica serves nothing: it answers every
-                # transaction-carrying request with the current epoch so the
-                # client refreshes its view and retries against C_new.
-                payload = {
-                    "txn": message.get("txn"),
-                    "object": self.object_id,
-                    "epoch": self.directory.epoch,
-                }
-                self._echo_attempt(message, payload)
-                ctx.send(message.src, "epoch-mismatch", payload, phase="reconfig")
-                return
+        if self.handle_directory_message(message, ctx):
+            return
         if message.msg_type == "write-val":
             self.handle_write_val(message, ctx)
         elif message.msg_type == "read-val":
@@ -145,46 +251,6 @@ class ReplicatedStorageServer(ServerAutomaton):
 
     def on_unhandled(self, message: Message, ctx: Context) -> None:
         """Hook for protocol-specific message types (default: ignore)."""
-
-    # -- state transfer (reconfiguration) ---------------------------------
-    def _on_sync_req(self, message: Message, ctx: Context) -> None:
-        """Stream this replica's versions to each freshly added replica."""
-        versions = tuple((v.key, v.value) for v in self.store.all_versions())
-        for target in message.get("targets", ()):
-            ctx.send(
-                target,
-                "sync-state",
-                {
-                    "object": self.object_id,
-                    "versions": versions,
-                    "reconfig": message.get("reconfig"),
-                    "admin": message.get("admin"),
-                },
-                phase="reconfig-sync",
-            )
-
-    def _on_sync_state(self, message: Message, ctx: Context) -> None:
-        """Install a retained replica's versions, then report to the driver.
-
-        ``count`` — versions actually installed (the initial version and any
-        already-present key are skipped) — is the transfer volume the
-        reconfiguration metrics aggregate.
-        """
-        installed = 0
-        for key, value in message.get("versions", ()):
-            if self.store.get(key) is None:
-                self.store.put(key, value)
-                installed += 1
-        ctx.send(
-            message.get("admin"),
-            "sync-done",
-            {
-                "object": self.object_id,
-                "count": installed,
-                "reconfig": message.get("reconfig"),
-            },
-            phase="reconfig-sync",
-        )
 
     # -- writes -----------------------------------------------------------
     def handle_write_val(self, message: Message, ctx: Context) -> None:
@@ -236,9 +302,10 @@ class ReplicatedStorageServer(ServerAutomaton):
             "value": version.value,
             "num_versions": 1,
         }
-        if self.replicated:
+        if self.replicated or self.directory is not None:
             # The key lets readers pick the newest version across replicas.
             payload["key"] = version.key
+        self._echo_attempt(message, payload)
         ctx.send(message.src, "read-latest-reply", payload, phase="read")
 
     def handle_read_vals(self, message: Message, ctx: Context) -> None:
@@ -250,6 +317,7 @@ class ReplicatedStorageServer(ServerAutomaton):
             "versions": versions,
             "num_versions": len(versions),
         }
+        self._echo_attempt(message, payload)
         self.extend_read_vals_payload(message, payload)
         ctx.send(message.src, "read-vals-reply", payload, phase="read-values-and-tags")
 
@@ -308,6 +376,20 @@ MAX_EPOCH_RETRIES = 6
 
 def _has_mismatch(collected: Sequence[Message]) -> bool:
     return any(m.msg_type == "epoch-mismatch" for m in collected)
+
+
+def check_epoch_retry_budget(what: str, txn_id: str, attempts_used: int) -> None:
+    """Fail loudly once a round (or transaction) restarted too often.
+
+    One definition of the budget and its diagnostic for every epoch-aware
+    retry loop — the generic round helper, the write/read rounds, Eiger's
+    restartable read and the lock-based transaction restarts.
+    """
+    if attempts_used > MAX_EPOCH_RETRIES:
+        raise SimulationError(
+            f"{what} {txn_id} exhausted {MAX_EPOCH_RETRIES} epoch retries; "
+            "the configuration should have stabilised long before this"
+        )
 
 
 def _group_counts_ok(
@@ -380,11 +462,7 @@ def write_value_round(
     attempt = 0
     while True:
         attempt += 1
-        if attempt > MAX_EPOCH_RETRIES:
-            raise SimulationError(
-                f"write {txn_id} exhausted {MAX_EPOCH_RETRIES} epoch retries; "
-                "the configuration should have stabilised long before this"
-            )
+        check_epoch_retry_budget("write", txn_id, attempt)
         epoch = directory.epoch
         needs = {obj: directory.write_needed(obj) for obj, _ in updates}
         for object_id, value in updates:
@@ -549,11 +627,7 @@ def _epoch_key_read_round(
     attempt = 0
     while True:
         attempt += 1
-        if attempt > MAX_EPOCH_RETRIES:
-            raise SimulationError(
-                f"read {txn_id} exhausted {MAX_EPOCH_RETRIES} epoch retries; "
-                "the configuration should have stabilised long before this"
-            )
+        check_epoch_retry_budget("read", txn_id, attempt)
         epoch = directory.epoch
         needs = {obj: directory.read_needed(obj) for obj in chosen_keys}
         for object_id, key in chosen_keys.items():
@@ -613,6 +687,70 @@ def _epoch_key_read_round(
                     phase="read-repair",
                 )
         return values, replies
+
+
+def epoch_quorum_round(
+    txn_id: str,
+    directory,
+    ctx,
+    send_factory: Callable[[int, int], List[Send]],
+    reply_types: Tuple[str, ...],
+    needs_factory: Callable[[], Mapping[str, Tuple[Tuple[Tuple[str, ...], int], ...]]],
+    extra_ready: Optional[Callable[[List[Message]], bool]] = None,
+    description: str = "replies",
+    start_attempt: int = 0,
+    unfiltered_types: Tuple[str, ...] = (),
+):
+    """Generator: one epoch-aware fan-out round with bounded mismatch retries.
+
+    The shape shared by every reconfig-capable protocol round: ``send_factory
+    (epoch, attempt)`` produces the round's sends (stamped with both), the
+    await collects ``reply_types`` plus ``epoch-mismatch`` filtered by the
+    attempt counter, and readiness is a quorum of ``reply_types`` per object
+    per active configuration (``needs_factory`` re-reads the directory each
+    attempt, so a retried round targets the refreshed groups) plus an
+    optional ``extra_ready`` predicate (e.g. "the tag array arrived").  An
+    ``epoch-mismatch`` in the collected set restarts the round; more than
+    :data:`MAX_EPOCH_RETRIES` restarts fail loudly.
+
+    ``unfiltered_types`` are additional reply types matched on the
+    transaction id alone — for replies that cannot echo the attempt counter
+    (a replicated coordinator's memoized ``tag-arr-reply``); they never count
+    towards the per-group quorums, only towards ``extra_ready``.
+
+    Returns ``(replies, attempt)`` — the attempt the round completed on, so
+    multi-round protocols (OCC's repeated collects, Eiger's catch-up round)
+    can keep their attempt counters strictly increasing across rounds and
+    stale replies of an earlier round can never satisfy a later await.
+    """
+    attempt = start_attempt
+    while True:
+        attempt += 1
+        check_epoch_retry_budget("round for", txn_id, attempt - start_attempt)
+        epoch = directory.epoch
+        needs = needs_factory()
+        for send in send_factory(epoch, attempt):
+            yield send
+        matcher = (
+            lambda m, t=txn_id, a=attempt,
+            ts=reply_types + ("epoch-mismatch",), us=unfiltered_types:
+            (m.msg_type in ts and m.get("txn") == t and m.get("attempt") == a)
+            or (m.msg_type in us and m.get("txn") == t)
+        )
+
+        def ready(collected, n=needs):
+            if not _group_counts_ok(collected, n, reply_types):
+                return False
+            return extra_ready(collected) if extra_ready is not None else True
+
+        replies = yield Await(
+            matcher=matcher,
+            until=lambda collected, r=ready: _has_mismatch(collected) or r(collected),
+            description=description + " (epoch quorum)",
+        )
+        if ready(replies):
+            return replies, attempt
+        _note_epoch_retry(txn_id, attempt, directory, ctx)
 
 
 def per_object_reply_await(

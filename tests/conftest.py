@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import re
+from pathlib import Path
+
 import pytest
 
 from repro.ioa import FIFOScheduler, RandomScheduler
@@ -14,6 +18,34 @@ def pytest_configure(config):
         "invariants: safety-invariant gate tests (consensus + reconfiguration); "
         "run as a fast CI gate via `-m invariants`",
     )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Dump the failing test's simulation traces when ``CHAOS_TRACE_DIR`` is
+    set (the CI chaos-grid job uploads the directory as an artifact, so a
+    red nightly cell arrives with its replayable schedule attached)."""
+    outcome = yield
+    report = outcome.get_result()
+    trace_dir = os.environ.get("CHAOS_TRACE_DIR")
+    # Both phases matter: in-body assertions fail in "call", the autouse
+    # safety-invariant fixtures fail in "teardown" (check_registered keeps
+    # the handles registered on a violation exactly so they land here).
+    if not trace_dir or report.when not in ("call", "teardown") or not report.failed:
+        return
+    from tests import invariants
+
+    out = Path(trace_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = re.sub(r"[^A-Za-z0-9._-]+", "_", item.nodeid)[:180]
+    for index, handle in enumerate(invariants.REGISTERED):
+        try:
+            text = handle.describe() + "\n\n" + handle.trace().describe()
+        except Exception as exc:  # a half-built handle must not mask the failure
+            text = f"<trace unavailable: {exc!r}>"
+        (out / f"{stem}.{report.when}.{index}.trace.txt").write_text(
+            text, encoding="utf-8"
+        )
 
 
 def build_system(

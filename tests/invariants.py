@@ -44,10 +44,16 @@ def reset():
 
 
 def check_registered():
-    """Run :func:`check_all` over every handle registered during the test."""
-    handles, REGISTERED[:] = list(REGISTERED), []
-    for handle in handles:
+    """Run :func:`check_all` over every handle registered during the test.
+
+    Handles are cleared only after every check passed: on a violation they
+    stay registered, so the failing-trace dump hook (``tests/conftest.py``)
+    can attach the offending schedules to the test report.  The next test's
+    ``reset()`` clears them regardless.
+    """
+    for handle in REGISTERED:
         check_all(handle)
+    REGISTERED.clear()
 
 
 def check_all(handle):

@@ -74,6 +74,8 @@ def metrics_record(result) -> dict:
         record["consensus"] = metrics.consensus.as_dict()
     if metrics.reconfig is not None:
         record["reconfig"] = metrics.reconfig.as_dict()
+    if metrics.controller is not None:
+        record["controller"] = metrics.controller.as_dict()
     return record
 
 
@@ -129,6 +131,56 @@ def test_reconfig_runs_are_deterministic():
     assert trace_hash(first) == trace_hash(second)
     assert metrics_record(first) == metrics_record(second)
     assert first.metrics.reconfig.reconfigs_completed == 1
+
+
+def _reconfig_family_config(protocol: str, seed: int = 7) -> ExperimentConfig:
+    plan, reconfig = replace_dead_replica("ox", 3, seed=seed)
+    return ExperimentConfig(
+        protocol=protocol,
+        scheduler="chaos",
+        seed=seed,
+        replication_factor=3,
+        quorum="majority",
+        faults=plan,
+        reconfig=reconfig,
+        workload=WorkloadSpec(reads_per_reader=4, writes_per_writer=3, seed=seed),
+    )
+
+
+@pytest.mark.parametrize(
+    "protocol", ("algorithm-c", "occ-double-collect", "eiger")
+)
+def test_ported_reconfig_runs_are_deterministic(protocol):
+    """The epoch-aware rounds of the newly ported families (C's combined
+    read round, OCC's quorum collects, Eiger's two retryable rounds) replay
+    identically per seed — trace and metrics — through a full
+    replace-dead-replica run."""
+    first, second = run_twice(_reconfig_family_config(protocol))
+    assert trace_hash(first) == trace_hash(second), protocol
+    assert metrics_record(first) == metrics_record(second), protocol
+    assert first.metrics.reconfig.reconfigs_completed == 1, protocol
+
+
+def test_controller_runs_are_deterministic():
+    """The control loop (probe timers, detection, derived submissions) is
+    replayable too: same seed ⇒ identical trace, metrics and derived plans."""
+    from repro.faults import auto_heal
+
+    plan, policy = auto_heal("ox", 3, crash_at=8, seed=7)
+    config = ExperimentConfig(
+        protocol="algorithm-b",
+        scheduler="chaos",
+        seed=7,
+        replication_factor=3,
+        quorum="majority",
+        faults=plan,
+        controller=policy,
+        workload=WorkloadSpec(reads_per_reader=4, writes_per_writer=3, seed=7),
+    )
+    first, second = run_twice(config)
+    assert trace_hash(first) == trace_hash(second)
+    assert metrics_record(first) == metrics_record(second)
+    assert first.metrics.controller.plans_replace == 1
 
 
 def test_different_seeds_differ():

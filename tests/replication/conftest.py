@@ -43,6 +43,7 @@ def run_fixed_workload(
     election_timeout=None,
     plan=None,
     reconfig=None,
+    controller=None,
     run_to_completion: bool = True,
 ):
     """Build, submit the fixed explicit-id workload, run; returns the handle."""
@@ -60,6 +61,7 @@ def run_fixed_workload(
         consensus_factor=consensus_factor,
         election_timeout=election_timeout,
         reconfig=reconfig,
+        controller=controller,
         fault_plane=FaultInjector(plan, seed=seed) if plan is not None else None,
     )
     w1 = handle.submit_write(

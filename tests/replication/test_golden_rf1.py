@@ -87,6 +87,18 @@ def test_consensus_factor_rejected_without_coordinator():
 
 
 @pytest.mark.parametrize("protocol", protocol_names())
+def test_explicit_controller_off_matches_seed(protocol):
+    """Passing controller=None explicitly changes nothing, for every
+    protocol: the rebalancing layer's byte-identity contract — no
+    controller automaton, no probes, no directory."""
+    handle = run_fixed_workload(
+        protocol, scheduler=FIFOScheduler(), num_objects=2, controller=None
+    )
+    assert handle.directory is None
+    assert signature_hash(handle) == GOLDEN[protocol]["fifo-2obj"], protocol
+
+
+@pytest.mark.parametrize("protocol", protocol_names())
 def test_explicit_reconfig_off_matches_seed(protocol):
     """Passing reconfig=None (and an empty plan) explicitly changes nothing,
     for every protocol: the reconfiguration layer's byte-identity contract —
@@ -101,11 +113,30 @@ def test_explicit_reconfig_off_matches_seed(protocol):
         assert signature_hash(handle) == GOLDEN[protocol]["fifo-2obj"], (protocol, reconfig)
 
 
+def test_every_protocol_supports_reconfig():
+    """The universal-reconfiguration contract: every registered protocol's
+    rounds are epoch-aware and every one can spawn dynamic replicas."""
+    from repro.protocols import Protocol, get_protocol
+
+    for name in protocol_names():
+        protocol = get_protocol(name)
+        assert protocol.supports_reconfig, name
+        assert type(protocol).make_replica is not Protocol.make_replica, name
+
+
 def test_reconfig_rejected_without_support():
-    """Protocols whose rounds are not epoch-aware fail loudly instead of
-    silently ignoring a reconfiguration plan."""
+    """A protocol whose rounds are not epoch-aware fails loudly instead of
+    silently ignoring a reconfiguration plan (every in-tree protocol now
+    opts in, so the guard is pinned with a minimal stub)."""
     from repro.consensus.reconfig import ReconfigPlan, set_replica_group
+    from repro.protocols import NaiveSnowCandidate
+
+    class FixedMembershipStub(NaiveSnowCandidate):
+        name = "fixed-membership-stub"
+        supports_reconfig = False
 
     plan = ReconfigPlan(requests=(set_replica_group("ox", ("sx", "sx.2"), at=5),))
     with pytest.raises(ValueError, match="does not support membership reconfiguration"):
-        run_fixed_workload("simple-rw", reconfig=plan)
+        FixedMembershipStub().build(
+            num_readers=2, num_writers=2, num_objects=2, reconfig=plan
+        )
