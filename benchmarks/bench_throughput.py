@@ -1,0 +1,169 @@
+"""Raw kernel throughput: events/sec × protocol × replication/consensus factor.
+
+ROADMAP item 2's measurement half: how many scheduler events per second the
+deterministic kernel executes for each protocol family, at the seed setting
+(``rf=1/cf=1``), under replication (``rf=3`` + majority) and — for the
+coordinator protocols — with the coordinator consensus-replicated (``cf=3``).
+
+Two kinds of columns land in ``results/BENCH_throughput.json``:
+
+* **deterministic** ones (``txns``, ``events``, ``actions``,
+  ``total_messages``) — identical on every machine, diffable across PRs;
+* ``events_per_sec`` — wall clock, machine-dependent, gated by
+  ``check_bench_regression.py`` with a *bounded-drift* rule (an
+  order-of-magnitude collapse fails; ordinary runner variance does not).
+
+The human-readable table additionally shows the kernel profiler's bucket
+breakdown (scheduler poll/choose/dispatch/trace-append) for one
+representative cell, measured on a separate profiled run so profiling
+overhead never contaminates the timed cells.
+
+Run directly (``python benchmarks/bench_throughput.py --quick``) for the CI
+perf-smoke job: one fast cell per tier, printed, nothing rewritten.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))  # benchutil, from any cwd
+
+from benchutil import emit, emit_json  # noqa: E402
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(REPO_SRC) not in sys.path:
+    sys.path.insert(0, str(REPO_SRC))
+
+from repro.analysis import WorkloadSpec, format_table, generate_workload, submit_workload  # noqa: E402
+from repro.ioa import FIFOScheduler  # noqa: E402
+from repro.obs import ObservabilityPlane  # noqa: E402
+from repro.protocols import get_protocol, protocol_names  # noqa: E402
+
+SEED = 17
+REPS = 3  # events/sec is best-of-REPS: robust against one noisy rep
+
+
+def throughput_cells():
+    """(protocol, rf, cf) grid: every protocol at the seed setting and under
+    replication; the coordinator protocols additionally consensus-replicated."""
+    cells = []
+    for name in protocol_names():
+        cells.append((name, 1, 1))
+        cells.append((name, 3, 1))
+        if get_protocol(name).has_coordinator:
+            cells.append((name, 3, 3))
+    return cells
+
+
+def run_cell(protocol_name, rf, cf, spec, reps=REPS, obs=None):
+    """Build + run one cell ``reps`` times; returns (row, handle)."""
+    protocol = get_protocol(protocol_name)
+    best_rate, elapsed_best, handle = 0.0, None, None
+    for _ in range(reps):
+        kwargs = dict(
+            num_readers=1 if not protocol.supports_multiple_readers else 2,
+            num_writers=2,
+            num_objects=3,
+            scheduler=FIFOScheduler(),
+            seed=SEED,
+        )
+        if rf > 1:
+            kwargs.update(replication_factor=rf, quorum="majority")
+        if cf > 1:
+            kwargs.update(consensus_factor=cf)
+        if obs is not None:
+            kwargs.update(obs=obs)
+        handle = protocol.build(**kwargs)
+        workload = generate_workload(spec, handle.readers, handle.writers, handle.objects)
+        submit_workload(handle, workload)
+        started = perf_counter()
+        handle.run_to_completion()
+        elapsed = perf_counter() - started
+        rate = handle.simulation.steps_taken / elapsed if elapsed > 0 else 0.0
+        if rate > best_rate:
+            best_rate, elapsed_best = rate, elapsed
+    row = {
+        "protocol": protocol_name,
+        "replication_factor": rf,
+        "consensus_factor": cf,
+        "txns": len(handle.transaction_records()),
+        "events": handle.simulation.steps_taken,
+        "actions": len(handle.trace()),
+        "total_messages": sum(r.messages_sent for r in handle.transaction_records()),
+        "elapsed_ms": round((elapsed_best or 0.0) * 1e3, 2),
+        "events_per_sec": round(best_rate, 1),
+    }
+    return row, handle
+
+
+def regenerate(spec=None, reps=REPS):
+    spec = spec or WorkloadSpec(reads_per_reader=6, writes_per_writer=6, seed=SEED)
+    rows = [run_cell(name, rf, cf, spec, reps=reps)[0] for name, rf, cf in throughput_cells()]
+
+    # One profiled run (obs plane + wall-clock profiler) for the bucket
+    # breakdown; separate from the timed reps so instrumentation overhead
+    # never touches the events_per_sec column.
+    plane = ObservabilityPlane(profile=True)
+    _, profiled = run_cell("algorithm-b", 3, 1, spec, reps=1, obs=plane)
+    profile_report = plane.profiler.report(steps=profiled.simulation.steps_taken)
+
+    headers = [
+        "protocol", "rf", "cf", "txns", "events", "actions", "msgs", "events/sec",
+    ]
+    table_rows = [
+        [
+            r["protocol"], r["replication_factor"], r["consensus_factor"],
+            r["txns"], r["events"], r["actions"], r["total_messages"],
+            f"{r['events_per_sec']:,.0f}",
+        ]
+        for r in rows
+    ]
+    table = format_table(headers, table_rows)
+    return rows, table, profile_report
+
+
+def test_kernel_throughput(benchmark):
+    rows, table, profile_report = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    emit("throughput", table + "\n\n" + profile_report)
+    emit_json(
+        "throughput",
+        {
+            "grid": rows,
+            "reps": REPS,
+            "workload": {"reads_per_reader": 6, "writes_per_writer": 6, "seed": SEED},
+        },
+    )
+    assert len(rows) == len(throughput_cells())
+    for row in rows:
+        # run_to_completion already guarantees liveness; pin the shape too.
+        assert row["events"] > 0 and row["txns"] > 0, row
+        assert row["events_per_sec"] > 0, row
+        # Deterministic columns must be reproducible run-to-run on any box.
+        assert row["actions"] >= row["events"], row
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv
+    if quick:
+        spec = WorkloadSpec(reads_per_reader=3, writes_per_writer=3, seed=SEED)
+        cells = [("algorithm-b", 1, 1), ("algorithm-b", 3, 1), ("algorithm-b", 3, 3)]
+        print("perf-smoke (quick): kernel events/sec")
+        for name, rf, cf in cells:
+            row, _ = run_cell(name, rf, cf, spec, reps=2)
+            print(
+                f"  {name} rf={rf} cf={cf}: {row['events_per_sec']:>10,.0f} events/sec "
+                f"({row['events']} events, {row['elapsed_ms']} ms)"
+            )
+    else:
+        rows, table, profile_report = regenerate()
+        emit("throughput", table + "\n\n" + profile_report)
+        emit_json(
+            "throughput",
+            {
+                "grid": rows,
+                "reps": REPS,
+                "workload": {"reads_per_reader": 6, "writes_per_writer": 6, "seed": SEED},
+            },
+        )

@@ -13,6 +13,12 @@ any of them regressed:
 * ``consistent`` may not degrade from ``True``;
 * ``unavailability_window`` may not increase.
 
+Wall-clock columns get a **bounded-drift** rule instead of an invariant:
+``events_per_sec`` in ``BENCH_throughput.json`` may fluctuate with the
+machine, but falling below ``DRIFT_FLOOR`` × the committed baseline fails
+the gate — runner variance passes, an order-of-magnitude kernel slowdown
+does not.
+
 Rows are matched on their identity columns (protocol / scenario / plan /
 factors).  A row present at HEAD but missing from the regenerated grid is a
 failure too — a silently dropped cell hides regressions.  Brand-new files
@@ -52,6 +58,13 @@ INVARIANTS: Tuple[Tuple[str, str], ...] = (
     ("consistent", "not-degraded"),
     ("unavailability_window", "not-above"),
 )
+#: wall-clock columns gated per file: new >= DRIFT_FLOOR * baseline.  The
+#: floor is deliberately loose — CI runners differ from the machines that
+#: committed the baselines; this catches collapses, not noise.
+DRIFT_FLOOR = 0.25
+DRIFT_COLUMNS: Dict[str, Tuple[str, ...]] = {
+    "BENCH_throughput.json": ("events_per_sec",),
+}
 
 
 def committed_version(path: Path) -> Optional[Dict[str, Any]]:
@@ -80,8 +93,19 @@ def index_rows(payload: Dict[str, Any]) -> Dict[Tuple, Dict[str, Any]]:
     return indexed
 
 
-def compare_cell(old: Dict[str, Any], new: Dict[str, Any]) -> List[str]:
+def compare_cell(
+    old: Dict[str, Any], new: Dict[str, Any], drift_columns: Tuple[str, ...] = ()
+) -> List[str]:
     problems: List[str] = []
+    for column in drift_columns:
+        before, after = old.get(column), new.get(column)
+        if not isinstance(before, (int, float)) or before <= 0:
+            continue
+        if not isinstance(after, (int, float)) or after < DRIFT_FLOOR * before:
+            problems.append(
+                f"{column}: {before!r} -> {after!r} "
+                f"(below the {DRIFT_FLOOR:.0%} drift floor)"
+            )
     for column, rule in INVARIANTS:
         if column not in old:
             continue
@@ -110,6 +134,7 @@ def main() -> int:
         current = json.loads(path.read_text(encoding="utf-8"))
         old_rows = index_rows(baseline)
         new_rows = index_rows(current)
+        drift_columns = DRIFT_COLUMNS.get(path.name, ())
         for key, old_row in old_rows.items():
             checked += 1
             label = f"{path.name} {dict(key)}"
@@ -117,7 +142,7 @@ def main() -> int:
             if new_row is None:
                 failures.append(f"{label}: row disappeared from the regenerated grid")
                 continue
-            for problem in compare_cell(old_row, new_row):
+            for problem in compare_cell(old_row, new_row, drift_columns):
                 failures.append(f"{label}: {problem}")
         extra = set(new_rows) - set(old_rows)
         for key in sorted(extra):
@@ -128,7 +153,7 @@ def main() -> int:
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print("[bench-regression] ok — no invariant column regressed")
+    print("[bench-regression] ok — no invariant or drift-gated column regressed")
     return 0
 
 

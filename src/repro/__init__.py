@@ -21,7 +21,11 @@ The package is organised in layers:
 * :mod:`repro.consensus` — the replicated coordinator log (Raft-style
   consensus: ``ConsensusLog``, ``LeaderElection``, ``ReplicatedCoordinator``)
   that removes the coordinator single point of failure of algorithms B/C and
-  OCC; ``consensus_factor=1`` leaves everything byte-identical to the seed.
+  OCC; ``consensus_factor=1`` leaves everything byte-identical to the seed;
+* :mod:`repro.obs` — the observability plane: causal span trees derived
+  from kernel traces, a virtual-time metrics registry fed by trace/mailbox
+  hooks, an opt-in wall-clock kernel profiler, and Chrome trace-event /
+  text-timeline exporters; off by default and trace-invisible when enabled.
 
 Quickstart::
 

@@ -478,6 +478,30 @@ def _collect_replication_metrics(
     )
 
 
+def _consensus_metrics_from_registry(simulation: Simulation, members: int) -> ConsensusMetrics:
+    """Read the consensus block off the observability plane's registry.
+
+    The plane's trace observer counted every consensus internal action as it
+    was appended, so this is a handful of dictionary lookups instead of a
+    full trace walk — and provably equal to the walk (pinned by
+    ``tests/obs/test_plane_metrics.py``).
+    """
+    registry = simulation.obs.registry
+    return ConsensusMetrics(
+        members=members,
+        elections=registry.counter_value("consensus.events", kind="candidacy"),
+        leaders_elected=registry.counter_value("consensus.events", kind="became-leader"),
+        max_term=max(1, int(registry.gauge_value("consensus.max_term") or 1)),
+        entries_applied=registry.counter_value("consensus.events", kind="apply"),
+        commit_latency=AggregateStats.from_values(
+            [int(v) for v in registry.histogram_values("consensus.commit_latency")]
+        ),
+        leader_elected_at=tuple(
+            int(v) for v in registry.histogram_values("consensus.leader_elected_vtime")
+        ),
+    )
+
+
 def _collect_consensus_metrics(simulation: Simulation) -> Optional[ConsensusMetrics]:
     """Build the consensus block when a replicated coordinator is registered."""
     from ..ioa.actions import ActionKind
@@ -485,6 +509,8 @@ def _collect_consensus_metrics(simulation: Simulation) -> Optional[ConsensusMetr
     group = getattr(simulation.topology, "consensus_group", lambda: ())()
     if not group:
         return None
+    if getattr(simulation, "obs", None) is not None:
+        return _consensus_metrics_from_registry(simulation, len(group))
     elections = leaders = applied = 0
     max_term = 1
     latencies: List[int] = []
@@ -553,12 +579,48 @@ def _collect_reconfig_metrics(simulation: Simulation, directory) -> Optional[Rec
     )
 
 
+def _controller_metrics_from_registry(
+    simulation: Simulation, directory
+) -> Optional[ControllerMetrics]:
+    """Read the rebalancing block off the observability plane's registry
+    (same shortcut as :func:`_consensus_metrics_from_registry`)."""
+    registry = simulation.obs.registry
+    if registry.counter_total("controller.events") == 0:
+        return None
+    dead = registry.counter_value("controller.events", kind="replica-dead")
+    replaces = registry.counter_value("controller.events", kind="plan-replace")
+    grows = registry.counter_value("controller.events", kind="plan-grow")
+    healed = registry.counter_value("controller.events", kind="healed")
+    first_dead = registry.gauge_value("controller.first_dead_vtime") if dead else None
+    last_heal = registry.gauge_value("controller.last_heal_vtime") if healed else None
+    return ControllerMetrics(
+        probes=registry.counter_value("controller.probes"),
+        acks=registry.counter_value("controller.acks"),
+        dead_detected=dead,
+        plans_replace=replaces,
+        plans_grow=grows,
+        plans_rejected=registry.counter_value("reconfig.events", kind="rejected"),
+        healed=healed,
+        time_to_heal=(
+            int(last_heal) - int(first_dead)
+            if first_dead is not None and last_heal is not None
+            else None
+        ),
+        converged=(
+            healed == replaces + grows
+            and (directory is None or not directory.in_flight())
+        ),
+    )
+
+
 def _collect_controller_metrics(
     simulation: Simulation, directory
 ) -> Optional[ControllerMetrics]:
     """Build the rebalancing block from the controller's internal actions."""
     from ..ioa.actions import ActionKind
 
+    if getattr(simulation, "obs", None) is not None:
+        return _controller_metrics_from_registry(simulation, directory)
     probes = acks = dead = replaces = grows = rejected = healed = 0
     first_dead: Optional[int] = None
     last_heal: Optional[int] = None

@@ -98,6 +98,14 @@ class ExperimentConfig:
     #: automated-rebalancing policy; None runs without the control loop
     #: (see :mod:`repro.consensus.controller`).
     controller: Optional[Any] = None
+    #: install the observability plane (kernel metrics registry + causal
+    #: spans; see :mod:`repro.obs`).  Purely additive: the trace and every
+    #: metric block stay identical — the collectors just read the registry
+    #: instead of re-walking the trace.
+    observe: bool = False
+    #: also enable the wall-clock kernel profiler (implies ``observe``);
+    #: profiler output never enters deterministic results.
+    profile: bool = False
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, seed=seed, workload=replace(self.workload, seed=seed))
@@ -117,6 +125,10 @@ class ExperimentConfig:
             base += f" [{self.controller.describe()}]"
         if self.faults is not None:
             base += f" [{self.faults.describe()}]"
+        if self.profile:
+            base += " [observe+profile]"
+        elif self.observe:
+            base += " [observe]"
         return base
 
 
@@ -130,6 +142,8 @@ class ExperimentResult:
     history: History
     read_ids: Tuple[str, ...]
     write_ids: Tuple[str, ...]
+    #: the run's observability plane; None unless ``config.observe``/``profile``
+    obs: Optional[Any] = None
 
     @property
     def protocol(self) -> str:
@@ -181,6 +195,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         build_kwargs["num_readers"] = 1
     if config.faults is not None:
         build_kwargs["fault_plane"] = FaultInjector(config.faults, seed=config.seed)
+    if config.observe or config.profile:
+        from ..obs import ObservabilityPlane
+
+        build_kwargs["obs"] = ObservabilityPlane(profile=config.profile)
     handle = protocol.build(**build_kwargs)
 
     workload = generate_workload(config.workload, handle.readers, handle.writers, handle.objects)
@@ -209,6 +227,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         history=history,
         read_ids=tuple(read_ids),
         write_ids=tuple(write_ids),
+        obs=handle.obs,
     )
 
 

@@ -49,6 +49,14 @@ class ChaosScheduler(Scheduler):
         plane = getattr(kernel, "fault_plane", None)
         now = plane.now(kernel) if plane is not None else int(kernel.steps_taken)
         ripe = [i for i in range(len(pending)) if _ready_at(pending[i]) <= now]
+        obs = getattr(kernel, "obs", None)
+        if obs is not None:
+            # Cheap ripeness telemetry for the observability plane: how much
+            # of the pending set the latency model made choosable this step.
+            obs.registry.counter("scheduler.chaos_steps").inc()
+            obs.registry.counter("scheduler.chaos_ripe_events").inc(len(ripe))
+            if not ripe:
+                obs.registry.counter("scheduler.chaos_fastforwards").inc()
         if not ripe:
             # Nothing deliverable yet.  With a fault injector installed this
             # is unreachable: its before_step advances the virtual clock

@@ -146,6 +146,23 @@ class Topology:
     def is_server(self, name: str) -> bool:
         return self.kind_of(name) == "server"
 
+    def channel_class(self, src: str, dst: str) -> str:
+        """Coarse channel label (``c2s``/``s2c``/``s2s``/``c2c``) for the
+        observability plane's per-channel message counters.  Unknown names
+        (a retired automaton whose tombstone also expired) fall back to the
+        server side, which keeps the hook total-function cheap."""
+        try:
+            src_client = self.is_client(src)
+        except Exception:
+            src_client = False
+        try:
+            dst_client = self.is_client(dst)
+        except Exception:
+            dst_client = False
+        if src_client:
+            return "c2c" if dst_client else "c2s"
+        return "s2c" if dst_client else "s2s"
+
     # ------------------------------------------------------------------
     def check_send(self, src: str, dst: str) -> None:
         """Raise if a send from ``src`` to ``dst`` violates the topology."""

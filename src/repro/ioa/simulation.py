@@ -28,6 +28,7 @@ from __future__ import annotations
 import itertools
 import random
 from collections import deque
+from time import perf_counter
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -133,6 +134,7 @@ class Simulation:
         seed: int = 0,
         max_steps: int = 200_000,
         fault_plane: Optional[FaultPlane] = None,
+        obs: Optional[Any] = None,
     ) -> None:
         self.topology = topology if topology is not None else Topology()
         self.scheduler = scheduler if scheduler is not None else FIFOScheduler()
@@ -142,6 +144,15 @@ class Simulation:
         self.fault_plane = fault_plane
         if fault_plane is not None:
             fault_plane.on_attach(self)
+        #: optional observability plane (see :mod:`repro.obs`): a passive
+        #: listener — trace observer plus mailbox hooks — that appends no
+        #: actions and never touches scheduler or RNG state, so the trace is
+        #: identical with or without it.  ``None`` skips every hook.
+        self.obs = obs
+        self._profiler = None
+        if obs is not None:
+            obs.on_attach(self)
+            self._profiler = getattr(obs, "profiler", None)
 
         self._automata: Dict[str, Automaton] = {}
         self._contexts: Dict[str, Context] = {}
@@ -212,6 +223,9 @@ class Simulation:
                 d for d in self._pending_deliveries
                 if d.message.dst != name and d.message.src != name
             ]
+            if self.obs is not None:
+                for delivery in in_flight:
+                    self.obs.on_dequeue(delivery.message)
         self._pending_timeouts = [t for t in self._pending_timeouts if t.owner != name]
         if self.fault_plane is not None:
             self.fault_plane.on_remove(name, self)
@@ -327,6 +341,9 @@ class Simulation:
         taken = [d for d in self._pending_deliveries if predicate(d)]
         if taken:
             self._pending_deliveries = [d for d in self._pending_deliveries if not predicate(d)]
+            if self.obs is not None:
+                for delivery in taken:
+                    self.obs.on_dequeue(delivery.message)
         return taken
 
     # ------------------------------------------------------------------
@@ -368,6 +385,8 @@ class Simulation:
     def step(self) -> bool:
         """Execute one scheduler-chosen event.  Returns ``False`` if idle."""
         self.start()
+        profiler = self._profiler
+        stamp = perf_counter() if profiler is not None else 0.0
         if self.fault_plane is not None:
             self.fault_plane.before_step(self)
         pending = self.pending_events()
@@ -381,17 +400,27 @@ class Simulation:
                 self._timeout_clock, min(t.ready_at for t in self._pending_timeouts)
             )
             pending = self.pending_events()
+        if profiler is not None:
+            profiler.add("poll", perf_counter() - stamp)
         if not pending:
             return False
         if self._steps_taken >= self.max_steps:
             raise LivenessError(
                 f"simulation exceeded max_steps={self.max_steps} with {len(pending)} pending events"
             )
+        if profiler is not None:
+            stamp = perf_counter()
         choice = self.scheduler.choose(pending, self)
+        if profiler is not None:
+            now = perf_counter()
+            profiler.add("choose", now - stamp)
+            stamp = now
         event = pending[choice]
         self._steps_taken += 1
         if isinstance(event, PendingDelivery):
             self._pending_deliveries.remove(event)
+            if self.obs is not None:
+                self.obs.on_dequeue(event.message)
             self._deliver(event.message)
         elif isinstance(event, PendingTimeout):
             self._pending_timeouts.remove(event)
@@ -404,6 +433,8 @@ class Simulation:
             self._invoke(event.client, event.txn, event.txn_id)
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unknown pending event {event!r}")
+        if profiler is not None:
+            profiler.add("dispatch", perf_counter() - stamp)
         return True
 
     def run(self, max_new_steps: Optional[int] = None) -> Trace:
@@ -441,6 +472,8 @@ class Simulation:
             message=message, enqueued_at=next(self._enqueue_counter), ready_at=ready_at
         )
         self._pending_deliveries.append(delivery)
+        if self.obs is not None:
+            self.obs.on_enqueue(delivery)
         return delivery
 
     def set_timeout(self, owner: str, delay: int, info: Mapping[str, Any]) -> PendingTimeout:

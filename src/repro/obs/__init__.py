@@ -1,0 +1,47 @@
+"""Deterministic observability plane: spans, metrics, profiling, exports.
+
+Three coordinated pieces (see ISSUE 6 / ROADMAP item 2):
+
+* :mod:`repro.obs.spans` — causal span trees derived from kernel traces
+  (transactions → quorum rounds, consensus applies/elections, reconfig
+  windows, plus send→recv causal edges);
+* :mod:`repro.obs.registry` / :mod:`repro.obs.plane` — a kernel metrics
+  registry fed by cheap hooks in the simulation (mailbox depth, events and
+  messages per kind, election/epoch/retry counts, probe RTT distributions);
+* :mod:`repro.obs.profiler` — opt-in wall-clock profiling of the kernel hot
+  loop, kept strictly out of every deterministic artifact;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (open in Perfetto) and
+  compact text timelines.
+
+The plane is **off by default**; with it enabled a run's trace stays
+byte-identical (the plane only listens), and all derived artifacts — span
+trees, snapshots, exported timelines — are deterministic across runs.
+"""
+
+from .export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    render_timeline,
+    write_chrome_trace,
+)
+from .plane import ObservabilityPlane
+from .profiler import KernelProfiler
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import CausalEdge, Span, SpanTree, derive_spans
+
+__all__ = [
+    "CausalEdge",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelProfiler",
+    "MetricsRegistry",
+    "ObservabilityPlane",
+    "Span",
+    "SpanTree",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "derive_spans",
+    "render_timeline",
+    "write_chrome_trace",
+]

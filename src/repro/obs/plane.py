@@ -1,0 +1,123 @@
+"""The observability plane: registry + profiler wired onto one simulation.
+
+``ObservabilityPlane`` is the single object the build surface threads
+through (``Protocol.build(obs=...)`` / ``ExperimentConfig(observe=True)``).
+It is **off by default and inert by construction**: the plane appends no
+actions, sends no messages, arms no timers and never touches the scheduler
+or the RNG, so a run with the plane enabled produces a trace byte-identical
+to a run without it (pinned by the golden-signature tests).  All it does is
+*listen*: a trace observer updates the metrics registry on every appended
+action, and the kernel calls two mailbox hooks on enqueue/dequeue.
+
+Everything in the registry is derived from simulation-visible values
+(virtual clock, payload stamps, action kinds) — wall-clock time only exists
+inside the optional :class:`KernelProfiler`, whose report is kept strictly
+out of snapshots, span trees and exports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..ioa.actions import Action, ActionKind
+from .profiler import KernelProfiler
+from .registry import MetricsRegistry
+
+
+class ObservabilityPlane:
+    """Deterministic metrics (plus optional wall-clock profiling) for one run."""
+
+    def __init__(self, profile: bool = False) -> None:
+        self.registry = MetricsRegistry()
+        self.profiler: Optional[KernelProfiler] = KernelProfiler() if profile else None
+        self.simulation: Optional[Any] = None
+
+    # -- kernel wiring ---------------------------------------------------
+    def on_attach(self, simulation: Any) -> None:
+        if self.simulation is not None and self.simulation is not simulation:
+            raise ValueError(
+                "an ObservabilityPlane instance observes exactly one simulation; "
+                "build a fresh plane per run"
+            )
+        self.simulation = simulation
+        simulation.trace.set_observer(self.on_action)
+        if self.profiler is not None:
+            self.profiler.install(simulation)
+
+    def on_enqueue(self, delivery: Any) -> None:
+        """A message entered the kernel's pending-delivery set."""
+        gauge = self.registry.gauge("kernel.mailbox_depth", automaton=delivery.message.dst)
+        gauge.inc()
+
+    def on_dequeue(self, message: Any) -> None:
+        """A pending delivery left the set (delivered, extracted or dropped
+        with a retired automaton)."""
+        self.registry.gauge("kernel.mailbox_depth", automaton=message.dst).dec()
+
+    # -- the trace observer ----------------------------------------------
+    def on_action(self, action: Action) -> None:
+        registry = self.registry
+        registry.counter("kernel.events", kind=action.kind.value).inc()
+        message = action.message
+        if action.kind is ActionKind.SEND and message is not None:
+            registry.counter("kernel.messages_sent", type=message.msg_type).inc()
+            simulation = self.simulation
+            if simulation is not None:
+                registry.counter(
+                    "kernel.messages_channel",
+                    channel=simulation.topology.channel_class(message.src, message.dst),
+                ).inc()
+        elif action.kind is ActionKind.RECV and message is not None:
+            if message.msg_type == "ctl-ack":
+                registry.counter("controller.acks").inc()
+                sent = message.get("sent")
+                if isinstance(sent, int) and self.simulation is not None:
+                    registry.histogram("controller.probe_rtt").observe(
+                        max(0, self.simulation.now() - sent)
+                    )
+        elif action.kind is ActionKind.INTERNAL and action.info:
+            self._on_internal(dict(action.info))
+
+    def _on_internal(self, info: dict) -> None:
+        registry = self.registry
+        if info.get("timeout"):
+            registry.counter("kernel.timeouts_fired").inc()
+        consensus = info.get("consensus")
+        if consensus is not None:
+            registry.counter("consensus.events", kind=str(consensus)).inc()
+            term = info.get("term")
+            if term is not None:
+                gauge = registry.gauge("consensus.max_term")
+                if int(term) > int(gauge.value or 0):
+                    gauge.set(int(term))
+            if consensus == "became-leader":
+                registry.histogram("consensus.leader_elected_vtime").observe(
+                    int(info.get("vtime", 0))
+                )
+            elif consensus == "apply" and "commit_latency" in info:
+                registry.histogram("consensus.commit_latency").observe(
+                    int(info["commit_latency"])
+                )
+        reconfig = info.get("reconfig")
+        if isinstance(reconfig, str):  # timers carry reconfig=<request index>
+            registry.counter("reconfig.events", kind=reconfig).inc()
+        controller = info.get("controller")
+        if controller is not None:
+            registry.counter("controller.events", kind=str(controller)).inc()
+            vtime = info.get("vtime")
+            if controller == "tick":
+                registry.counter("controller.probes").inc(int(info.get("probes", 0)))
+            elif controller == "replica-dead" and vtime is not None:
+                gauge = registry.gauge("controller.first_dead_vtime")
+                if registry.counter_value("controller.events", kind="replica-dead") == 1:
+                    gauge.set(int(vtime))
+            elif controller == "healed" and vtime is not None:
+                registry.gauge("controller.last_heal_vtime").set(int(vtime))
+
+    # -- rendering --------------------------------------------------------
+    def describe(self) -> str:
+        lines = [self.registry.describe()]
+        if self.profiler is not None:
+            steps = self.simulation.steps_taken if self.simulation is not None else 0
+            lines.append(self.profiler.report(steps=steps))
+        return "\n".join(lines)

@@ -90,6 +90,10 @@ class BuildConfig:
     #: automated-rebalancing control loop (None = no controller, byte-
     #: identical; see :mod:`repro.consensus.controller`)
     controller: Optional[ControllerPolicy] = None
+    #: observability plane (None = no metrics/span hooks at all; an enabled
+    #: plane is a passive listener, so the trace stays byte-identical —
+    #: see :mod:`repro.obs`)
+    obs: Optional[Any] = None
 
     def objects(self) -> Tuple[str, ...]:
         return object_names(self.num_objects)
@@ -132,6 +136,8 @@ class SystemHandle:
         #: the shared epoch-versioned placement directory; None unless the
         #: system was built with a reconfiguration plan
         self.directory = directory
+        #: the observability plane; None unless the system was built with one
+        self.obs = config.obs
         self.readers = config.readers()
         self.writers = config.writers()
         self.objects = config.objects()
@@ -389,6 +395,7 @@ class Protocol:
         election_timeout: Optional[Tuple[int, int]] = None,
         reconfig: Optional[ReconfigPlan] = None,
         controller: Optional[ControllerPolicy] = None,
+        obs: Optional[Any] = None,
     ) -> SystemHandle:
         """Instantiate the protocol as a ready-to-run system.
 
@@ -406,8 +413,12 @@ class Protocol:
         driver automaton); ``controller`` installs the automated-rebalancing
         control loop (:mod:`repro.consensus.controller`), which *derives*
         membership changes from observed failures and latency and feeds them
-        to the same driver.  The defaults reproduce the paper's
-        one-server-per-object, single-coordinator system byte-for-byte.
+        to the same driver.  ``obs`` installs an
+        :class:`~repro.obs.ObservabilityPlane` (kernel metrics registry,
+        optional wall-clock profiler); the plane only listens, so even an
+        enabled plane leaves the trace byte-identical.  The defaults
+        reproduce the paper's one-server-per-object, single-coordinator
+        system byte-for-byte.
         """
         config = BuildConfig(
             num_readers=num_readers,
@@ -425,6 +436,7 @@ class Protocol:
             election_timeout=election_timeout,
             reconfig=reconfig,
             controller=controller,
+            obs=obs,
         )
         self.validate_config(config)
         allow_c2c = config.c2c if config.c2c is not None else self.default_c2c()
@@ -440,6 +452,7 @@ class Protocol:
             seed=config.seed,
             max_steps=config.max_steps,
             fault_plane=config.fault_plane,
+            obs=config.obs,
         )
         simulation.add_automata(self.make_automata(config))
         directory = None

@@ -46,6 +46,20 @@ def pytest_runtest_makereport(item, call):
         (out / f"{stem}.{report.when}.{index}.trace.txt").write_text(
             text, encoding="utf-8"
         )
+        # The same execution as a Chrome trace-event timeline (open in
+        # Perfetto), derived post-mortem — no observability plane needed.
+        simulation = getattr(handle, "simulation", None)
+        if simulation is None:
+            continue
+        try:
+            from repro.obs import derive_spans, write_chrome_trace
+
+            write_chrome_trace(
+                derive_spans(simulation),
+                out / f"{stem}.{report.when}.{index}.timeline.json",
+            )
+        except Exception:  # never let the renderer mask the real failure
+            pass
 
 
 def build_system(

@@ -1,0 +1,91 @@
+"""Degenerate inputs: empty percentiles, zero-transaction runs, lossy runs.
+
+The ISSUE's satellite: the metrics and span paths must behave sensibly at
+the boundaries the sweeps never exercise — nothing submitted, nothing
+delivered, nothing observed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.metrics import AggregateStats, collect_metrics, percentile
+from repro.ioa import FIFOScheduler
+from repro.obs import chrome_trace_events, derive_spans, render_timeline
+
+from tests.conftest import build_system
+from tests.replication.conftest import run_fixed_workload
+
+
+def test_percentile_of_empty_input_is_nan():
+    assert math.isnan(percentile([], 0.5))
+    assert math.isnan(percentile((), 0.95))
+
+
+def test_percentile_of_a_singleton_is_that_value():
+    for fraction in (0.01, 0.5, 0.95, 1.0):
+        assert percentile([7.0], fraction) == 7.0
+
+
+def test_registry_percentile_stays_in_sync_with_analysis_percentile():
+    """The registry duplicates nearest-rank locally (so the kernel side never
+    imports the analysis layer); the two must never drift apart."""
+    from repro.obs.registry import _percentile
+
+    cases = ([], [3.0], [5.0, 1.0, 9.0], [float(v) for v in range(1, 11)])
+    for values in cases:
+        for fraction in (0.01, 0.5, 0.95, 1.0):
+            ours = _percentile(sorted(values), fraction)
+            theirs = percentile(values, fraction)
+            assert (math.isnan(ours) and math.isnan(theirs)) or ours == theirs
+
+
+def test_aggregate_stats_over_no_values():
+    stats = AggregateStats.from_values([])
+    assert stats.count == 0
+    assert math.isnan(stats.mean)
+    assert stats.describe() == "n=0"
+
+
+def test_collect_metrics_on_a_zero_transaction_run():
+    handle = build_system("algorithm-b", num_objects=2)
+    handle.run()  # nothing submitted: the kernel goes idle immediately
+    metrics = collect_metrics(handle.simulation, protocol_name="algorithm-b")
+    assert metrics.transactions == ()
+    assert metrics.read_rounds.count == 0
+    assert math.isnan(metrics.read_latency_steps.mean)
+    assert metrics.max_read_rounds() == 0
+    assert metrics.describe()  # renders without raising
+
+
+def test_span_derivation_on_a_zero_transaction_run():
+    handle = build_system("algorithm-b", num_objects=2)
+    handle.run()
+    tree = derive_spans(handle.simulation)
+    assert tree.of_kind("txn") == ()
+    assert render_timeline(tree).startswith("timeline: ")
+    chrome_trace_events(tree)  # exports an (almost) empty payload fine
+
+
+def test_spans_with_undelivered_messages_under_a_crash():
+    """Messages sent to a crashed automaton are never received: the span
+    tree must count them rather than invent edges for them."""
+    from repro.faults import ChaosScheduler, coordinator_failover
+
+    handle = run_fixed_workload(
+        "algorithm-b",
+        scheduler=ChaosScheduler(base=FIFOScheduler()),
+        num_objects=2,
+        consensus_factor=3,
+        plan=coordinator_failover(leader="coor", at=12, seed=3),
+        run_to_completion=False,
+    )
+    tree = derive_spans(handle.simulation)
+    assert tree.undelivered > 0  # sends to the dead leader have no recv
+    payload = chrome_trace_events(tree)
+    assert payload["otherData"]["undelivered_messages"] == tree.undelivered
+    # flow events exist only for *delivered* messages
+    starts = [e for e in payload["traceEvents"] if e["ph"] == "s"]
+    assert len(starts) == len(tree.edges)
+    sends = sum(1 for action in handle.trace() if action.kind.value == "send")
+    assert len(tree.edges) == sends - tree.undelivered

@@ -1,0 +1,80 @@
+"""Exporters: Chrome trace-event JSON shape and the text timeline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ioa import FIFOScheduler
+from repro.obs import (
+    chrome_trace_events,
+    chrome_trace_json,
+    derive_spans,
+    render_timeline,
+    write_chrome_trace,
+)
+
+from tests.replication.conftest import run_fixed_workload
+
+
+@pytest.fixture(scope="module")
+def tree():
+    handle = run_fixed_workload("algorithm-b", scheduler=FIFOScheduler(), num_objects=2)
+    return derive_spans(handle.simulation)
+
+
+def test_chrome_payload_structure(tree):
+    payload = chrome_trace_events(tree)
+    events = payload["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == len(tree.spans)
+    assert len(starts) == len(finishes) == len(tree.edges)
+    # Perfetto drops dur=0 slices, so point spans get unit width
+    assert all(e["dur"] >= 1 for e in complete)
+    assert all(e["args"]["span_id"] for e in complete)
+    # flow ids are edge positions (cross-run stable), f-side binds enclosing
+    assert {e["id"] for e in starts} == set(range(len(tree.edges)))
+    assert {e["id"] for e in finishes} == set(range(len(tree.edges)))
+    assert all(e["bp"] == "e" for e in finishes)
+    # every actor renders as a named lane
+    lanes = {e["tid"]: e["args"]["name"] for e in metadata}
+    actors = {s.actor for s in tree.spans}
+    actors |= {e.src for e in tree.edges} | {e.dst for e in tree.edges}
+    assert set(lanes.values()) == actors
+    other = payload["otherData"]
+    assert other["clock"] == "trace-index"
+    assert other["spans"] == len(tree.spans)
+    assert other["causal_edges"] == len(tree.edges)
+    assert other["undelivered_messages"] == tree.undelivered
+
+
+def test_events_are_deterministically_ordered(tree):
+    events = chrome_trace_events(tree)["traceEvents"]
+    keys = [(e.get("ts", -1), e["ph"], e["tid"], e["name"]) for e in events]
+    assert keys == sorted(keys)
+
+
+def test_chrome_json_round_trips_and_writes(tmp_path, tree):
+    text = chrome_trace_json(tree)
+    assert json.loads(text) == chrome_trace_events(tree)
+    out = write_chrome_trace(tree, tmp_path / "timeline.json")
+    assert out == tmp_path / "timeline.json"
+    assert json.loads(out.read_text(encoding="utf-8")) == chrome_trace_events(tree)
+
+
+def test_render_timeline_shows_the_span_forest(tree):
+    text = render_timeline(tree)
+    lines = text.splitlines()
+    assert lines[0].startswith(f"timeline: {len(tree.spans)} spans")
+    assert any("txn" in line and "W1" in line for line in lines)
+    assert any("round" in line for line in lines)
+
+
+def test_render_timeline_truncates_at_max_spans(tree):
+    assert len(tree.spans) > 2
+    short = render_timeline(tree, max_spans=2)
+    assert "more spans)" in short.splitlines()[-1]

@@ -1,0 +1,54 @@
+"""The opt-in wall-clock profiler: buckets populate, results stay out of
+deterministic artifacts (the trace-invisibility half is pinned by the
+golden-signature suite)."""
+
+from __future__ import annotations
+
+from repro.obs import KernelProfiler
+
+from tests.obs.conftest import run_observed
+
+
+def test_profiled_run_populates_the_kernel_buckets():
+    handle, plane = run_observed("algorithm-b", profile=True, num_objects=2)
+    profiler = plane.profiler
+    assert profiler is not None
+    assert set(profiler.buckets()) >= {"choose", "dispatch", "poll", "trace_append"}
+    # the append shim was installed before the first action landed
+    assert profiler.count("trace_append") == len(handle.trace())
+    assert profiler.count("dispatch") > 0
+    assert profiler.total_seconds() > 0.0
+    for bucket in profiler.buckets():
+        assert profiler.count(bucket) > 0
+        assert profiler.seconds(bucket) >= 0.0
+
+
+def test_unprofiled_plane_has_no_profiler():
+    handle, plane = run_observed("algorithm-b", profile=False, num_objects=2)
+    assert plane.profiler is None
+    assert handle.simulation._profiler is None
+
+
+def test_as_dict_and_report_render():
+    profiler = KernelProfiler()
+    profiler.add("dispatch", 0.25)
+    profiler.add("dispatch", 0.75)
+    profiler.add("poll", 1.0)
+    assert profiler.as_dict() == {
+        "dispatch": {"count": 2, "seconds": 1.0},
+        "poll": {"count": 1, "seconds": 1.0},
+    }
+    assert profiler.count("dispatch") == 2
+    assert profiler.seconds("missing") == 0.0
+    report = profiler.report(steps=100)
+    assert report.startswith("kernel profile (wall clock):")
+    assert "dispatch" in report and "events/sec" in report
+    # no steps, no throughput line
+    assert "events/sec" not in profiler.report(steps=0)
+
+
+def test_plane_describe_includes_the_profile_only_when_enabled():
+    _, profiled = run_observed("algorithm-b", profile=True, num_objects=2)
+    assert "kernel profile (wall clock):" in profiled.describe()
+    _, plain = run_observed("algorithm-b", profile=False, num_objects=2)
+    assert "kernel profile" not in plain.describe()

@@ -1,0 +1,147 @@
+"""Span derivation: transactions, quorum rounds, consensus, reconfiguration.
+
+Every tree here is derived post-mortem (``derive_spans`` is a pure function
+of a finished simulation — no plane required), which is exactly how the
+failing-test trace dumps in ``tests/conftest.py`` use it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import ChaosScheduler, coordinator_failover, replace_dead_replica
+from repro.ioa import FIFOScheduler
+from repro.obs import derive_spans
+
+from tests.replication.conftest import run_fixed_workload
+
+
+def chaos_fifo():
+    return ChaosScheduler(base=FIFOScheduler())
+
+
+def test_txn_spans_cover_the_fixed_workload():
+    handle = run_fixed_workload("algorithm-b", scheduler=FIFOScheduler(), num_objects=2)
+    tree = derive_spans(handle.simulation)
+    txns = {span.span_id: span for span in tree.of_kind("txn")}
+    assert set(txns) == {"txn:W1", "txn:R1", "txn:W2", "txn:R2"}
+    for span in txns.values():
+        assert span.parent is None
+        assert span.get("complete") is True
+        assert 0 <= span.start <= span.end < len(handle.trace())
+    # txn spans are roots of the forest
+    root_ids = {span.span_id for span in tree.roots()}
+    assert set(txns) <= root_ids
+
+
+def test_round_spans_nest_inside_their_transaction():
+    handle = run_fixed_workload("algorithm-b", scheduler=FIFOScheduler(), num_objects=2)
+    tree = derive_spans(handle.simulation)
+    for txn in tree.of_kind("txn"):
+        rounds = tree.children(txn)
+        assert rounds, f"{txn.span_id} has no quorum-round children"
+        for round_span in rounds:
+            assert round_span.kind == "round"
+            assert round_span.parent == txn.span_id
+            assert txn.start <= round_span.start <= round_span.end <= txn.end
+            assert round_span.get("sends", 0) >= 1
+        # rounds are disjoint and ordered (each starts after the previous)
+        starts = [r.start for r in rounds]
+        assert starts == sorted(starts)
+
+
+def test_causal_edges_are_sorted_and_complete_on_reliable_channels():
+    handle = run_fixed_workload("algorithm-b", scheduler=FIFOScheduler(), num_objects=2)
+    tree = derive_spans(handle.simulation)
+    assert tree.edges
+    assert tree.undelivered == 0  # reliable channels: every send was received
+    keys = [(edge.send_index, edge.recv_index) for edge in tree.edges]
+    assert keys == sorted(keys)
+    for edge in tree.edges:
+        assert edge.send_index < edge.recv_index
+        assert edge.msg_type
+
+
+def test_consensus_apply_spans_are_parented_on_transactions():
+    handle = run_fixed_workload(
+        "algorithm-b",
+        scheduler=chaos_fifo(),
+        num_objects=2,
+        consensus_factor=3,
+        run_to_completion=False,
+    )
+    tree = derive_spans(handle.simulation)
+    applies = tree.of_kind("consensus")
+    assert applies
+    txn_ids = {span.span_id for span in tree.of_kind("txn")}
+    parented = [span for span in applies if span.parent in txn_ids]
+    assert parented, "no apply span landed under the transaction it committed"
+    for span in applies:
+        assert span.duration == 0  # applied entries are point events
+        assert span.get("term") is not None
+
+
+def test_election_spans_under_a_leader_crash():
+    handle = run_fixed_workload(
+        "algorithm-b",
+        scheduler=chaos_fifo(),
+        num_objects=2,
+        consensus_factor=3,
+        plan=coordinator_failover(leader="coor", at=12, seed=3),
+        run_to_completion=False,
+    )
+    tree = derive_spans(handle.simulation)
+    wins = [span for span in tree.of_kind("election") if span.get("won")]
+    assert wins, "leader crash at cf=3 must produce a re-election span"
+    for span in wins:
+        assert span.actor != "coor"  # the dead leader cannot win
+        assert span.start <= span.end
+        assert span.get("term") is not None
+
+
+def test_reconfig_spans_for_a_committed_membership_change():
+    plan, reconfig = replace_dead_replica()
+    handle = run_fixed_workload(
+        "algorithm-b",
+        scheduler=chaos_fifo(),
+        num_objects=2,
+        replication_factor=3,
+        quorum="majority",
+        plan=plan,
+        reconfig=reconfig,
+        run_to_completion=False,
+    )
+    tree = derive_spans(handle.simulation)
+    committed = [
+        span for span in tree.of_kind("reconfig") if span.get("committed", True)
+    ]
+    assert committed, "the replace-dead-replica change must commit"
+    for span in committed:
+        assert span.start < span.end  # joint window → commit is an interval
+        assert span.get("epoch") is not None
+
+
+def test_tree_navigation_and_signature_shape():
+    handle = run_fixed_workload("algorithm-b", scheduler=FIFOScheduler(), num_objects=2)
+    tree = derive_spans(handle.simulation)
+    assert len(tree) == len(tree.spans)
+    assert tree.span("txn:W1") is not None
+    assert tree.span("txn:NOPE") is None
+    span_rows, edge_rows, undelivered = tree.signature()
+    assert len(span_rows) == len(tree.spans)
+    assert len(edge_rows) == len(tree.edges)
+    assert undelivered == tree.undelivered
+    # msg ids never leak into the signature (they differ across runs)
+    assert "msg_id" not in repr(tree.signature())
+    text = tree.describe()
+    assert text.startswith("SpanTree:")
+    assert "txn:write W1" in text
+
+
+@pytest.mark.parametrize("protocol", ("algorithm-a", "eiger", "s2pl"))
+def test_span_derivation_works_for_coordinator_free_protocols(protocol):
+    handle = run_fixed_workload(protocol, scheduler=FIFOScheduler(), num_objects=2)
+    tree = derive_spans(handle.simulation)
+    assert len(tree.of_kind("txn")) == 4
+    assert tree.of_kind("consensus") == ()
+    assert tree.of_kind("reconfig") == ()

@@ -44,6 +44,7 @@ def run_fixed_workload(
     plan=None,
     reconfig=None,
     controller=None,
+    obs=None,
     run_to_completion: bool = True,
 ):
     """Build, submit the fixed explicit-id workload, run; returns the handle."""
@@ -62,6 +63,7 @@ def run_fixed_workload(
         election_timeout=election_timeout,
         reconfig=reconfig,
         controller=controller,
+        obs=obs,
         fault_plane=FaultInjector(plan, seed=seed) if plan is not None else None,
     )
     w1 = handle.submit_write(

@@ -113,6 +113,32 @@ def test_explicit_reconfig_off_matches_seed(protocol):
         assert signature_hash(handle) == GOLDEN[protocol]["fifo-2obj"], (protocol, reconfig)
 
 
+@pytest.mark.parametrize("protocol", protocol_names())
+def test_explicit_obs_off_matches_seed(protocol):
+    """Passing obs=None explicitly changes nothing, for every protocol: the
+    observability plane's byte-identity contract — no observer installed,
+    no mailbox hooks, no profiler."""
+    handle = run_fixed_workload(protocol, scheduler=FIFOScheduler(), num_objects=2, obs=None)
+    assert handle.simulation.obs is None
+    assert signature_hash(handle) == GOLDEN[protocol]["fifo-2obj"], protocol
+
+
+@pytest.mark.parametrize("protocol", protocol_names())
+def test_enabled_obs_is_trace_invisible(protocol):
+    """The stronger contract: even an *enabled* plane (with the wall-clock
+    profiler on) leaves the trace byte-identical to the seed — the plane
+    only listens, it never appends actions or perturbs the scheduler."""
+    from repro.obs import ObservabilityPlane
+
+    plane = ObservabilityPlane(profile=True)
+    handle = run_fixed_workload(
+        protocol, scheduler=FIFOScheduler(), num_objects=2, obs=plane
+    )
+    assert signature_hash(handle) == GOLDEN[protocol]["fifo-2obj"], protocol
+    # ... and it actually observed the run.
+    assert plane.registry.counter_total("kernel.events") == len(handle.trace())
+
+
 def test_every_protocol_supports_reconfig():
     """The universal-reconfiguration contract: every registered protocol's
     rounds are epoch-aware and every one can spawn dynamic replicas."""
