@@ -42,22 +42,54 @@ from repro.obs import ObservabilityPlane  # noqa: E402
 from repro.protocols import get_protocol, protocol_names  # noqa: E402
 
 SEED = 17
-REPS = 3  # events/sec is best-of-REPS: robust against one noisy rep
+REPS = 5  # events/sec is best-of-REPS: robust against noisy reps (container
+#           wall-clock speed oscillates on a seconds timescale, so each cell
+#           needs several chances to catch an unthrottled window)
 
 
 def throughput_cells():
-    """(protocol, rf, cf) grid: every protocol at the seed setting and under
-    replication; the coordinator protocols additionally consensus-replicated."""
+    """(protocol, rf, cf) grid: every protocol at the seed setting, under
+    replication (rf=3 and the rf=5 scaling point), and — for the coordinator
+    protocols — consensus-replicated (cf=3 and the cf=5 scaling point).  The
+    rf=5/cf=5 cells exist to make the quadratic-vs-linear kernel difference
+    visible: a rebuild-everything poll loop degrades superlinearly in the
+    in-flight event count, the incremental frontier does not."""
     cells = []
     for name in protocol_names():
         cells.append((name, 1, 1))
         cells.append((name, 3, 1))
+        cells.append((name, 5, 1))
         if get_protocol(name).has_coordinator:
             cells.append((name, 3, 3))
+            cells.append((name, 5, 5))
     return cells
 
 
-def run_cell(protocol_name, rf, cf, spec, reps=REPS, obs=None):
+def batched_cells():
+    """The high-fan-out cells re-run with the batching knobs on.
+
+    These rows land in a separate ``batched`` section of the JSON payload —
+    deliberately outside ``grid`` so the bounded-drift gate (which keys on
+    (protocol, rf, cf) and reads only ``grid``) keeps comparing like with
+    like: unbatched against unbatched."""
+    cells = []
+    for name in protocol_names():
+        cells.append((name, 3, 1, True, False))
+        if get_protocol(name).has_coordinator:
+            cells.append((name, 3, 3, True, True))
+    return cells
+
+
+def run_cell(
+    protocol_name,
+    rf,
+    cf,
+    spec,
+    reps=REPS,
+    obs=None,
+    fanout_batching=False,
+    consensus_batching=False,
+):
     """Build + run one cell ``reps`` times; returns (row, handle)."""
     protocol = get_protocol(protocol_name)
     best_rate, elapsed_best, handle = 0.0, None, None
@@ -73,6 +105,10 @@ def run_cell(protocol_name, rf, cf, spec, reps=REPS, obs=None):
             kwargs.update(replication_factor=rf, quorum="majority")
         if cf > 1:
             kwargs.update(consensus_factor=cf)
+        if fanout_batching:
+            kwargs.update(fanout_batching=True)
+        if consensus_batching:
+            kwargs.update(consensus_batching=True)
         if obs is not None:
             kwargs.update(obs=obs)
         handle = protocol.build(**kwargs)
@@ -88,6 +124,8 @@ def run_cell(protocol_name, rf, cf, spec, reps=REPS, obs=None):
         "protocol": protocol_name,
         "replication_factor": rf,
         "consensus_factor": cf,
+        "fanout_batching": fanout_batching,
+        "consensus_batching": consensus_batching,
         "txns": len(handle.transaction_records()),
         "events": handle.simulation.steps_taken,
         "actions": len(handle.trace()),
@@ -101,6 +139,10 @@ def run_cell(protocol_name, rf, cf, spec, reps=REPS, obs=None):
 def regenerate(spec=None, reps=REPS):
     spec = spec or WorkloadSpec(reads_per_reader=6, writes_per_writer=6, seed=SEED)
     rows = [run_cell(name, rf, cf, spec, reps=reps)[0] for name, rf, cf in throughput_cells()]
+    batched_rows = [
+        run_cell(name, rf, cf, spec, reps=reps, fanout_batching=fb, consensus_batching=cb)[0]
+        for name, rf, cf, fb, cb in batched_cells()
+    ]
 
     # One profiled run (obs plane + wall-clock profiler) for the bucket
     # breakdown; separate from the timed reps so instrumentation overhead
@@ -110,32 +152,37 @@ def regenerate(spec=None, reps=REPS):
     profile_report = plane.profiler.report(steps=profiled.simulation.steps_taken)
 
     headers = [
-        "protocol", "rf", "cf", "txns", "events", "actions", "msgs", "events/sec",
+        "protocol", "rf", "cf", "batch", "txns", "events", "actions", "msgs", "events/sec",
     ]
-    table_rows = [
-        [
+
+    def table_row(r):
+        knobs = ("f" if r["fanout_batching"] else "") + ("c" if r["consensus_batching"] else "")
+        return [
             r["protocol"], r["replication_factor"], r["consensus_factor"],
-            r["txns"], r["events"], r["actions"], r["total_messages"],
+            knobs or "-", r["txns"], r["events"], r["actions"], r["total_messages"],
             f"{r['events_per_sec']:,.0f}",
         ]
-        for r in rows
-    ]
-    table = format_table(headers, table_rows)
-    return rows, table, profile_report
+
+    table = format_table(headers, [table_row(r) for r in rows + batched_rows])
+    return rows, batched_rows, table, profile_report
 
 
 def test_kernel_throughput(benchmark):
-    rows, table, profile_report = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    rows, batched_rows, table, profile_report = benchmark.pedantic(
+        regenerate, rounds=1, iterations=1
+    )
     emit("throughput", table + "\n\n" + profile_report)
     emit_json(
         "throughput",
         {
             "grid": rows,
+            "batched": batched_rows,
             "reps": REPS,
             "workload": {"reads_per_reader": 6, "writes_per_writer": 6, "seed": SEED},
         },
     )
     assert len(rows) == len(throughput_cells())
+    assert len(batched_rows) == len(batched_cells())
     for row in rows:
         # run_to_completion already guarantees liveness; pin the shape too.
         assert row["events"] > 0 and row["txns"] > 0, row
@@ -149,20 +196,35 @@ if __name__ == "__main__":
     if quick:
         spec = WorkloadSpec(reads_per_reader=3, writes_per_writer=3, seed=SEED)
         cells = [("algorithm-b", 1, 1), ("algorithm-b", 3, 1), ("algorithm-b", 3, 3)]
-        print("perf-smoke (quick): kernel events/sec")
+        lines = ["perf-smoke (quick): kernel events/sec"]
         for name, rf, cf in cells:
             row, _ = run_cell(name, rf, cf, spec, reps=2)
-            print(
+            lines.append(
                 f"  {name} rf={rf} cf={cf}: {row['events_per_sec']:>10,.0f} events/sec "
                 f"({row['events']} events, {row['elapsed_ms']} ms)"
             )
+        # Per-PR profiler breakdown: where a kernel step's wall time goes
+        # (scheduler poll/choose/dispatch/trace-append).  Printed for the CI
+        # log and written to results/ so the perf-smoke job can upload it as
+        # an artifact — trend-readable across PRs without rerunning anything.
+        plane = ObservabilityPlane(profile=True)
+        _, profiled = run_cell("algorithm-b", 3, 3, spec, reps=1, obs=plane)
+        lines.append("")
+        lines.append("KernelProfiler bucket breakdown (algorithm-b rf=3 cf=3):")
+        lines.append(plane.profiler.report(steps=profiled.simulation.steps_taken))
+        report = "\n".join(lines)
+        print(report)
+        out = Path(__file__).resolve().parent / "results" / "perf_smoke_profile.txt"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report + "\n", encoding="utf-8")
     else:
-        rows, table, profile_report = regenerate()
+        rows, batched_rows, table, profile_report = regenerate()
         emit("throughput", table + "\n\n" + profile_report)
         emit_json(
             "throughput",
             {
                 "grid": rows,
+                "batched": batched_rows,
                 "reps": REPS,
                 "workload": {"reads_per_reader": 6, "writes_per_writer": 6, "seed": SEED},
             },

@@ -21,7 +21,7 @@ Safety invariants maintained here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..ioa.errors import SimulationError
 
@@ -29,6 +29,13 @@ from ..ioa.errors import SimulationError
 #: entries (Raft §5.4.2: a leader only counts replicas for entries of its
 #: own term, so it commits the no-op and everything before it).
 NOOP = "noop"
+
+#: Entry type carrying a *batch* of coordinator requests: the leader packs
+#: every request queued since the last round into one entry, so one commit
+#: round applies them all (see ``ReplicatedCoordinator.append_batching``).
+#: The entry's payload holds a ``requests`` tuple of
+#: ``(request_id, msg_type, payload, client)`` sub-requests.
+BATCH = "cns-batch"
 
 
 @dataclass(frozen=True)
@@ -53,6 +60,23 @@ class LogEntry:
     def is_noop(self) -> bool:
         return self.msg_type == NOOP
 
+    def batch_requests(self) -> Tuple[Tuple[Any, ...], ...]:
+        """The ``(request_id, msg_type, payload, client)`` sub-requests of a
+        :data:`BATCH` entry (empty for ordinary entries)."""
+        if self.msg_type != BATCH:
+            return ()
+        for key, value in self.payload:
+            if key == "requests":
+                return value
+        return ()
+
+    def request_ids(self) -> Tuple[str, ...]:
+        """Every dedup key the entry answers for: its own id plus, for a
+        :data:`BATCH` entry, the ids of the packed sub-requests."""
+        if self.msg_type != BATCH:
+            return (self.request_id,)
+        return (self.request_id,) + tuple(r[0] for r in self.batch_requests())
+
     def describe(self) -> str:
         return f"[t{self.term} {self.request_id}]"
 
@@ -64,6 +88,24 @@ class ConsensusLog:
         self._entries: List[LogEntry] = []
         self.commit_index = 0
         self.last_applied = 0
+        #: request-id refcounts over ``_entries`` (re-proposed entries may
+        #: legitimately appear twice), making :meth:`contains_request` O(1)
+        #: instead of a full-log scan per client request.
+        self._request_ids: Dict[str, int] = {}
+
+    def _register(self, entry: LogEntry) -> None:
+        ids = self._request_ids
+        for request_id in entry.request_ids():
+            ids[request_id] = ids.get(request_id, 0) + 1
+
+    def _unregister(self, entry: LogEntry) -> None:
+        ids = self._request_ids
+        for request_id in entry.request_ids():
+            count = ids.get(request_id, 0) - 1
+            if count > 0:
+                ids[request_id] = count
+            else:
+                ids.pop(request_id, None)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -96,7 +138,7 @@ class ConsensusLog:
         return tuple(self._entries[max(0, index - 1):])
 
     def contains_request(self, request_id: str) -> bool:
-        return any(e.request_id == request_id for e in self._entries)
+        return request_id in self._request_ids
 
     def committed_entries(self) -> Tuple[LogEntry, ...]:
         return tuple(self._entries[: self.commit_index])
@@ -107,6 +149,7 @@ class ConsensusLog:
     def append(self, entry: LogEntry) -> int:
         """Append a new entry (leader path); returns its 1-based index."""
         self._entries.append(entry)
+        self._register(entry)
         return self.last_index
 
     # ------------------------------------------------------------------
@@ -138,8 +181,11 @@ class ConsensusLog:
                         f"consensus log asked to truncate committed entry {index} "
                         f"(commit_index={self.commit_index}): election safety is broken"
                     )
+                for truncated in self._entries[index - 1:]:
+                    self._unregister(truncated)
                 del self._entries[index - 1:]
             self._entries.append(entry)
+            self._register(entry)
 
     # ------------------------------------------------------------------
     # Commit / apply bookkeeping

@@ -170,16 +170,22 @@ class FaultInjector(FaultPlane):
             now = self.now(kernel)
             self._apply_crash_transitions(kernel, now)
             self._release_due(kernel, now)
-            deliveries = kernel.pending_deliveries()
-            timeouts = kernel.pending_timeouts()
             if (
                 kernel.has_pending_invocations()
-                or any(d.ready_at <= now for d in deliveries)
-                or any(t.ready_at <= now for t in timeouts)
+                or kernel.has_ripe_delivery(now)
+                or kernel.has_ripe_timeout(now)
             ):
                 return True
-            boundaries = [d.ready_at for d in deliveries]  # all > now here
-            boundaries.extend(t.ready_at for t in timeouts)  # all > now here
+            # Nothing is ripe: every pending delivery / armed timer has
+            # ready_at > now, so the earliest of each (heap peeks on the
+            # kernel's frontier, not full scans) bounds the next jump.
+            boundaries = []
+            earliest = kernel.next_delivery_boundary()
+            if earliest is not None:
+                boundaries.append(earliest)
+            earliest = kernel.next_timeout_boundary()
+            if earliest is not None:
+                boundaries.append(earliest)
             boundaries.extend(
                 h.release_at for h in self._held if h.release_at is not None and h.release_at > now
             )

@@ -75,16 +75,19 @@ def _freeze_payload(payload: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
     strings); mutable values are tolerated but discouraged because they break
     hashability of the message.
     """
-    items = []
-    for key in sorted(payload):
-        value = payload[key]
-        if isinstance(value, list):
-            value = tuple(value)
-        elif isinstance(value, set):
-            value = frozenset(value)
-        elif isinstance(value, dict):
-            value = tuple(sorted(value.items()))
-        items.append((key, value))
+    if not payload:
+        return ()
+    # Keys are unique, so sorting the items never compares values.
+    items = sorted(payload.items())
+    for i, (key, value) in enumerate(items):
+        if isinstance(value, (list, set, dict)):
+            if isinstance(value, list):
+                value = tuple(value)
+            elif isinstance(value, set):
+                value = frozenset(value)
+            else:
+                value = tuple(sorted(value.items()))
+            items[i] = (key, value)
     return tuple(items)
 
 
@@ -126,7 +129,10 @@ class Message:
 
     def get(self, key: str, default: Any = None) -> Any:
         """Return ``payload[key]`` or ``default``."""
-        return dict(self.items).get(key, default)
+        for item_key, value in self.items:
+            if item_key == key:
+                return value
+        return default
 
     def with_payload(self, **updates: Any) -> "Message":
         """Return a copy with payload keys updated (new ``msg_id``)."""
@@ -177,9 +183,9 @@ class Action:
 
     def get(self, key: str, default: Any = None) -> Any:
         """Look up ``key`` first in ``info`` then in the message payload."""
-        info = dict(self.info)
-        if key in info:
-            return info[key]
+        for info_key, value in self.info:
+            if info_key == key:
+                return value
         if self.message is not None:
             return self.message.get(key, default)
         return default

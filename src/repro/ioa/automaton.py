@@ -46,6 +46,23 @@ class Send:
 
 
 @dataclass
+class SendBatch:
+    """Send several messages as one kernel *flight* and continue immediately.
+
+    Without a fault plane the whole batch is delivered by a single scheduler
+    event, and the replies each destination produces while the flight lands
+    are grouped into one reply event per destination — a quorum round costs
+    roughly two events instead of two per replica.  With a fault plane
+    installed the batch degrades to ordinary per-message sends (latency and
+    drop stamps are per-message).  Purely a performance knob: protocols only
+    yield it when fan-out batching is enabled, and enabling it changes event
+    counts, never results.
+    """
+
+    sends: Sequence[Send] = ()
+
+
+@dataclass
 class Await:
     """Suspend the session until ``count`` matching messages have arrived.
 
@@ -81,7 +98,7 @@ class Mark:
     info: Mapping[str, Any] = field(default_factory=dict)
 
 
-SessionEffect = Any  # Send | Await | Mark
+SessionEffect = Any  # Send | SendBatch | Await | Mark
 SessionGenerator = Generator[SessionEffect, Any, Any]
 
 
@@ -172,6 +189,12 @@ class ClientAutomaton(Automaton):
 
     kind = "client"
 
+    #: fan-out batching knob (see :class:`SendBatch`): when set — via
+    #: ``BuildConfig.fanout_batching`` — quorum-round helpers emit their
+    #: request fan-outs as flights.  Off by default: the default event
+    #: stream stays byte-identical to the unbatched kernel.
+    batch_fanout: bool = False
+
     def run_transaction(self, txn: Any, ctx: "Context") -> SessionGenerator:
         raise NotImplementedError
 
@@ -243,6 +266,13 @@ class Context:
     def internal(self, **info: Any) -> None:
         """Record an internal action at this automaton."""
         self._kernel._record_internal(self._actor, info)
+
+    def flight(self, per_destination: bool = False):
+        """Context manager grouping the messages sent inside it into one
+        kernel flight (see :class:`SendBatch`); a no-op under a fault plane.
+        Reactive automata (servers, the consensus layer) use this for their
+        fan-outs; session code yields :class:`SendBatch` instead."""
+        return self._kernel.flight_scope(per_destination)
 
     def annotate_transaction(self, txn_id: Any, **fields: Any) -> None:
         """Attach protocol-reported metrics to a transaction record."""

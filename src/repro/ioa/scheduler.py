@@ -37,15 +37,22 @@ class PendingDelivery:
     installed fault plane's latency model; ``0`` (the default, and always the
     value on the reliable path) means "deliverable immediately".  Only
     latency-aware schedulers such as the chaos scheduler consult it.
+
+    ``flight`` groups deliveries batched by fan-out batching (see
+    ``Simulation.flight_scope``): choosing any member delivers the whole
+    flight in one kernel event.  ``0`` — the default, and always the value
+    unless a protocol explicitly opted into batching — means unbatched.
     """
 
     message: Message
     enqueued_at: int
     ready_at: int = 0
+    flight: int = 0
 
     def describe(self) -> str:
         when = f", ready @{self.ready_at}" if self.ready_at else ""
-        return f"deliver {self.message.describe()} (enqueued @{self.enqueued_at}{when})"
+        grouped = f", flight #{self.flight}" if self.flight else ""
+        return f"deliver {self.message.describe()} (enqueued @{self.enqueued_at}{when}{grouped})"
 
 
 @dataclass(frozen=True)
@@ -119,8 +126,15 @@ class FIFOScheduler(Scheduler):
     def choose(self, pending: Sequence[PendingEvent], kernel: Any) -> int:
         if not pending:
             raise SchedulerError("choose() called with no pending events")
-        oldest = min(range(len(pending)), key=lambda i: (pending[i].enqueued_at, i))
-        return self.validate_choice(oldest, pending)
+        # Hot path: a plain loop beats min()-with-lambda, and enqueue stamps
+        # are globally unique so first-index-wins tie-breaking never triggers.
+        oldest = 0
+        oldest_at = pending[0].enqueued_at
+        for index in range(1, len(pending)):
+            at = pending[index].enqueued_at
+            if at < oldest_at:
+                oldest, oldest_at = index, at
+        return oldest
 
 
 class LIFOScheduler(Scheduler):
@@ -129,8 +143,13 @@ class LIFOScheduler(Scheduler):
     def choose(self, pending: Sequence[PendingEvent], kernel: Any) -> int:
         if not pending:
             raise SchedulerError("choose() called with no pending events")
-        newest = max(range(len(pending)), key=lambda i: (pending[i].enqueued_at, i))
-        return self.validate_choice(newest, pending)
+        newest = 0
+        newest_at = pending[0].enqueued_at
+        for index in range(1, len(pending)):
+            at = pending[index].enqueued_at
+            if at >= newest_at:
+                newest, newest_at = index, at
+        return newest
 
 
 class RandomScheduler(Scheduler):

@@ -28,9 +28,10 @@ from __future__ import annotations
 import itertools
 import random
 from collections import deque
+from contextlib import contextmanager
 from time import perf_counter
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .actions import (
     Action,
@@ -49,6 +50,7 @@ from .automaton import (
     Context,
     Mark,
     Send,
+    SendBatch,
     SessionState,
 )
 from .errors import (
@@ -59,6 +61,7 @@ from .errors import (
     UnknownProcessError,
     WellFormednessError,
 )
+from .frontier import EventFrontier
 from .network import FaultPlane, Topology
 from .scheduler import (
     FIFOScheduler,
@@ -156,17 +159,33 @@ class Simulation:
 
         self._automata: Dict[str, Automaton] = {}
         self._contexts: Dict[str, Context] = {}
-        self._pending_deliveries: List[PendingDelivery] = []
-        self._pending_timeouts: List[PendingTimeout] = []
+        #: the incrementally maintained pending-event index (deliveries,
+        #: timers, ready invocations) — see :mod:`repro.ioa.frontier`.
+        self._frontier = EventFrontier()
         #: idle-advanced clock for timer ripeness when no fault plane is
         #: installed (see :meth:`now`); never moves backwards.
         self._timeout_clock = 0
         self._client_queues: Dict[str, Deque[_QueuedTransaction]] = {}
+        #: client -> registration index; ready invocations are presented in
+        #: this order (= the old per-step iteration over ``_client_queues``).
+        self._client_order: Dict[str, int] = {}
+        self._client_order_counter = itertools.count(1)
+        #: dependency-triggered invocation readiness: the current queue
+        #: head's ``after`` deps per client, and the reverse index mapping a
+        #: dep txn id to the clients whose head waits on it.  Heads are
+        #: re-evaluated only when a trigger fires (txn completion, head
+        #: change, a dep id materialising as a record) — never per step.
+        self._head_deps: Dict[str, Tuple[Any, ...]] = {}
+        self._dep_waiters: Dict[Any, Set[str]] = {}
         self._sessions: Dict[str, SessionState] = {}
         self._records: Dict[Any, TransactionRecord] = {}
         self._txn_order: List[Any] = []
         self._txn_counter = itertools.count(1)
         self._enqueue_counter = itertools.count(1)
+        #: fan-out batching (flights): open collectors capturing deliveries
+        #: enqueued inside a ``flight_scope``; ids come from the counter.
+        self._flight_counter = itertools.count(1)
+        self._flight_collectors: List[List[PendingDelivery]] = []
         self._steps_taken = 0
         self._started = False
 
@@ -188,6 +207,7 @@ class Simulation:
         self._contexts[automaton.name] = Context(self, automaton.name)
         if isinstance(automaton, ClientAutomaton):
             self._client_queues[automaton.name] = deque()
+            self._client_order[automaton.name] = next(self._client_order_counter)
         if self._started:
             self.trace.append(Action.make(ActionKind.START, automaton.name))
             automaton.on_start(self._contexts[automaton.name])
@@ -213,26 +233,28 @@ class Simulation:
                     f"cannot retire client {name!r} with queued or in-flight transactions"
                 )
         in_flight = [
-            d for d in self._pending_deliveries
+            d for d in self._frontier.deliveries()
             if d.message.dst == name or d.message.src == name
         ]
         if in_flight and not force:
             return False
         if in_flight:
-            self._pending_deliveries = [
-                d for d in self._pending_deliveries
-                if d.message.dst != name and d.message.src != name
-            ]
+            for delivery in in_flight:
+                self._frontier.remove_delivery(delivery)
             if self.obs is not None:
                 for delivery in in_flight:
                     self.obs.on_dequeue(delivery.message)
-        self._pending_timeouts = [t for t in self._pending_timeouts if t.owner != name]
+        self._frontier.remove_timeouts_for_owner(name)
         if self.fault_plane is not None:
             self.fault_plane.on_remove(name, self)
         self.trace.append(internal_action(name, {"lifecycle": "retired"}))
         del self._automata[name]
         del self._contexts[name]
-        self._client_queues.pop(name, None)
+        if self._client_queues.pop(name, None) is not None:
+            order = self._client_order.pop(name, None)
+            if order is not None:
+                self._frontier.clear_ready(order, name)
+            self._unwatch_deps(name)
         self.topology.unregister(name)
         return True
 
@@ -278,7 +300,17 @@ class Simulation:
         record = TransactionRecord(txn_id=txn_id, txn=txn, client=client, submitted_at=next(self._enqueue_counter))
         self._records[txn_id] = record
         self._txn_order.append(txn_id)
-        self._client_queues[client].append(_QueuedTransaction(txn=txn, txn_id=txn_id, after=tuple(after)))
+        queue = self._client_queues[client]
+        queue.append(_QueuedTransaction(txn=txn, txn_id=txn_id, after=tuple(after)))
+        if len(queue) == 1:
+            self._watch_head(client)
+        # A head waiting on this (previously unknown, hence trivially
+        # satisfied) txn id must be re-blocked now that the dep is a real,
+        # incomplete record.
+        waiters = self._dep_waiters.get(txn_id)
+        if waiters:
+            for waiter in tuple(waiters):
+                self._refresh_ready(waiter)
         return txn_id
 
     # ------------------------------------------------------------------
@@ -298,12 +330,12 @@ class Simulation:
         return self._steps_taken
 
     def pending_deliveries(self) -> Tuple[PendingDelivery, ...]:
-        """The in-flight messages (read-only view)."""
-        return tuple(self._pending_deliveries)
+        """The in-flight messages (read-only view, enqueue order)."""
+        return tuple(self._frontier.deliveries())
 
     def pending_timeouts(self) -> Tuple[PendingTimeout, ...]:
-        """The armed-but-unfired timers (read-only view)."""
-        return tuple(self._pending_timeouts)
+        """The armed-but-unfired timers (read-only view, arming order)."""
+        return tuple(self._frontier.timeouts())
 
     def now(self) -> int:
         """The virtual clock timeouts are measured on.
@@ -320,30 +352,43 @@ class Simulation:
     def has_pending_invocations(self) -> bool:
         """Whether any client invocation is currently enabled.
 
-        Cheaper probe than :meth:`pending_events` (no event objects built);
-        used by fault planes that only need to know if work exists.
+        O(1): the frontier's ready set is maintained by the dependency
+        triggers (txn completion, head change, submit), not re-derived here.
         """
-        for client, queue in self._client_queues.items():
-            if not queue or client in self._sessions:
-                continue
-            head = queue[0]
-            if all(self._records[dep].complete for dep in head.after if dep in self._records):
-                return True
-        return False
+        return self._frontier.has_ready_invocation()
+
+    def has_ripe_delivery(self, now: Optional[int] = None) -> bool:
+        """Whether some pending delivery is deliverable at ``now`` (fault
+        planes probe this instead of scanning :meth:`pending_deliveries`)."""
+        return self._frontier.has_ripe_delivery(self.now() if now is None else now)
+
+    def has_ripe_timeout(self, now: Optional[int] = None) -> bool:
+        """Whether some armed timer is ripe at ``now``."""
+        return self._frontier.has_ripe_timeout(self.now() if now is None else now)
+
+    def next_delivery_boundary(self) -> Optional[int]:
+        """Earliest ``ready_at`` among pending deliveries (``0`` = ripe now,
+        ``None`` = none pending) — a heap peek, for fault-plane time jumps."""
+        return self._frontier.next_delivery_ready()
+
+    def next_timeout_boundary(self) -> Optional[int]:
+        """Earliest ``ready_at`` among armed timers (``None`` = none armed)."""
+        return self._frontier.next_timeout_ready()
 
     def extract_deliveries(self, predicate) -> List[PendingDelivery]:
         """Remove and return the pending deliveries matching ``predicate``.
 
         Used by fault planes to pull in-flight messages back out of the
         network (e.g. when their destination server crashes).  The reliable
-        kernel never calls this itself.
+        kernel never calls this itself.  Single pass: the predicate is
+        evaluated once per delivery, and removal is O(1) per match.
         """
-        taken = [d for d in self._pending_deliveries if predicate(d)]
-        if taken:
-            self._pending_deliveries = [d for d in self._pending_deliveries if not predicate(d)]
-            if self.obs is not None:
-                for delivery in taken:
-                    self.obs.on_dequeue(delivery.message)
+        taken = [d for d in self._frontier.deliveries() if predicate(d)]
+        for delivery in taken:
+            self._frontier.remove_delivery(delivery)
+        if taken and self.obs is not None:
+            for delivery in taken:
+                self.obs.on_dequeue(delivery.message)
         return taken
 
     # ------------------------------------------------------------------
@@ -360,27 +405,13 @@ class Simulation:
             automaton.on_start(self._contexts[name])
 
     def pending_events(self) -> List[PendingEvent]:
-        """The events the scheduler may choose from right now."""
-        events: List[PendingEvent] = list(self._pending_deliveries)
-        if self._pending_timeouts:
-            now = self.now()
-            events.extend(t for t in self._pending_timeouts if t.ready_at <= now)
-        for client, queue in self._client_queues.items():
-            if not queue:
-                continue
-            if client in self._sessions:
-                continue  # well-formedness: one outstanding transaction per client
-            head = queue[0]
-            if all(self._records[dep].complete for dep in head.after if dep in self._records):
-                events.append(
-                    PendingInvocation(
-                        client=client,
-                        txn=head.txn,
-                        txn_id=head.txn_id,
-                        enqueued_at=self._records[head.txn_id].submitted_at,
-                    )
-                )
-        return events
+        """The events the scheduler may choose from right now.
+
+        Presented in the canonical order — deliveries in enqueue order, ripe
+        timeouts in arming order, ready invocations in client-registration
+        order — exactly as the pre-frontier per-step rebuild produced them.
+        """
+        return self._frontier.events(self.now)
 
     def step(self) -> bool:
         """Execute one scheduler-chosen event.  Returns ``False`` if idle."""
@@ -392,14 +423,14 @@ class Simulation:
         pending = self.pending_events()
         if not pending and self.fault_plane is not None and self.fault_plane.on_idle(self):
             pending = self.pending_events()
-        if not pending and self.fault_plane is None and self._pending_timeouts:
+        if not pending and self.fault_plane is None and self._frontier.has_timeouts():
             # Idle but timers are armed: fast-forward to the earliest one
             # (with a fault plane installed, on_idle above does this jump
             # boundary-by-boundary so faults stay ordered with timers).
-            self._timeout_clock = max(
-                self._timeout_clock, min(t.ready_at for t in self._pending_timeouts)
-            )
-            pending = self.pending_events()
+            earliest = self._frontier.next_timeout_ready()
+            if earliest is not None:
+                self._timeout_clock = max(self._timeout_clock, earliest)
+                pending = self.pending_events()
         if profiler is not None:
             profiler.add("poll", perf_counter() - stamp)
         if not pending:
@@ -418,12 +449,15 @@ class Simulation:
         event = pending[choice]
         self._steps_taken += 1
         if isinstance(event, PendingDelivery):
-            self._pending_deliveries.remove(event)
+            self._frontier.remove_delivery(event)
             if self.obs is not None:
                 self.obs.on_dequeue(event.message)
-            self._deliver(event.message)
+            if event.flight:
+                self._deliver_flight(event)
+            else:
+                self._deliver(event.message)
         elif isinstance(event, PendingTimeout):
-            self._pending_timeouts.remove(event)
+            self._frontier.remove_timeout(event)
             self._fire_timeout(event)
         elif isinstance(event, PendingInvocation):
             queue = self._client_queues[event.client]
@@ -471,10 +505,68 @@ class Simulation:
         delivery = PendingDelivery(
             message=message, enqueued_at=next(self._enqueue_counter), ready_at=ready_at
         )
-        self._pending_deliveries.append(delivery)
+        self._frontier.add_delivery(delivery)
+        if self._flight_collectors:
+            self._flight_collectors[-1].append(delivery)
         if self.obs is not None:
             self.obs.on_enqueue(delivery)
         return delivery
+
+    @contextmanager
+    def flight_scope(self, per_destination: bool = False):
+        """Batch the deliveries enqueued inside into kernel *flights*.
+
+        A flight is delivered by a single scheduler event (see
+        :meth:`_deliver_flight`), cutting per-message event overhead for
+        quorum fan-out.  ``per_destination`` groups by recipient (one flight
+        per destination — the fan-in shape) instead of one flight overall.
+        Under a fault plane this is a no-op: latency/drop stamps are
+        per-message, so joint delivery would reorder faults — batching
+        silently degrades to ordinary per-message events.  Scopes nest;
+        each delivery joins only the innermost open scope.
+        """
+        if self.fault_plane is not None:
+            yield
+            return
+        collector: List[PendingDelivery] = []
+        self._flight_collectors.append(collector)
+        try:
+            yield
+        finally:
+            self._flight_collectors.pop()
+            self._assign_flights(collector, per_destination)
+
+    def _assign_flights(self, collected: List[PendingDelivery], per_destination: bool) -> None:
+        fresh = [d for d in collected if d.flight == 0]
+        if per_destination:
+            groups: Dict[str, List[PendingDelivery]] = {}
+            for delivery in fresh:
+                groups.setdefault(delivery.message.dst, []).append(delivery)
+            batches: Iterable[List[PendingDelivery]] = groups.values()
+        else:
+            batches = [fresh]
+        for batch in batches:
+            if len(batch) < 2:
+                continue  # a singleton gains nothing from a flight
+            flight = next(self._flight_counter)
+            for delivery in batch:
+                self._frontier.reflight(delivery, flight)
+
+    def _deliver_flight(self, event: PendingDelivery) -> None:
+        """Deliver a whole flight in one kernel event.
+
+        The chosen delivery lands first, then its remaining flight siblings
+        in enqueue order.  Replies enqueued while the flight lands are
+        themselves grouped per destination into fresh flights, so a quorum
+        round's fan-in also costs one event per replica set.
+        """
+        siblings = self._frontier.take_flight(event.flight)
+        with self.flight_scope(per_destination=True):
+            self._deliver(event.message)
+            for delivery in siblings:
+                if self.obs is not None:
+                    self.obs.on_dequeue(delivery.message)
+                self._deliver(delivery.message)
 
     def set_timeout(self, owner: str, delay: int, info: Mapping[str, Any]) -> PendingTimeout:
         """Arm a timer for ``owner`` to fire ``delay`` virtual-time steps from
@@ -487,7 +579,7 @@ class Simulation:
             enqueued_at=next(self._enqueue_counter),
             ready_at=self.now() + max(1, int(delay)),
         )
-        self._pending_timeouts.append(timeout)
+        self._frontier.add_timeout(timeout)
         return timeout
 
     def reschedule_timeout(self, timeout: PendingTimeout, ready_at: int) -> PendingTimeout:
@@ -499,7 +591,7 @@ class Simulation:
             enqueued_at=next(self._enqueue_counter),
             ready_at=max(int(ready_at), timeout.ready_at),
         )
-        self._pending_timeouts.append(later)
+        self._frontier.add_timeout(later)
         return later
 
     def _fire_timeout(self, timeout: PendingTimeout) -> None:
@@ -578,6 +670,55 @@ class Simulation:
             return
         automaton.on_message(message, ctx)
 
+    # -- dependency-triggered invocation readiness ----------------------
+    def _watch_head(self, client: str) -> None:
+        """Re-point dependency tracking at ``client``'s current queue head
+        and re-evaluate its readiness.  Called whenever the head changes."""
+        self._unwatch_deps(client)
+        queue = self._client_queues.get(client)
+        if queue:
+            head = queue[0]
+            if head.after:
+                self._head_deps[client] = head.after
+                for dep in head.after:
+                    self._dep_waiters.setdefault(dep, set()).add(client)
+        self._refresh_ready(client)
+
+    def _unwatch_deps(self, client: str) -> None:
+        old = self._head_deps.pop(client, None)
+        if old:
+            for dep in old:
+                waiters = self._dep_waiters.get(dep)
+                if waiters is not None:
+                    waiters.discard(client)
+                    if not waiters:
+                        del self._dep_waiters[dep]
+
+    def _refresh_ready(self, client: str) -> None:
+        """Recompute whether ``client``'s queue head is invocable and update
+        the frontier's ready set accordingly."""
+        order = self._client_order.get(client)
+        if order is None:
+            return
+        queue = self._client_queues.get(client)
+        if not queue or client in self._sessions:
+            self._frontier.clear_ready(order, client)
+            return
+        head = queue[0]
+        records = self._records
+        if all(records[dep].complete for dep in head.after if dep in records):
+            self._frontier.set_ready(
+                order,
+                PendingInvocation(
+                    client=client,
+                    txn=head.txn,
+                    txn_id=head.txn_id,
+                    enqueued_at=records[head.txn_id].submitted_at,
+                ),
+            )
+        else:
+            self._frontier.clear_ready(order, client)
+
     def _invoke(self, client: str, txn: Any, txn_id: Any) -> None:
         automaton = self.automaton(client)
         if not isinstance(automaton, ClientAutomaton):
@@ -595,6 +736,9 @@ class Simulation:
         generator = automaton.run_transaction(txn, ctx)
         session = SessionState(txn=txn, txn_id=txn_id, client=client, generator=generator)
         self._sessions[client] = session
+        # The invoked txn left the queue: watch the next head (it cannot be
+        # ready while this session runs — one outstanding txn per client).
+        self._watch_head(client)
         self._advance_session(session, None)
 
     def _resume_session(self, session: SessionState) -> None:
@@ -620,6 +764,13 @@ class Simulation:
                 send_value = None
                 if isinstance(effect, Send):
                     self._send_from(session.client, effect.dst, effect.msg_type, effect.payload, effect.phase)
+                    continue
+                if isinstance(effect, SendBatch):
+                    with self.flight_scope():
+                        for send in effect.sends:
+                            self._send_from(
+                                session.client, send.dst, send.msg_type, send.payload, send.phase
+                            )
                     continue
                 if isinstance(effect, Mark):
                     self._record_internal(session.client, dict(effect.info))
@@ -648,6 +799,14 @@ class Simulation:
         if self.fault_plane is not None:
             record.respond_vtime = self.fault_plane.now(self)
         self._sessions.pop(session.client, None)
+        # Completion triggers: wake the heads waiting on this txn (the dep
+        # is complete for good, so the reverse-index entry can be dropped)
+        # and re-evaluate this client's own next head.
+        waiters = self._dep_waiters.pop(session.txn_id, None)
+        if waiters:
+            for waiter in tuple(waiters):
+                self._refresh_ready(waiter)
+        self._refresh_ready(session.client)
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -47,8 +47,19 @@ class Trace:
     # Basic container protocol
     # ------------------------------------------------------------------
     def append(self, action: Action) -> Action:
-        """Append ``action``, re-stamping its index; returns the stored copy."""
-        stamped = action.with_index(len(self._actions))
+        """Append ``action``, re-stamping its index; returns the stored copy.
+
+        Freshly built actions (index ``-1``, never shared) are stamped in
+        place instead of copied — the kernel appends one per trace action, so
+        the copy was pure overhead.  Actions that already carry an index
+        (fragment replays, trace copies) still get a fresh stamped copy.
+        """
+        index = len(self._actions)
+        if action.index == -1:
+            object.__setattr__(action, "index", index)
+            stamped = action
+        else:
+            stamped = action.with_index(index)
         self._actions.append(stamped)
         if self._observer is not None:
             self._observer(stamped)

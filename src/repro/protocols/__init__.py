@@ -11,6 +11,7 @@ from .naive_snow import NaiveReader, NaiveServer, NaiveSnowCandidate, NaiveWrite
 from .occ import OccProtocol, OccReader, OccServer, OccWriter
 from .replication import (
     ReplicatedStorageServer,
+    emit_sends,
     key_read_round,
     per_object_reply_await,
     write_value_round,
@@ -59,6 +60,7 @@ __all__ = [
     "OccServer",
     "OccWriter",
     "ReplicatedStorageServer",
+    "emit_sends",
     "key_read_round",
     "per_object_reply_await",
     "write_value_round",

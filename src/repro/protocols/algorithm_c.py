@@ -54,6 +54,7 @@ from .coordinated import (
 )
 from .replication import (
     default_policy,
+    emit_sends,
     epoch_quorum_round,
     key_read_round,
     per_object_reply_await,
@@ -105,6 +106,7 @@ class AlgorithmCReader(ReaderAutomaton):
         )
 
         # Single phase: read-values-and-tags -----------------------------------
+        sends = []
         for object_id in read_set:
             for replica in read_targets[object_id]:
                 payload: Dict[str, Any] = {"txn": txn.txn_id, "object": object_id}
@@ -112,20 +114,25 @@ class AlgorithmCReader(ReaderAutomaton):
                     # combine the data request and the tag-array request
                     payload["want_tags"] = True
                     payload["read_set"] = read_set
-                yield Send(
-                    dst=replica,
-                    msg_type="read-vals",
-                    payload=payload,
-                    phase="read-values-and-tags",
+                sends.append(
+                    Send(
+                        dst=replica,
+                        msg_type="read-vals",
+                        payload=payload,
+                        phase="read-values-and-tags",
+                    )
                 )
         if not coordinator_holds_read_object:
             for target in self.coordinator_group:
-                yield Send(
-                    dst=target,
-                    msg_type="get-tag-arr",
-                    payload={"txn": txn.txn_id, "read_set": read_set},
-                    phase="read-values-and-tags",
+                sends.append(
+                    Send(
+                        dst=target,
+                        msg_type="get-tag-arr",
+                        payload={"txn": txn.txn_id, "read_set": read_set},
+                        phase="read-values-and-tags",
+                    )
                 )
+        yield from emit_sends(sends, self.batch_fanout)
         replies = yield per_object_reply_await(
             txn.txn_id,
             read_set,
@@ -205,6 +212,7 @@ class AlgorithmCReader(ReaderAutomaton):
             extra_ready=_tag_seen,
             description="values and tag array",
             unfiltered_types=("tag-arr-reply",),
+            batch=self.batch_fanout,
         )
         return replies
 
@@ -255,6 +263,7 @@ class AlgorithmCReader(ReaderAutomaton):
                 phase="read-value-fallback",
                 directory=self.directory,
                 ctx=ctx,
+                batch=self.batch_fanout,
             )
             values.update(fallback_values)
 

@@ -94,6 +94,15 @@ class BuildConfig:
     #: plane is a passive listener, so the trace stays byte-identical —
     #: see :mod:`repro.obs`)
     obs: Optional[Any] = None
+    #: batch each quorum fan-out into one kernel flight (one scheduler event
+    #: delivers the whole round; see :func:`repro.protocols.replication.
+    #: emit_sends`).  Off by default: batching coalesces events, so every
+    #: golden-pinned trace is recorded with it off.
+    fanout_batching: bool = False
+    #: pack queued consensus requests into one log entry per commit round
+    #: (see :attr:`repro.consensus.coordinator.ReplicatedCoordinator.
+    #: append_batching`); needs ``consensus_factor >= 2``.  Off by default.
+    consensus_batching: bool = False
 
     def objects(self) -> Tuple[str, ...]:
         return object_names(self.num_objects)
@@ -315,6 +324,11 @@ class Protocol:
                 f"protocol {self.name} has no coordinator/metadata service to replicate "
                 f"(consensus_factor={config.consensus_factor} needs one)"
             )
+        if config.consensus_batching and config.consensus_factor < 2:
+            raise ValueError(
+                "consensus_batching packs replicated-coordinator log entries; "
+                "it needs consensus_factor >= 2 (there is no log at factor 1)"
+            )
         if config.controller is not None:
             if not self.supports_reconfig:
                 raise ValueError(
@@ -396,6 +410,8 @@ class Protocol:
         reconfig: Optional[ReconfigPlan] = None,
         controller: Optional[ControllerPolicy] = None,
         obs: Optional[Any] = None,
+        fanout_batching: bool = False,
+        consensus_batching: bool = False,
     ) -> SystemHandle:
         """Instantiate the protocol as a ready-to-run system.
 
@@ -437,6 +453,8 @@ class Protocol:
             reconfig=reconfig,
             controller=controller,
             obs=obs,
+            fanout_batching=fanout_batching,
+            consensus_batching=consensus_batching,
         )
         self.validate_config(config)
         allow_c2c = config.c2c if config.c2c is not None else self.default_c2c()
@@ -455,6 +473,8 @@ class Protocol:
             obs=config.obs,
         )
         simulation.add_automata(self.make_automata(config))
+        if config.fanout_batching or config.consensus_batching:
+            self._apply_batching(config, simulation)
         directory = None
         if (
             config.reconfig is not None and config.reconfig.requests
@@ -463,6 +483,21 @@ class Protocol:
         return SystemHandle(
             protocol=self, simulation=simulation, config=config, directory=directory
         )
+
+    def _apply_batching(self, config: BuildConfig, simulation: Simulation) -> None:
+        """Flip the batching knobs on the freshly built automata.
+
+        Post-build injection (like the placement directory): clients carrying
+        a ``batch_fanout`` attribute get the fan-out knob, consensus members
+        carrying ``append_batching`` get the log-packing knob — automata
+        without the attribute (servers, drivers) are untouched, so protocols
+        opt in simply by reading the class attributes.
+        """
+        for automaton in simulation.automata():
+            if config.fanout_batching and hasattr(automaton, "batch_fanout"):
+                automaton.batch_fanout = True
+            if config.consensus_batching and hasattr(automaton, "append_batching"):
+                automaton.append_batching = True
 
     def _install_reconfig(
         self, config: BuildConfig, placement: Placement, simulation: Simulation
@@ -497,7 +532,7 @@ class Protocol:
             bootstrap = config.consensus_group()[0]
 
             def consensus_member_factory(name, union, _protocol=self):
-                return ReplicatedCoordinator(
+                member = ReplicatedCoordinator(
                     name=name,
                     group=union,
                     machine=_protocol.make_consensus_machine(config),
@@ -505,6 +540,10 @@ class Protocol:
                     election_timeout=timeout,
                     bootstrap_leader=bootstrap,
                 )
+                # Mid-run members inherit the build's batching knobs.
+                member.append_batching = config.consensus_batching
+                member.batch_fanout = config.fanout_batching
+                return member
 
         driver = ReconfigDriver(
             plan=config.reconfig if config.reconfig is not None else ReconfigPlan(),

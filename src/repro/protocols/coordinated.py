@@ -50,6 +50,7 @@ from ..txn.transactions import WriteTransaction, WRITE_OK
 from .replication import (
     ReplicatedStorageServer,
     default_policy,
+    emit_sends,
     placement_or_single_copy,
     write_value_round,
 )
@@ -148,18 +149,23 @@ class CoordinatedWriter(WriterAutomaton):
         # write-value phase (a write quorum per written object) --------------
         yield from write_value_round(
             txn.txn_id, tuple(txn.updates), key, self.placement, self.policy,
-            directory=self.directory, ctx=ctx,
+            directory=self.directory, ctx=ctx, batch=self.batch_fanout,
         )
         # update-coor phase (broadcast to the coordinator group; only the
         # consensus leader answers, once the entry committed) -----------------
         bits = tuple((obj, 1 if obj in dict(txn.updates) else 0) for obj in self.objects)
-        for target in self._coordinator_targets():
-            yield Send(
-                dst=target,
-                msg_type="update-coor",
-                payload={"txn": txn.txn_id, "key": key, "bits": bits},
-                phase="update-coor",
-            )
+        yield from emit_sends(
+            [
+                Send(
+                    dst=target,
+                    msg_type="update-coor",
+                    payload={"txn": txn.txn_id, "key": key, "bits": bits},
+                    phase="update-coor",
+                )
+                for target in self._coordinator_targets()
+            ],
+            self.batch_fanout,
+        )
         acks = yield Await(
             matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "ack-coor" and m.get("txn") == txn_id,
             count=1,

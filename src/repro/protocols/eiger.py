@@ -47,6 +47,7 @@ from .replication import (
     _note_epoch_retry,
     check_epoch_retry_budget,
     default_policy,
+    emit_sends,
     epoch_quorum_round,
     per_object_reply_await,
     placement_or_single_copy,
@@ -262,19 +263,22 @@ class EigerWriter(WriterAutomaton):
                     obj: directory.write_needed(obj) for obj, _ in updates
                 },
                 description="write acks",
+                batch=self.batch_fanout,
             )
             self.clock = max([self.clock] + [int(a.get("ts", 0)) for a in acks]) + 1
             return WRITE_OK
-        sends = 0
-        for object_id, value in txn.updates:
-            for replica in self.placement.group(object_id):
-                sends += 1
-                yield Send(
-                    dst=replica,
-                    msg_type="eiger-write",
-                    payload={"txn": txn.txn_id, "object": object_id, "value": value, "ts": self.clock},
-                    phase="write",
-                )
+        write_sends = [
+            Send(
+                dst=replica,
+                msg_type="eiger-write",
+                payload={"txn": txn.txn_id, "object": object_id, "value": value, "ts": self.clock},
+                phase="write",
+            )
+            for object_id, value in txn.updates
+            for replica in self.placement.group(object_id)
+        ]
+        sends = len(write_sends)
+        yield from emit_sends(write_sends, self.batch_fanout)
         acks = yield Await(
             matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "eiger-write-ack" and m.get("txn") == txn_id,
             count=sends,
@@ -372,6 +376,7 @@ class EigerReader(ReaderAutomaton):
                 },
                 description="round-1 replies",
                 start_attempt=attempt,
+                batch=self.batch_fanout,
             )
             self.clock = max([self.clock] + [int(r.get("ts", 0)) for r in replies]) + 1
             values, intervals, chosen_replica = self._select_round1(replies)
@@ -436,14 +441,19 @@ class EigerReader(ReaderAutomaton):
             result = yield from self._run_epoch(txn, ctx)
             return result
         # Round 1: latest values with validity intervals --------------------------
-        for object_id in txn.objects:
-            for replica in self.placement.group(object_id):
-                yield Send(
+        yield from emit_sends(
+            [
+                Send(
                     dst=replica,
                     msg_type="eiger-read",
                     payload={"txn": txn.txn_id, "object": object_id, "ts": self.clock},
                     phase="read-round-1",
                 )
+                for object_id in txn.objects
+                for replica in self.placement.group(object_id)
+            ],
+            self.batch_fanout,
+        )
         replies = yield per_object_reply_await(
             txn.txn_id,
             tuple(txn.objects),

@@ -56,7 +56,12 @@ from ..txn.placement import Placement
 from ..txn.transactions import ReadResult, ReadTransaction, WriteTransaction, WRITE_OK
 from .base import BuildConfig, Protocol
 from .coordinated import consensus_members_for, coordinator_targets, live_coordinator_targets
-from .replication import DirectoryAwareServer, epoch_quorum_round, placement_or_single_copy
+from .replication import (
+    DirectoryAwareServer,
+    emit_sends,
+    epoch_quorum_round,
+    placement_or_single_copy,
+)
 
 
 class OccServer(DirectoryAwareServer, ServerAutomaton):
@@ -187,13 +192,18 @@ class OccWriter(WriterAutomaton):
     def run_transaction(self, txn: WriteTransaction, ctx: Context):
         if not isinstance(txn, WriteTransaction):
             raise SimulationError(f"writer {self.name} received a non-WRITE transaction {txn!r}")
-        for target in live_coordinator_targets(self.directory, self.timestamp_group):
-            yield Send(
-                dst=target,
-                msg_type="get-ts",
-                payload={"txn": txn.txn_id},
-                phase="get-timestamp",
-            )
+        yield from emit_sends(
+            [
+                Send(
+                    dst=target,
+                    msg_type="get-ts",
+                    payload={"txn": txn.txn_id},
+                    phase="get-timestamp",
+                )
+                for target in live_coordinator_targets(self.directory, self.timestamp_group)
+            ],
+            self.batch_fanout,
+        )
         replies = yield Await(
             matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "ts-reply" and m.get("txn") == txn_id,
             count=1,
@@ -205,22 +215,24 @@ class OccWriter(WriterAutomaton):
             yield from self._epoch_install_round(txn, timestamp, write_set, ctx)
             ctx.annotate_transaction(txn.txn_id, protocol="occ", timestamp=timestamp)
             return WRITE_OK
-        installs = 0
-        for object_id, value in txn.updates:
-            for replica in self.placement.group(object_id):
-                installs += 1
-                yield Send(
-                    dst=replica,
-                    msg_type="install",
-                    payload={
-                        "txn": txn.txn_id,
-                        "object": object_id,
-                        "value": value,
-                        "timestamp": timestamp,
-                        "write_set": write_set,
-                    },
-                    phase="install",
-                )
+        sends = [
+            Send(
+                dst=replica,
+                msg_type="install",
+                payload={
+                    "txn": txn.txn_id,
+                    "object": object_id,
+                    "value": value,
+                    "timestamp": timestamp,
+                    "write_set": write_set,
+                },
+                phase="install",
+            )
+            for object_id, value in txn.updates
+            for replica in self.placement.group(object_id)
+        ]
+        installs = len(sends)
+        yield from emit_sends(sends, self.batch_fanout)
         yield Await(
             matcher=lambda m, txn_id=txn.txn_id: m.msg_type == "install-ack" and m.get("txn") == txn_id,
             count=installs,
@@ -267,6 +279,7 @@ class OccWriter(WriterAutomaton):
             reply_types=("install-ack",),
             needs_factory=lambda: {obj: directory.write_needed(obj) for obj, _ in updates},
             description="install acks",
+            batch=self.batch_fanout,
         )
 
 
@@ -304,16 +317,18 @@ class OccReader(ReaderAutomaton):
         self.max_attempts = max_attempts
 
     def _collect(self, txn: ReadTransaction, attempt: int):
-        targets = 0
-        for object_id in txn.objects:
-            for replica in self.placement.group(object_id):
-                targets += 1
-                yield Send(
-                    dst=replica,
-                    msg_type="collect",
-                    payload={"txn": txn.txn_id, "object": object_id, "attempt": attempt},
-                    phase="collect",
-                )
+        sends = [
+            Send(
+                dst=replica,
+                msg_type="collect",
+                payload={"txn": txn.txn_id, "object": object_id, "attempt": attempt},
+                phase="collect",
+            )
+            for object_id in txn.objects
+            for replica in self.placement.group(object_id)
+        ]
+        targets = len(sends)
+        yield from emit_sends(sends, self.batch_fanout)
         replies = yield Await(
             matcher=lambda m, txn_id=txn.txn_id, a=attempt: m.msg_type == "collect-reply"
             and m.get("txn") == txn_id
@@ -372,6 +387,7 @@ class OccReader(ReaderAutomaton):
             },
             description=f"collect (from #{start_attempt + 1})",
             start_attempt=start_attempt,
+            batch=self.batch_fanout,
         )
         snapshot: Dict[str, Dict[str, Any]] = {}
         for reply in replies:

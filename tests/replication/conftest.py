@@ -45,6 +45,8 @@ def run_fixed_workload(
     reconfig=None,
     controller=None,
     obs=None,
+    fanout_batching: bool = False,
+    consensus_batching: bool = False,
     run_to_completion: bool = True,
 ):
     """Build, submit the fixed explicit-id workload, run; returns the handle."""
@@ -64,6 +66,8 @@ def run_fixed_workload(
         reconfig=reconfig,
         controller=controller,
         obs=obs,
+        fanout_batching=fanout_batching,
+        consensus_batching=consensus_batching,
         fault_plane=FaultInjector(plan, seed=seed) if plan is not None else None,
     )
     w1 = handle.submit_write(

@@ -1,0 +1,209 @@
+"""Batched quorum fan-out and batched consensus appends.
+
+Two independent knobs, both **off by default** (the golden-signature suite
+pins the default traces, so any leak of batching into the default path fails
+there, not here):
+
+* ``fanout_batching`` — a quorum round's parallel sends travel as one
+  scheduler event (:class:`repro.ioa.SendBatch` / kernel flights), so the
+  scheduler chooses once per round instead of once per replica;
+* ``consensus_batching`` — a replicated-coordinator leader packs requests
+  that arrive while a commit round is in flight into a single ``cns-batch``
+  log entry, preserving exactly-once application per sub-request.
+
+What this suite pins down: the knobs default off, batched runs stay
+deterministic (same build + same workload ⇒ same msg-id-free trace
+signature), batching actually reduces scheduler steps / log length, and
+every safety verdict (SNOW, strict serializability, the shared invariant
+checker via the autouse fixture) holds with the knobs on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.log import BATCH
+from repro.ioa import FIFOScheduler, RandomScheduler
+from repro.protocols import BuildConfig, get_protocol
+
+from tests import invariants
+from tests.replication.conftest import run_fixed_workload
+
+REPLICATED = [
+    "algorithm-a",
+    "algorithm-b",
+    "algorithm-c",
+    "occ-double-collect",
+    "eiger",
+    "naive-snow",
+]
+COORDINATED = ["algorithm-b", "algorithm-c", "occ-double-collect"]
+
+
+def signatures_equal(a, b) -> bool:
+    return a.trace().signature() == b.trace().signature()
+
+
+# ----------------------------------------------------------------------
+# Knob defaults
+# ----------------------------------------------------------------------
+def test_batching_knobs_default_off():
+    config = BuildConfig()
+    assert config.fanout_batching is False
+    assert config.consensus_batching is False
+
+
+def test_default_build_leaves_automata_unbatched():
+    handle = run_fixed_workload("algorithm-b", replication_factor=3, quorum="majority")
+    for automaton in handle.simulation.automata():
+        assert getattr(automaton, "batch_fanout", False) is False
+        assert getattr(automaton, "append_batching", False) is False
+
+
+def test_consensus_batching_requires_a_log():
+    with pytest.raises(ValueError, match="consensus_factor"):
+        get_protocol("algorithm-b").build(consensus_factor=1, consensus_batching=True)
+
+
+# ----------------------------------------------------------------------
+# Batched quorum fan-out
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", REPLICATED)
+def test_fanout_batching_is_deterministic(protocol):
+    runs = [
+        run_fixed_workload(
+            protocol, replication_factor=3, quorum="majority", fanout_batching=True
+        )
+        for _ in range(2)
+    ]
+    assert signatures_equal(*runs)
+
+
+@pytest.mark.parametrize("protocol", REPLICATED)
+def test_fanout_batching_reduces_scheduler_steps(protocol):
+    plain = run_fixed_workload(protocol, replication_factor=3, quorum="majority")
+    batched = run_fixed_workload(
+        protocol, replication_factor=3, quorum="majority", fanout_batching=True
+    )
+    assert batched.simulation.steps_taken < plain.simulation.steps_taken
+
+
+@pytest.mark.parametrize("protocol", REPLICATED)
+def test_fanout_batching_preserves_verdicts(protocol):
+    handle = run_fixed_workload(
+        protocol, replication_factor=3, quorum="majority", fanout_batching=True
+    )
+    assert handle.serializability().ok
+    assert handle.snow_report().non_blocking
+    # every transaction of the fixed workload still completes
+    assert all(r.complete for r in handle.transaction_records())
+
+
+def test_fanout_batching_random_schedule_verdicts():
+    """Flights must not smuggle ordering past an adversarial scheduler."""
+    handle = run_fixed_workload(
+        "algorithm-b",
+        scheduler=RandomScheduler(seed=23),
+        replication_factor=3,
+        quorum="majority",
+        fanout_batching=True,
+    )
+    assert handle.serializability().ok
+    assert all(r.complete for r in handle.transaction_records())
+
+
+# ----------------------------------------------------------------------
+# Batched consensus appends
+# ----------------------------------------------------------------------
+def burst_workload(protocol_name, consensus_batching, seed=3):
+    """A write burst against a replicated coordinator (cf=3).
+
+    The writes carry no dependencies, so coordinator requests pile up while
+    the leader's first commit round is still in flight — exactly the window
+    ``append_batching`` packs into one log entry.
+    """
+    handle = get_protocol(protocol_name).build(
+        num_readers=2,
+        num_writers=3,
+        num_objects=2,
+        scheduler=FIFOScheduler(),
+        seed=seed,
+        replication_factor=3,
+        quorum="majority",
+        consensus_factor=3,
+        consensus_batching=consensus_batching,
+    )
+    for i in range(6):
+        handle.submit_write(
+            {obj: f"v{i}-{obj}" for obj in handle.objects},
+            writer=handle.writers[i % len(handle.writers)],
+            txn_id=f"W{i}",
+        )
+    handle.submit_read(handle.objects, reader=handle.readers[0], txn_id="R1")
+    handle.submit_read(handle.objects, reader=handle.readers[1], txn_id="R2")
+    handle.run_to_completion()
+    return invariants.register(handle)
+
+
+def member_logs(handle):
+    return [handle.simulation.automaton(name).log for name in handle.consensus_group]
+
+
+@pytest.mark.parametrize("protocol", COORDINATED)
+def test_consensus_batching_packs_a_batch_entry(protocol):
+    handle = burst_workload(protocol, consensus_batching=True)
+    entries = [e for log in member_logs(handle) for e in log.entries]
+    assert any(e.msg_type == BATCH for e in entries), (
+        "a six-write burst at cf=3 should force at least one packed append"
+    )
+
+
+@pytest.mark.parametrize("protocol", COORDINATED)
+def test_consensus_batching_shortens_the_log(protocol):
+    plain = burst_workload(protocol, consensus_batching=False)
+    batched = burst_workload(protocol, consensus_batching=True)
+    assert max(log.last_index for log in member_logs(batched)) < max(
+        log.last_index for log in member_logs(plain)
+    )
+
+
+@pytest.mark.parametrize("protocol", COORDINATED)
+def test_consensus_batching_applies_exactly_once(protocol):
+    handle = burst_workload(protocol, consensus_batching=True)
+    assert all(r.complete for r in handle.transaction_records())
+    assert handle.serializability().ok
+    # No request id — batched sub-request or plain entry — commits twice.
+    for log in member_logs(handle):
+        seen = set()
+        for entry in log.committed_entries():
+            for request_id in entry.request_ids():
+                assert request_id not in seen, f"{request_id} committed twice"
+                seen.add(request_id)
+
+
+@pytest.mark.parametrize("protocol", COORDINATED)
+def test_consensus_batching_is_deterministic(protocol):
+    runs = [burst_workload(protocol, consensus_batching=True) for _ in range(2)]
+    assert signatures_equal(*runs)
+
+
+def test_both_knobs_compose():
+    handle = run_fixed_workload(
+        "algorithm-b",
+        replication_factor=3,
+        quorum="majority",
+        consensus_factor=3,
+        fanout_batching=True,
+        consensus_batching=True,
+    )
+    assert handle.serializability().ok
+    assert all(r.complete for r in handle.transaction_records())
+    again = run_fixed_workload(
+        "algorithm-b",
+        replication_factor=3,
+        quorum="majority",
+        consensus_factor=3,
+        fanout_batching=True,
+        consensus_batching=True,
+    )
+    assert signatures_equal(handle, again)
