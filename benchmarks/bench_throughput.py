@@ -212,11 +212,31 @@ if __name__ == "__main__":
         lines.append("")
         lines.append("KernelProfiler bucket breakdown (algorithm-b rf=3 cf=3):")
         lines.append(plane.profiler.report(steps=profiled.simulation.steps_taken))
+        # One monitors-on cell (streaming invariants + health/SLO plane):
+        # the cheap per-PR check that the online monitors stay silent on a
+        # clean run, plus the health report the CI job uploads as an
+        # artifact — SLO attainment trend-readable across PRs.
+        watched = ObservabilityPlane(monitors=True, health=True)
+        row, _ = run_cell("algorithm-b", 3, 3, spec, reps=1, obs=watched)
+        alerts = watched.monitors.alerts
+        lines.append("")
+        lines.append(
+            f"monitors-on cell (algorithm-b rf=3 cf=3): "
+            f"{row['events_per_sec']:,.0f} events/sec, {len(alerts)} invariant alerts"
+        )
+        if alerts:
+            lines.extend(f"  ALERT: {a.describe()}" for a in alerts)
         report = "\n".join(lines)
         print(report)
         out = Path(__file__).resolve().parent / "results" / "perf_smoke_profile.txt"
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(report + "\n", encoding="utf-8")
+        health_out = out.parent / "perf_smoke_health.txt"
+        health_out.write_text(watched.health_view.render() + "\n", encoding="utf-8")
+        print(f"\nhealth report -> {health_out}")
+        print(watched.health_view.render())
+        if alerts:
+            raise SystemExit(1)
     else:
         rows, batched_rows, table, profile_report = regenerate()
         emit("throughput", table + "\n\n" + profile_report)

@@ -64,6 +64,7 @@ INVARIANTS: Tuple[Tuple[str, str], ...] = (
 DRIFT_FLOOR = 0.25
 DRIFT_COLUMNS: Dict[str, Tuple[str, ...]] = {
     "BENCH_throughput.json": ("events_per_sec",),
+    "BENCH_obs.json": ("events_per_sec",),
 }
 
 

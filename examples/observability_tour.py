@@ -1,6 +1,6 @@
 """A tour of the observability plane on a chaotic reconfiguration run.
 
-``repro.obs`` gives every simulation three coordinated views, all derived
+``repro.obs`` gives every simulation five coordinated views, all derived
 from the same deterministic trace:
 
 1. a **causal span tree** — one span per transaction, child spans per
@@ -11,14 +11,27 @@ from the same deterministic trace:
    histograms (events by kind, messages by type and channel class, mailbox
    depth watermarks, probe RTTs) fed by cheap hooks instead of trace
    re-walks;
-3. an opt-in **wall-clock profiler** of the kernel hot loop, whose numbers
+3. **streaming invariant monitors** — the offline safety checkers as
+   online automata (election safety, log matching, quorum intersection,
+   config-in-flight), alerting at the exact offending trace index;
+4. a **health/SLO plane** — per-kind latency SLOs, rolling timeout/error
+   rates and staleness-derived replica health, all on the virtual clock;
+5. an opt-in **wall-clock profiler** of the kernel hot loop, whose numbers
    never enter any deterministic artifact.
 
 The scenario here is PR 4's acceptance story under chaos: a replica of one
 object fail-stops mid-run and a joint-consensus change replaces it — with
 the plane enabled you can *watch* the crash, the joint window and the
-commit on one timeline.  Run twice, the printed timeline and the registry
-snapshot are byte-identical; the trace itself matches the plane-free run.
+commit on one timeline, with the monitors confirming live that no safety
+rule broke along the way.  Run twice, the printed timeline, registry
+snapshot and health report are byte-identical; the trace itself matches
+the plane-free run.
+
+The ``--inject-violation`` flag forges a second leader for an already-led
+term into the finished run's live trace — the streaming suite fires
+immediately, and the printed alert carries the offending index plus a
+bounded causal suffix (the post-mortem checker would need the whole trace
+to say the same thing).
 
 Run with:  PYTHONPATH=src python examples/observability_tour.py [--export timeline.json]
 """
@@ -29,6 +42,7 @@ import argparse
 
 from repro.faults import ChaosScheduler, FaultInjector, replace_dead_replica
 from repro.ioa import FIFOScheduler
+from repro.ioa.actions import Action, ActionKind
 from repro.obs import ObservabilityPlane, derive_spans, render_timeline, write_chrome_trace
 from repro.protocols import get_protocol
 
@@ -43,10 +57,15 @@ def main() -> None:
         metavar="FILE",
         help="also write the Chrome trace-event timeline (open in ui.perfetto.dev)",
     )
+    parser.add_argument(
+        "--inject-violation",
+        action="store_true",
+        help="forge a duplicate leader into the live trace to demo the alert path",
+    )
     args = parser.parse_args()
 
     plan, reconfig = replace_dead_replica()
-    plane = ObservabilityPlane(profile=True)
+    plane = ObservabilityPlane(profile=True, monitors=True, health=True)
     protocol = get_protocol(args.protocol)
     handle = protocol.build(
         num_readers=2 if protocol.supports_multiple_readers else 1,
@@ -77,8 +96,32 @@ def main() -> None:
     print("=== kernel metrics registry ===")
     print(plane.registry.describe())
     print()
+    print("=== streaming invariant monitors (watched the run live) ===")
+    print(plane.monitors.describe())
+    print()
+    print("=== end-of-run health/SLO report (virtual clock) ===")
+    print(plane.health_view.render())
+    print()
     print("=== kernel profile (wall clock — never part of results) ===")
     print(plane.profiler.report(steps=handle.simulation.steps_taken))
+
+    if args.inject_violation:
+        print()
+        print("=== injecting a duplicate leader for term 999 ... ===")
+        trace = handle.simulation.trace
+        for member in ("demo-a", "demo-b"):
+            trace.append(
+                Action.make(
+                    ActionKind.INTERNAL,
+                    member,
+                    info={"consensus": "became-leader", "term": 999, "member": member},
+                )
+            )
+        alert = plane.monitors.alerts[-1]
+        print(alert.describe())
+        print(f"(flagged live at trace index {alert.trace_index}, "
+              f"{trace.total_appended - 1 - alert.trace_index} events before the run would end)")
+
     if args.export:
         path = write_chrome_trace(tree, args.export)
         print(f"\nwrote Chrome trace-event timeline to {path} (open in ui.perfetto.dev)")

@@ -106,6 +106,14 @@ class ExperimentConfig:
     #: also enable the wall-clock kernel profiler (implies ``observe``);
     #: profiler output never enters deterministic results.
     profile: bool = False
+    #: attach the streaming invariant monitors (implies ``observe``); the
+    #: run's alerts are readable via ``result.obs.monitors.alerts``.
+    monitors: bool = False
+    #: attach the health/SLO plane (implies ``observe``); read via
+    #: ``result.obs.health_view`` (see :mod:`repro.obs.health`).
+    health: bool = False
+    #: trace record retention (None = full; see :class:`repro.ioa.TraceMode`)
+    trace_mode: Optional[Any] = None
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, seed=seed, workload=replace(self.workload, seed=seed))
@@ -125,10 +133,20 @@ class ExperimentConfig:
             base += f" [{self.controller.describe()}]"
         if self.faults is not None:
             base += f" [{self.faults.describe()}]"
-        if self.profile:
-            base += " [observe+profile]"
-        elif self.observe:
-            base += " [observe]"
+        extras = [
+            flag
+            for flag, on in (
+                ("observe", self.observe and not self.profile),
+                ("observe+profile", self.profile),
+                ("monitors", self.monitors),
+                ("health", self.health),
+            )
+            if on
+        ]
+        if extras:
+            base += f" [{', '.join(extras)}]"
+        if self.trace_mode is not None:
+            base += f" [trace={self.trace_mode.describe()}]"
         return base
 
 
@@ -175,6 +193,17 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             f"fault plan {config.faults.name or 'faults'!r} has a latency model, which only the "
             f"'chaos'-family schedulers honour; got scheduler={config.scheduler!r}"
         )
+    if config.check_properties and config.trace_mode is not None and config.trace_mode.kind != "full":
+        # The SNOW N/O checkers walk per-message trace records; a partial
+        # record yields *wrong* verdicts (phantom blocking servers, zero
+        # replies seen), not merely incomplete ones — refuse up front rather
+        # than after the run.
+        raise ValueError(
+            f"check_properties needs a full trace record, but trace_mode="
+            f"{config.trace_mode.describe()} retains only some of it; pass "
+            "check_properties=False for retention-mode runs (counters, "
+            "monitors and the health plane stay exact)"
+        )
     protocol = get_protocol(config.protocol)
     build_kwargs: Dict[str, Any] = dict(
         num_readers=config.num_readers,
@@ -195,10 +224,16 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         build_kwargs["num_readers"] = 1
     if config.faults is not None:
         build_kwargs["fault_plane"] = FaultInjector(config.faults, seed=config.seed)
-    if config.observe or config.profile:
+    if config.observe or config.profile or config.monitors or config.health:
         from ..obs import ObservabilityPlane
 
-        build_kwargs["obs"] = ObservabilityPlane(profile=config.profile)
+        build_kwargs["obs"] = ObservabilityPlane(
+            profile=config.profile,
+            monitors=config.monitors,
+            health=config.health,
+        )
+    if config.trace_mode is not None:
+        build_kwargs["trace_mode"] = config.trace_mode
     handle = protocol.build(**build_kwargs)
 
     workload = generate_workload(config.workload, handle.readers, handle.writers, handle.objects)

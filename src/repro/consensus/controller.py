@@ -62,6 +62,16 @@ class ControllerPolicy:
     the read-quorum probe round-trip above which a group is grown, up to
     ``grow_limit`` members.  ``max_actions`` is a safety valve on the number
     of derived changes per run.
+
+    ``use_health`` (default off, golden-pinned) lets the controller consume
+    the observability plane's :class:`~repro.obs.health.HealthView` as a
+    corroborating detector input: a suspect whose health score is at or
+    below ``health_floor`` (staleness-derived, on the virtual clock) is
+    declared dead after **one** suspect evaluation instead of the usual two
+    — the probe verdict and the passive health signal are independent
+    witnesses, so requiring both replaces the second probe window.  It
+    needs a built system whose plane has health enabled
+    (``obs=ObservabilityPlane(health=True)``).
     """
 
     probe_interval: int = 20
@@ -70,6 +80,8 @@ class ControllerPolicy:
     latency_bound: Optional[int] = None
     grow_limit: int = 5
     max_actions: int = 4
+    use_health: bool = False
+    health_floor: float = 0.25
 
     def __post_init__(self) -> None:
         if self.probe_interval < 1:
@@ -78,11 +90,15 @@ class ControllerPolicy:
             raise ValueError("fail_after must be >= 1")
         if self.max_ticks < 1:
             raise ValueError("max_ticks must be >= 1")
+        if not (0.0 <= self.health_floor <= 1.0):
+            raise ValueError("health_floor must be in [0, 1]")
 
     def describe(self) -> str:
         rules = ["replace-dead"]
         if self.latency_bound is not None:
             rules.append(f"grow>{self.latency_bound}")
+        if self.use_health:
+            rules.append(f"health<={self.health_floor}")
         return (
             f"controller(every {self.probe_interval}, fail_after={self.fail_after}, "
             f"{'+'.join(rules)})"
@@ -111,10 +127,15 @@ class ReconfigController(Automaton):
         policy: ControllerPolicy,
         directory: PlacementDirectory,
         name: str = CONTROLLER_NAME,
+        health: Optional[Any] = None,
     ) -> None:
         super().__init__(name)
         self.policy = policy
         self.directory = directory
+        #: optional :class:`~repro.obs.health.HealthView` corroboration
+        #: input (only wired when ``policy.use_health``; None is the
+        #: golden-pinned probe-only behaviour)
+        self._health = health if policy.use_health else None
         #: replica -> tick of its first probe / newest probe tick it acked,
         #: plus the vtime of its most recent ack (reported in diagnostics)
         self._first_probed_tick: Dict[str, int] = {}
@@ -250,7 +271,17 @@ class ReconfigController(Automaton):
                     continue
                 if self._is_dead(m, group):
                     self._suspect[m] = self._suspect.get(m, 0) + 1
-                    if self._suspect[m] >= 2:
+                    # A probe verdict normally needs two consecutive windows
+                    # (a starved ack recovers within one).  A corroborating
+                    # health signal — the replica's passive activity score
+                    # collapsed too — stands in for the second window.
+                    needed = 2
+                    if (
+                        self._health is not None
+                        and self._health.replica_health(m) <= self.policy.health_floor
+                    ):
+                        needed = 1
+                    if self._suspect[m] >= needed:
                         dead.append(m)
                 else:
                     self._suspect.pop(m, None)

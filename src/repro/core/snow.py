@@ -24,7 +24,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, 
 
 from ..ioa.actions import Action, ActionKind, Message
 from ..ioa.simulation import Simulation, TransactionRecord
-from ..ioa.trace import Trace
+from ..ioa.trace import Trace, TraceError
 from ..txn.history import History, HistoryEntry
 from ..txn.transactions import ReadTransaction, WriteTransaction
 from .serializability import SerializabilityResult, check_strict_serializability
@@ -308,7 +308,21 @@ def check_snow(
     history: Optional[History] = None,
     objects: Optional[Sequence[str]] = None,
 ) -> SnowReport:
-    """Run every SNOW property checker against a finished simulation."""
+    """Run every SNOW property checker against a finished simulation.
+
+    Needs a full-mode trace: the N and O checkers walk per-message
+    ``SEND``/``RECV`` records, and a ``sampled``/``ring`` trace retains only
+    some of them — the verdict would be *wrong* (phantom blocking servers,
+    zero replies seen), not merely incomplete, so a partial record is
+    refused loudly, mirroring :meth:`Trace.prefix`.
+    """
+    if not simulation.trace.is_full():
+        raise TraceError(
+            f"check_snow() needs a full-mode trace (this one is "
+            f"{simulation.trace.mode.describe()}): the N/O checkers walk "
+            "per-message records and a partial record would yield wrong "
+            "verdicts, not just incomplete ones"
+        )
     if history is None:
         history = History.from_simulation(simulation, objects=objects)
 

@@ -57,6 +57,12 @@ class ChaosScheduler(Scheduler):
             obs.registry.counter("scheduler.chaos_ripe_events").inc(len(ripe))
             if not ripe:
                 obs.registry.counter("scheduler.chaos_fastforwards").inc()
+                health = getattr(obs, "health", None)
+                if health is not None:
+                    # A fast-forward means the latency model stalled every
+                    # pending delivery past "now" — the health plane counts it
+                    # toward the rolling stall rate.
+                    health.note_stall(now)
         if not ripe:
             # Nothing deliverable yet.  With a fault injector installed this
             # is unreachable: its before_step advances the virtual clock

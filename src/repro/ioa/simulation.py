@@ -71,7 +71,7 @@ from .scheduler import (
     PendingTimeout,
     Scheduler,
 )
-from .trace import Trace
+from .trace import Trace, TraceMode
 
 
 @dataclass
@@ -138,12 +138,19 @@ class Simulation:
         max_steps: int = 200_000,
         fault_plane: Optional[FaultPlane] = None,
         obs: Optional[Any] = None,
+        trace_mode: Optional[TraceMode] = None,
     ) -> None:
         self.topology = topology if topology is not None else Topology()
         self.scheduler = scheduler if scheduler is not None else FIFOScheduler()
         self.max_steps = max_steps
         self.rng = random.Random(seed)
-        self.trace = Trace()
+        #: ``trace_mode`` selects record retention (see
+        #: :class:`~repro.ioa.trace.TraceMode`); ``None``/``full`` keeps
+        #: every action and is byte-identical to the pre-knob kernel.  The
+        #: sampler's RNG lives inside the trace — kernel scheduling state
+        #: (``self.rng``) is untouched, so the *executed* run is identical
+        #: in every mode; only what gets recorded changes.
+        self.trace = Trace(mode=trace_mode)
         self.fault_plane = fault_plane
         if fault_plane is not None:
             fault_plane.on_attach(self)

@@ -1,21 +1,31 @@
-"""Deterministic observability plane: spans, metrics, profiling, exports.
+"""Deterministic observability plane: spans, metrics, monitors, health.
 
-Three coordinated pieces (see ISSUE 6 / ROADMAP item 2):
+The coordinated pieces (see ISSUEs 6 and 8 / ROADMAP items 2, 3 and 5):
 
 * :mod:`repro.obs.spans` — causal span trees derived from kernel traces
   (transactions → quorum rounds, consensus applies/elections, reconfig
   windows, plus send→recv causal edges);
 * :mod:`repro.obs.registry` / :mod:`repro.obs.plane` — a kernel metrics
   registry fed by cheap hooks in the simulation (mailbox depth, events and
-  messages per kind, election/epoch/retry counts, probe RTT distributions);
+  messages per kind, election/epoch/retry counts, probe RTT distributions),
+  with per-metric label-cardinality capping;
+* :mod:`repro.obs.monitor` — **streaming invariant monitors**: the offline
+  safety checkers as O(1)-per-event online automata, alerting (or halting)
+  at the first offending trace index;
+* :mod:`repro.obs.health` — the **health/SLO plane**: virtual-clock latency
+  SLOs, rolling timeout/error rates, per-replica health scores, and the
+  deterministic end-of-run health report (text + JSON);
+* :mod:`repro.obs.sampling` — the **sampling trace mode** helpers
+  (:class:`~repro.ioa.TraceMode`): long runs keep counters/monitors exact
+  while recording only a deterministic sample of action records;
 * :mod:`repro.obs.profiler` — opt-in wall-clock profiling of the kernel hot
   loop, kept strictly out of every deterministic artifact;
 * :mod:`repro.obs.export` — Chrome trace-event JSON (open in Perfetto) and
   compact text timelines.
 
-The plane is **off by default**; with it enabled a run's trace stays
-byte-identical (the plane only listens), and all derived artifacts — span
-trees, snapshots, exported timelines — are deterministic across runs.
+The plane is **off by default**; with it enabled (monitors and health
+included) a run's trace stays byte-identical — everything here listens,
+nothing acts — and all derived artifacts are deterministic across runs.
 """
 
 from .export import (
@@ -24,24 +34,47 @@ from .export import (
     render_timeline,
     write_chrome_trace,
 )
+from .health import HealthPlane, HealthView, SLOPolicy, derive_health
+from .monitor import (
+    InvariantViolation,
+    InvariantViolationError,
+    MonitorSuite,
+    OnlineMonitor,
+    default_monitors,
+    joint_quorums_intersect,
+    watch_trace,
+)
 from .plane import ObservabilityPlane
 from .profiler import KernelProfiler
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .sampling import TraceMode, sampling_stats
 from .spans import CausalEdge, Span, SpanTree, derive_spans
 
 __all__ = [
     "CausalEdge",
     "Counter",
     "Gauge",
+    "HealthPlane",
+    "HealthView",
     "Histogram",
+    "InvariantViolation",
+    "InvariantViolationError",
     "KernelProfiler",
     "MetricsRegistry",
+    "MonitorSuite",
     "ObservabilityPlane",
+    "OnlineMonitor",
+    "SLOPolicy",
     "Span",
     "SpanTree",
+    "TraceMode",
     "chrome_trace_events",
     "chrome_trace_json",
+    "default_monitors",
+    "derive_health",
     "derive_spans",
+    "joint_quorums_intersect",
     "render_timeline",
-    "write_chrome_trace",
+    "sampling_stats",
+    "watch_trace",
 ]

@@ -17,20 +17,50 @@ out of snapshots, span trees and exports.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
 from ..ioa.actions import Action, ActionKind
+from .health import HealthPlane, HealthView, SLOPolicy
+from .monitor import MonitorSuite
 from .profiler import KernelProfiler
 from .registry import MetricsRegistry
 
 
 class ObservabilityPlane:
-    """Deterministic metrics (plus optional wall-clock profiling) for one run."""
+    """Deterministic metrics (plus optional wall-clock profiling) for one run.
 
-    def __init__(self, profile: bool = False) -> None:
+    ``monitors`` attaches the streaming invariant monitors
+    (:mod:`repro.obs.monitor`): ``True`` for the default suite, or a
+    pre-configured :class:`MonitorSuite` (e.g. with ``halt_on_violation``).
+    ``health`` attaches the health/SLO plane (:mod:`repro.obs.health`):
+    ``True`` for default thresholds, an :class:`SLOPolicy` for custom ones,
+    or a pre-built :class:`HealthPlane`.  Both are pure listeners fed from
+    the same per-action hook, so every golden byte-identity guarantee of the
+    plane extends to them.
+    """
+
+    def __init__(
+        self,
+        profile: bool = False,
+        monitors: Union[None, bool, MonitorSuite] = None,
+        health: Union[None, bool, SLOPolicy, HealthPlane] = None,
+    ) -> None:
         self.registry = MetricsRegistry()
         self.profiler: Optional[KernelProfiler] = KernelProfiler() if profile else None
+        if monitors is True:
+            monitors = MonitorSuite()
+        self.monitors: Optional[MonitorSuite] = monitors or None
+        if health is True:
+            health = HealthPlane()
+        elif isinstance(health, SLOPolicy):
+            health = HealthPlane(slo=health)
+        self.health: Optional[HealthPlane] = health or None
         self.simulation: Optional[Any] = None
+
+    @property
+    def health_view(self) -> Optional[HealthView]:
+        """The query API over :attr:`health` (``None`` when health is off)."""
+        return HealthView(self.health) if self.health is not None else None
 
     # -- kernel wiring ---------------------------------------------------
     def on_attach(self, simulation: Any) -> None:
@@ -41,6 +71,8 @@ class ObservabilityPlane:
             )
         self.simulation = simulation
         simulation.trace.set_observer(self.on_action)
+        if self.health is not None:
+            self.health.on_attach(simulation)
         if self.profiler is not None:
             self.profiler.install(simulation)
 
@@ -77,6 +109,12 @@ class ObservabilityPlane:
                     )
         elif action.kind is ActionKind.INTERNAL and action.info:
             self._on_internal(dict(action.info))
+        if self.health is not None:
+            self.health.on_action(action)
+        # Monitors run last so a halt_on_violation raise (which aborts the
+        # kernel step mid-append) never loses the action from metrics/health.
+        if self.monitors is not None:
+            self.monitors.on_action(action)
 
     def _on_internal(self, info: dict) -> None:
         registry = self.registry
@@ -117,6 +155,10 @@ class ObservabilityPlane:
     # -- rendering --------------------------------------------------------
     def describe(self) -> str:
         lines = [self.registry.describe()]
+        if self.monitors is not None:
+            lines.append(self.monitors.describe())
+        if self.health is not None:
+            lines.append(HealthView(self.health).render())
         if self.profiler is not None:
             steps = self.simulation.steps_taken if self.simulation is not None else 0
             lines.append(self.profiler.report(steps=steps))

@@ -3,8 +3,9 @@
 The profiler times the three stages of :meth:`Simulation.step` — assembling
 the pending-event set (``poll``), the scheduler's pick (``choose``) and
 executing the chosen event (``dispatch``) — plus every ``trace_append``
-(installed as an instance-level wrapper around ``Trace.append``, so the
-bucket also covers the metrics observer riding on appends).
+(installed as an instance-level wrapper around the trace's retained-record
+path, so the bucket also covers the metrics observer riding on retained
+appends; records dropped by a sampling trace mode bypass it).
 
 Wall-clock numbers are **measurement of the simulator, not of the simulated
 system**: they never appear in traces, metric snapshots, span trees or any
@@ -33,18 +34,24 @@ class KernelProfiler:
         entry[1] += seconds
 
     def install(self, simulation: Any) -> None:
-        """Wrap ``simulation.trace.append`` with a timing shim."""
-        trace = simulation.trace
-        original = trace.append
+        """Wrap the trace's retained-record path with a timing shim.
 
-        def timed_append(action, _original=original, _profiler=self):
+        The shim goes on ``Trace._store`` — the stamp-and-keep step — rather
+        than on ``append``: under a sampling trace mode, dropped records
+        never reach ``_store``, so the bucket measures the record-keeping a
+        run actually performed (and its count stays ``len(trace)`` in every
+        mode)."""
+        trace = simulation.trace
+        original = trace._store
+
+        def timed_store(action, _original=original, _profiler=self):
             started = perf_counter()
             try:
                 return _original(action)
             finally:
                 _profiler.add("trace_append", perf_counter() - started)
 
-        trace.append = timed_append
+        trace._store = timed_store
 
     # -- reading ---------------------------------------------------------
     def buckets(self) -> Tuple[str, ...]:

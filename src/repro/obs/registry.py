@@ -107,34 +107,78 @@ class Histogram:
         }
 
 
-class MetricsRegistry:
-    """Get-or-create store of named, labelled instruments."""
+#: the label set high-cardinality instruments overflow into (see below)
+OVERFLOW_LABELS: Tuple[Tuple[str, Any], ...] = (("label_overflow", "true"),)
 
-    def __init__(self) -> None:
+
+class MetricsRegistry:
+    """Get-or-create store of named, labelled instruments.
+
+    ``max_label_sets`` caps the distinct label sets **per metric name and
+    instrument type** — a million-object workload labelling a histogram by
+    object id must not blow up registry memory.  Once a metric name hits the
+    cap, further *new* label sets all route to one shared overflow
+    instrument (labelled ``label_overflow="true"``) and the
+    ``obs.label_overflow{metric=<name>}`` counter counts every routed touch,
+    so the overflow is loud in any snapshot instead of a silent memory lie.
+    Existing label sets keep resolving to their own instruments.
+    """
+
+    def __init__(self, max_label_sets: int = 512) -> None:
+        if max_label_sets < 1:
+            raise ValueError("max_label_sets must be >= 1")
+        self.max_label_sets = max_label_sets
         self._counters: Dict[MetricKey, Counter] = {}
         self._gauges: Dict[MetricKey, Gauge] = {}
         self._histograms: Dict[MetricKey, Histogram] = {}
+        #: (instrument type, metric name) -> distinct label sets created
+        self._cardinality: Dict[Tuple[str, str], int] = {}
+
+    def _admit(self, family: str, name: str, key: MetricKey) -> MetricKey:
+        """Key to actually store under: ``key`` while under the cap, the
+        overflow key after.  Counts the admission and screams on overflow."""
+        count = self._cardinality.get((family, name), 0)
+        if count >= self.max_label_sets:
+            # Bypass the capped path for the alarm counter itself (it has
+            # one label set per overflowing metric name — bounded).
+            alarm_key = _key("obs.label_overflow", {"metric": name})
+            alarm = self._counters.get(alarm_key)
+            if alarm is None:
+                alarm = self._counters[alarm_key] = Counter()
+            alarm.inc()
+            return (name, OVERFLOW_LABELS)
+        self._cardinality[(family, name)] = count + 1
+        return key
 
     # -- instrument access ---------------------------------------------
     def counter(self, name: str, **labels: Any) -> Counter:
         key = _key(name, labels)
         instrument = self._counters.get(key)
         if instrument is None:
-            instrument = self._counters[key] = Counter()
+            key = self._admit("counter", name, key)
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter()
         return instrument
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
         key = _key(name, labels)
         instrument = self._gauges.get(key)
         if instrument is None:
-            instrument = self._gauges[key] = Gauge()
+            key = self._admit("gauge", name, key)
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge()
         return instrument
 
     def histogram(self, name: str, **labels: Any) -> Histogram:
         key = _key(name, labels)
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram()
+            key = self._admit("histogram", name, key)
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram()
         return instrument
 
     # -- read-side helpers (0 / empty when never touched) --------------

@@ -1,0 +1,43 @@
+"""Sampling trace mode: the obs-side face of :class:`~repro.ioa.TraceMode`.
+
+The mode itself lives in the kernel (``repro.ioa.trace``) because the trace
+owns retention; this module re-exports it next to the rest of the
+observability surface and adds the small read-side helpers the benches and
+reports use.  The contract that makes sampling safe for observability:
+
+* the trace **observer sees every appended action** in every mode, so the
+  metrics registry and the streaming invariant monitors stay exact;
+* ``INVOKE``/``RESPOND``/``INTERNAL``/``START`` are always retained — the
+  kernel reads invoke/respond indices back out of ``append``, and spans,
+  reconfig markers and consensus markers all live on those kinds;
+* the sample is drawn by a dedicated ``random.Random(seed)`` inside the
+  trace, in append order — the kernel's scheduling RNG is untouched, so the
+  *executed* run is byte-identical in every mode and the same seed yields a
+  byte-identical sample.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..ioa.trace import TraceMode
+
+__all__ = ["TraceMode", "sampling_stats"]
+
+
+def sampling_stats(trace: Any) -> Dict[str, Any]:
+    """Deterministic retention accounting for one trace.
+
+    ``retained``/``dropped`` partition ``total_appended`` under ``sampled``;
+    under ``ring`` the drop is implicit (``total_appended - retained``), and
+    in full mode both always agree.
+    """
+    total = trace.total_appended
+    retained = len(trace)
+    return {
+        "mode": trace.mode.describe(),
+        "total_appended": total,
+        "retained": retained,
+        "sampled_out": trace.sampled_out,
+        "retention": round(retained / total, 4) if total else 1.0,
+    }

@@ -94,6 +94,10 @@ class BuildConfig:
     #: plane is a passive listener, so the trace stays byte-identical —
     #: see :mod:`repro.obs`)
     obs: Optional[Any] = None
+    #: trace record retention (None = full, byte-identical to seed; see
+    #: :class:`~repro.ioa.trace.TraceMode` — ``sampled``/``ring`` keep
+    #: counters and streaming monitors exact while recording fewer actions)
+    trace_mode: Optional[Any] = None
     #: batch each quorum fan-out into one kernel flight (one scheduler event
     #: delivers the whole round; see :func:`repro.protocols.replication.
     #: emit_sends`).  Off by default: batching coalesces events, so every
@@ -329,6 +333,15 @@ class Protocol:
                 "consensus_batching packs replicated-coordinator log entries; "
                 "it needs consensus_factor >= 2 (there is no log at factor 1)"
             )
+        if config.controller is not None and getattr(config.controller, "use_health", False):
+            health = getattr(config.obs, "health", None) if config.obs is not None else None
+            if health is None:
+                raise ValueError(
+                    "ControllerPolicy.use_health consumes the observability "
+                    "plane's health signals, but this build has none — pass "
+                    "obs=ObservabilityPlane(health=True) (or a custom "
+                    "SLOPolicy) alongside the controller"
+                )
         if config.controller is not None:
             if not self.supports_reconfig:
                 raise ValueError(
@@ -410,6 +423,7 @@ class Protocol:
         reconfig: Optional[ReconfigPlan] = None,
         controller: Optional[ControllerPolicy] = None,
         obs: Optional[Any] = None,
+        trace_mode: Optional[Any] = None,
         fanout_batching: bool = False,
         consensus_batching: bool = False,
     ) -> SystemHandle:
@@ -431,10 +445,12 @@ class Protocol:
         membership changes from observed failures and latency and feeds them
         to the same driver.  ``obs`` installs an
         :class:`~repro.obs.ObservabilityPlane` (kernel metrics registry,
-        optional wall-clock profiler); the plane only listens, so even an
-        enabled plane leaves the trace byte-identical.  The defaults
-        reproduce the paper's one-server-per-object, single-coordinator
-        system byte-for-byte.
+        streaming invariant monitors, health/SLO plane, optional wall-clock
+        profiler); the plane only listens, so even an enabled plane leaves
+        the trace byte-identical.  ``trace_mode`` selects trace record
+        retention (:class:`~repro.ioa.TraceMode`; ``None``/``full`` keeps
+        every action).  The defaults reproduce the paper's
+        one-server-per-object, single-coordinator system byte-for-byte.
         """
         config = BuildConfig(
             num_readers=num_readers,
@@ -453,6 +469,7 @@ class Protocol:
             reconfig=reconfig,
             controller=controller,
             obs=obs,
+            trace_mode=trace_mode,
             fanout_batching=fanout_batching,
             consensus_batching=consensus_batching,
         )
@@ -471,7 +488,14 @@ class Protocol:
             max_steps=config.max_steps,
             fault_plane=config.fault_plane,
             obs=config.obs,
+            trace_mode=config.trace_mode,
         )
+        if config.obs is not None:
+            monitors = getattr(config.obs, "monitors", None)
+            if monitors is not None:
+                # The quorum-intersection monitor needs the build's quorum
+                # rule to judge joint configurations as they open.
+                monitors.set_quorum_policy(config.quorum_policy())
         simulation.add_automata(self.make_automata(config))
         if config.fanout_batching or config.consensus_batching:
             self._apply_batching(config, simulation)
@@ -555,8 +579,17 @@ class Protocol:
         )
         simulation.add_automaton(driver)
         if config.controller is not None:
+            health = None
+            if config.controller.use_health:
+                # Existence validated in validate_config; the view is the
+                # read-only query API over the plane's health accumulator.
+                from ..obs.health import HealthView
+
+                health = HealthView(config.obs.health)
             simulation.add_automaton(
-                ReconfigController(policy=config.controller, directory=directory)
+                ReconfigController(
+                    policy=config.controller, directory=directory, health=health
+                )
             )
         return directory
 

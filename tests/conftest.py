@@ -60,6 +60,27 @@ def pytest_runtest_makereport(item, call):
             )
         except Exception:  # never let the renderer mask the real failure
             pass
+        # The end-of-run health report (text + JSON): from the run's own
+        # health plane when one was attached, otherwise derived post-mortem
+        # from the retained trace — a red cell arrives with its SLO/error
+        # picture next to the schedule.
+        try:
+            import json
+
+            from repro.obs import HealthView, derive_health
+
+            plane = getattr(getattr(handle, "obs", None), "health", None)
+            view = HealthView(plane) if plane is not None else derive_health(simulation)
+            base = f"{stem}.{report.when}.{index}"
+            (out / f"{base}.health.txt").write_text(
+                view.render() + "\n", encoding="utf-8"
+            )
+            (out / f"{base}.health.json").write_text(
+                json.dumps(view.report(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except Exception:  # the health renderer must not mask the failure either
+            pass
 
 
 def build_system(

@@ -26,8 +26,18 @@ applies to):
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import List
+
+from repro.obs.monitor import joint_quorums_intersect  # shared with the online monitors
+
+__all__ = [
+    "REGISTERED",
+    "register",
+    "reset",
+    "check_registered",
+    "check_all",
+    "joint_quorums_intersect",
+]
 
 #: handles registered by the suite helpers since the last fixture reset
 REGISTERED: List[object] = []
@@ -139,22 +149,10 @@ def check_state_machine_safety(handle):
 # ----------------------------------------------------------------------
 # The reconfiguration invariants (new in this PR)
 # ----------------------------------------------------------------------
-def joint_quorums_intersect(old, new, policy) -> bool:
-    """Exhaustive check that every read quorum of C_old,new intersects every
-    write quorum of C_old and of C_new (minimal subsets suffice: any larger
-    quorum contains a minimal one)."""
-    r_old, r_new = policy.read_quorum(len(old)), policy.read_quorum(len(new))
-    w_old, w_new = policy.write_quorum(len(old)), policy.write_quorum(len(new))
-    read_quorums = [
-        set(ro) | set(rn)
-        for ro in combinations(old, r_old)
-        for rn in combinations(new, r_new)
-    ]
-    write_quorums = [set(w) for w in combinations(old, w_old)]
-    write_quorums += [set(w) for w in combinations(new, w_new)]
-    return all(rq & wq for rq in read_quorums for wq in write_quorums)
-
-
+# ``joint_quorums_intersect`` now lives in :mod:`repro.obs.monitor` (one
+# implementation shared by this post-mortem checker and the streaming
+# QuorumIntersectionMonitor — online/offline parity by construction) and is
+# re-exported above for the suites that import it from here.
 def check_quorum_intersection_across_epochs(directory):
     """Every joint configuration the run entered kept quorum intersection
     with both of its epochs."""

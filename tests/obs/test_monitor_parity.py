@@ -1,0 +1,128 @@
+"""Online/offline monitor parity on the chaos-grid configurations.
+
+Part of the ``-m invariants`` gate.  The streaming monitors re-implement the
+post-mortem checkers of ``tests/invariants.py`` as incremental automata (and
+*share* the quorum-intersection predicate outright), so parity should hold
+by construction — these grids pin it empirically on the exact configurations
+the consensus chaos grid runs: wherever the offline checker passes a chaotic
+run, the online suite attached to the same run raised no alert, and it
+demonstrably watched every appended action.
+
+The seeded-violation direction of parity (both sides flag a forged duplicate
+leader, the online one at the exact offending index) is pinned in
+``tests/obs/test_monitor.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.faults import ChaosScheduler, replace_dead_replica
+from repro.faults.plan import CrashEvent
+from repro.ioa import FIFOScheduler, RandomScheduler
+from repro.obs import ObservabilityPlane
+from repro.obs.monitor import ConfigInFlightMonitor, ElectionSafetyMonitor
+
+from tests import invariants
+from tests.consensus.conftest import COORDINATOR_PROTOCOLS, leader_crash_plan
+from tests.consensus.test_chaos_grid import SCENARIOS, chaos_plan
+from tests.replication.conftest import run_fixed_workload
+
+SEEDS = tuple(range(int(os.environ.get("CHAOS_GRID_SEEDS", "3"))))
+
+pytestmark = pytest.mark.invariants
+
+
+def monitor_of(suite, kind):
+    return next(m for m in suite.monitors if isinstance(m, kind))
+
+
+def run_watched(protocol, seed, plan, **kwargs):
+    plane = ObservabilityPlane(monitors=True, health=True)
+    handle = run_fixed_workload(
+        protocol,
+        plan=plan,
+        scheduler=ChaosScheduler(base=RandomScheduler(seed=seed), seed=seed),
+        seed=seed,
+        obs=plane,
+        run_to_completion=False,
+        **kwargs,
+    )
+    return handle, plane
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("protocol", COORDINATOR_PROTOCOLS)
+def test_consensus_grid_cell_parity(protocol, scenario, seed):
+    """Every consensus chaos-grid cell, with the monitors riding along: the
+    offline checker passes (here and again in the autouse fixture) and the
+    online suite agrees — no alerts, every appended action observed."""
+    handle, plane = run_watched(
+        protocol, seed, chaos_plan(scenario, seed), consensus_factor=3
+    )
+    invariants.check_all(handle)  # offline verdict: clean
+    assert plane.monitors.ok, plane.monitors.describe()  # online verdict: clean
+    assert plane.monitors._seen == len(handle.trace()), (protocol, scenario, seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_failover_election_is_watched_and_clean(seed):
+    """A coordinator failover forces a real election; the online election
+    monitor must have recorded the new leader (parity is not vacuous) and
+    still agree with the offline checker that the run is safe."""
+    handle, plane = run_watched(
+        "algorithm-b", seed, leader_crash_plan(at=12, seed=seed), consensus_factor=3
+    )
+    invariants.check_all(handle)
+    assert plane.monitors.ok, plane.monitors.describe()
+    election = monitor_of(plane.monitors, ElectionSafetyMonitor)
+    assert election._leader_of_term, "failover run elected nobody — vacuous parity"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("protocol", ("algorithm-b", "occ-double-collect"))
+def test_reconfig_under_loss_parity(protocol, seed):
+    """The replace-dead-replica reconfiguration under a crash: the joint
+    change commits, the config-in-flight automaton walked the full
+    begin/commit alternation back to idle, and both verdicts stay clean."""
+    _, reconfig = replace_dead_replica("ox", 3, crash_at=8, reconfig_at=30, seed=seed)
+    plan = chaos_plan("lossy", seed)
+    plan = type(plan)(
+        name="lossy-replace",
+        drops=plan.drops,
+        retry=plan.retry,
+        crashes=(CrashEvent(server="sx.3", at=8, recover=None),),
+        seed=seed,
+    )
+    handle, plane = run_watched(
+        protocol,
+        seed,
+        plan,
+        replication_factor=3,
+        quorum="majority",
+        reconfig=reconfig,
+    )
+    assert handle.directory.group("ox") == ("sx", "sx.2", "sx.4"), (protocol, seed)
+    invariants.check_all(handle)
+    assert plane.monitors.ok, plane.monitors.describe()
+    in_flight = monitor_of(plane.monitors, ConfigInFlightMonitor)
+    assert not in_flight._in_flight, "joint change never committed"
+    markers = [a for a in handle.trace() if a.get("reconfig") in ("joint-begin", "commit")]
+    assert markers, "reconfiguration left no markers — vacuous parity"
+
+
+def test_clean_fifo_run_parity_across_every_coordinator_protocol():
+    """The degenerate cell of the grid — no faults at all — for each
+    coordinator protocol, pinned so a monitor that alerts on healthy traffic
+    is caught even when the chaos grids are skipped."""
+    for protocol in COORDINATOR_PROTOCOLS:
+        plane = ObservabilityPlane(monitors=True)
+        handle = run_fixed_workload(
+            protocol, scheduler=FIFOScheduler(), consensus_factor=3, obs=plane
+        )
+        invariants.check_all(handle)
+        assert plane.monitors.ok, plane.monitors.describe()
+        assert plane.monitors._seen == len(handle.trace())

@@ -45,6 +45,7 @@ def run_controlled(
     seed=3,
     replication_factor=3,
     quorum="majority",
+    obs=None,
 ):
     """Build with the controller installed, run a chained workload to idle."""
     protocol = get_protocol(protocol_name)
@@ -58,6 +59,7 @@ def run_controlled(
         replication_factor=replication_factor,
         quorum=quorum,
         controller=policy if policy is not None else ControllerPolicy(),
+        obs=obs,
         fault_plane=FaultInjector(plan, seed=seed) if plan is not None else None,
     )
     previous = None
@@ -241,3 +243,69 @@ class TestPolicyAndMetrics:
         assert result.metrics.reconfig is not None
         assert result.metrics.reconfig.epochs == 2
         assert result.metrics.reconfig.unavailability_window == 0
+
+
+class TestHealthCorroboration:
+    """``ControllerPolicy.use_health``: the observability plane's passive
+    staleness score as a corroborating detector input — default-off and
+    golden-pinned, so everything here opts in explicitly."""
+
+    def test_use_health_requires_a_health_plane(self):
+        with pytest.raises(ValueError, match=r"ObservabilityPlane\(health=True\)"):
+            get_protocol("algorithm-b").build(
+                num_readers=2,
+                num_writers=2,
+                num_objects=2,
+                replication_factor=3,
+                quorum="majority",
+                controller=ControllerPolicy(use_health=True),
+            )
+
+    def test_health_floor_validation(self):
+        with pytest.raises(ValueError, match="health_floor"):
+            ControllerPolicy(use_health=True, health_floor=1.5)
+        assert "health<=" in ControllerPolicy(use_health=True).describe()
+        assert "health<=" not in ControllerPolicy().describe()
+
+    def test_corroborated_heal_reaches_the_same_outcome(self):
+        """With the health signal corroborating the probe verdict, the dead
+        replica is still detected and replaced — the signal agrees with the
+        witness-based detector on a genuinely dead replica."""
+        from dataclasses import replace
+
+        from repro.obs import ObservabilityPlane
+
+        plan, policy = auto_heal("ox", 3, crash_at=8, seed=3)
+        handle = run_controlled(
+            "algorithm-b",
+            plan=plan,
+            policy=replace(policy, use_health=True),
+            obs=ObservabilityPlane(health=True),
+        )
+        assert [e["replica"] for e in controller_events(handle, "replica-dead")] == ["sx.3"]
+        assert handle.directory.group("ox") == ("sx", "sx.2", "sx.4")
+        assert not handle.simulation.incomplete_transactions()
+
+    def test_attached_health_plane_without_use_health_is_byte_identical(self):
+        """The other directions of the default-off contract: a health plane
+        that nobody consumes — and a consumed one — leave the controller
+        run's trace byte-identical (the plane only listens)."""
+        from dataclasses import replace
+
+        from repro.obs import ObservabilityPlane
+
+        plan, policy = auto_heal("ox", 3, crash_at=8, seed=3)
+        bare = run_controlled("algorithm-b", plan=plan, policy=policy)
+        watched = run_controlled(
+            "algorithm-b", plan=plan, policy=policy, obs=ObservabilityPlane(health=True)
+        )
+        assert watched.trace().signature() == bare.trace().signature()
+        consumed = run_controlled(
+            "algorithm-b",
+            plan=plan,
+            policy=replace(policy, use_health=True),
+            obs=ObservabilityPlane(health=True),
+        )
+        # corroboration reads health scores but never perturbs the schedule
+        # when probe and health verdicts agree
+        assert consumed.trace().signature() == bare.trace().signature()

@@ -45,6 +45,7 @@ def run_fixed_workload(
     reconfig=None,
     controller=None,
     obs=None,
+    trace_mode=None,
     fanout_batching: bool = False,
     consensus_batching: bool = False,
     run_to_completion: bool = True,
@@ -66,6 +67,7 @@ def run_fixed_workload(
         reconfig=reconfig,
         controller=controller,
         obs=obs,
+        trace_mode=trace_mode,
         fanout_batching=fanout_batching,
         consensus_batching=consensus_batching,
         fault_plane=FaultInjector(plan, seed=seed) if plan is not None else None,

@@ -139,6 +139,36 @@ def test_enabled_obs_is_trace_invisible(protocol):
     assert plane.registry.counter_total("kernel.events") == len(handle.trace())
 
 
+@pytest.mark.parametrize("protocol", protocol_names())
+def test_explicit_full_trace_mode_matches_seed(protocol):
+    """Passing trace_mode=TraceMode.full() explicitly changes nothing, for
+    every protocol: full retention is the seed behaviour, knob or no knob."""
+    from repro.ioa import TraceMode
+
+    handle = run_fixed_workload(
+        protocol, scheduler=FIFOScheduler(), num_objects=2, trace_mode=TraceMode.full()
+    )
+    assert handle.simulation.trace.is_full()
+    assert signature_hash(handle) == GOLDEN[protocol]["fifo-2obj"], protocol
+
+
+@pytest.mark.parametrize("protocol", protocol_names())
+def test_monitors_and_health_are_trace_invisible(protocol):
+    """The streaming invariant monitors and the health/SLO plane extend the
+    enabled-plane contract: both attached, the trace stays byte-identical to
+    the seed — they listen, they never act."""
+    from repro.obs import ObservabilityPlane
+
+    plane = ObservabilityPlane(monitors=True, health=True)
+    handle = run_fixed_workload(
+        protocol, scheduler=FIFOScheduler(), num_objects=2, obs=plane
+    )
+    assert signature_hash(handle) == GOLDEN[protocol]["fifo-2obj"], protocol
+    # ... and both actually watched every appended action.
+    assert plane.monitors.ok
+    assert plane.health_view.report()["totals"]["events"] == len(handle.trace())
+
+
 def test_every_protocol_supports_reconfig():
     """The universal-reconfiguration contract: every registered protocol's
     rounds are epoch-aware and every one can spawn dynamic replicas."""
