@@ -50,6 +50,7 @@ IDENTITY = (
     "replication_factor",
     "consensus_factor",
     "quorum",
+    "persistence",
 )
 #: the gated columns and their comparison direction
 INVARIANTS: Tuple[Tuple[str, str], ...] = (

@@ -304,6 +304,61 @@ class ReconfigMetrics:
 
 
 @dataclass(frozen=True)
+class PersistenceMetrics:
+    """Stable-storage measurements of one execution.
+
+    Only populated when consensus members ran with a
+    :class:`~repro.persist.PersistencePlane` attached.  ``recoveries`` counts
+    the crash-recovery paths actually taken (``forget()`` with a store),
+    ``checkpoints``/``compacted_entries`` the log-compaction activity, and
+    ``retained_entries`` the *largest* in-memory log suffix any member ended
+    with — the number compaction is supposed to bound (compare against
+    ``log_length``, the full history length).  ``journal_bytes`` totals the
+    on-disk journal sizes for file-backed stores (``None`` for the in-sim
+    backend)."""
+
+    members: int
+    recoveries: int
+    checkpoints: int
+    compacted_entries: int
+    log_length: int
+    retained_entries: int
+    store_appends: int
+    store_snapshots: int
+    journal_bytes: Optional[int] = None
+
+    def compaction_ratio(self) -> float:
+        """Fraction of the history discarded behind snapshots (0 = nothing)."""
+        if self.log_length <= 0:
+            return 0.0
+        return self.compacted_entries / self.log_length
+
+    def describe(self) -> str:
+        base = (
+            f"persistence: members={self.members} recoveries={self.recoveries} "
+            f"checkpoints={self.checkpoints} compacted={self.compacted_entries} "
+            f"retained={self.retained_entries}/{self.log_length}"
+        )
+        if self.journal_bytes is not None:
+            base += f" journal_bytes={self.journal_bytes}"
+        return base
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "persistent_members": self.members,
+            "recoveries": self.recoveries,
+            "checkpoints": self.checkpoints,
+            "compacted_entries": self.compacted_entries,
+            "log_length": self.log_length,
+            "retained_entries": self.retained_entries,
+            "compaction_ratio": round(self.compaction_ratio(), 4),
+            "store_appends": self.store_appends,
+            "store_snapshots": self.store_snapshots,
+            "journal_bytes": self.journal_bytes,
+        }
+
+
+@dataclass(frozen=True)
 class ControllerMetrics:
     """Automated-rebalancing measurements of one execution.
 
@@ -374,6 +429,8 @@ class ExperimentMetrics:
     reconfig: Optional[ReconfigMetrics] = None
     #: populated only for runs built with a rebalancing controller
     controller: Optional[ControllerMetrics] = None
+    #: populated only for runs with a persistence plane attached
+    persistence: Optional[PersistenceMetrics] = None
 
     def reads(self) -> Tuple[TransactionMetrics, ...]:
         return tuple(t for t in self.transactions if t.kind == "read")
@@ -407,6 +464,8 @@ class ExperimentMetrics:
             lines.append("  " + self.reconfig.describe())
         if self.controller is not None:
             lines.append("  " + self.controller.describe())
+        if self.persistence is not None:
+            lines.append("  " + self.persistence.describe())
         return "\n".join(lines)
 
 
@@ -682,6 +741,33 @@ def _collect_controller_metrics(
     )
 
 
+def _collect_persistence_metrics(simulation: Simulation) -> Optional[PersistenceMetrics]:
+    """Build the persistence block when members carry stable stores."""
+    group = getattr(simulation.topology, "consensus_group", lambda: ())()
+    members = [simulation.automaton(name) for name in group]
+    members = [m for m in members if getattr(m, "stable_store", None) is not None]
+    if not members:
+        return None
+    stores = [m.stable_store for m in members]
+    journal_bytes = None
+    file_stores = [s for s in stores if getattr(s, "backend", "") == "file"]
+    if file_stores:
+        journal_bytes = sum(
+            s.path.stat().st_size for s in file_stores if s.path.exists()
+        )
+    return PersistenceMetrics(
+        members=len(members),
+        recoveries=sum(m.recoveries for m in members),
+        checkpoints=sum(m.checkpoints for m in members),
+        compacted_entries=sum(m.log.compacted_entries for m in members),
+        log_length=max(m.log.last_index for m in members),
+        retained_entries=max(len(m.log.entries) for m in members),
+        store_appends=sum(s.appends for s in stores),
+        store_snapshots=sum(s.snapshots for s in stores),
+        journal_bytes=journal_bytes,
+    )
+
+
 def collect_metrics(
     simulation: Simulation,
     protocol_name: str = "",
@@ -736,4 +822,5 @@ def collect_metrics(
         consensus=_collect_consensus_metrics(simulation),
         reconfig=_collect_reconfig_metrics(simulation, directory),
         controller=_collect_controller_metrics(simulation, directory),
+        persistence=_collect_persistence_metrics(simulation),
     )

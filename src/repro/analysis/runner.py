@@ -114,6 +114,10 @@ class ExperimentConfig:
     health: bool = False
     #: trace record retention (None = full; see :class:`repro.ioa.TraceMode`)
     trace_mode: Optional[Any] = None
+    #: stable storage for consensus members (a
+    #: :class:`~repro.persist.PersistencePolicy` or plane); None keeps the
+    #: seed's volatile members (see :mod:`repro.persist`)
+    persistence: Optional[Any] = None
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, seed=seed, workload=replace(self.workload, seed=seed))
@@ -147,6 +151,8 @@ class ExperimentConfig:
             base += f" [{', '.join(extras)}]"
         if self.trace_mode is not None:
             base += f" [trace={self.trace_mode.describe()}]"
+        if self.persistence is not None:
+            base += f" [{self.persistence.describe()}]"
         return base
 
 
@@ -217,6 +223,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         consensus_factor=config.consensus_factor,
         reconfig=config.reconfig,
         controller=config.controller,
+        persistence=config.persistence,
     )
     if config.c2c is not None:
         build_kwargs["c2c"] = config.c2c

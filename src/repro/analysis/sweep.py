@@ -421,6 +421,112 @@ def consensus_grid_rows(
     return rows
 
 
+def sweep_persistence(
+    protocols: Sequence[str] = ("algorithm-b", "algorithm-c", "occ-double-collect"),
+    modes: Optional[Mapping[str, Optional[Any]]] = None,
+    num_readers: int = 2,
+    num_writers: int = 2,
+    num_objects: int = 2,
+    workload: Optional[WorkloadSpec] = None,
+    seed: int = 11,
+    crash_at: int = 10,
+    recover_at: int = 45,
+    check_properties: bool = True,
+) -> Dict[str, Dict[Tuple[str, str], ExperimentResult]]:
+    """The durability grid: protocol × persistence mode × coordinator fate.
+
+    Per mode (``None`` = the seed's volatile members, or any
+    :class:`~repro.persist.PersistencePolicy`), two scenarios run: ``none``
+    (fault-free baseline) and ``amnesia-member`` — a crash-with-amnesia of
+    one consensus member, recovered mid-run.  With a store attached the
+    amnesiac member recovers its term/vote/log instead of resetting, so the
+    verdict/availability columns match the fault-free baseline while the new
+    persistence block reports the recovery/compaction work it took.  Returns
+    ``{protocol: {(mode, scenario): result}}``.
+    """
+    from ..faults.plan import CrashEvent, RetryPolicy
+    from ..persist import PersistencePolicy
+
+    if modes is None:
+        modes = {
+            "volatile": None,
+            "durable": PersistencePolicy(),
+            "durable+compact": PersistencePolicy(compact_every=4),
+        }
+    workload = workload or WorkloadSpec(
+        reads_per_reader=6, writes_per_writer=3, read_size=num_objects, write_size=num_objects, seed=seed
+    )
+    scenarios: Dict[str, FaultPlan] = {
+        "none": FaultPlan.none(),
+        "amnesia-member": FaultPlan(
+            name="amnesia-member",
+            crashes=(
+                CrashEvent(server="coor.2", at=crash_at, recover=recover_at, preserve_state=False),
+            ),
+            retry=RetryPolicy(timeout_steps=10, max_attempts=8),
+            seed=seed,
+        ),
+    }
+    grid: Dict[str, Dict[Tuple[str, str], ExperimentResult]] = {}
+    for protocol in protocols:
+        row: Dict[Tuple[str, str], ExperimentResult] = {}
+        for mode_name, persistence in modes.items():
+            for scenario_name, plan in scenarios.items():
+                config = ExperimentConfig(
+                    protocol=protocol,
+                    num_readers=num_readers,
+                    num_writers=num_writers,
+                    num_objects=num_objects,
+                    workload=workload,
+                    scheduler="chaos",
+                    seed=seed,
+                    check_properties=check_properties,
+                    faults=plan,
+                    consensus_factor=3,
+                    persistence=persistence,
+                )
+                row[(mode_name, scenario_name)] = run_experiment(config)
+        grid[protocol] = row
+    return grid
+
+
+def persistence_grid_rows(
+    grid: Mapping[str, Mapping[Tuple[str, str], ExperimentResult]],
+) -> List[Dict[str, Any]]:
+    """Flatten a durability grid into JSON-ready rows.
+
+    One row per protocol × persistence mode × scenario: the SNOW verdict and
+    availability (the invariant columns the regression gate pins), the
+    election counters, and the persistence block (recoveries, checkpoints,
+    compaction ratio, retained-vs-total log length) — the machine-readable
+    record tracked across PRs via ``BENCH_persist.json``.
+    """
+    rows: List[Dict[str, Any]] = []
+    for protocol, cells in grid.items():
+        for (mode, scenario), result in cells.items():
+            metrics = result.metrics
+            faults = metrics.faults
+            row: Dict[str, Any] = {
+                "protocol": protocol,
+                "persistence": mode,
+                "scenario": scenario,
+                "snow": result.property_string(),
+                "consistent": result.snow.satisfies_s if result.snow is not None else None,
+                "total_messages": metrics.total_messages,
+            }
+            if faults is not None:
+                row["availability"] = round(faults.availability, 4)
+            else:
+                row["availability"] = 1.0
+            if metrics.consensus is not None:
+                row["elections"] = metrics.consensus.elections
+                row["max_term"] = metrics.consensus.max_term
+            if metrics.persistence is not None:
+                row.update(metrics.persistence.as_dict())
+            rows.append(row)
+    return rows
+
+
 def sweep_reconfig(
     protocols: Sequence[str] = ("algorithm-a", "algorithm-b"),
     replication_factor: int = 3,

@@ -41,7 +41,7 @@ from .coordinator import (
     consensus_members,
 )
 from .election import CANDIDATE, FOLLOWER, LEADER, LeaderElection
-from .log import NOOP, ConsensusLog, LogEntry
+from .log import NOOP, CompactedLogError, ConsensusLog, LogEntry
 from .machines import (
     CoordinatorList,
     CoordinatorStateMachine,
@@ -83,6 +83,7 @@ __all__ = [
     "LEADER",
     "LeaderElection",
     "NOOP",
+    "CompactedLogError",
     "ConsensusLog",
     "LogEntry",
     "CoordinatorList",

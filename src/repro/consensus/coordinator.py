@@ -91,6 +91,18 @@ class ReplicatedCoordinator(ServerAutomaton):
     #: scheduler event delivers the whole round instead of one per peer.
     batch_fanout: bool = False
 
+    #: Stable storage (``BuildConfig.persistence``): when attached via
+    #: :meth:`attach_store`, term/vote/log/commit write through before they
+    #: take effect, and ``forget()`` recovers from the store instead of
+    #: coming back blank — crash-with-amnesia degrades to ordinary
+    #: crash-recovery, restoring Raft's persistence assumption.
+    stable_store: Optional[Any] = None
+
+    #: When set, checkpoint the state machine and compact the log every
+    #: time the applied-but-uncompacted prefix reaches this many entries
+    #: (``PersistencePolicy.compact_every``).
+    compact_every: Optional[int] = None
+
     def __init__(
         self,
         name: str,
@@ -150,6 +162,14 @@ class ReplicatedCoordinator(ServerAutomaton):
         #: member to campaign (and re-replicate) or the stale candidate
         #: disrupts forever — see ``_on_vote_request``
         self._repair = False
+        #: the newest state-machine snapshot this member holds (its own
+        #: checkpoint, a leader-installed one, or the recovered one); the
+        #: log's compacted prefix is exactly what this covers
+        self._snapshot: Optional[Dict[str, Any]] = None
+        #: times this member recovered from stable storage (stats)
+        self.recoveries = 0
+        #: checkpoints this member took (stats)
+        self.checkpoints = 0
 
     # ------------------------------------------------------------------
     @property
@@ -178,20 +198,27 @@ class ReplicatedCoordinator(ServerAutomaton):
             return majority_of(old) and majority_of(new)
         return majority_of(self.group)
 
+    def _adopt_config(self, payload: Mapping[str, Any]) -> None:
+        if payload.get("phase") == "new":
+            self.group = tuple(payload["group"])
+            self.joint = None
+        else:
+            old, new = tuple(payload["old"]), tuple(payload["new"])
+            self.joint = (old, new)
+            self.group = old + tuple(m for m in new if m not in old)
+
     def _refresh_config(self) -> None:
         """Adopt the newest configuration entry in the log (Raft's rule:
-        a configuration takes effect when it is appended, not committed)."""
+        a configuration takes effect when it is appended, not committed).
+        A compacted log falls back to the configuration its snapshot
+        carries, then to the construction-time group."""
         for entry in reversed(self.log.entries):
             if entry.msg_type != CONFIG:
                 continue
-            payload = dict(entry.payload)
-            if payload.get("phase") == "new":
-                self.group = tuple(payload["group"])
-                self.joint = None
-            else:
-                old, new = tuple(payload["old"]), tuple(payload["new"])
-                self.joint = (old, new)
-                self.group = old + tuple(m for m in new if m not in old)
+            self._adopt_config(dict(entry.payload))
+            return
+        if self._snapshot is not None and self._snapshot.get("config") is not None:
+            self._adopt_config(dict(self._snapshot["config"]))
             return
         self.group = self._initial_group
         self.joint = None
@@ -244,8 +271,11 @@ class ReplicatedCoordinator(ServerAutomaton):
 
         Raft's safety argument assumes term/vote/log survive crashes; an
         amnesiac member can double-vote, so replicated-coordinator systems
-        model crash-recovery with durable state — this hook exists to keep
-        the fault plane's contract honest, and tests document the hazard.
+        model crash-recovery with durable state.  Without a stable store
+        this hook keeps the fault plane's contract honest (tests document
+        the hazard); with one attached (``BuildConfig.persistence``) the
+        volatile wipe is followed by :meth:`_recover`, and amnesia degrades
+        to ordinary crash-recovery.
         """
         self.group = self._initial_group
         self.joint = None
@@ -271,6 +301,131 @@ class ReplicatedCoordinator(ServerAutomaton):
         self.machine.reset()
         self._timer_live = False
         self._repair = False
+        self._snapshot = None
+        if self.stable_store is not None:
+            self._recover()
+
+    # ------------------------------------------------------------------
+    # Stable storage (persistence plane)
+    # ------------------------------------------------------------------
+    def attach_store(self, store: Any, compact_every: Optional[int] = None) -> None:
+        """Attach durable storage; all later term/vote/log mutations write
+        through *before* they take effect.  An empty store is sealed with
+        the current election state (so a crash before any mutation still
+        recovers the bootstrap vote); a non-empty one — surviving storage a
+        rebuilt system was pointed at — is recovered from immediately."""
+        self.stable_store = store
+        if compact_every is not None:
+            self.compact_every = int(compact_every)
+        if store.is_empty():
+            store.save_meta(self.election.term, self.election.voted_for)
+            self.election.attach_store(store)
+            self.log.attach_store(store)
+        else:
+            self._recover()
+
+    def _recover(self) -> None:
+        """Reload term/vote/log from the stable store and replay the
+        committed prefix into the (reset) state machine.  Trace-invisible:
+        no sends, no internal actions — recovery changes what the member
+        *knows*, and only its later behaviour shows it."""
+        store = self.stable_store
+        meta = store.load_meta()
+        if meta is not None:
+            self.election.restore(*meta)
+        self.election.attach_store(store)
+        self.leader = None
+        snapshot = store.load_snapshot()
+        if snapshot is not None:
+            self._snapshot = snapshot
+            self.machine.restore(snapshot["machine"])
+            self.applied_replies = dict(snapshot["replies"])
+            self.log.restore(
+                int(snapshot["index"]), int(snapshot["term"]),
+                store.load_entries(), store.load_commit(),
+            )
+        else:
+            self.log.restore(0, 0, store.load_entries(), store.load_commit())
+        self.log.attach_store(store)
+        self._refresh_config()
+        self._replay_committed()
+        self.recoveries += 1
+
+    def _replay_committed(self) -> None:
+        """Recovery twin of :meth:`_apply_committed`: same exactly-once
+        dedup, but applied silently — no replies are re-sent (clients got
+        them before the crash; a retransmitted request finds the memoized
+        reply) and no trace records are appended."""
+        for _index, entry in self.log.take_unapplied():
+            if entry.is_noop():
+                continue
+            if entry.msg_type == BATCH:
+                for request_id, msg_type, payload, client in entry.batch_requests():
+                    if request_id not in self.applied_replies:
+                        reply_type, reply_payload = self.machine.apply(msg_type, dict(payload))
+                        self.applied_replies[request_id] = (client, reply_type, reply_payload)
+                continue
+            if entry.msg_type == CONFIG:
+                payload = dict(entry.payload)
+                if payload.get("phase") == "new":
+                    request_id = str(payload.get("request", ""))
+                    if request_id and request_id not in self.applied_replies:
+                        self.applied_replies[request_id] = (
+                            entry.client,
+                            "cns-reconfig-done",
+                            {
+                                "reconfig": int(request_id.rsplit("/", 1)[-1]),
+                                "group": tuple(payload.get("group", ())),
+                            },
+                        )
+                continue
+            if entry.request_id not in self.applied_replies:
+                reply_type, reply_payload = self.machine.apply(
+                    entry.msg_type, dict(entry.payload)
+                )
+                self.applied_replies[entry.request_id] = (entry.client, reply_type, reply_payload)
+
+    # ------------------------------------------------------------------
+    # Checkpointing / log compaction
+    # ------------------------------------------------------------------
+    def _config_at(self, through: int) -> Optional[Tuple[Tuple[str, Any], ...]]:
+        """The configuration a snapshot at ``through`` must carry: the
+        newest CONFIG payload at an index <= ``through``, falling back to
+        the previous snapshot's."""
+        for index in range(through, self.log.snapshot_index, -1):
+            entry = self.log.entry(index)
+            if entry.msg_type == CONFIG:
+                return entry.payload
+        return self._snapshot.get("config") if self._snapshot is not None else None
+
+    def checkpoint(self) -> int:
+        """Snapshot the applied state machine and compact the log through
+        ``last_applied``; returns the number of entries discarded.
+
+        Deliberately refused while the newest configuration is joint: the
+        joint entry must stay addressable until C_new is proposed, or a
+        post-election leader could never finish the membership change.
+        Trace-invisible (no sends, no internal actions), so compaction is a
+        pure space optimisation — verdict tests pin that it never changes
+        committed state.
+        """
+        if self.joint is not None:
+            return 0
+        through = self.log.last_applied
+        if through <= self.log.snapshot_index:
+            return 0
+        snapshot: Dict[str, Any] = {
+            "index": through,
+            "term": self.log.term_at(through),
+            "machine": self.machine.snapshot(),
+            "replies": dict(self.applied_replies),
+            "config": self._config_at(through),
+        }
+        dropped = self.log.compact(snapshot)
+        if dropped:
+            self._snapshot = snapshot
+            self.checkpoints += 1
+        return dropped
 
     # ------------------------------------------------------------------
     # Message dispatch
@@ -281,6 +436,8 @@ class ReplicatedCoordinator(ServerAutomaton):
             self._on_client_request(message, ctx)
         elif msg_type == "cns-append":
             self._on_append(message, ctx)
+        elif msg_type == "cns-snapshot":
+            self._on_snapshot(message, ctx)
         elif msg_type == "cns-append-ack":
             self._on_append_ack(message, ctx)
         elif msg_type == "cns-vote-req":
@@ -411,6 +568,12 @@ class ReplicatedCoordinator(ServerAutomaton):
 
     def _send_append(self, peer: str, ctx: Context) -> None:
         next_index = self.next_index.get(peer, self.log.last_index + 1)
+        if next_index <= self.log.snapshot_index:
+            # The entries this peer needs were compacted away: ship the
+            # snapshot instead (Raft's InstallSnapshot); ordinary appends
+            # resume from the snapshot index once the peer acks it.
+            self._send_snapshot(peer, ctx)
+            return
         prev_index = next_index - 1
         ctx.send(
             peer,
@@ -422,6 +585,18 @@ class ReplicatedCoordinator(ServerAutomaton):
                 "entries": self.log.entries_from(next_index),
                 "commit": self.log.commit_index,
             },
+            phase="consensus",
+        )
+
+    def _send_snapshot(self, peer: str, ctx: Context) -> None:
+        if self._snapshot is None:
+            raise SimulationError(
+                f"{self.name} compacted its log without retaining a snapshot"
+            )
+        ctx.send(
+            peer,
+            "cns-snapshot",
+            {"term": self.election.term, "snapshot": self._snapshot},
             phase="consensus",
         )
 
@@ -526,10 +701,57 @@ class ReplicatedCoordinator(ServerAutomaton):
         self._apply_committed(ctx)
         # Acknowledge exactly the prefix this append established — a stale
         # longer suffix past it must not inflate the leader's match cursor.
+        # Floor at the local snapshot index (a no-op without compaction):
+        # entries below it were skipped as already-committed, and acking
+        # less would walk the leader's next_index into the compacted prefix
+        # forever.
         ctx.send(
             message.src,
             "cns-append-ack",
-            {"term": self.election.term, "ok": True, "match": prev_index + len(entries)},
+            {
+                "term": self.election.term,
+                "ok": True,
+                "match": max(prev_index + len(entries), self.log.snapshot_index),
+            },
+            phase="consensus",
+        )
+
+    def _on_snapshot(self, message: Message, ctx: Context) -> None:
+        """Install a leader-shipped snapshot (the compacted counterpart of
+        :meth:`_on_append`): adopt machine state, reply cache and config as
+        of the snapshot index, then ack so ordinary appends resume."""
+        term = int(message.get("term", 0))
+        if term < self.election.term:
+            ctx.send(
+                message.src,
+                "cns-append-ack",
+                {"term": self.election.term, "ok": False, "match": self.log.commit_index},
+                phase="consensus",
+            )
+            return
+        if term > self.election.term or not self.election.is_follower:
+            self._step_down(term, leader=message.src, ctx=ctx)
+        self.leader = message.src
+        self._last_heard = ctx.vtime
+        self._repair = False
+        snapshot = dict(message.get("snapshot") or {})
+        if int(snapshot.get("index", 0)) > self.log.snapshot_index:
+            if self.log.install_snapshot(snapshot):
+                self.machine.restore(snapshot["machine"])
+                self.applied_replies = dict(snapshot["replies"])
+            else:
+                # Already applied past the snapshot: keep the newer machine,
+                # just absorb any replies we never saw.
+                for request_id, reply in dict(snapshot["replies"]).items():
+                    self.applied_replies.setdefault(request_id, reply)
+            self._snapshot = snapshot
+            self._refresh_config()
+            for request_id in [r for r in self.pending if r in self.applied_replies]:
+                self.pending.pop(request_id, None)
+        ctx.send(
+            message.src,
+            "cns-append-ack",
+            {"term": self.election.term, "ok": True, "match": self.log.commit_index},
             phase="consensus",
         )
 
@@ -718,7 +940,9 @@ class ReplicatedCoordinator(ServerAutomaton):
         between committing the joint entry and proposing C_new)."""
         if not self.election.is_leader or self.joint is None:
             return
-        for index in range(self.log.last_index, 0, -1):
+        # Scan stops at the snapshot: checkpoint() never compacts while the
+        # newest config is joint, so a joint entry is always in the suffix.
+        for index in range(self.log.last_index, self.log.snapshot_index, -1):
             entry = self.log.entry(index)
             if entry.msg_type != CONFIG:
                 continue
@@ -816,6 +1040,11 @@ class ReplicatedCoordinator(ServerAutomaton):
             )
             if self.election.is_leader:
                 self._send_reply(entry.request_id, ctx)
+        if (
+            self.compact_every is not None
+            and self.log.last_applied - self.log.snapshot_index >= self.compact_every
+        ):
+            self.checkpoint()
 
     def _send_reply(self, request_id: str, ctx: Context) -> None:
         client, reply_type, reply_payload = self.applied_replies[request_id]

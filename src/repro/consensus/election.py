@@ -20,7 +20,7 @@ at all, stay byte-identical to the seed).
 from __future__ import annotations
 
 import random
-from typing import Optional, Set, Tuple
+from typing import Any, Optional, Set, Tuple
 
 FOLLOWER = "follower"
 CANDIDATE = "candidate"
@@ -58,6 +58,29 @@ class LeaderElection:
         self.voted_for: Optional[str] = initial_leader
         self.votes: Set[str] = set()
         self._rng = random.Random(((seed & 0xFFFFFFFF) * 1_000_003 + index * 97) ^ 0xE1EC7)
+        #: attached stable store (write-through; None = volatile)
+        self._store: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # Stable storage (Raft's persist-before-act rule for term and vote)
+    # ------------------------------------------------------------------
+    def attach_store(self, store: Any) -> None:
+        """Write ``(term, voted_for)`` through to ``store`` on every later
+        mutation — a vote or candidacy is durable before anyone can see it."""
+        self._store = store
+
+    def restore(self, term: int, voted_for: Optional[str]) -> None:
+        """Reload persisted election state (recovery path).  A recovered
+        member always restarts as a follower: role and gathered votes are
+        volatile, only term and vote are Raft persistent state."""
+        self.term = int(term)
+        self.voted_for = voted_for
+        self.role = FOLLOWER
+        self.votes = set()
+
+    def _persist(self) -> None:
+        if self._store is not None:
+            self._store.save_meta(self.term, self.voted_for)
 
     # ------------------------------------------------------------------
     @property
@@ -89,6 +112,7 @@ class LeaderElection:
         self.role = CANDIDATE
         self.voted_for = self.member
         self.votes = {self.member}
+        self._persist()
         return self.term
 
     def record_vote(self, voter: str) -> bool:
@@ -105,6 +129,7 @@ class LeaderElection:
         if term > self.term:
             self.term = term
             self.voted_for = None
+            self._persist()
         self.role = FOLLOWER
         self.votes = set()
 
@@ -115,6 +140,7 @@ class LeaderElection:
 
     def grant(self, candidate: str) -> None:
         self.voted_for = candidate
+        self._persist()
 
     def describe(self) -> str:
         return f"{self.member}: {self.role} @ term {self.term}"

@@ -16,14 +16,26 @@ Safety invariants maintained here:
   SimulationError` (it would mean election safety was already broken).
 * **Apply order** — :meth:`take_unapplied` hands out committed entries
   exactly once, in index order.
+
+Compaction (PR 9): a log may discard its *applied* prefix behind a state-
+machine snapshot (:meth:`compact` / :meth:`install_snapshot`).  Indices stay
+global — ``snapshot_index`` is the base the in-memory suffix hangs off —
+and queries into the discarded prefix raise :class:`CompactedLogError`
+loudly instead of answering from thin air.  With an attached
+:class:`~repro.persist.store.StableStore` every mutation writes through, so
+term/vote/log survive a crash (Raft's persistence rules).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..ioa.errors import SimulationError
+
+
+class CompactedLogError(SimulationError):
+    """A query addressed an index that was compacted away behind a snapshot."""
 
 #: Entry type appended by a freshly elected leader to commit prior-term
 #: entries (Raft §5.4.2: a leader only counts replicas for entries of its
@@ -88,10 +100,25 @@ class ConsensusLog:
         self._entries: List[LogEntry] = []
         self.commit_index = 0
         self.last_applied = 0
+        #: highest index discarded behind a snapshot (0 = nothing compacted);
+        #: the in-memory suffix holds global indices ``snapshot_index+1 ..
+        #: snapshot_index+len(_entries)``
+        self.snapshot_index = 0
+        #: term of the entry at ``snapshot_index`` (Raft keeps it so the
+        #: match check still works at the snapshot boundary)
+        self.snapshot_term = 0
+        #: cumulative entries discarded by compaction (stats only)
+        self.compacted_entries = 0
+        #: attached stable store (write-through; None = volatile)
+        self._store: Optional[Any] = None
         #: request-id refcounts over ``_entries`` (re-proposed entries may
         #: legitimately appear twice), making :meth:`contains_request` O(1)
         #: instead of a full-log scan per client request.
         self._request_ids: Dict[str, int] = {}
+
+    def attach_store(self, store: Any) -> None:
+        """Write every later mutation through to ``store``."""
+        self._store = store
 
     def _register(self, entry: LogEntry) -> None:
         ids = self._request_ids
@@ -112,36 +139,46 @@ class ConsensusLog:
     # ------------------------------------------------------------------
     @property
     def entries(self) -> Tuple[LogEntry, ...]:
+        """The retained suffix (everything above ``snapshot_index``)."""
         return tuple(self._entries)
 
     @property
     def last_index(self) -> int:
-        return len(self._entries)
+        return self.snapshot_index + len(self._entries)
 
     @property
     def last_term(self) -> int:
-        return self._entries[-1].term if self._entries else 0
+        return self._entries[-1].term if self._entries else self.snapshot_term
 
     def entry(self, index: int) -> LogEntry:
-        if not (1 <= index <= self.last_index):
+        if index < 1 or index > self.last_index:
             raise SimulationError(f"log index {index} out of range [1, {self.last_index}]")
-        return self._entries[index - 1]
+        if index <= self.snapshot_index:
+            raise CompactedLogError(
+                f"log index {index} was compacted away "
+                f"(snapshot through {self.snapshot_index})"
+            )
+        return self._entries[index - self.snapshot_index - 1]
 
     def term_at(self, index: int) -> int:
         """Term of the entry at ``index`` (0 for the empty prefix)."""
         if index == 0:
             return 0
+        if index == self.snapshot_index:
+            return self.snapshot_term
         return self.entry(index).term
 
     def entries_from(self, index: int) -> Tuple[LogEntry, ...]:
-        """All entries at positions >= ``index``."""
-        return tuple(self._entries[max(0, index - 1):])
+        """All entries at indices >= ``index`` (which must be above the
+        snapshot; callers ship a snapshot instead when it is not)."""
+        return tuple(self._entries[max(0, index - self.snapshot_index - 1):])
 
     def contains_request(self, request_id: str) -> bool:
         return request_id in self._request_ids
 
     def committed_entries(self) -> Tuple[LogEntry, ...]:
-        return tuple(self._entries[: self.commit_index])
+        """The committed *retained* entries (above the snapshot)."""
+        return tuple(self._entries[: max(0, self.commit_index - self.snapshot_index)])
 
     # ------------------------------------------------------------------
     # Leader-side append
@@ -150,7 +187,10 @@ class ConsensusLog:
         """Append a new entry (leader path); returns its 1-based index."""
         self._entries.append(entry)
         self._register(entry)
-        return self.last_index
+        index = self.last_index
+        if self._store is not None:
+            self._store.log_append(index, entry)
+        return index
 
     # ------------------------------------------------------------------
     # Follower-side replication
@@ -159,6 +199,13 @@ class ConsensusLog:
         """Whether this log contains ``(prev_index, prev_term)``."""
         if prev_index == 0:
             return True
+        if prev_index < self.snapshot_index:
+            # Inside the compacted prefix: those entries were committed and
+            # applied here, and leader completeness guarantees any current
+            # leader's log agrees with a committed prefix.
+            return True
+        if prev_index == self.snapshot_index:
+            return prev_term == self.snapshot_term
         if prev_index > self.last_index:
             return False
         return self.term_at(prev_index) == prev_term
@@ -169,10 +216,14 @@ class ConsensusLog:
         Callers must have checked :meth:`matches` first.  An entry that is
         already present with the same term is left untouched (idempotent
         re-delivery); a term conflict truncates the suffix from that point.
+        Entries at or below ``snapshot_index`` are skipped — the snapshot
+        already covers that committed prefix.
         """
         index = prev_index
         for entry in entries:
             index += 1
+            if index <= self.snapshot_index:
+                continue
             if index <= self.last_index:
                 if self.term_at(index) == entry.term:
                     continue
@@ -181,11 +232,16 @@ class ConsensusLog:
                         f"consensus log asked to truncate committed entry {index} "
                         f"(commit_index={self.commit_index}): election safety is broken"
                     )
-                for truncated in self._entries[index - 1:]:
+                position = index - self.snapshot_index - 1
+                for truncated in self._entries[position:]:
                     self._unregister(truncated)
-                del self._entries[index - 1:]
+                del self._entries[position:]
+                if self._store is not None:
+                    self._store.log_truncate(index)
             self._entries.append(entry)
             self._register(entry)
+            if self._store is not None:
+                self._store.log_append(index, entry)
 
     # ------------------------------------------------------------------
     # Commit / apply bookkeeping
@@ -195,6 +251,8 @@ class ConsensusLog:
         index = min(int(index), self.last_index)
         if index > self.commit_index:
             self.commit_index = index
+            if self._store is not None:
+                self._store.save_commit(index)
         return self.commit_index
 
     def take_unapplied(self) -> Tuple[Tuple[int, LogEntry], ...]:
@@ -202,12 +260,106 @@ class ConsensusLog:
         apply cursor — each committed entry is handed out exactly once."""
         if self.last_applied >= self.commit_index:
             return ()
+        base = self.snapshot_index
         newly = tuple(
-            (i, self._entries[i - 1])
+            (i, self._entries[i - base - 1])
             for i in range(self.last_applied + 1, self.commit_index + 1)
         )
         self.last_applied = self.commit_index
         return newly
+
+    # ------------------------------------------------------------------
+    # Compaction / recovery
+    # ------------------------------------------------------------------
+    def _drop_prefix(self, through: int) -> int:
+        drop = through - self.snapshot_index
+        for entry in self._entries[:drop]:
+            self._unregister(entry)
+        del self._entries[:drop]
+        self.compacted_entries += drop
+        return drop
+
+    def compact(self, snapshot: Mapping[str, Any]) -> int:
+        """Discard the applied prefix behind ``snapshot`` (a checkpoint of
+        the state machine at ``snapshot['index']``); returns entries dropped.
+
+        Only the *applied* prefix may go — applied implies committed, and
+        committed entries are the only ones whose loss the snapshot covers.
+        """
+        through = int(snapshot["index"])
+        if through <= self.snapshot_index:
+            return 0
+        if through > self.last_applied:
+            raise SimulationError(
+                f"cannot compact through {through}: only the applied prefix "
+                f"(last_applied={self.last_applied}) may be discarded"
+            )
+        dropped = self._drop_prefix(through)
+        self.snapshot_index = through
+        self.snapshot_term = int(snapshot["term"])
+        if self._store is not None:
+            self._store.save_snapshot(dict(snapshot))
+        return dropped
+
+    def install_snapshot(self, snapshot: Mapping[str, Any]) -> bool:
+        """Adopt a leader-shipped snapshot (Raft InstallSnapshot).
+
+        Returns whether the *state machine* must be restored from it — False
+        when this log had already applied past the snapshot index (then only
+        the prefix is dropped).  If the log holds the snapshot index with a
+        matching term the suffix past it is retained; otherwise the whole
+        log is replaced by the snapshot.
+        """
+        index = int(snapshot["index"])
+        term = int(snapshot["term"])
+        if index <= self.snapshot_index:
+            return False
+        needs_restore = index > self.last_applied
+        if index <= self.last_index and self.term_at(index) == term:
+            self._drop_prefix(index)
+        else:
+            for entry in self._entries:
+                self._unregister(entry)
+            self.compacted_entries += len(self._entries)
+            self._entries = []
+            if self._store is not None:
+                self._store.log_truncate(index + 1)
+        self.snapshot_index = index
+        self.snapshot_term = term
+        self.commit_index = max(self.commit_index, index)
+        self.last_applied = max(self.last_applied, index)
+        if self._store is not None:
+            self._store.save_snapshot(dict(snapshot))
+        return needs_restore
+
+    def restore(
+        self,
+        snapshot_index: int,
+        snapshot_term: int,
+        entries: Tuple[Tuple[int, LogEntry], ...],
+        commit_index: int,
+    ) -> None:
+        """Reload from stable storage (recovery path — no write-back).
+
+        ``entries`` is the persisted ``(index, entry)`` suffix; the apply
+        cursor restarts at the snapshot (the recovered state machine is the
+        snapshot's), so the caller replays the committed suffix."""
+        self._entries = []
+        self._request_ids = {}
+        self.snapshot_index = int(snapshot_index)
+        self.snapshot_term = int(snapshot_term)
+        expected = self.snapshot_index + 1
+        for index, entry in entries:
+            if index != expected:
+                raise SimulationError(
+                    f"stable store log is not contiguous: expected index "
+                    f"{expected}, got {index}"
+                )
+            self._entries.append(entry)
+            self._register(entry)
+            expected += 1
+        self.commit_index = min(max(int(commit_index), self.snapshot_index), self.last_index)
+        self.last_applied = self.snapshot_index
 
     # ------------------------------------------------------------------
     # Election support
@@ -219,7 +371,10 @@ class ConsensusLog:
         return (last_term, last_index) >= (self.last_term, self.last_index)
 
     def describe(self) -> str:
-        return (
+        base = (
             f"ConsensusLog(len={self.last_index}, commit={self.commit_index}, "
-            f"applied={self.last_applied})"
+            f"applied={self.last_applied}"
         )
+        if self.snapshot_index:
+            base += f", snapshot@{self.snapshot_index}"
+        return base + ")"

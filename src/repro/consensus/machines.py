@@ -46,6 +46,16 @@ class CoordinatorList:
         """(Re)initialise to the single initial entry — the amnesia hook."""
         self.entries = [(Key.initial(), {obj: 1 for obj in self.objects})]
 
+    def snapshot(self) -> Tuple[Tuple[Key, Tuple[Tuple[str, int], ...]], ...]:
+        """An immutable copy of the list (checkpoint payload)."""
+        return tuple(
+            (key, tuple(sorted(bits.items()))) for key, bits in self.entries
+        )
+
+    def restore(self, state: Sequence[Tuple[Key, Any]]) -> None:
+        """Replace the list with a :meth:`snapshot` payload."""
+        self.entries = [(key, dict(bits)) for key, bits in state]
+
     # ------------------------------------------------------------------
     def append(self, key: Key, bits: Mapping[str, Any]) -> int:
         """Record that the WRITE keyed ``key`` updated ``bits``; returns its tag."""
@@ -93,6 +103,17 @@ class CoordinatorStateMachine:
         """Drop all state (the crash-with-amnesia hook)."""
         raise NotImplementedError
 
+    def snapshot(self) -> Any:
+        """An immutable, deterministic copy of the full state — the
+        checkpoint payload the consensus log compacts behind.  Must satisfy
+        ``restore(snapshot())`` ≡ identity."""
+        raise NotImplementedError
+
+    def restore(self, state: Any) -> None:
+        """Replace all state with a :meth:`snapshot` payload (recovery and
+        snapshot-install both land here)."""
+        raise NotImplementedError
+
     def describe(self) -> str:
         return type(self).__name__
 
@@ -127,6 +148,12 @@ class ListStateMachine(CoordinatorStateMachine):
     def reset(self) -> None:
         self.list.reset()
 
+    def snapshot(self) -> Any:
+        return self.list.snapshot()
+
+    def restore(self, state: Any) -> None:
+        self.list.restore(state)
+
     def describe(self) -> str:
         return f"ListStateMachine({len(self.list)} entries)"
 
@@ -150,6 +177,12 @@ class TimestampStateMachine(CoordinatorStateMachine):
 
     def reset(self) -> None:
         self.counter = 0
+
+    def snapshot(self) -> Any:
+        return self.counter
+
+    def restore(self, state: Any) -> None:
+        self.counter = int(state)
 
     def describe(self) -> str:
         return f"TimestampStateMachine(counter={self.counter})"

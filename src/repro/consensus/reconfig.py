@@ -363,7 +363,12 @@ class ReconfigDriver(Automaton):
        replica (``sync-req`` → ``sync-state`` → ``sync-done``); consensus
        members instead catch up through the leader's ordinary log replication
        (a consensus change commits via the replicated ``C_old,new``/``C_new``
-       log entries, and the leader reports ``cns-reconfig-done``);
+       log entries, and the leader reports ``cns-reconfig-done``).  When the
+       leader's log has been **compacted** (:mod:`repro.persist`
+       checkpointing), an added member whose next needed entry falls below
+       ``snapshot_index`` is brought up by a ``cns-snapshot`` message — the
+       state-machine snapshot plus the retained log suffix — instead of
+       full history, so state transfer stays bounded on long runs;
     4. **commit** — the directory flips to ``C_new``; replicas that left the
        group are marked retired (they answer ``epoch-mismatch`` from now on)
        and are removed from the kernel after a drain window.

@@ -365,8 +365,15 @@ class FaultInjector(FaultPlane):
                 # fully-recovered outages do not count).  The volatile state
                 # was lost at the onset; the loss becomes observable now, so
                 # reset the automaton at the recovery boundary and record it.
-                kernel.automaton(server).forget()
-                kernel.trace.append(internal_action(server, {"fault": "amnesia"}))
+                # Amnesia only wipes *volatile* state: an automaton with a
+                # stable store attached reloads its durable state inside
+                # ``forget()`` and the record says so.
+                automaton = kernel.automaton(server)
+                automaton.forget()
+                info = {"fault": "amnesia"}
+                if getattr(automaton, "stable_store", None) is not None:
+                    info["durable"] = "recovered"
+                kernel.trace.append(internal_action(server, info))
         self._crashed = currently
 
     def _release_due(self, kernel: Any, now: int) -> None:

@@ -1,0 +1,22 @@
+"""``repro.persist`` — stable storage for consensus members.
+
+See :mod:`repro.persist.store` for the interface and the in-sim backend,
+:mod:`repro.persist.filestore` for the hash-chained on-disk journal, and
+:mod:`repro.persist.plane` for the build-time plumbing
+(``BuildConfig(persistence=...)``).
+"""
+
+from .filestore import FileStableStore, IntegrityError, decode_value, encode_value
+from .plane import PersistencePlane, PersistencePolicy
+from .store import SimStableStore, StableStore
+
+__all__ = [
+    "FileStableStore",
+    "IntegrityError",
+    "PersistencePlane",
+    "PersistencePolicy",
+    "SimStableStore",
+    "StableStore",
+    "decode_value",
+    "encode_value",
+]

@@ -1,0 +1,100 @@
+"""The persistence plane: policy + per-member store bookkeeping.
+
+``BuildConfig(persistence=...)`` accepts either a
+:class:`PersistencePolicy` (the declarative knob benchmark sweeps use) or a
+ready-made :class:`PersistencePlane`.  The plane owns one
+:class:`~repro.persist.store.StableStore` per consensus member — created
+lazily by name, so members spawned mid-run by a reconfiguration get stores
+exactly like construction-time members — and is the handle tests use to
+model *restart-from-storage*: build a second system with the same plane (or
+a fresh plane over the same file root) and every member recovers from what
+the first run persisted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from .store import SimStableStore, StableStore
+
+_BACKENDS = ("sim", "file")
+
+
+@dataclass(frozen=True)
+class PersistencePolicy:
+    """Declarative description of a member's durable storage.
+
+    ``backend`` picks the store (``"sim"`` survives ``forget()`` inside one
+    simulation; ``"file"`` is an on-disk journal under ``root`` that also
+    survives process restarts).  ``compact_every`` enables checkpointing:
+    whenever a member's applied-but-uncompacted prefix reaches that many
+    entries, it snapshots the state machine and compacts the log.  ``None``
+    keeps the full log (the seed behaviour with durability added).
+    """
+
+    backend: str = "sim"
+    root: Optional[str] = None
+    compact_every: Optional[int] = None
+    fsync: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown persistence backend {self.backend!r}; valid backends: "
+                + ", ".join(repr(b) for b in _BACKENDS)
+            )
+        if self.backend == "file" and not self.root:
+            raise ValueError("persistence backend 'file' needs a root directory")
+        if self.compact_every is not None and int(self.compact_every) < 1:
+            raise ValueError(f"compact_every must be >= 1, got {self.compact_every}")
+
+    def describe(self) -> str:
+        parts = [self.backend]
+        if self.compact_every is not None:
+            parts.append(f"compact_every={self.compact_every}")
+        if self.fsync:
+            parts.append("fsync")
+        return f"persist({', '.join(parts)})"
+
+
+class PersistencePlane:
+    """One stable store per consensus member, created lazily by name."""
+
+    def __init__(self, policy: Optional[PersistencePolicy] = None) -> None:
+        self.policy = policy if policy is not None else PersistencePolicy()
+        self._stores: Dict[str, StableStore] = {}
+
+    @classmethod
+    def of(cls, value) -> "PersistencePlane":
+        """Normalise the ``persistence=`` build argument to a plane."""
+        if isinstance(value, PersistencePlane):
+            return value
+        if isinstance(value, PersistencePolicy):
+            return cls(value)
+        raise ValueError(
+            "persistence must be a PersistencePolicy or PersistencePlane, "
+            f"got {type(value).__name__}"
+        )
+
+    def store_for(self, member: str) -> StableStore:
+        store = self._stores.get(member)
+        if store is None:
+            if self.policy.backend == "file":
+                from .filestore import FileStableStore
+
+                store = FileStableStore(
+                    Path(self.policy.root) / f"{member}.wal", fsync=self.policy.fsync
+                )
+            else:
+                store = SimStableStore()
+            self._stores[member] = store
+        return store
+
+    def stores(self) -> Dict[str, StableStore]:
+        """The stores handed out so far (member name -> store)."""
+        return dict(self._stores)
+
+    def describe(self) -> str:
+        return f"PersistencePlane({self.policy.describe()}, members={len(self._stores)})"

@@ -107,6 +107,12 @@ class BuildConfig:
     #: (see :attr:`repro.consensus.coordinator.ReplicatedCoordinator.
     #: append_batching`); needs ``consensus_factor >= 2``.  Off by default.
     consensus_batching: bool = False
+    #: stable storage for consensus members (a
+    #: :class:`~repro.persist.PersistencePolicy` or ready-made
+    #: :class:`~repro.persist.PersistencePlane`); needs ``consensus_factor
+    #: >= 2``.  None (the default) keeps the seed's volatile members,
+    #: byte-identical.
+    persistence: Optional[Any] = None
 
     def objects(self) -> Tuple[str, ...]:
         return object_names(self.num_objects)
@@ -142,6 +148,7 @@ class SystemHandle:
         simulation: Simulation,
         config: BuildConfig,
         directory=None,
+        persistence=None,
     ) -> None:
         self.protocol = protocol
         self.simulation = simulation
@@ -149,6 +156,9 @@ class SystemHandle:
         #: the shared epoch-versioned placement directory; None unless the
         #: system was built with a reconfiguration plan
         self.directory = directory
+        #: the persistence plane (member name -> stable store); None unless
+        #: the system was built with ``persistence=...``
+        self.persistence = persistence
         #: the observability plane; None unless the system was built with one
         self.obs = config.obs
         self.readers = config.readers()
@@ -333,6 +343,16 @@ class Protocol:
                 "consensus_batching packs replicated-coordinator log entries; "
                 "it needs consensus_factor >= 2 (there is no log at factor 1)"
             )
+        if config.persistence is not None:
+            if config.consensus_factor < 2:
+                raise ValueError(
+                    "persistence attaches stable storage to replicated-"
+                    "coordinator members; it needs consensus_factor >= 2 "
+                    "(there is no member state to persist at factor 1)"
+                )
+            from ..persist import PersistencePlane
+
+            PersistencePlane.of(config.persistence)  # raises on a bad value
         if config.controller is not None and getattr(config.controller, "use_health", False):
             health = getattr(config.obs, "health", None) if config.obs is not None else None
             if health is None:
@@ -426,6 +446,7 @@ class Protocol:
         trace_mode: Optional[Any] = None,
         fanout_batching: bool = False,
         consensus_batching: bool = False,
+        persistence: Optional[Any] = None,
     ) -> SystemHandle:
         """Instantiate the protocol as a ready-to-run system.
 
@@ -449,8 +470,12 @@ class Protocol:
         profiler); the plane only listens, so even an enabled plane leaves
         the trace byte-identical.  ``trace_mode`` selects trace record
         retention (:class:`~repro.ioa.TraceMode`; ``None``/``full`` keeps
-        every action).  The defaults reproduce the paper's
-        one-server-per-object, single-coordinator system byte-for-byte.
+        every action).  ``persistence`` attaches stable storage to every
+        consensus member (:mod:`repro.persist`): term/vote/log survive
+        crash-with-amnesia, and with ``compact_every`` set the members
+        checkpoint their state machines and compact their logs.  The
+        defaults reproduce the paper's one-server-per-object,
+        single-coordinator system byte-for-byte.
         """
         config = BuildConfig(
             num_readers=num_readers,
@@ -472,6 +497,7 @@ class Protocol:
             trace_mode=trace_mode,
             fanout_batching=fanout_batching,
             consensus_batching=consensus_batching,
+            persistence=persistence,
         )
         self.validate_config(config)
         allow_c2c = config.c2c if config.c2c is not None else self.default_c2c()
@@ -499,13 +525,22 @@ class Protocol:
         simulation.add_automata(self.make_automata(config))
         if config.fanout_batching or config.consensus_batching:
             self._apply_batching(config, simulation)
+        persistence_plane = None
+        if config.persistence is not None:
+            persistence_plane = self._apply_persistence(config, simulation)
         directory = None
         if (
             config.reconfig is not None and config.reconfig.requests
         ) or config.controller is not None:
-            directory = self._install_reconfig(config, placement, simulation)
+            directory = self._install_reconfig(
+                config, placement, simulation, persistence_plane
+            )
         return SystemHandle(
-            protocol=self, simulation=simulation, config=config, directory=directory
+            protocol=self,
+            simulation=simulation,
+            config=config,
+            directory=directory,
+            persistence=persistence_plane,
         )
 
     def _apply_batching(self, config: BuildConfig, simulation: Simulation) -> None:
@@ -523,8 +558,30 @@ class Protocol:
             if config.consensus_batching and hasattr(automaton, "append_batching"):
                 automaton.append_batching = True
 
+    def _apply_persistence(self, config: BuildConfig, simulation: Simulation):
+        """Attach a stable store to every consensus member (post-build
+        injection, like batching): automata exposing ``stable_store`` —
+        exactly the :class:`~repro.consensus.coordinator.
+        ReplicatedCoordinator` members — get their per-name store from the
+        plane.  Passing a plane whose stores already hold state (a rebuild
+        over surviving storage) makes every member recover during attach."""
+        from ..persist import PersistencePlane
+
+        plane = PersistencePlane.of(config.persistence)
+        for automaton in simulation.automata():
+            if hasattr(automaton, "stable_store"):
+                automaton.attach_store(
+                    plane.store_for(automaton.name),
+                    compact_every=plane.policy.compact_every,
+                )
+        return plane
+
     def _install_reconfig(
-        self, config: BuildConfig, placement: Placement, simulation: Simulation
+        self,
+        config: BuildConfig,
+        placement: Placement,
+        simulation: Simulation,
+        persistence_plane=None,
     ) -> PlacementDirectory:
         """Wire the reconfiguration layer onto a freshly built system.
 
@@ -567,6 +624,13 @@ class Protocol:
                 # Mid-run members inherit the build's batching knobs.
                 member.append_batching = config.consensus_batching
                 member.batch_fanout = config.fanout_batching
+                if persistence_plane is not None:
+                    # ... and its durability: a spawned member persists (and
+                    # recovers) exactly like a founding one.
+                    member.attach_store(
+                        persistence_plane.store_for(name),
+                        compact_every=persistence_plane.policy.compact_every,
+                    )
                 return member
 
         driver = ReconfigDriver(

@@ -41,6 +41,7 @@ def run_consensus_workload(
     seed: int = 3,
     election_timeout=None,
     reconfig=None,
+    persistence=None,
     run_to_completion: bool = False,
 ):
     """Build, submit the fixed explicit-id workload, run; returns the handle."""
@@ -52,6 +53,7 @@ def run_consensus_workload(
         election_timeout=election_timeout,
         plan=plan,
         reconfig=reconfig,
+        persistence=persistence,
         run_to_completion=run_to_completion,
     )
 

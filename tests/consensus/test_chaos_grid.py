@@ -16,9 +16,13 @@ Two regressions are pinned alongside the grid:
   without it.
 * **the durable-state assumption** — Raft's election safety requires
   term/vote to survive crashes.  A crash-with-amnesia member *can* double
-  vote; the white-box test documents exactly that hazard (xfail), while the
-  grid shows the end-to-end schedules where recovery happens between
-  elections stay safe.
+  vote; the white-box pair documents exactly that hazard (strict xfail with
+  volatile members) *and* its fix (the same schedule passes once a
+  :class:`~repro.persist.PersistencePolicy` attaches stable storage, PR 9),
+  while the grid shows the end-to-end schedules where recovery happens
+  between elections stay safe.  The persistence grid re-runs the amnesia
+  scenarios with durable members — now the *state* also rides through the
+  outage, not just the safety invariants.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ import pytest
 from repro.faults import ChaosScheduler, FaultPlan
 from repro.faults.plan import CrashEvent, DropPolicy, Partition, RetryPolicy
 from repro.ioa import RandomScheduler
+from repro.persist import PersistencePolicy
 
 from tests import invariants
 from tests.consensus.conftest import COORDINATOR_PROTOCOLS, run_consensus_workload
@@ -117,27 +122,79 @@ def test_healed_partition_member_catches_up_and_group_quiesces(seed):
     assert not stale.pending, "healed member still holds buffered requests"
 
 
-@pytest.mark.xfail(
-    reason="Raft's election safety assumes term/vote survive crashes; a "
-    "crash-with-amnesia member forgets its vote and can grant a second, "
-    "conflicting vote in the same term (the double-vote hazard the "
-    "ReplicatedCoordinator.forget docstring documents). Durable member "
-    "state — persisting term/vote across the outage — is the fix.",
-    strict=True,
-)
-def test_amnesiac_member_must_not_double_vote():
-    """White-box: where the durable-state assumption bites.  One member
-    grants its term-2 vote to candidate X, crashes with amnesia, and is then
-    asked by candidate Y — with amnesia it forgets the first grant and votes
-    again, so two leaders of the same term become possible."""
-    handle = run_consensus_workload("algorithm-b", consensus_factor=3)
+def _double_vote_schedule(persistence):
+    """Drive the double-vote schedule; returns whether the second grant in
+    the same term was (wrongly) possible after the amnesiac outage."""
+    handle = run_consensus_workload(
+        "algorithm-b", consensus_factor=3, persistence=persistence
+    )
     member = handle.simulation.automaton("coor.2")
     member.election.step_down(2)
     assert member.election.may_grant("coor", 2)
     member.election.grant("coor")
     assert not member.election.may_grant("coor.3", 2)  # vote is taken
-    member.forget()  # amnesiac outage: term and vote are gone
+    member.forget()  # amnesiac outage: volatile term and vote are gone
     member.election.step_down(2)
-    assert not member.election.may_grant(
-        "coor.3", 2
+    return member.election.may_grant("coor.3", 2)
+
+
+@pytest.mark.xfail(
+    reason="Raft's election safety assumes term/vote survive crashes; a "
+    "crash-with-amnesia member forgets its vote and can grant a second, "
+    "conflicting vote in the same term (the double-vote hazard the "
+    "ReplicatedCoordinator.forget docstring documents). Durable member "
+    "state — persisting term/vote across the outage — is the fix; see "
+    "the sibling test with stable storage attached.",
+    strict=True,
+)
+def test_amnesiac_member_double_vote_hazard_without_persistence():
+    """White-box: where the durable-state assumption bites.  One member
+    grants its term-2 vote to candidate X, crashes with amnesia, and is then
+    asked by candidate Y — with amnesia it forgets the first grant and votes
+    again, so two leaders of the same term become possible."""
+    assert not _double_vote_schedule(
+        None
     ), "amnesiac member re-granted a vote it already cast this term"
+
+
+def test_amnesiac_member_with_stable_storage_must_not_double_vote():
+    """The fix for the hazard above: with a stable store attached (PR 9),
+    ``forget()`` recovers term/vote from storage, so the exact schedule
+    that double-votes with volatile members refuses the second grant."""
+    assert not _double_vote_schedule(
+        PersistencePolicy()
+    ), "durable member re-granted a vote it already cast this term"
+
+
+# ----------------------------------------------------------------------
+# The persistence grid: amnesia scenarios with durable members (PR 9)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", ("amnesia-member", "amnesia-leader"))
+@pytest.mark.parametrize("protocol", COORDINATOR_PROTOCOLS)
+def test_persistence_grid_cell(protocol, scenario, seed):
+    """The amnesia columns of the grid with stable storage attached: every
+    cell still completes with the invariants intact, and the crashed member
+    provably recovered its durable state instead of resetting."""
+    handle = run_consensus_workload(
+        protocol,
+        consensus_factor=3,
+        plan=chaos_plan(scenario, seed),
+        scheduler=ChaosScheduler(base=RandomScheduler(seed=seed), seed=seed),
+        seed=seed,
+        persistence=PersistencePolicy(compact_every=4),
+    )
+    assert not handle.simulation.incomplete_transactions(), (protocol, scenario, seed)
+    invariants.check_all(handle)
+    assert handle.serializability().ok, (protocol, scenario, seed)
+    crashed = "coor.2" if scenario == "amnesia-member" else "coor"
+    member = handle.simulation.automaton(crashed)
+    assert member.recoveries >= 1, "amnesiac member never took the recovery path"
+    amnesia = [
+        dict(action.info)
+        for action in handle.trace()
+        if action.info
+        and dict(action.info).get("fault") == "amnesia"
+        and action.actor == crashed
+    ]
+    assert amnesia and all(a.get("durable") == "recovered" for a in amnesia)

@@ -113,37 +113,51 @@ def check_election_safety(handle):
 
 def check_log_matching(handle):
     """Same (index, term) => identical entry and identical prefix; committed
-    prefixes agree outright."""
+    prefixes agree outright.
+
+    Compaction-aware (PR 9): indices are global, so only the overlap both
+    members still retain (above either snapshot) is compared entry-by-entry —
+    the compacted prefix was committed+applied, which state-machine safety
+    and the snapshot verdict checks cover.
+    """
     members = consensus_members(handle)
     for a in members:
         for b in members:
             if a.name >= b.name:
                 continue
+            floor = max(a.log.snapshot_index, b.log.snapshot_index)
             upto = min(a.log.last_index, b.log.last_index)
-            for index in range(upto, 0, -1):
+            for index in range(upto, floor, -1):
                 if a.log.term_at(index) == b.log.term_at(index):
-                    assert a.log.entries[:index] == b.log.entries[:index], (
-                        f"{a.name} and {b.name} diverge below matching index {index}"
-                    )
+                    for i in range(floor + 1, index + 1):
+                        assert a.log.entry(i) == b.log.entry(i), (
+                            f"{a.name} and {b.name} diverge at index {i} below "
+                            f"matching index {index}"
+                        )
                     break
             committed = min(a.log.commit_index, b.log.commit_index)
-            assert a.log.entries[:committed] == b.log.entries[:committed]
+            for i in range(floor + 1, committed + 1):
+                assert a.log.entry(i) == b.log.entry(i), (
+                    f"{a.name} and {b.name} disagree on committed index {i}"
+                )
 
 
 def check_state_machine_safety(handle):
-    """Applied request sequences are prefix-consistent across members."""
+    """Applied request sequences are prefix-consistent across members.
+
+    Compared per global index over the overlap both members applied *and*
+    still retain; a compacted prefix is covered by the snapshot it was
+    discarded behind.
+    """
     members = consensus_members(handle)
-    applied = {
-        m.name: [e.request_id for e in m.log.entries[: m.log.last_applied] if not e.is_noop()]
-        for m in members
-    }
-    names = sorted(applied)
-    for i, a in enumerate(names):
-        for b in names[i + 1:]:
-            shorter, longer = sorted((applied[a], applied[b]), key=len)
-            assert longer[: len(shorter)] == shorter, (
-                f"{a} and {b} applied divergent sequences"
-            )
+    for i, a in enumerate(members):
+        for b in members[i + 1:]:
+            floor = max(a.log.snapshot_index, b.log.snapshot_index)
+            upto = min(a.log.last_applied, b.log.last_applied)
+            for index in range(floor + 1, upto + 1):
+                assert a.log.entry(index).request_id == b.log.entry(index).request_id, (
+                    f"{a.name} and {b.name} applied divergent requests at index {index}"
+                )
 
 
 # ----------------------------------------------------------------------

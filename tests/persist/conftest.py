@@ -1,0 +1,22 @@
+"""Shared fixtures for the persistence-plane tests.
+
+The suite reuses the fixed-workload helpers of ``tests/replication`` /
+``tests/consensus`` (which thread ``persistence=`` through ``build``) and,
+like those suites, re-checks the shared safety invariants after every test —
+compaction-aware since PR 9, so every crash/recover/compact schedule here
+also passes election safety, log matching and state-machine safety.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests import invariants
+
+
+@pytest.fixture(autouse=True)
+def invariant_autocheck():
+    """Apply the shared safety-invariant checker to every run of this suite."""
+    invariants.reset()
+    yield
+    invariants.check_registered()

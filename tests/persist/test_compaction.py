@@ -1,0 +1,258 @@
+"""Checkpointing and log compaction: bounded logs, unchanged verdicts.
+
+Three layers of coverage:
+
+* **the data structure** — :class:`ConsensusLog` with a snapshot base keeps
+  global indices, answers the suffix, refuses compacted-prefix queries with
+  :class:`CompactedLogError`, and only ever discards the *applied* prefix;
+* **the member** — ``checkpoint()`` snapshots the state machine without
+  changing it, never while a joint configuration is in flight, and a
+  follower too far behind is caught up by a leader-shipped snapshot
+  (``cns-snapshot``) plus the remaining log suffix — the reconfig
+  state-transfer path;
+* **the system** — sweeping ``compact_every`` across a run changes *no*
+  SNOW verdict and no read result while bounding every member's retained
+  log (the acceptance criterion of PR 9).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentConfig, run_experiment
+from repro.analysis.workload import WorkloadSpec
+from repro.consensus.log import CompactedLogError, ConsensusLog, LogEntry
+from repro.consensus.reconfig import ReconfigPlan, set_consensus_group
+from repro.ioa.errors import SimulationError
+from repro.persist import PersistencePolicy
+
+from tests import invariants
+from tests.consensus.conftest import run_consensus_workload
+from tests.reconfig.conftest import final_read_values, run_reconfig_workload
+
+pytestmark = pytest.mark.invariants
+
+
+def entry(term: int, rid: str) -> LogEntry:
+    return LogEntry(term=term, request_id=rid, msg_type="update-coor")
+
+
+def applied_log(n: int = 6, commit: int = 5, applied: int = 4) -> ConsensusLog:
+    log = ConsensusLog()
+    for i in range(1, n + 1):
+        log.append(entry(1, f"r{i}"))
+    log.advance_commit(commit)
+    log.take_unapplied()
+    log.last_applied = applied
+    return log
+
+
+def snapshot_at(index: int, term: int = 1) -> dict:
+    return {"index": index, "term": term, "machine": index, "replies": {}, "config": None}
+
+
+# ----------------------------------------------------------------------
+# ConsensusLog: global indices over a compacted base
+# ----------------------------------------------------------------------
+class TestLogCompaction:
+    def test_compact_keeps_global_indices(self):
+        log = applied_log()
+        dropped = log.compact(snapshot_at(3))
+        assert dropped == 3 and log.compacted_entries == 3
+        assert log.snapshot_index == 3 and log.snapshot_term == 1
+        assert log.last_index == 6 and log.commit_index == 5
+        assert log.entry(4).request_id == "r4"
+        assert [e.request_id for e in log.entries] == ["r4", "r5", "r6"]
+        assert "snapshot@3" in log.describe()
+
+    def test_compacted_prefix_queries_refuse_loudly(self):
+        log = applied_log()
+        log.compact(snapshot_at(3))
+        with pytest.raises(CompactedLogError, match="compacted away"):
+            log.entry(2)
+        with pytest.raises(SimulationError):
+            log.entry(99)  # out of range stays out of range
+        assert log.term_at(3) == 1  # boundary answered from the snapshot
+        assert log.term_at(0) == 0
+        assert log.matches(2, 1) and log.matches(3, 1)  # inside/at the base
+        assert not log.matches(3, 9)  # wrong term at the base
+
+    def test_only_the_applied_prefix_may_go(self):
+        log = applied_log(applied=4)
+        with pytest.raises(SimulationError, match="applied prefix"):
+            log.compact(snapshot_at(5))
+        assert log.compact(snapshot_at(3)) == 3
+        assert log.compact(snapshot_at(2)) == 0  # stale snapshot: no-op
+
+    def test_dedup_survives_compaction_via_request_ids(self):
+        log = applied_log()
+        log.compact(snapshot_at(3))
+        # compacted ids leave the in-log index; exactly-once now rests on
+        # the snapshot's memoized replies, which the coordinator checks first
+        assert not log.contains_request("r2")
+        assert log.contains_request("r5")
+
+    def test_install_snapshot_retains_matching_suffix(self):
+        log = applied_log(n=6, commit=5, applied=4)
+        needs_restore = log.install_snapshot(snapshot_at(5))
+        assert needs_restore  # 5 > last_applied=4: machine must be restored
+        assert [e.request_id for e in log.entries] == ["r6"]
+        assert log.last_index == 6 and log.commit_index == 5 and log.last_applied == 5
+
+    def test_install_snapshot_wipes_conflicting_log(self):
+        log = applied_log(n=4, commit=2, applied=2)
+        needs_restore = log.install_snapshot(snapshot_at(6, term=2))
+        assert needs_restore
+        assert log.entries == () and log.last_index == 6
+        assert log.snapshot_index == 6 and log.snapshot_term == 2
+        assert log.commit_index == 6 and log.last_applied == 6
+
+    def test_install_snapshot_behind_apply_keeps_machine(self):
+        log = applied_log(n=6, commit=6, applied=6)
+        assert not log.install_snapshot(snapshot_at(4))  # already applied past it
+        assert log.last_applied == 6
+
+    def test_restore_requires_contiguous_suffix(self):
+        log = ConsensusLog()
+        with pytest.raises(SimulationError, match="not contiguous"):
+            log.restore(3, 1, ((4, entry(1, "r4")), (6, entry(1, "r6"))), 4)
+        log.restore(3, 1, ((4, entry(1, "r4")), (5, entry(1, "r5"))), 9)
+        assert log.last_index == 5
+        assert log.commit_index == 5  # clamped to what is actually stored
+        assert log.last_applied == 3  # replay restarts at the snapshot
+
+
+# ----------------------------------------------------------------------
+# The member: checkpoint() and snapshot-install
+# ----------------------------------------------------------------------
+class TestMemberCheckpoint:
+    def test_manual_checkpoint_preserves_state_and_serving(self):
+        handle = run_consensus_workload(
+            "algorithm-b", consensus_factor=3, persistence=PersistencePolicy()
+        )
+        member = handle.simulation.automaton("coor")
+        state_before = member.machine.snapshot()
+        applied_before = member.log.last_applied
+        assert member.checkpoint() > 0
+        assert member.checkpoints == 1
+        assert member.machine.snapshot() == state_before
+        assert member.log.snapshot_index == applied_before
+        with pytest.raises(CompactedLogError):
+            member.log.entry(1)
+        # the machine still answers reads over the compacted history
+        _, payload = member.machine.apply("get-tag-arr", {"read_set": handle.objects})
+        assert payload["tag"] >= 1
+
+    def test_checkpoint_refuses_while_joint_config_in_flight(self):
+        handle = run_consensus_workload(
+            "algorithm-b", consensus_factor=3, persistence=PersistencePolicy()
+        )
+        member = handle.simulation.automaton("coor")
+        member.joint = ("coor", "coor.2")  # mid-change: the joint entry must stay
+        assert member.checkpoint() == 0
+        member.joint = None
+        assert member.checkpoint() > 0
+
+    def test_snapshot_roundtrips_through_the_machines(self):
+        handle = run_consensus_workload(
+            "occ-double-collect", consensus_factor=3, persistence=PersistencePolicy()
+        )
+        member = handle.simulation.automaton("coor")
+        state = member.machine.snapshot()
+        member.machine.restore(state)
+        assert member.machine.snapshot() == state
+
+
+# ----------------------------------------------------------------------
+# Reconfig state transfer: snapshot + suffix instead of full history
+# ----------------------------------------------------------------------
+class TestSnapshotStateTransfer:
+    GROW = ("coor", "coor.2", "coor.3", "coor.4", "coor.5")
+
+    def run_grow(self, persistence):
+        return run_reconfig_workload(
+            "algorithm-b",
+            reconfig=ReconfigPlan(name="grow", requests=(set_consensus_group(self.GROW, at=20),)),
+            consensus_factor=3,
+            replication_factor=1,
+            quorum="read-one-write-all",
+            rounds=4,
+            persistence=persistence,
+        )
+
+    def test_new_members_catch_up_from_snapshot_plus_suffix(self):
+        handle = self.run_grow(PersistencePolicy(compact_every=2))
+        sent = [
+            a.message
+            for a in handle.trace()
+            if a.message is not None and a.message.msg_type == "cns-snapshot"
+        ]
+        assert sent, "a compacting leader never shipped a snapshot to the joiners"
+        members = invariants.consensus_members(handle)
+        assert len(members) == len(self.GROW)
+        assert len({m.log.commit_index for m in members}) == 1
+        assert len({len(m.machine.list) for m in members}) == 1
+        assert final_read_values(handle, "R4")["ox"] == "v4-ox"
+
+    def test_snapshot_transfer_equals_full_history_transfer(self):
+        compacted = self.run_grow(PersistencePolicy(compact_every=2))
+        full = self.run_grow(PersistencePolicy())
+        for txn in ("R1", "R2", "R3", "R4"):
+            assert final_read_values(compacted, txn) == final_read_values(full, txn), txn
+        machines = {len(m.machine.list) for m in invariants.consensus_members(compacted)}
+        assert machines == {len(m.machine.list) for m in invariants.consensus_members(full)}
+
+
+# ----------------------------------------------------------------------
+# The system: verdicts ride through, logs stay bounded
+# ----------------------------------------------------------------------
+class TestVerdictInvariance:
+    @pytest.mark.parametrize("protocol", ("algorithm-b", "occ-double-collect"))
+    @pytest.mark.parametrize("compact_every", (1, 2, 4))
+    def test_compaction_never_changes_verdicts(self, protocol, compact_every):
+        def verdict(persistence):
+            result = run_experiment(
+                ExperimentConfig(
+                    protocol=protocol,
+                    num_objects=2,
+                    workload=WorkloadSpec(reads_per_reader=4, writes_per_writer=4, seed=7),
+                    scheduler="chaos",
+                    seed=7,
+                    consensus_factor=3,
+                    persistence=persistence,
+                )
+            )
+            return result.snow.property_string()
+
+        assert verdict(PersistencePolicy(compact_every=compact_every)) == verdict(None)
+
+    def test_long_run_log_length_is_bounded(self):
+        """The acceptance criterion: an 8-round chained workload grows the
+        log well past ``compact_every``, yet every member retains only a
+        bounded suffix — and the reads still see exactly the right values."""
+        compact_every = 4
+        bounded = run_reconfig_workload(
+            "algorithm-b",
+            consensus_factor=3,
+            replication_factor=1,
+            quorum="read-one-write-all",
+            rounds=8,
+            persistence=PersistencePolicy(compact_every=compact_every),
+        )
+        volatile = run_reconfig_workload(
+            "algorithm-b",
+            consensus_factor=3,
+            replication_factor=1,
+            quorum="read-one-write-all",
+            rounds=8,
+        )
+        for txn in (f"R{i}" for i in range(1, 9)):
+            assert final_read_values(bounded, txn) == final_read_values(volatile, txn), txn
+        reference = invariants.consensus_members(volatile)[0].log.last_index
+        for member in invariants.consensus_members(bounded):
+            assert member.log.last_index >= reference  # same history length...
+            assert member.log.compacted_entries > 0
+            retained = len(member.log.entries)
+            assert retained <= compact_every + 2, (  # ...bounded residue
+                f"{member.name} retains {retained} entries past the checkpoint"
+            )

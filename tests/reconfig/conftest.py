@@ -38,6 +38,7 @@ def run_reconfig_workload(
     num_objects: int = 2,
     seed: int = 3,
     scheduler=None,
+    persistence=None,
     run_to_completion: bool = True,
 ):
     """Build, submit ``rounds`` chained write+read pairs, run; return handle.
@@ -59,6 +60,7 @@ def run_reconfig_workload(
         quorum=quorum,
         consensus_factor=consensus_factor,
         reconfig=reconfig,
+        persistence=persistence,
         fault_plane=FaultInjector(plan, seed=seed) if plan is not None else None,
     )
     previous = None

@@ -48,6 +48,7 @@ def run_fixed_workload(
     trace_mode=None,
     fanout_batching: bool = False,
     consensus_batching: bool = False,
+    persistence=None,
     run_to_completion: bool = True,
 ):
     """Build, submit the fixed explicit-id workload, run; returns the handle."""
@@ -70,6 +71,7 @@ def run_fixed_workload(
         trace_mode=trace_mode,
         fanout_batching=fanout_batching,
         consensus_batching=consensus_batching,
+        persistence=persistence,
         fault_plane=FaultInjector(plan, seed=seed) if plan is not None else None,
     )
     w1 = handle.submit_write(

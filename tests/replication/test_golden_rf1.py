@@ -114,6 +114,38 @@ def test_explicit_reconfig_off_matches_seed(protocol):
 
 
 @pytest.mark.parametrize("protocol", protocol_names())
+def test_explicit_persistence_off_matches_seed(protocol):
+    """Passing persistence=None explicitly changes nothing, for every
+    protocol: the persistence plane's byte-identity contract — no stores
+    attached, no recovery path armed, the seed's volatile members."""
+    handle = run_fixed_workload(
+        protocol, scheduler=FIFOScheduler(), num_objects=2, persistence=None
+    )
+    assert handle.persistence is None
+    assert signature_hash(handle) == GOLDEN[protocol]["fifo-2obj"], protocol
+
+
+def test_enabled_persistence_is_trace_invisible_without_compaction():
+    """The stronger contract (consensus runs only — persistence needs
+    members): an *attached* persistence plane with compaction off leaves the
+    whole trace byte-identical to the volatile run.  Checkpoints and
+    recovery write stores, never the trace."""
+    from repro.persist import PersistencePolicy
+
+    def consensus_signature(persistence):
+        handle = run_fixed_workload(
+            "algorithm-b",
+            scheduler=FIFOScheduler(),
+            num_objects=2,
+            consensus_factor=3,
+            persistence=persistence,
+        )
+        return signature_hash(handle)
+
+    assert consensus_signature(PersistencePolicy()) == consensus_signature(None)
+
+
+@pytest.mark.parametrize("protocol", protocol_names())
 def test_explicit_obs_off_matches_seed(protocol):
     """Passing obs=None explicitly changes nothing, for every protocol: the
     observability plane's byte-identity contract — no observer installed,
