@@ -17,10 +17,17 @@ Two records are emitted: a human-readable table and
 scenario`` rows tracked across PRs (the reconfiguration sibling of
 ``BENCH_failover.json``).
 
+A loss-rate axis rides along (ISSUE 10 satellite): the replace-dead-replica
+change re-runs under uniform message drop probabilities 0.05 / 0.15 / 0.30,
+showing retransmission work growing with the loss rate while the verdict
+columns stay put.
+
 Expected shape: *membership change is a non-event* — replace-dead-replica
 completes with availability 1.0, zero epoch retries, an unavailability
 window of 0 and byte-for-byte the fault-free SNOW verdict; grow-group
-transfers every installed version to the new replicas before committing.
+transfers every installed version to the new replicas before committing;
+the lossy cells keep those verdicts while drops/retransmissions climb
+monotonically with the drop probability.
 """
 
 from __future__ import annotations
@@ -31,6 +38,8 @@ from benchutil import emit, emit_json
 
 PROTOCOLS = ("algorithm-a", "algorithm-b")
 SEED = 13
+LOSS_RATES = (0.05, 0.15, 0.30)
+LOSSY_SCENARIOS = tuple(f"lossy-replace-p{round(p * 100):02d}" for p in LOSS_RATES)
 
 HEADERS = [
     "protocol",
@@ -41,12 +50,13 @@ HEADERS = [
     "transferred",
     "retries",
     "unavail window",
+    "dropped",
     "msgs",
 ]
 
 
 def regenerate():
-    grid = sweep_reconfig(protocols=PROTOCOLS, seed=SEED)
+    grid = sweep_reconfig(protocols=PROTOCOLS, seed=SEED, loss_rates=LOSS_RATES)
     rows = reconfig_grid_rows(grid)
     table_rows = [
         [
@@ -58,6 +68,7 @@ def regenerate():
             row.get("transfer_versions", "-"),
             row.get("epoch_retries", "-"),
             row.get("unavailability_window", "-"),
+            row.get("messages_dropped", "-"),
             row["total_messages"],
         ]
         for row in rows
@@ -79,7 +90,7 @@ def test_reconfig_sweep(benchmark):
     )
 
     cells = {(r["protocol"], r["scenario"]): r for r in rows}
-    assert len(rows) == len(PROTOCOLS) * 3
+    assert len(rows) == len(PROTOCOLS) * (3 + len(LOSS_RATES))
 
     for protocol in PROTOCOLS:
         baseline = cells[(protocol, "none")]
@@ -105,3 +116,20 @@ def test_reconfig_sweep(benchmark):
         assert grown["consistent"] is True, protocol
         assert grown["retired_servers"] == 0
         assert grown["transfer_versions"] >= 2  # two added replicas synced
+
+        # The loss-rate axis: retransmission work grows with the drop
+        # probability while the replace-dead-replica verdicts ride through.
+        dropped = []
+        for scenario in LOSSY_SCENARIOS:
+            lossy = cells[(protocol, scenario)]
+            assert lossy["availability"] == 1.0, (protocol, scenario)
+            assert lossy["snow"] == baseline["snow"], (protocol, scenario)
+            assert lossy["consistent"] is True, (protocol, scenario)
+            assert lossy["reconfigs_completed"] == 1, (protocol, scenario)
+            assert lossy["retransmissions"] == lossy["messages_dropped"], (
+                protocol,
+                scenario,
+            )
+            dropped.append(lossy["messages_dropped"])
+        assert dropped == sorted(dropped), (protocol, dropped)
+        assert dropped[0] > 0, protocol

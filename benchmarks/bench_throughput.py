@@ -89,6 +89,7 @@ def run_cell(
     obs=None,
     fanout_batching=False,
     consensus_batching=False,
+    leases=None,
 ):
     """Build + run one cell ``reps`` times; returns (row, handle)."""
     protocol = get_protocol(protocol_name)
@@ -109,6 +110,8 @@ def run_cell(
             kwargs.update(fanout_batching=True)
         if consensus_batching:
             kwargs.update(consensus_batching=True)
+        if leases is not None:
+            kwargs.update(leases=leases)
         if obs is not None:
             kwargs.update(obs=obs)
         handle = protocol.build(**kwargs)
@@ -226,6 +229,22 @@ if __name__ == "__main__":
         )
         if alerts:
             lines.extend(f"  ALERT: {a.describe()}" for a in alerts)
+        # One leases-on cell: the consensus read fast path under the same
+        # quick workload.  The registry counters show the lease actually
+        # engaging (acquisitions + local reads) so a silent wiring break is
+        # visible in the per-PR profile artifact, not just in bench-smoke.
+        leased_plane = ObservabilityPlane(monitors=True)
+        row, _ = run_cell("algorithm-b", 3, 3, spec, reps=1, obs=leased_plane, leases=True)
+        reg = leased_plane.registry
+        lines.append("")
+        lines.append(
+            f"leases-on cell (algorithm-b rf=3 cf=3): "
+            f"{row['events_per_sec']:,.0f} events/sec, "
+            f"{reg.counter_value('consensus.events', kind='lease-acquired')} leases acquired, "
+            f"{reg.counter_value('consensus.events', kind='local-read')} local reads, "
+            f"{len(leased_plane.monitors.alerts)} invariant alerts"
+        )
+        alerts = tuple(alerts) + tuple(leased_plane.monitors.alerts)
         report = "\n".join(lines)
         print(report)
         out = Path(__file__).resolve().parent / "results" / "perf_smoke_profile.txt"

@@ -17,7 +17,11 @@ Wall-clock columns get a **bounded-drift** rule instead of an invariant:
 ``events_per_sec`` in ``BENCH_throughput.json`` may fluctuate with the
 machine, but falling below ``DRIFT_FLOOR`` × the committed baseline fails
 the gate — runner variance passes, an order-of-magnitude kernel slowdown
-does not.
+does not.  Latency columns drift the other way: ``lease_read_latency_mean``
+in ``BENCH_lease.json`` may move with intentional protocol changes, but
+climbing above ``1/DRIFT_FLOOR`` × the committed baseline fails the gate —
+the read fast path quietly degenerating back into the commit path is a
+regression even when every verdict column still passes.
 
 Rows are matched on their identity columns (protocol / scenario / plan /
 factors).  A row present at HEAD but missing from the regenerated grid is a
@@ -51,6 +55,7 @@ IDENTITY = (
     "consensus_factor",
     "quorum",
     "persistence",
+    "leases",
 )
 #: the gated columns and their comparison direction
 INVARIANTS: Tuple[Tuple[str, str], ...] = (
@@ -66,6 +71,13 @@ DRIFT_FLOOR = 0.25
 DRIFT_COLUMNS: Dict[str, Tuple[str, ...]] = {
     "BENCH_throughput.json": ("events_per_sec",),
     "BENCH_obs.json": ("events_per_sec",),
+}
+#: latency columns gated the other way round: lower is better, so the gate
+#: is a ceiling — new <= baseline / DRIFT_FLOOR.  Guards the lease read
+#: fast path: its latency creeping back up toward the commit path fails
+#: the build even though no verdict column moved.
+DRIFT_CEILING_COLUMNS: Dict[str, Tuple[str, ...]] = {
+    "BENCH_lease.json": ("lease_read_latency_mean",),
 }
 
 
@@ -96,7 +108,10 @@ def index_rows(payload: Dict[str, Any]) -> Dict[Tuple, Dict[str, Any]]:
 
 
 def compare_cell(
-    old: Dict[str, Any], new: Dict[str, Any], drift_columns: Tuple[str, ...] = ()
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    drift_columns: Tuple[str, ...] = (),
+    ceiling_columns: Tuple[str, ...] = (),
 ) -> List[str]:
     problems: List[str] = []
     for column in drift_columns:
@@ -107,6 +122,15 @@ def compare_cell(
             problems.append(
                 f"{column}: {before!r} -> {after!r} "
                 f"(below the {DRIFT_FLOOR:.0%} drift floor)"
+            )
+    for column in ceiling_columns:
+        before, after = old.get(column), new.get(column)
+        if not isinstance(before, (int, float)) or before <= 0:
+            continue
+        if not isinstance(after, (int, float)) or after > before / DRIFT_FLOOR:
+            problems.append(
+                f"{column}: {before!r} -> {after!r} "
+                f"(above the {1 / DRIFT_FLOOR:.0f}x drift ceiling)"
             )
     for column, rule in INVARIANTS:
         if column not in old:
@@ -137,6 +161,7 @@ def main() -> int:
         old_rows = index_rows(baseline)
         new_rows = index_rows(current)
         drift_columns = DRIFT_COLUMNS.get(path.name, ())
+        ceiling_columns = DRIFT_CEILING_COLUMNS.get(path.name, ())
         for key, old_row in old_rows.items():
             checked += 1
             label = f"{path.name} {dict(key)}"
@@ -144,7 +169,7 @@ def main() -> int:
             if new_row is None:
                 failures.append(f"{label}: row disappeared from the regenerated grid")
                 continue
-            for problem in compare_cell(old_row, new_row, drift_columns):
+            for problem in compare_cell(old_row, new_row, drift_columns, ceiling_columns):
                 failures.append(f"{label}: {problem}")
         extra = set(new_rows) - set(old_rows)
         for key in sorted(extra):

@@ -77,6 +77,15 @@ class AggregateStats:
             p95=percentile(values, 0.95),
         )
 
+    def __eq__(self, other: object) -> Any:
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        if self.count == 0 and other.count == 0:
+            return True  # empty aggregates hold NaNs, which never compare equal
+        return (self.count, self.mean, self.minimum, self.maximum, self.p50, self.p95) == (
+            other.count, other.mean, other.minimum, other.maximum, other.p50, other.p95
+        )
+
     def describe(self) -> str:
         if self.count == 0:
             return "n=0"
@@ -236,16 +245,48 @@ class ConsensusMetrics:
     commit_latency: AggregateStats
     #: virtual times at which new leaders were elected (for window bounds)
     leader_elected_at: Tuple[int, ...] = ()
+    # Lease block (``BuildConfig.leases``; all zero without a lease policy):
+    #: lease windows first proven / extended while live / noticed lapsed
+    lease_acquisitions: int = 0
+    lease_renewals: int = 0
+    lease_expiries: int = 0
+    #: reads the lease holder served locally (no log entry committed)
+    local_reads: int = 0
+    #: read-only requests that still went through a commit round
+    read_applies: int = 0
+    #: virtual-clock latency of locally-served reads (arrival → reply) —
+    #: the commit-bypass counterpart of ``commit_latency``
+    lease_read_latency: AggregateStats = field(
+        default_factory=lambda: AggregateStats.from_values(())
+    )
+
+    @property
+    def local_read_ratio(self) -> Optional[float]:
+        """Fraction of coordinator reads the lease fast path absorbed."""
+        total = self.local_reads + self.read_applies
+        if total == 0:
+            return None
+        return self.local_reads / total
 
     def describe(self) -> str:
-        return (
+        base = (
             f"consensus: members={self.members} elections={self.elections} "
             f"leaders_elected={self.leaders_elected} max_term={self.max_term} "
             f"applied={self.entries_applied}; commit latency: {self.commit_latency.describe()}"
         )
+        if self.local_reads or self.lease_acquisitions:
+            ratio = self.local_read_ratio
+            base += (
+                f"; leases: acquired={self.lease_acquisitions} "
+                f"renewed={self.lease_renewals} expired={self.lease_expiries} "
+                f"local_reads={self.local_reads}"
+                + (f" ({ratio:.0%} of reads)" if ratio is not None else "")
+                + f"; local-read latency: {self.lease_read_latency.describe()}"
+            )
+        return base
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "consensus_members": self.members,
             "elections": self.elections,
             "leaders_elected": self.leaders_elected,
@@ -258,6 +299,27 @@ class ConsensusMetrics:
             if self.commit_latency.count
             else None,
         }
+        # Lease columns appear only when the run had lease activity, so the
+        # committed BENCH_*.json rows of lease-free grids stay unchanged.
+        if self.local_reads or self.lease_acquisitions:
+            ratio = self.local_read_ratio
+            out.update(
+                {
+                    "lease_acquisitions": self.lease_acquisitions,
+                    "lease_renewals": self.lease_renewals,
+                    "lease_expiries": self.lease_expiries,
+                    "local_reads": self.local_reads,
+                    "read_applies": self.read_applies,
+                    "local_read_ratio": round(ratio, 4) if ratio is not None else None,
+                    "lease_read_latency_mean": round(self.lease_read_latency.mean, 2)
+                    if self.lease_read_latency.count
+                    else None,
+                    "lease_read_latency_p95": self.lease_read_latency.p95
+                    if self.lease_read_latency.count
+                    else None,
+                }
+            )
+        return out
 
 
 @dataclass(frozen=True)
@@ -558,6 +620,14 @@ def _consensus_metrics_from_registry(simulation: Simulation, members: int) -> Co
         leader_elected_at=tuple(
             int(v) for v in registry.histogram_values("consensus.leader_elected_vtime")
         ),
+        lease_acquisitions=registry.counter_value("consensus.events", kind="lease-acquired"),
+        lease_renewals=registry.counter_value("consensus.events", kind="lease-renewed"),
+        lease_expiries=registry.counter_value("consensus.events", kind="lease-expired"),
+        local_reads=registry.counter_value("consensus.events", kind="local-read"),
+        read_applies=registry.counter_value("consensus.read_applies"),
+        lease_read_latency=AggregateStats.from_values(
+            [int(v) for v in registry.histogram_values("consensus.lease_read_latency")]
+        ),
     )
 
 
@@ -571,9 +641,11 @@ def _collect_consensus_metrics(simulation: Simulation) -> Optional[ConsensusMetr
     if getattr(simulation, "obs", None) is not None:
         return _consensus_metrics_from_registry(simulation, len(group))
     elections = leaders = applied = 0
+    acquired = renewed = expired = local = read_applies = 0
     max_term = 1
     latencies: List[int] = []
     elected_at: List[int] = []
+    read_latencies: List[int] = []
     for action in simulation.trace:
         if action.kind != ActionKind.INTERNAL or not action.info:
             continue
@@ -591,6 +663,18 @@ def _collect_consensus_metrics(simulation: Simulation) -> Optional[ConsensusMetr
             applied += 1
             if "commit_latency" in info:
                 latencies.append(int(info["commit_latency"]))
+            if info.get("read"):
+                read_applies += 1
+        elif kind == "lease-acquired":
+            acquired += 1
+        elif kind == "lease-renewed":
+            renewed += 1
+        elif kind == "lease-expired":
+            expired += 1
+        elif kind == "local-read":
+            local += 1
+            if "read_latency" in info:
+                read_latencies.append(int(info["read_latency"]))
     return ConsensusMetrics(
         members=len(group),
         elections=elections,
@@ -599,6 +683,12 @@ def _collect_consensus_metrics(simulation: Simulation) -> Optional[ConsensusMetr
         entries_applied=applied,
         commit_latency=AggregateStats.from_values(latencies),
         leader_elected_at=tuple(elected_at),
+        lease_acquisitions=acquired,
+        lease_renewals=renewed,
+        lease_expiries=expired,
+        local_reads=local,
+        read_applies=read_applies,
+        lease_read_latency=AggregateStats.from_values(read_latencies),
     )
 
 

@@ -118,6 +118,10 @@ class ExperimentConfig:
     #: :class:`~repro.persist.PersistencePolicy` or plane); None keeps the
     #: seed's volatile members (see :mod:`repro.persist`)
     persistence: Optional[Any] = None
+    #: leader leases for the consensus read fast path (``True`` or a
+    #: :class:`~repro.consensus.LeasePolicy`); None keeps the seed's
+    #: commit-everything read path (see :mod:`repro.consensus.lease`)
+    leases: Optional[Any] = None
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, seed=seed, workload=replace(self.workload, seed=seed))
@@ -153,6 +157,10 @@ class ExperimentConfig:
             base += f" [trace={self.trace_mode.describe()}]"
         if self.persistence is not None:
             base += f" [{self.persistence.describe()}]"
+        if self.leases is not None:
+            from ..consensus import LeasePolicy
+
+            base += f" [{LeasePolicy.of(self.leases).describe()}]"
         return base
 
 
@@ -224,6 +232,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         reconfig=config.reconfig,
         controller=config.controller,
         persistence=config.persistence,
+        leases=config.leases,
     )
     if config.c2c is not None:
         build_kwargs["c2c"] = config.c2c

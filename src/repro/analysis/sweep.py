@@ -527,6 +527,124 @@ def persistence_grid_rows(
     return rows
 
 
+def sweep_lease(
+    protocols: Sequence[str] = ("algorithm-b", "algorithm-c", "occ-double-collect"),
+    modes: Optional[Mapping[str, Optional[Any]]] = None,
+    num_readers: int = 2,
+    num_writers: int = 2,
+    num_objects: int = 2,
+    workload: Optional[WorkloadSpec] = None,
+    seed: int = 11,
+    crash_at: int = 12,
+    check_properties: bool = True,
+) -> Dict[str, Dict[Tuple[str, str], ExperimentResult]]:
+    """The leader-lease grid: protocol × lease mode × coordinator fate.
+
+    Per mode (``None`` = the seed's commit-everything read path, or anything
+    :class:`~repro.consensus.LeasePolicy` accepts), two scenarios run at
+    ``replication_factor=3`` + majority + ``consensus_factor=3``: ``steady``
+    (fault-free baseline) and ``leader-crash`` — the lease holder fail-stops
+    mid-run, so the grid crosses the read fast path with an election.  With
+    leases on, read-only coordinator requests (``get-tag-arr``) are served
+    locally under a quorum-proven window instead of round-tripping through
+    the replicated log; protocols whose coordinator requests all mutate
+    (OCC's ``get-ts`` mints a timestamp) pin the null effect — the knob
+    changes nothing.  Returns ``{protocol: {(mode, scenario): result}}``.
+    """
+    from ..faults.scenarios import coordinator_failover
+
+    if modes is None:
+        modes = {"none": None, "leased": True}
+    workload = workload or WorkloadSpec(
+        reads_per_reader=6, writes_per_writer=3, read_size=num_objects, write_size=num_objects, seed=seed
+    )
+    scenarios: Dict[str, FaultPlan] = {
+        "steady": FaultPlan.none(),
+        "leader-crash": coordinator_failover(leader="coor", at=crash_at, seed=seed),
+    }
+    grid: Dict[str, Dict[Tuple[str, str], ExperimentResult]] = {}
+    for protocol in protocols:
+        row: Dict[Tuple[str, str], ExperimentResult] = {}
+        for mode_name, leases in modes.items():
+            for scenario_name, plan in scenarios.items():
+                config = ExperimentConfig(
+                    protocol=protocol,
+                    num_readers=num_readers,
+                    num_writers=num_writers,
+                    num_objects=num_objects,
+                    workload=workload,
+                    scheduler="chaos",
+                    seed=seed,
+                    check_properties=check_properties,
+                    faults=plan,
+                    replication_factor=3,
+                    quorum="majority",
+                    consensus_factor=3,
+                    leases=leases,
+                )
+                row[(mode_name, scenario_name)] = run_experiment(config)
+        grid[protocol] = row
+    return grid
+
+
+def lease_grid_rows(
+    grid: Mapping[str, Mapping[Tuple[str, str], ExperimentResult]],
+) -> List[Dict[str, Any]]:
+    """Flatten a lease grid into JSON-ready rows.
+
+    One row per protocol × lease mode × scenario: the SNOW verdict and
+    Lemma-20 column (``max_read_rounds``) the fast path must not disturb,
+    the commit-latency aggregate the leased read latency is compared
+    against, and the lease block (acquisitions/renewals/expiries, local
+    reads vs read applies, the commit-bypass latency histogram's summary) —
+    the machine-readable record tracked across PRs via ``BENCH_lease.json``.
+    """
+    rows: List[Dict[str, Any]] = []
+    for protocol, cells in grid.items():
+        for (mode, scenario), result in cells.items():
+            metrics = result.metrics
+            faults = metrics.faults
+            consensus = metrics.consensus
+            row: Dict[str, Any] = {
+                "protocol": protocol,
+                "leases": mode,
+                "scenario": scenario,
+                "snow": result.property_string(),
+                "consistent": result.snow.satisfies_s if result.snow is not None else None,
+                "max_read_rounds": metrics.max_read_rounds(),
+                "total_messages": metrics.total_messages,
+                "client_read_latency_mean": round(metrics.read_latency_steps.mean, 2)
+                if metrics.read_latency_steps.count
+                else None,
+            }
+            if faults is not None:
+                row["availability"] = round(faults.availability, 4)
+            else:
+                row["availability"] = 1.0
+            if consensus is not None:
+                row["elections"] = consensus.elections
+                row["max_term"] = consensus.max_term
+                row["commit_latency_mean"] = (
+                    round(consensus.commit_latency.mean, 2)
+                    if consensus.commit_latency.count
+                    else None
+                )
+                row["commit_latency_p95"] = (
+                    round(consensus.commit_latency.p95, 2)
+                    if consensus.commit_latency.count
+                    else None
+                )
+                row.update(
+                    {
+                        key: value
+                        for key, value in consensus.as_dict().items()
+                        if key.startswith(("lease_", "local_read", "read_applies"))
+                    }
+                )
+            rows.append(row)
+    return rows
+
+
 def sweep_reconfig(
     protocols: Sequence[str] = ("algorithm-a", "algorithm-b"),
     replication_factor: int = 3,
@@ -536,21 +654,29 @@ def sweep_reconfig(
     num_objects: int = 2,
     workload: Optional[WorkloadSpec] = None,
     seed: int = 13,
+    loss_rates: Sequence[float] = (0.05, 0.15, 0.30),
     check_properties: bool = True,
 ) -> Dict[str, Dict[str, ExperimentResult]]:
     """The reconfiguration grid: protocol × membership scenario.
 
-    Three scenarios run per protocol at ``replication_factor=3`` + majority:
+    Per protocol at ``replication_factor=3`` + majority:
 
     * ``none`` — fixed membership, the baseline every verdict is compared to;
     * ``replace-dead-replica`` — the last replica of the first object's group
       fail-stops, then a joint-consensus change swaps in a fresh replica (the
       "replace a dead replica is an experiment, not an outage" scenario);
     * ``grow-group`` — the first object's group grows rf 3 → 5 mid-run,
-      fault-free (state transfer before commit).
+      fault-free (state transfer before commit);
+    * ``lossy-replace-pNN`` (one per entry of ``loss_rates``) — the
+      replace-dead-replica change under uniform message loss, the axis that
+      shows epoch retries and the unavailability window growing with the
+      drop probability while the verdict columns stay put.
 
     Returns ``{protocol: {scenario: result}}``.
     """
+    from dataclasses import replace as dc_replace
+
+    from ..faults.plan import DropPolicy, RetryPolicy
     from ..faults.scenarios import grow_group_mid_run, replace_dead_replica
     from ..txn.objects import object_names
 
@@ -565,6 +691,18 @@ def sweep_reconfig(
         ),
         "grow-group": grow_group_mid_run(first_object, replication_factor),
     }
+    for probability in loss_rates:
+        plan, reconfig = replace_dead_replica(first_object, replication_factor, seed=seed)
+        name = f"lossy-replace-p{round(probability * 100):02d}"
+        scenarios[name] = (
+            dc_replace(
+                plan,
+                name=name,
+                drops=DropPolicy(probability=probability, max_consecutive=4),
+                retry=RetryPolicy(timeout_steps=10, max_attempts=8),
+            ),
+            reconfig,
+        )
     grid: Dict[str, Dict[str, ExperimentResult]] = {}
     for protocol in protocols:
         row: Dict[str, ExperimentResult] = {}
@@ -594,9 +732,11 @@ def reconfig_grid_rows(
     """Flatten a reconfiguration grid into JSON-ready rows.
 
     One row per protocol × scenario, carrying the SNOW verdict, availability,
-    and the reconfiguration accounting (epochs, transfer volume, epoch
-    retries, unavailability window) — the machine-readable record tracked
-    across PRs via ``BENCH_reconfig.json``.
+    the loss accounting of the lossy cells (drops and retransmissions grow
+    with the drop probability; ``total_messages`` counts unique protocol
+    messages, so it stays flat), and the reconfiguration accounting (epochs,
+    transfer volume, epoch retries, unavailability window) — the
+    machine-readable record tracked across PRs via ``BENCH_reconfig.json``.
     """
     rows: List[Dict[str, Any]] = []
     for protocol, cells in grid.items():
@@ -613,6 +753,8 @@ def reconfig_grid_rows(
             }
             if faults is not None:
                 row["availability"] = round(faults.availability, 4)
+                row["messages_dropped"] = faults.messages_dropped
+                row["retransmissions"] = faults.retransmissions
             else:
                 row["availability"] = 1.0
             if metrics.replication is not None:

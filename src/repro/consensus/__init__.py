@@ -41,6 +41,7 @@ from .coordinator import (
     consensus_members,
 )
 from .election import CANDIDATE, FOLLOWER, LEADER, LeaderElection
+from .lease import LeaderLeaseState, LeasePolicy
 from .log import NOOP, CompactedLogError, ConsensusLog, LogEntry
 from .machines import (
     CoordinatorList,
@@ -82,6 +83,8 @@ __all__ = [
     "FOLLOWER",
     "LEADER",
     "LeaderElection",
+    "LeaderLeaseState",
+    "LeasePolicy",
     "NOOP",
     "CompactedLogError",
     "ConsensusLog",

@@ -42,6 +42,7 @@ from ..ioa.actions import Message
 from ..ioa.automaton import Context, ServerAutomaton
 from ..ioa.errors import SimulationError
 from .election import DEFAULT_TIMEOUT_RANGE, LeaderElection
+from .lease import LeaderLeaseState, LeasePolicy
 from .log import BATCH, NOOP, ConsensusLog, LogEntry
 from .machines import CoordinatorStateMachine
 
@@ -102,6 +103,14 @@ class ReplicatedCoordinator(ServerAutomaton):
     #: time the applied-but-uncompacted prefix reaches this many entries
     #: (``PersistencePolicy.compact_every``).
     compact_every: Optional[int] = None
+
+    #: When set (``BuildConfig.leases``), the leader answers read-only
+    #: requests (``machine.read_only_types``) locally from its applied state
+    #: machine under a quorum-proven lease instead of committing a log entry
+    #: — see :mod:`repro.consensus.lease`.  Off by default: the lease fast
+    #: path adds messages, payload fields and trace actions, so golden
+    #: traces pin the lease-free shape.
+    lease_policy: Optional[LeasePolicy] = None
 
     def __init__(
         self,
@@ -170,6 +179,19 @@ class ReplicatedCoordinator(ServerAutomaton):
         self.recoveries = 0
         #: checkpoints this member took (stats)
         self.checkpoints = 0
+        # Lease state (all inert unless ``lease_policy`` is installed):
+        #: leader-side lease bookkeeping, created lazily on the first read
+        self._lease: Optional[LeaderLeaseState] = None
+        #: first log index of this member's current leadership term; local
+        #: reads are refused until the commit index reaches it (the leader
+        #: must know its applied state covers every earlier-term commit)
+        self._term_start_index = 0
+        #: follower-side promise: grant no votes to members other than
+        #: ``_promise_holder`` while ``vtime < _promise_until`` — the other
+        #: half of the lease proof (volatile, like term/vote without a
+        #: stable store: amnesia resets it, the documented hazard)
+        self._promise_until = 0
+        self._promise_holder: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property
@@ -302,6 +324,10 @@ class ReplicatedCoordinator(ServerAutomaton):
         self._timer_live = False
         self._repair = False
         self._snapshot = None
+        self._lease = None
+        self._term_start_index = 0
+        self._promise_until = 0
+        self._promise_holder = None
         if self.stable_store is not None:
             self._recover()
 
@@ -444,6 +470,10 @@ class ReplicatedCoordinator(ServerAutomaton):
             self._on_vote_request(message, ctx)
         elif msg_type == "cns-vote":
             self._on_vote(message, ctx)
+        elif msg_type == "cns-lease":
+            self._on_lease(message, ctx)
+        elif msg_type == "cns-lease-ack":
+            self._on_lease_ack(message, ctx)
 
     # ------------------------------------------------------------------
     # Client requests
@@ -459,6 +489,12 @@ class ReplicatedCoordinator(ServerAutomaton):
             return
         if self.election.is_leader:
             if self.log.contains_request(request_id) or request_id in self._batch:
+                return
+            if (
+                self.lease_policy is not None
+                and message.msg_type in self.machine.read_only_types
+            ):
+                self._on_read_request(request_id, message, ctx)
                 return
             if message.msg_type == RECONFIG:
                 if self.joint is not None:
@@ -632,6 +668,10 @@ class ReplicatedCoordinator(ServerAutomaton):
             # The in-flight round landed: open the next one with everything
             # that queued up behind it, packed into a single entry.
             self._flush_batch(ctx)
+        if self.lease_policy is not None and self.log.commit_index > before:
+            # An advanced commit may satisfy the current-term guard that
+            # parked reads were waiting on.
+            self._lease_pump(ctx)
         if self._handoff_pending and self.election.is_leader:
             # This leader committed a C_new that excludes it: the commit has
             # been broadcast above, so abdicate — the remaining members hold
@@ -660,6 +700,182 @@ class ReplicatedCoordinator(ServerAutomaton):
             # log-matching property guarantees agrees with ours.
             self.next_index[peer] = int(message.get("match", 0)) + 1
             self._send_append(peer, ctx)
+
+    # ------------------------------------------------------------------
+    # Leader leases (lease_policy only; see repro.consensus.lease)
+    # ------------------------------------------------------------------
+    def _lease_duration(self) -> int:
+        return self.lease_policy.resolve(self.election_timeout)
+
+    def _lease_state(self) -> LeaderLeaseState:
+        if self._lease is None:
+            self._lease = LeaderLeaseState(self._lease_duration())
+        return self._lease
+
+    def _on_read_request(self, request_id: str, message: Message, ctx: Context) -> None:
+        """Leader fast path for a read-only request: park it on the lease
+        and pump — a live proven lease serves it immediately (latency 0),
+        otherwise the extension round in flight proves the window for every
+        read parked behind it in one evaluation."""
+        lease = self._lease_state()
+        if request_id in lease.reads:
+            return
+        if lease.expiry and not lease.live(ctx.vtime) and not lease.expired_logged:
+            lease.expired_logged = True
+            ctx.internal(
+                consensus="lease-expired",
+                term=self.election.term,
+                member=self.name,
+                until=lease.expiry,
+                vtime=ctx.vtime,
+            )
+        lease.reads[request_id] = (
+            _PendingRequest(message.msg_type, _freeze_payload(message.payload), message.src),
+            ctx.vtime,
+        )
+        self._lease_pump(ctx)
+
+    def _serve_read_locally(
+        self, request_id: str, request: _PendingRequest, arrived_at: int, ctx: Context
+    ) -> None:
+        """Answer a read from the applied state machine without a log entry.
+
+        Read-only transitions are pure, so applying one touches no state;
+        the reply is memoized like a committed one (retransmissions dedup)
+        and the request id queues for the next ``cns-lease`` notify round so
+        followers drop their broadcast copies and quiesce."""
+        reply_type, reply_payload = self.machine.apply(request.msg_type, dict(request.payload))
+        self.applied_replies[request_id] = (request.client, reply_type, reply_payload)
+        self.pending.pop(request_id, None)
+        lease = self._lease
+        lease.notify.append(request_id)
+        ctx.internal(
+            consensus="local-read",
+            term=self.election.term,
+            member=self.name,
+            request=request_id,
+            until=lease.expiry,
+            vtime=ctx.vtime,
+            read_latency=max(0, ctx.vtime - arrived_at),
+        )
+        self._send_reply(request_id, ctx)
+
+    def _lease_pump(self, ctx: Context) -> None:
+        """Serve every parked read the proven window covers, then keep an
+        extension round in flight while anything still needs one."""
+        lease = self._lease
+        if lease is None or not self.election.is_leader:
+            return
+        if (
+            lease.reads
+            and lease.live(ctx.vtime)
+            and self.log.commit_index >= self._term_start_index
+        ):
+            parked = list(lease.reads.items())
+            lease.reads = OrderedDict()
+            for request_id, (request, arrived_at) in parked:
+                if request_id in self.applied_replies:
+                    self._send_reply(request_id, ctx)
+                    continue
+                self._serve_read_locally(request_id, request, arrived_at, ctx)
+        self._maybe_start_lease_round(ctx)
+
+    def _maybe_start_lease_round(self, ctx: Context) -> None:
+        lease = self._lease
+        if lease is None or lease.round_open or not self.election.is_leader:
+            return
+        if not lease.reads and not lease.notify:
+            return
+        lease.round_open = True
+        lease.round_sent_at = ctx.vtime
+        # The leader's own ack is implicit at send time (it holds its log).
+        lease.record_ack(self.name, ctx.vtime)
+        served = tuple(lease.notify)
+        lease.notify = []
+        payload = {"term": self.election.term, "at": lease.round_sent_at, "served": served}
+        if self.batch_fanout and len(self.peers) > 1:
+            with ctx.flight():
+                for peer in self.peers:
+                    ctx.send(peer, "cns-lease", payload, phase="consensus")
+        else:
+            for peer in self.peers:
+                ctx.send(peer, "cns-lease", payload, phase="consensus")
+        self._refresh_lease(ctx)  # single-member groups prove instantly
+
+    def _refresh_lease(self, ctx: Context) -> None:
+        """Recompute the proven lease window from the ack times and close
+        the open round once a quorum has acknowledged it."""
+        lease = self._lease
+        start = lease.proven_start(self._quorum_ok)
+        if start is not None:
+            new_expiry = start + lease.duration
+            if new_expiry > lease.expiry:
+                kind = (
+                    "lease-renewed"
+                    if lease.expiry and lease.live(ctx.vtime)
+                    else "lease-acquired"
+                )
+                lease.expiry = new_expiry
+                lease.expired_logged = False
+                ctx.internal(
+                    consensus=kind,
+                    term=self.election.term,
+                    member=self.name,
+                    start=start,
+                    until=new_expiry,
+                    vtime=ctx.vtime,
+                )
+        if lease.round_open and lease.expiry >= lease.round_sent_at + lease.duration:
+            lease.round_open = False
+            self._lease_pump(ctx)
+
+    def _on_lease(self, message: Message, ctx: Context) -> None:
+        """Follower side of a ``cns-lease`` round: promise not to elect
+        anyone else for one lease duration from *local* receive time (the
+        virtual clock is skew-free, so receive time >= send time and the
+        promise provably covers the leader's window), drop the broadcast
+        copies of locally-served reads, and acknowledge."""
+        if self.lease_policy is None:
+            return
+        term = int(message.get("term", 0))
+        at = int(message.get("at", 0))
+        if term < self.election.term:
+            ctx.send(
+                message.src,
+                "cns-lease-ack",
+                {"term": self.election.term, "at": at, "ok": False},
+                phase="consensus",
+            )
+            return
+        if term > self.election.term or not self.election.is_follower:
+            self._step_down(term, leader=message.src, ctx=ctx)
+        self.leader = message.src
+        self._last_heard = ctx.vtime
+        self._repair = False
+        until = ctx.vtime + self._lease_duration()
+        if until > self._promise_until:
+            self._promise_until = until
+        self._promise_holder = message.src
+        for request_id in tuple(message.get("served", ())):
+            self.pending.pop(request_id, None)
+        ctx.send(
+            message.src,
+            "cns-lease-ack",
+            {"term": self.election.term, "at": at, "ok": True},
+            phase="consensus",
+        )
+
+    def _on_lease_ack(self, message: Message, ctx: Context) -> None:
+        term = int(message.get("term", 0))
+        if term > self.election.term:
+            self._step_down(term, leader=None, ctx=ctx)
+            return
+        if not self.election.is_leader or term < self.election.term:
+            return
+        if self._lease is None or not message.get("ok"):
+            return
+        self._lease.record_ack(message.src, int(message.get("at", 0)))
+        self._refresh_lease(ctx)
 
     # ------------------------------------------------------------------
     # Replication (follower side)
@@ -771,6 +987,16 @@ class ReplicatedCoordinator(ServerAutomaton):
             and self.log.up_to_date(
                 int(message.get("last_index", 0)), int(message.get("last_term", 0))
             )
+            # Lease promise: while this member vouches for a lease holder it
+            # elects nobody else — by quorum intersection no election can
+            # complete inside a proven lease window, so the candidate waits
+            # the old lease out.  (The holder itself may reclaim: a
+            # same-member re-election cannot produce a stale read.)
+            and not (
+                self.lease_policy is not None
+                and self._promise_until > ctx.vtime
+                and candidate != self._promise_holder
+            )
         )
         if granted:
             self.election.grant(candidate)
@@ -834,6 +1060,11 @@ class ReplicatedCoordinator(ServerAutomaton):
         self._repair = False
         self.next_index = {p: self.log.last_index + 1 for p in self.peers}
         self.match_index = {p: 0 for p in self.peers}
+        # A fresh leader holds no lease and serves no local read until its
+        # current-term no-op commits (its applied state must cover every
+        # earlier-term commit before a local read can reflect them).
+        self._lease = None
+        self._term_start_index = self.log.last_index + 1
         ctx.internal(
             consensus="became-leader",
             term=self.election.term,
@@ -904,6 +1135,13 @@ class ReplicatedCoordinator(ServerAutomaton):
             for request_id, request in self._batch.items():
                 self.pending.setdefault(request_id, request)
             self._batch = OrderedDict()
+        if self._lease is not None:
+            # Unserved parked reads survive a deposition the same way: they
+            # join the follower buffer and are re-proposed (as ordinary
+            # committed entries) if no other copy reaches the new leader.
+            for request_id, (request, _arrived_at) in self._lease.reads.items():
+                self.pending.setdefault(request_id, request)
+            self._lease = None
         if was_leader:
             ctx.internal(consensus="stepped-down", term=term, member=self.name)
 
@@ -923,6 +1161,15 @@ class ReplicatedCoordinator(ServerAutomaton):
             return  # nothing blocked on a leader: quiesce
         if self.name not in self.group:
             return  # removed from the config: never campaign, await retirement
+        if (
+            self.lease_policy is not None
+            and self._promise_until > ctx.vtime
+            and self._promise_holder != self.name
+        ):
+            # A live lease promise: campaigning now would be refused by the
+            # promiser quorum anyway — wait the old lease out, then retry.
+            self._ensure_timer(ctx)
+            return
         if self.election.is_follower and self._last_heard >= self._armed_at:
             # The leader (or an election) showed signs of life during this
             # window — grant another full window before interfering.
@@ -1005,13 +1252,16 @@ class ReplicatedCoordinator(ServerAutomaton):
                         self.applied_replies[request_id] = (client, reply_type, reply_payload)
                     self.pending.pop(request_id, None)
                     self._batch.pop(request_id, None)
-                    ctx.internal(
+                    info = dict(
                         consensus="apply",
                         index=index,
                         term=entry.term,
                         request=request_id,
                         commit_latency=max(0, ctx.vtime - entry.proposed_at),
                     )
+                    if self.lease_policy is not None and msg_type in self.machine.read_only_types:
+                        info["read"] = True
+                    ctx.internal(**info)
                     if self.election.is_leader:
                         self._send_reply(request_id, ctx)
                 continue
@@ -1031,13 +1281,16 @@ class ReplicatedCoordinator(ServerAutomaton):
                 )
                 self.applied_replies[entry.request_id] = (entry.client, reply_type, reply_payload)
             self.pending.pop(entry.request_id, None)
-            ctx.internal(
+            info = dict(
                 consensus="apply",
                 index=index,
                 term=entry.term,
                 request=entry.request_id,
                 commit_latency=max(0, ctx.vtime - entry.proposed_at),
             )
+            if self.lease_policy is not None and entry.msg_type in self.machine.read_only_types:
+                info["read"] = True
+            ctx.internal(**info)
             if self.election.is_leader:
                 self._send_reply(entry.request_id, ctx)
         if (

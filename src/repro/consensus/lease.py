@@ -1,0 +1,131 @@
+"""Leader leases: taking the consensus tax off the coordinator read path.
+
+Every read-only coordinator request (``get-tag-arr`` for algorithms B/C and
+the OCC oracle) normally costs a full commit round: append, quorum ack,
+commit broadcast, apply.  A *leader lease* lets the current leader answer
+those reads locally from its applied state machine instead, as long as it
+can prove no other leader may exist:
+
+* The lease is built from quorum-acknowledged extension rounds on the
+  kernel's **virtual clock** (skew-free by construction).  When the leader
+  sends a ``cns-lease`` round at vtime ``S`` and a quorum acknowledges it,
+  every acking follower has promised not to grant votes to *other*
+  candidates until ``S + duration``; by quorum intersection no election can
+  complete inside the proven window, so the leader may serve reads locally
+  until ``S + duration``.
+* The lease duration is bounded by the **low end of the election-timeout
+  range**: a partitioned leader's lease provably lapses before any
+  successor's election timer can fire and win, so a new leader never
+  overlaps a live lease.
+* A candidate whose peers still hold a live promise is refused votes and
+  simply retries after the next timeout — it *waits out* the old lease.
+
+Reads arriving while an extension round is in flight are batched: they park
+on the leader and the single quorum evaluation that closes the round proves
+the window for all of them at once.
+
+``leases=None`` (the default) leaves every message, field and trace action
+byte-identical to the seed; the fast path exists only when a
+:class:`LeasePolicy` is installed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+__all__ = ["LeasePolicy", "LeaderLeaseState"]
+
+
+@dataclass(frozen=True)
+class LeasePolicy:
+    """Knob enabling lease-based leader reads on the replicated coordinator.
+
+    ``duration`` is the virtual-time length of one lease grant.  ``None``
+    (the default) derives the safe bound from the member's election-timeout
+    range at install time; an explicit duration is clamped to that bound —
+    a lease longer than the earliest possible election timeout could
+    overlap a successor's term, which is exactly the unsafety leases must
+    exclude.
+    """
+
+    duration: Optional[int] = None
+
+    @classmethod
+    def of(cls, value: Any) -> Optional["LeasePolicy"]:
+        """Normalize the ``leases`` knob: None | True | int | LeasePolicy."""
+        if value is None:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, int) and not isinstance(value, bool):
+            if value <= 0:
+                raise ValueError(f"lease duration must be positive, got {value}")
+            return cls(duration=value)
+        raise TypeError(f"leases must be None, True, an int or a LeasePolicy, got {value!r}")
+
+    def resolve(self, timeout_range: Tuple[int, int]) -> int:
+        """The effective lease duration under ``timeout_range``'s low bound."""
+        low = int(timeout_range[0])
+        if self.duration is None:
+            return max(1, low)
+        return max(1, min(int(self.duration), low))
+
+    def describe(self) -> str:
+        return "leases" if self.duration is None else f"leases({self.duration})"
+
+
+class LeaderLeaseState:
+    """Leader-side lease bookkeeping: ack times, the proven window, parked reads.
+
+    ``acks[peer]`` is the latest extension send-vtime that ``peer`` has
+    acknowledged.  The proven lease start is the latest send-vtime ``S``
+    such that the leader plus every peer with ``acks[peer] >= S`` forms a
+    quorum; the lease then runs to ``S + duration``.  All O(members) per
+    ack, O(1) state.
+    """
+
+    __slots__ = (
+        "duration",
+        "acks",
+        "expiry",
+        "round_open",
+        "round_sent_at",
+        "reads",
+        "notify",
+        "expired_logged",
+    )
+
+    def __init__(self, duration: int):
+        self.duration = int(duration)
+        self.acks: Dict[str, int] = {}
+        self.expiry = 0
+        self.round_open = False
+        self.round_sent_at = 0
+        # one lease-expired trace action per lapse, not one per parked read
+        self.expired_logged = False
+        # request_id -> (pending request, arrival vtime): reads parked while
+        # an extension round proves the window they will be served under.
+        self.reads: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        # Served-locally request ids awaiting follower notification (so the
+        # broadcast copies buffered in follower ``pending`` are drained).
+        self.notify: List[str] = []
+
+    def live(self, now: int) -> bool:
+        return now < self.expiry
+
+    def record_ack(self, peer: str, at: int) -> None:
+        previous = self.acks.get(peer)
+        if previous is None or at > previous:
+            self.acks[peer] = at
+
+    def proven_start(self, is_quorum: Callable[[Set[str]], bool]) -> Optional[int]:
+        """Latest send-vtime ``S`` whose ack set (plus the leader) is a quorum."""
+        for start in sorted(set(self.acks.values()), reverse=True):
+            supporters = {peer for peer, at in self.acks.items() if at >= start}
+            if is_quorum(supporters):
+                return start
+        return None

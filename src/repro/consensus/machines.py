@@ -92,6 +92,13 @@ class CoordinatorStateMachine:
     #: treat exactly these as replicable requests)
     request_types: Tuple[str, ...] = ()
 
+    #: the subset of ``request_types`` whose transitions are *pure* — no
+    #: state change, reply derived from current state only.  Exactly these
+    #: are eligible for the lease-holder's local-read fast path
+    #: (``BuildConfig.leases``); a mutating type here would fork the
+    #: replicas' states, so machines must declare reads explicitly.
+    read_only_types: Tuple[str, ...] = ()
+
     def apply(self, msg_type: str, payload: Mapping[str, Any]) -> Tuple[str, Dict[str, Any]]:
         raise NotImplementedError
 
@@ -122,6 +129,8 @@ class ListStateMachine(CoordinatorStateMachine):
     """The ``List`` service of algorithms B and C."""
 
     request_types = ("update-coor", "get-tag-arr")
+    #: ``get-tag-arr`` only inspects the list — the lease fast path serves it
+    read_only_types = ("get-tag-arr",)
     _PHASES = {"update-coor": "update-coor", "get-tag-arr": "get-tag-array"}
 
     def __init__(self, objects: Sequence[str]) -> None:
@@ -162,6 +171,8 @@ class TimestampStateMachine(CoordinatorStateMachine):
     """The monotonic timestamp oracle of the OCC baseline."""
 
     request_types = ("get-ts",)
+    #: ``get-ts`` increments the counter — nothing here is lease-servable
+    read_only_types = ()
 
     def __init__(self) -> None:
         self.counter = 0

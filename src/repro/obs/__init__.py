@@ -38,10 +38,12 @@ from .health import HealthPlane, HealthView, SLOPolicy, derive_health
 from .monitor import (
     InvariantViolation,
     InvariantViolationError,
+    LeaseSafetyMonitor,
     MonitorSuite,
     OnlineMonitor,
     default_monitors,
     joint_quorums_intersect,
+    offline_lease_violations,
     watch_trace,
 )
 from .plane import ObservabilityPlane
@@ -60,6 +62,7 @@ __all__ = [
     "InvariantViolation",
     "InvariantViolationError",
     "KernelProfiler",
+    "LeaseSafetyMonitor",
     "MetricsRegistry",
     "MonitorSuite",
     "ObservabilityPlane",
@@ -74,6 +77,7 @@ __all__ = [
     "derive_health",
     "derive_spans",
     "joint_quorums_intersect",
+    "offline_lease_violations",
     "render_timeline",
     "sampling_stats",
     "watch_trace",

@@ -3,7 +3,7 @@
 The post-mortem checkers in ``tests/invariants.py`` discover a safety
 violation only after the run ends — at event 400 of a 50k-event chaos run,
 49.6k more events execute before anyone notices.  This module re-implements
-the same four invariants as *incremental automata* fed by the trace observer
+the same invariants as *incremental automata* fed by the trace observer
 hook (``Trace.set_observer`` → :meth:`ObservabilityPlane.on_action` →
 :meth:`MonitorSuite.on_action`), each maintaining O(1)-per-event state:
 
@@ -16,7 +16,11 @@ hook (``Trace.set_observer`` → :meth:`ObservabilityPlane.on_action` →
   configuration opens (the same exhaustive minimal-subset check the offline
   checker runs, shared via :func:`joint_quorums_intersect`);
 * **at-most-one-config-in-flight** — ``joint-begin``/``commit`` markers
-  (storage and consensus alike) must strictly alternate.
+  (storage and consensus alike) must strictly alternate;
+* **lease safety** — no locally-served read outside its leader's proven
+  lease window, no two overlapping windows across members, no election
+  completing inside a live foreign lease (from the ``lease-*`` and
+  ``local-read`` internal actions of :mod:`repro.consensus.lease`).
 
 A broken rule produces a structured :class:`InvariantViolation` carrying the
 global trace index, the automaton, and a bounded causal suffix of the most
@@ -255,13 +259,137 @@ class ConfigInFlightMonitor(OnlineMonitor):
         return None
 
 
+class LeaseSafetyMonitor(OnlineMonitor):
+    """No stale read across a lease/election boundary (O(1) per event).
+
+    Three rules over the lease internal actions
+    (:mod:`repro.consensus.lease`):
+
+    * a ``local-read`` must fall inside its server's *announced* lease
+      window — same member, same term, vtime strictly before the proven
+      expiry (``lease-acquired``/``lease-renewed`` announce windows);
+    * a newly announced window must not overlap — as a time interval —
+      the latest-expiring window of a *different* member (the holder
+      itself may extend or re-acquire, and a proof that arrives late, for
+      a window already wholly in the past, is stale but harmless: no read
+      can be served in it);
+    * an election must not complete while another member's window is live
+      (``became-leader`` during a live foreign lease is exactly the
+      boundary a stale read could cross).
+
+    State: the current window per member plus the running latest-expiring
+    window — no per-read or per-term growth.
+    """
+
+    name = "lease-safety"
+
+    def __init__(self) -> None:
+        #: member -> (term, start, until) of its newest announced window
+        self._windows: Dict[str, Tuple[Any, int, int]] = {}
+        #: the latest-expiring window seen so far: (member, start, until)
+        self._max_member: Optional[str] = None
+        self._max_start = 0
+        self._max_until = 0
+
+    def _announce(self, member: str, start: int, until: int) -> None:
+        if until > self._max_until:
+            self._max_member = member
+            self._max_start = start
+            self._max_until = until
+
+    def observe(self, action: Action, index: int) -> Optional[str]:
+        if action.kind is not ActionKind.INTERNAL:
+            return None
+        kind = action.get("consensus")
+        if kind == "local-read":
+            member = str(action.get("member", action.actor))
+            term = action.get("term")
+            vtime = int(action.get("vtime", 0))
+            window = self._windows.get(member)
+            if window is None:
+                return (
+                    f"{member} served {action.get('request')!r} locally at "
+                    f"vtime {vtime} without ever announcing a lease window"
+                )
+            w_term, w_start, w_until = window
+            if w_term != term:
+                return (
+                    f"{member} served {action.get('request')!r} locally in "
+                    f"term {term} under a window proven in term {w_term}"
+                )
+            if vtime >= w_until:
+                return (
+                    f"{member} served {action.get('request')!r} locally at "
+                    f"vtime {vtime}, outside its proven lease window "
+                    f"[{w_start}, {w_until})"
+                )
+            return None
+        if kind in ("lease-acquired", "lease-renewed"):
+            member = str(action.get("member", action.actor))
+            start = int(action.get("start", 0))
+            until = int(action.get("until", 0))
+            if (
+                self._max_member is not None
+                and self._max_member != member
+                and start < self._max_until
+                and self._max_start < until
+            ):
+                other, o_start, o_until = self._max_member, self._max_start, self._max_until
+                self._windows[member] = (action.get("term"), start, until)
+                self._announce(member, start, until)
+                return (
+                    f"{member}'s lease window [{start}, {until}) overlaps "
+                    f"{other!r}'s window [{o_start}, {o_until}) — "
+                    "two lease holders could serve diverging reads"
+                )
+            self._windows[member] = (action.get("term"), start, until)
+            self._announce(member, start, until)
+            return None
+        if kind == "became-leader":
+            member = str(action.get("member", action.actor))
+            vtime = int(action.get("vtime", 0))
+            if (
+                self._max_member is not None
+                and self._max_member != member
+                and vtime < self._max_until
+            ):
+                return (
+                    f"{member} won an election at vtime {vtime} while "
+                    f"{self._max_member!r}'s lease window was still live "
+                    f"(until {self._max_until}) — elections must wait out "
+                    "the old lease"
+                )
+            return None
+        return None
+
+
+def offline_lease_violations(actions: Sequence[Any]) -> List[Tuple[int, str]]:
+    """Post-mortem lease-safety check: replay a trace through a fresh
+    :class:`LeaseSafetyMonitor` and collect ``(trace_index, message)`` pairs.
+
+    This *is* the online monitor run offline — online/offline parity for the
+    lease invariant holds by construction, the same way
+    :func:`joint_quorums_intersect` is shared by the quorum checkers.
+    """
+    monitor = LeaseSafetyMonitor()
+    violations: List[Tuple[int, str]] = []
+    for index, action in enumerate(actions):
+        stamped = getattr(action, "index", -1)
+        at = stamped if stamped >= 0 else index
+        message = monitor.observe(action, at)
+        if message is not None:
+            violations.append((at, message))
+    return violations
+
+
 def default_monitors() -> Tuple[OnlineMonitor, ...]:
-    """Fresh instances of all four streaming invariant automata."""
+    """Fresh instances of all five streaming invariant automata."""
     return (
         ElectionSafetyMonitor(),
         LogMatchingMonitor(),
         QuorumIntersectionMonitor(),
         ConfigInFlightMonitor(),
+        LeaseSafetyMonitor(),
     )
 
 

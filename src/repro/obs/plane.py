@@ -136,6 +136,12 @@ class ObservabilityPlane:
                 registry.histogram("consensus.commit_latency").observe(
                     int(info["commit_latency"])
                 )
+                if info.get("read"):
+                    registry.counter("consensus.read_applies").inc()
+            elif consensus == "local-read" and "read_latency" in info:
+                registry.histogram("consensus.lease_read_latency").observe(
+                    int(info["read_latency"])
+                )
         reconfig = info.get("reconfig")
         if isinstance(reconfig, str):  # timers carry reconfig=<request index>
             registry.counter("reconfig.events", kind=reconfig).inc()

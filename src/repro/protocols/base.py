@@ -113,6 +113,12 @@ class BuildConfig:
     #: >= 2``.  None (the default) keeps the seed's volatile members,
     #: byte-identical.
     persistence: Optional[Any] = None
+    #: leader leases for the replicated coordinator (``True``, a duration,
+    #: or a :class:`~repro.consensus.lease.LeasePolicy`): the lease holder
+    #: answers read-only coordinator requests locally instead of committing
+    #: a log entry; needs ``consensus_factor >= 2``.  None (the default)
+    #: keeps the commit-round read path, byte-identical.
+    leases: Optional[Any] = None
 
     def objects(self) -> Tuple[str, ...]:
         return object_names(self.num_objects)
@@ -353,6 +359,16 @@ class Protocol:
             from ..persist import PersistencePlane
 
             PersistencePlane.of(config.persistence)  # raises on a bad value
+        if config.leases is not None:
+            if config.consensus_factor < 2:
+                raise ValueError(
+                    "leases let the replicated coordinator's lease holder "
+                    "serve reads locally; they need consensus_factor >= 2 "
+                    "(the factor-1 designated server already answers locally)"
+                )
+            from ..consensus.lease import LeasePolicy
+
+            LeasePolicy.of(config.leases)  # raises on a bad value
         if config.controller is not None and getattr(config.controller, "use_health", False):
             health = getattr(config.obs, "health", None) if config.obs is not None else None
             if health is None:
@@ -447,6 +463,7 @@ class Protocol:
         fanout_batching: bool = False,
         consensus_batching: bool = False,
         persistence: Optional[Any] = None,
+        leases: Optional[Any] = None,
     ) -> SystemHandle:
         """Instantiate the protocol as a ready-to-run system.
 
@@ -473,8 +490,11 @@ class Protocol:
         every action).  ``persistence`` attaches stable storage to every
         consensus member (:mod:`repro.persist`): term/vote/log survive
         crash-with-amnesia, and with ``compact_every`` set the members
-        checkpoint their state machines and compact their logs.  The
-        defaults reproduce the paper's one-server-per-object,
+        checkpoint their state machines and compact their logs.  ``leases``
+        installs a :class:`~repro.consensus.lease.LeasePolicy` on every
+        consensus member: the leader answers read-only coordinator requests
+        locally under a quorum-proven lease instead of committing a log
+        entry.  The defaults reproduce the paper's one-server-per-object,
         single-coordinator system byte-for-byte.
         """
         config = BuildConfig(
@@ -498,6 +518,7 @@ class Protocol:
             fanout_batching=fanout_batching,
             consensus_batching=consensus_batching,
             persistence=persistence,
+            leases=leases,
         )
         self.validate_config(config)
         allow_c2c = config.c2c if config.c2c is not None else self.default_c2c()
@@ -525,6 +546,8 @@ class Protocol:
         simulation.add_automata(self.make_automata(config))
         if config.fanout_batching or config.consensus_batching:
             self._apply_batching(config, simulation)
+        if config.leases is not None:
+            self._apply_leases(config, simulation)
         persistence_plane = None
         if config.persistence is not None:
             persistence_plane = self._apply_persistence(config, simulation)
@@ -557,6 +580,20 @@ class Protocol:
                 automaton.batch_fanout = True
             if config.consensus_batching and hasattr(automaton, "append_batching"):
                 automaton.append_batching = True
+
+    def _apply_leases(self, config: BuildConfig, simulation: Simulation) -> None:
+        """Install the lease policy on every consensus member (post-build
+        injection, like batching): automata exposing ``lease_policy`` —
+        exactly the :class:`~repro.consensus.coordinator.
+        ReplicatedCoordinator` members — get the normalized policy; every
+        member holds the same one, so leader and promisers agree on the
+        lease duration by construction."""
+        from ..consensus.lease import LeasePolicy
+
+        policy = LeasePolicy.of(config.leases)
+        for automaton in simulation.automata():
+            if hasattr(automaton, "lease_policy"):
+                automaton.lease_policy = policy
 
     def _apply_persistence(self, config: BuildConfig, simulation: Simulation):
         """Attach a stable store to every consensus member (post-build
@@ -624,6 +661,12 @@ class Protocol:
                 # Mid-run members inherit the build's batching knobs.
                 member.append_batching = config.consensus_batching
                 member.batch_fanout = config.fanout_batching
+                if config.leases is not None:
+                    # ... and the lease policy: a spawned member promises
+                    # (and may later hold) leases like a founding one.
+                    from ..consensus.lease import LeasePolicy
+
+                    member.lease_policy = LeasePolicy.of(config.leases)
                 if persistence_plane is not None:
                     # ... and its durability: a spawned member persists (and
                     # recovers) exactly like a founding one.

@@ -42,6 +42,7 @@ def run_consensus_workload(
     election_timeout=None,
     reconfig=None,
     persistence=None,
+    leases=None,
     run_to_completion: bool = False,
 ):
     """Build, submit the fixed explicit-id workload, run; returns the handle."""
@@ -54,6 +55,7 @@ def run_consensus_workload(
         plan=plan,
         reconfig=reconfig,
         persistence=persistence,
+        leases=leases,
         run_to_completion=run_to_completion,
     )
 

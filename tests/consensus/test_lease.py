@@ -1,0 +1,286 @@
+"""Leader leases and the consensus read fast path (ISSUE 10 tentpole).
+
+Three layers of assurance, mirroring the ISSUE's "safety three ways":
+
+* **behaviour** — a leased run serves read-only coordinator requests
+  locally from the applied state machine (no log entry, no quorum round
+  per read), returns the same values as the unleased run, and emits the
+  lease lifecycle internals (``lease-acquired`` / ``lease-renewed`` /
+  ``lease-expired`` / ``local-read``) the metrics plane counts;
+* **the election boundary** (the satellite-5 schedule) — the old leader
+  partitioned mid-lease must never serve a read once a new leader could
+  have committed a write: candidates wait out the promised window, so the
+  streaming :class:`~repro.obs.LeaseSafetyMonitor` and the post-mortem
+  checker both stay green across seeds;
+* **white-box negatives** — hand-forged violating action sequences trip
+  the monitor at the exact offending trace index, and the offline checker
+  (``tests/invariants.check_lease_safety``'s engine) reports the *same*
+  indices — online/offline parity, exercised on the failing side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus import LeasePolicy
+from repro.faults import ChaosScheduler, FaultPlan
+from repro.faults.plan import Partition, RetryPolicy
+from repro.ioa import FIFOScheduler, RandomScheduler
+from repro.ioa.actions import Action, ActionKind
+from repro.obs import MonitorSuite, ObservabilityPlane
+from repro.obs.monitor import LeaseSafetyMonitor, offline_lease_violations
+
+from tests import invariants
+from tests.consensus.conftest import COORDINATOR_PROTOCOLS, run_consensus_workload
+from tests.replication.conftest import run_fixed_workload
+
+pytestmark = pytest.mark.invariants
+
+
+def lease_internals(handle, *kinds):
+    return [
+        dict(action.info)
+        for action in handle.trace()
+        if action.info and dict(action.info).get("consensus") in kinds
+    ]
+
+
+# ----------------------------------------------------------------------
+# The lease policy knob
+# ----------------------------------------------------------------------
+def test_lease_policy_normalisation():
+    assert LeasePolicy.of(True) == LeasePolicy()
+    assert LeasePolicy.of(25) == LeasePolicy(duration=25)
+    policy = LeasePolicy(duration=7)
+    assert LeasePolicy.of(policy) is policy
+
+
+def test_lease_policy_rejects_nonsense():
+    for bad in (0, -3, False, "long"):
+        with pytest.raises((TypeError, ValueError)):
+            LeasePolicy.of(bad)
+
+
+def test_lease_duration_never_exceeds_the_election_timeout():
+    """The safety linchpin: a promise must outlive any window it helped
+    prove, so the duration is capped at the election timeout's low bound."""
+    assert LeasePolicy().resolve((40, 80)) == 40
+    assert LeasePolicy(duration=25).resolve((40, 80)) == 25
+    assert LeasePolicy(duration=500).resolve((40, 80)) == 40
+
+
+def test_leases_require_consensus_members():
+    with pytest.raises(ValueError, match="consensus_factor"):
+        run_fixed_workload("algorithm-b", leases=True)
+
+
+# ----------------------------------------------------------------------
+# Behaviour: the read fast path
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", ("algorithm-b", "algorithm-c"))
+def test_leased_reads_bypass_the_log(protocol):
+    """Every ``get-tag-arr`` is served locally under a proven window: the
+    run emits ``local-read`` internals, commits no read entries, and the
+    read values match the unleased run's."""
+    leased = run_consensus_workload(protocol, leases=True, scheduler=FIFOScheduler())
+    plain = run_consensus_workload(protocol, leases=None, scheduler=FIFOScheduler())
+    local = lease_internals(leased, "local-read")
+    assert local, "leased run never served a read locally"
+    assert lease_internals(leased, "lease-acquired")
+    member = leased.simulation.automaton("coor")
+    committed = [
+        member.log.entry(i).request_id
+        for i in range(member.log.snapshot_index + 1, member.log.commit_index + 1)
+    ]
+    assert not any(rid.startswith("get-tag-arr/") for rid in committed)
+    assert leased.history().results() == plain.history().results()
+
+
+def test_every_local_read_lands_inside_its_announced_window():
+    handle = run_consensus_workload("algorithm-b", leases=True)
+    for info in lease_internals(handle, "local-read"):
+        assert int(info["vtime"]) < int(info["until"]), info
+    assert offline_lease_violations(handle.trace()) == []
+
+
+def test_lease_expiry_is_observable():
+    """Under the chaos scheduler virtual time outruns a quiescent lease;
+    the next read logs exactly one ``lease-expired`` per lapse and then
+    re-proves a fresh window."""
+    handle = run_consensus_workload(
+        "algorithm-b",
+        leases=True,
+        scheduler=ChaosScheduler(base=FIFOScheduler()),
+    )
+    expiries = lease_internals(handle, "lease-expired")
+    acquisitions = lease_internals(handle, "lease-acquired")
+    assert expiries, "chaos run never let a lease lapse"
+    assert len(acquisitions) >= len(expiries)
+
+
+def test_streaming_monitor_watches_a_leased_run():
+    plane = ObservabilityPlane(monitors=True)
+    handle = run_fixed_workload(
+        "algorithm-b",
+        scheduler=ChaosScheduler(base=FIFOScheduler()),
+        consensus_factor=3,
+        leases=True,
+        obs=plane,
+        run_to_completion=False,
+    )
+    assert plane.monitors.ok, [a.describe() for a in plane.monitors.alerts]
+    assert lease_internals(handle, "local-read")
+
+
+# ----------------------------------------------------------------------
+# The election boundary (satellite 5)
+# ----------------------------------------------------------------------
+def leader_partition_plan(seed: int) -> FaultPlan:
+    """The old leader cut off from its peers mid-lease, healed later:
+    clients still reach it, so any read it parks must wait out the window
+    it can no longer extend while the majority side elects and commits."""
+    return FaultPlan(
+        name="lease-holder-partition",
+        partitions=(
+            Partition(left=("coor",), right=("coor.2", "coor.3"), start=8, heal=120),
+        ),
+        retry=RetryPolicy(timeout_steps=10, max_attempts=8),
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_no_stale_read_across_the_election_boundary(seed):
+    """The stale-read schedule leases exist to forbid: partition the lease
+    holder mid-window, let the majority elect a new leader and commit, and
+    require — by the streaming monitor *and* the post-mortem checker —
+    that no read is ever served outside a proven window."""
+    plane = ObservabilityPlane(monitors=True)
+    handle = run_fixed_workload(
+        "algorithm-b",
+        scheduler=ChaosScheduler(base=RandomScheduler(seed=seed), seed=seed),
+        seed=seed,
+        consensus_factor=3,
+        leases=True,
+        plan=leader_partition_plan(seed),
+        obs=plane,
+        run_to_completion=False,
+    )
+    # The schedule really crossed the boundary: lease activity existed and
+    # the majority side moved to a later term while "coor" was cut off.
+    assert lease_internals(handle, "lease-acquired"), seed
+    terms = [int(i["term"]) for i in lease_internals(handle, "became-leader")]
+    assert terms and max(terms) >= 2, (seed, terms)
+    # Safety, both ways — the monitor saw every action as it appended, the
+    # checker replays the finished trace; both must agree there is nothing.
+    lease_alerts = [a for a in plane.monitors.alerts if a.monitor == "lease-safety"]
+    assert not lease_alerts, [a.describe() for a in lease_alerts]
+    assert offline_lease_violations(handle.trace()) == []
+    assert not handle.simulation.incomplete_transactions(), seed
+    assert handle.serializability().ok, seed
+    invariants.check_all(handle)
+
+
+# ----------------------------------------------------------------------
+# White-box negatives: the monitor trips, at the exact index, both ways
+# ----------------------------------------------------------------------
+def internal(actor, **info):
+    return Action(kind=ActionKind.INTERNAL, actor=actor, info=tuple(info.items()))
+
+
+def window(member, term, start, until):
+    return internal(
+        member,
+        consensus="lease-acquired",
+        term=term,
+        member=member,
+        start=start,
+        until=until,
+        vtime=start,
+    )
+
+
+def local_read(member, term, vtime, until=0):
+    return internal(
+        member,
+        consensus="local-read",
+        term=term,
+        member=member,
+        request="get-tag-arr/R1",
+        vtime=vtime,
+        until=until,
+    )
+
+
+def elected(member, term, vtime):
+    return internal(
+        member, consensus="became-leader", term=term, member=member, vtime=vtime
+    )
+
+
+def assert_parity(actions, expected_indices):
+    """The streaming suite and the offline replay flag the same indices."""
+    suite = MonitorSuite(monitors=(LeaseSafetyMonitor(),))
+    for action in actions:
+        suite.on_action(action)
+    assert [a.trace_index for a in suite.alerts] == list(expected_indices)
+    assert [i for i, _ in offline_lease_violations(actions)] == list(expected_indices)
+
+
+def test_monitor_accepts_a_clean_lease_history():
+    assert_parity(
+        [
+            elected("m1", 1, 0),
+            window("m1", 1, 5, 45),
+            local_read("m1", 1, 10, until=45),
+            window("m1", 1, 20, 60),  # the holder extending itself is benign
+            local_read("m1", 1, 59, until=60),
+            elected("m2", 2, 60),  # after expiry: fine
+            window("m2", 2, 61, 101),
+        ],
+        [],
+    )
+
+
+def test_monitor_flags_a_read_outside_any_window():
+    assert_parity([local_read("m1", 1, 10)], [0])
+
+
+def test_monitor_flags_a_read_after_expiry():
+    assert_parity(
+        [window("m1", 1, 5, 45), local_read("m1", 1, 45, until=45)],
+        [1],
+    )
+
+
+def test_monitor_flags_a_read_under_a_stale_term_window():
+    assert_parity(
+        [window("m1", 1, 5, 45), local_read("m1", 2, 10, until=45)],
+        [1],
+    )
+
+
+def test_monitor_flags_overlapping_windows_across_members():
+    assert_parity(
+        [window("m1", 1, 5, 45), window("m2", 2, 30, 70)],
+        [1],
+    )
+
+
+def test_monitor_accepts_a_stale_proof_of_a_dead_window():
+    """Acks delayed across a partition can prove a window wholly in the
+    past *after* the new leader announced its own — the intervals do not
+    overlap, no read can be served in the dead window, so it is noise,
+    not a violation (the schedule seed 2 of the election-boundary test
+    actually produces)."""
+    assert_parity(
+        [window("m2", 2, 88, 128), window("m1", 1, 6, 46)],
+        [],
+    )
+
+
+def test_monitor_flags_an_election_inside_a_live_foreign_window():
+    assert_parity(
+        [window("m1", 1, 5, 45), elected("m2", 2, 20)],
+        [1],
+    )

@@ -21,14 +21,22 @@ applies to):
   over minimal quorum subsets);
 * **at-most-one-config-in-flight** *(new)* — the directory's transition log
   alternates ``joint-begin`` / ``commit`` strictly: no second change starts
-  before the previous one commits.
+  before the previous one commits;
+* **lease safety** *(new)* — no local read outside a proven lease window,
+  no overlap between different members' announced windows, and no election
+  completing inside a live foreign window (delegates to the streaming
+  :class:`~repro.obs.monitor.LeaseSafetyMonitor` replayed post-mortem —
+  online/offline parity by construction).
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from repro.obs.monitor import joint_quorums_intersect  # shared with the online monitors
+from repro.obs.monitor import (  # shared with the online monitors
+    joint_quorums_intersect,
+    offline_lease_violations,
+)
 
 __all__ = [
     "REGISTERED",
@@ -37,6 +45,7 @@ __all__ = [
     "check_registered",
     "check_all",
     "joint_quorums_intersect",
+    "offline_lease_violations",
 ]
 
 #: handles registered by the suite helpers since the last fixture reset
@@ -72,6 +81,7 @@ def check_all(handle):
         check_election_safety(handle)
         check_log_matching(handle)
         check_state_machine_safety(handle)
+        check_lease_safety(handle)
     directory = getattr(handle, "directory", None)
     if directory is not None:
         check_quorum_intersection_across_epochs(directory)
@@ -140,6 +150,21 @@ def check_log_matching(handle):
                 assert a.log.entry(i) == b.log.entry(i), (
                     f"{a.name} and {b.name} disagree on committed index {i}"
                 )
+
+
+def check_lease_safety(handle):
+    """No local read outside a proven lease window, no overlapping windows,
+    no leadership assumed inside a live foreign window.
+
+    Delegates to :func:`repro.obs.monitor.offline_lease_violations`, which
+    replays the trace through a fresh :class:`LeaseSafetyMonitor` — the
+    post-mortem checker and the streaming monitor agree by construction.
+    A lease-free run has no lease-tagged actions and passes vacuously.
+    """
+    violations = offline_lease_violations(handle.trace())
+    assert not violations, "lease safety violated: " + "; ".join(
+        f"[{index}] {detail}" for index, detail in violations
+    )
 
 
 def check_state_machine_safety(handle):

@@ -229,6 +229,7 @@ def test_default_monitors_are_fresh_instances():
         "log-matching",
         "quorum-intersection",
         "config-in-flight",
+        "lease-safety",
     }
     assert all(x is not y for x, y in zip(a, b))
 

@@ -100,6 +100,30 @@ def test_consensus_block_from_registry_equals_trace_walk():
     assert from_registry.entries_applied > 0
 
 
+def test_consensus_block_parity_holds_with_leases_on():
+    """The lease counters and the read-latency histogram extend *both*
+    collector paths identically: a leased run's consensus block from the
+    registry equals the one from the trace walk, and the lease activity is
+    really in it."""
+    handle, _plane = run_observed(
+        "algorithm-b",
+        scheduler=chaos_fifo(),
+        num_objects=2,
+        consensus_factor=3,
+        leases=True,
+        run_to_completion=False,
+    )
+    from_registry, from_walk = both_collector_paths(
+        _collect_consensus_metrics, handle.simulation
+    )
+    assert from_registry is not None
+    assert from_registry == from_walk
+    assert from_registry.lease_acquisitions >= 1
+    assert from_registry.local_reads >= 1
+    assert from_registry.lease_read_latency.count == from_registry.local_reads
+    assert from_registry.local_read_ratio == 1.0  # every read served locally
+
+
 def test_controller_block_from_registry_equals_trace_walk():
     plan, policy = auto_heal()
     handle, plane = run_observed(

@@ -97,7 +97,14 @@ class TestSweep:
 
     def test_grid_shape(self, grid):
         assert set(grid) == {"algorithm-b"}
-        assert set(grid["algorithm-b"]) == {"none", "replace-dead-replica", "grow-group"}
+        assert set(grid["algorithm-b"]) == {
+            "none",
+            "replace-dead-replica",
+            "grow-group",
+            "lossy-replace-p05",
+            "lossy-replace-p15",
+            "lossy-replace-p30",
+        }
 
     def test_rows_carry_reconfig_columns(self, grid):
         rows = reconfig_grid_rows(grid)

@@ -49,6 +49,7 @@ def run_fixed_workload(
     fanout_batching: bool = False,
     consensus_batching: bool = False,
     persistence=None,
+    leases=None,
     run_to_completion: bool = True,
 ):
     """Build, submit the fixed explicit-id workload, run; returns the handle."""
@@ -72,6 +73,7 @@ def run_fixed_workload(
         fanout_batching=fanout_batching,
         consensus_batching=consensus_batching,
         persistence=persistence,
+        leases=leases,
         fault_plane=FaultInjector(plan, seed=seed) if plan is not None else None,
     )
     w1 = handle.submit_write(

@@ -146,6 +146,79 @@ def test_enabled_persistence_is_trace_invisible_without_compaction():
 
 
 @pytest.mark.parametrize("protocol", protocol_names())
+def test_explicit_leases_off_matches_seed(protocol):
+    """Passing leases=None explicitly changes nothing, for every protocol:
+    the lease layer's byte-identity contract — no lease state allocated, no
+    lease rounds on any wire, no new trace actions."""
+    handle = run_fixed_workload(protocol, scheduler=FIFOScheduler(), num_objects=2, leases=None)
+    assert signature_hash(handle) == GOLDEN[protocol]["fifo-2obj"], protocol
+
+
+def test_enabled_leases_leave_the_write_path_byte_identical():
+    """The stronger contract (consensus runs only — leases need members): a
+    *leased* run of a write-only workload is byte-identical to the unleased
+    one.  Lease rounds are triggered exclusively by read-only requests, so a
+    run with no reads never starts one — leases-on changes are confined to
+    the read path by construction."""
+    from repro.protocols import get_protocol
+
+    from tests import invariants
+
+    def write_only_signature(leases):
+        handle = get_protocol("algorithm-b").build(
+            num_readers=2,
+            num_writers=2,
+            num_objects=2,
+            scheduler=FIFOScheduler(),
+            seed=3,
+            consensus_factor=3,
+            leases=leases,
+        )
+        w1 = handle.submit_write(
+            {obj: f"v1-{obj}" for obj in handle.objects}, writer=handle.writers[0], txn_id="W1"
+        )
+        handle.submit_write(
+            {obj: f"v2-{obj}" for obj in handle.objects},
+            writer=handle.writers[-1],
+            txn_id="W2",
+            after=[w1],
+        )
+        handle.run_to_completion()
+        return signature_hash(invariants.register(handle))
+
+    assert write_only_signature(True) == write_only_signature(None)
+
+
+def test_enabled_leases_confine_changes_to_the_read_path():
+    """With the mixed workload, leases change *what happens to reads* — they
+    bypass the log — while the committed write sequence is untouched: the
+    leased log is exactly the unleased log minus its ``get-tag-arr``
+    entries, and both runs return the same read values."""
+    def run(leases):
+        return run_fixed_workload(
+            "algorithm-b",
+            scheduler=FIFOScheduler(),
+            num_objects=2,
+            consensus_factor=3,
+            leases=leases,
+        )
+
+    def committed_requests(handle):
+        member = handle.simulation.automaton("coor")
+        return [
+            member.log.entry(i).request_id
+            for i in range(member.log.snapshot_index + 1, member.log.commit_index + 1)
+        ]
+
+    on, off = run(True), run(None)
+    assert committed_requests(on) == [
+        rid for rid in committed_requests(off) if not rid.startswith("get-tag-arr/")
+    ]
+    assert any(rid.startswith("get-tag-arr/") for rid in committed_requests(off))
+    assert on.history().results() == off.history().results()
+
+
+@pytest.mark.parametrize("protocol", protocol_names())
 def test_explicit_obs_off_matches_seed(protocol):
     """Passing obs=None explicitly changes nothing, for every protocol: the
     observability plane's byte-identity contract — no observer installed,
